@@ -1,0 +1,71 @@
+//! Ablation: how much the randomized backoff factor matters.
+//!
+//! §3: "the problem will not be solved if all clients return at the
+//! same instant, so some asymmetry or random factor is needed to
+//! discourage cascading collisions." We run the overloaded Aloha
+//! submission scenario with the paper's [1, 2) jitter, with jitter
+//! removed (pure doubling — clients resynchronize), and with a
+//! constant retry interval. Besides the timing, the bench prints the
+//! throughput each policy achieves so the quality difference is
+//! visible in the bench log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridworld::{run_submission, SubmitParams};
+use retry::{BackoffPolicy, Discipline, Dur};
+
+fn run(backoff: Option<BackoffPolicy>, seed: u64) -> (u64, u64) {
+    let o = run_submission(
+        SubmitParams {
+            n_clients: 450,
+            discipline: Discipline::Aloha,
+            backoff_override: backoff,
+            seed,
+            ..SubmitParams::default()
+        },
+        Dur::from_secs(120),
+    );
+    (o.jobs_submitted, o.crashes)
+}
+
+fn jobs(backoff: Option<BackoffPolicy>) -> u64 {
+    run(backoff, 0x5eed).0
+}
+
+fn bench(c: &mut Criterion) {
+    let variants: [(&str, Option<BackoffPolicy>); 3] = [
+        ("jittered", None),
+        ("no_jitter", Some(BackoffPolicy::ethernet().without_jitter())),
+        (
+            "constant_1s",
+            Some(BackoffPolicy::Constant(Dur::from_secs(1))),
+        ),
+    ];
+
+    // One-shot quality report (not timed), averaged over seeds so a
+    // lucky crash pattern does not masquerade as a policy effect.
+    const SEEDS: [u64; 5] = [1, 22, 333, 4444, 55555];
+    for (name, b) in &variants {
+        let (mut tj, mut tc) = (0u64, 0u64);
+        for &s in &SEEDS {
+            let (j, c) = run(*b, s);
+            tj += j;
+            tc += c;
+        }
+        eprintln!(
+            "[ablation] aloha 450 submitters / 120 s, {name}: mean jobs={:.0} mean crashes={:.1} (over {} seeds)",
+            tj as f64 / SEEDS.len() as f64,
+            tc as f64 / SEEDS.len() as f64,
+            SEEDS.len()
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation_backoff");
+    g.sample_size(10);
+    for (name, bo) in variants {
+        g.bench_function(name, |b| b.iter(|| std::hint::black_box(jobs(bo))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ablation: the shared-channel story of §3 in isolation. Pure
+//! backoff (Aloha) saturates far below carrier sense, and immediate
+//! retransmission (Fixed) livelocks — the same ordering the grid
+//! scenarios show, on the original medium.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simgrid::{simulate_channel, ChannelDiscipline};
+
+fn bench(c: &mut Criterion) {
+    // Quality report (not timed): throughput at a heavy offered load.
+    for d in [
+        ChannelDiscipline::Fixed,
+        ChannelDiscipline::Aloha,
+        ChannelDiscipline::Ethernet,
+    ] {
+        let s = simulate_channel(d, 50, 0.05, 50_000, 1);
+        eprintln!(
+            "[channel] {d:?}: S={:.3} (G={:.2}, {} collisions)",
+            s.throughput(),
+            s.offered_load(),
+            s.collisions
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation_channel");
+    g.sample_size(10);
+    for d in [
+        ChannelDiscipline::Fixed,
+        ChannelDiscipline::Aloha,
+        ChannelDiscipline::Ethernet,
+    ] {
+        g.bench_function(format!("{d:?}_50x50k"), |b| {
+            b.iter(|| std::hint::black_box(simulate_channel(d, 50, 0.05, 50_000, 1)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation: the carrier-sense threshold of the Ethernet submitter.
+//!
+//! The paper fixes the threshold at 1000 free descriptors. Sweeping it
+//! shows the trade-off the administrator tunes: too low and the schedd
+//! crashes like Aloha; too high and clients defer unnecessarily,
+//! shaving throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridworld::{run_submission, SubmitParams};
+use retry::{Discipline, Dur};
+
+fn run(threshold: u64) -> (u64, u64) {
+    let o = run_submission(
+        SubmitParams {
+            n_clients: 450,
+            discipline: Discipline::Ethernet,
+            threshold,
+            ..SubmitParams::default()
+        },
+        Dur::from_secs(120),
+    );
+    (o.jobs_submitted, o.crashes)
+}
+
+fn bench(c: &mut Criterion) {
+    // Quality report (not timed).
+    for t in [0u64, 100, 500, 1000, 2000, 4000] {
+        let (jobs, crashes) = run(t);
+        eprintln!("[threshold] {t:>5} free FDs: jobs={jobs} crashes={crashes}");
+    }
+
+    let mut g = c.benchmark_group("ablation_threshold");
+    g.sample_size(10);
+    for t in [0u64, 1000, 4000] {
+        g.bench_function(format!("threshold_{t}"), |b| {
+            b.iter(|| std::hint::black_box(run(t)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

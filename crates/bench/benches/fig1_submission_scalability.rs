@@ -1,0 +1,31 @@
+//! Figure 1 bench: jobs submitted in a window vs. submitter count,
+//! per discipline. Criterion times the reduced (Quick) sweep; run
+//! `cargo run -p eg-bench --bin figures -- fig1` for the full figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridworld::{run_submission, SubmitParams};
+use retry::{Discipline, Dur};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_submission_scalability");
+    g.sample_size(10);
+    for d in Discipline::ALL {
+        g.bench_function(format!("{d}_n200_90s"), |b| {
+            b.iter(|| {
+                let o = run_submission(
+                    SubmitParams {
+                        n_clients: 200,
+                        discipline: d,
+                        ..SubmitParams::default()
+                    },
+                    Dur::from_secs(90),
+                );
+                std::hint::black_box(o.jobs_submitted)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

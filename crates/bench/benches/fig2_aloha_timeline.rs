@@ -1,0 +1,17 @@
+//! Figure 2 bench: the Aloha submitter timeline (FD sawtooth and
+//! broadcast-jam spikes). Criterion times a reduced window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridworld::figures::{fig2_aloha_timeline, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_aloha_timeline");
+    g.sample_size(10);
+    g.bench_function("quick", |b| {
+        b.iter(|| std::hint::black_box(fig2_aloha_timeline(Scale::Quick, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

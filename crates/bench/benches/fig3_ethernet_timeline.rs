@@ -1,0 +1,17 @@
+//! Figure 3 bench: the Ethernet submitter timeline (FDs held at the
+//! carrier-sense floor). Criterion times a reduced window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridworld::figures::{fig3_ethernet_timeline, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_ethernet_timeline");
+    g.sample_size(10);
+    g.bench_function("quick", |b| {
+        b.iter(|| std::hint::black_box(fig3_ethernet_timeline(Scale::Quick, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

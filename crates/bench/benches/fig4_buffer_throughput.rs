@@ -1,0 +1,30 @@
+//! Figure 4 bench: shared-buffer throughput per discipline at one
+//! contended population.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridworld::{run_buffer, BufferParams};
+use retry::{Discipline, Dur};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_buffer_throughput");
+    g.sample_size(10);
+    for d in Discipline::ALL {
+        g.bench_function(format!("{d}_n40_120s"), |b| {
+            b.iter(|| {
+                let o = run_buffer(
+                    BufferParams {
+                        n_producers: 40,
+                        discipline: d,
+                        ..BufferParams::default()
+                    },
+                    Dur::from_secs(120),
+                );
+                std::hint::black_box(o.files_consumed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 6 bench: the Aloha reader against a black-hole replica.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridworld::{run_blackhole, BlackHoleParams};
+use retry::{Discipline, Dur};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_aloha_reader");
+    g.sample_size(10);
+    g.bench_function("aloha_900s", |b| {
+        b.iter(|| {
+            let o = run_blackhole(
+                BlackHoleParams {
+                    discipline: Discipline::Aloha,
+                    ..BlackHoleParams::default()
+                },
+                Dur::from_secs(900),
+            );
+            std::hint::black_box((o.transfers, o.collisions))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 7 bench: the Ethernet reader (flag probe) against a
+//! black-hole replica.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridworld::{run_blackhole, BlackHoleParams};
+use retry::{Discipline, Dur};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_ethernet_reader");
+    g.sample_size(10);
+    g.bench_function("ethernet_900s", |b| {
+        b.iter(|| {
+            let o = run_blackhole(
+                BlackHoleParams {
+                    discipline: Discipline::Ethernet,
+                    ..BlackHoleParams::default()
+                },
+                Dur::from_secs(900),
+            );
+            std::hint::black_box((o.transfers, o.deferrals))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

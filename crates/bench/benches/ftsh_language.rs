@@ -1,0 +1,73 @@
+//! Microbenchmarks of the ftsh language machinery: lexing/parsing,
+//! pretty-printing, and VM execution throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftsh::{parse, pretty, SimClock, Vm, VmDriver};
+
+fn big_script(n: usize) -> String {
+    let mut s = String::new();
+    for i in 0..n {
+        s.push_str(&format!(
+            "try for 5 minutes or 3 times\n\
+               forany host in a{i} b{i} c{i}\n\
+                 fetch http://${{host}}/file{i} -> out{i}\n\
+                 if ${{out{i}}} .eql. ok\n\
+                   success\n\
+                 else\n\
+                   failure\n\
+                 end\n\
+               end\n\
+             end\n"
+        ));
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let src = big_script(100);
+    let script = parse(&src).unwrap();
+
+    c.bench_function("parse_100_blocks", |b| {
+        b.iter(|| std::hint::black_box(parse(&src).unwrap()))
+    });
+
+    c.bench_function("pretty_100_blocks", |b| {
+        b.iter(|| std::hint::black_box(pretty(&script)))
+    });
+
+    let run_src = "try for 1 hour\n forany h in a b c\n  get ${h}\n end\nend\n";
+    let run_script = parse(run_src).unwrap();
+    c.bench_function("vm_run_forany", |b| {
+        b.iter(|| {
+            let mut d = VmDriver::new(Vm::with_seed(&run_script, 1), SimClock::new());
+            let out = d.run_to_completion(|spec| {
+                if spec.argv[1] == "c" {
+                    Ok(String::new())
+                } else {
+                    Err("nope".into())
+                }
+            });
+            std::hint::black_box(out.success())
+        })
+    });
+
+    let retry_script = parse("try 100 times\n flaky\nend\n").unwrap();
+    c.bench_function("vm_100_retries", |b| {
+        b.iter(|| {
+            let mut left = 99u32;
+            let mut d = VmDriver::new(Vm::with_seed(&retry_script, 1), SimClock::new());
+            let out = d.run_to_completion(|_| {
+                if left > 0 {
+                    left -= 1;
+                    Err("flaky".into())
+                } else {
+                    Ok(String::new())
+                }
+            });
+            std::hint::black_box(out.success())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

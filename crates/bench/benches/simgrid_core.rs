@@ -1,0 +1,51 @@
+//! Microbenchmarks of the simulation substrate: event-queue churn,
+//! descriptor accounting, and buffer operations — the inner loops of
+//! every figure run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retry::Time;
+use simgrid::{DiskBuffer, EventQueue, FdTable};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("event_queue_100k_schedule_pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..100_000u64 {
+                q.schedule(Time::from_micros((i * 7919) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    c.bench_function("fd_table_1m_alloc_release", |b| {
+        b.iter(|| {
+            let mut t = FdTable::new(10_000);
+            for _ in 0..1_000_000u32 {
+                if t.alloc(20).is_err() {
+                    t.release(t.in_use());
+                }
+            }
+            std::hint::black_box(t.in_use())
+        })
+    });
+
+    c.bench_function("disk_buffer_100k_file_cycle", |b| {
+        b.iter(|| {
+            let mut d = DiskBuffer::new(1 << 30);
+            for i in 0..100_000u64 {
+                let f = d.create();
+                let _ = d.write(f, (i % 4096) + 1);
+                let _ = d.complete(f);
+                let _ = d.delete(f);
+            }
+            std::hint::black_box(d.collisions())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

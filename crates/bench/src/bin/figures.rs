@@ -1,0 +1,74 @@
+//! Regenerate the paper's figures.
+//!
+//! ```text
+//! figures [--quick] [--seed N] [fig1 fig2 ... | all]
+//! ```
+//!
+//! Prints each figure as an aligned table (the rows the paper plots)
+//! and writes `results/figN.json`. Default scale is `--full`
+//! (paper-size populations and windows); `--quick` runs the reduced
+//! versions used in CI.
+
+use gridworld::figures::{by_name, Scale, ALL_ABLATIONS, ALL_FIGURES};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Full;
+    let mut seed: u64 = 2003;
+    let mut chart = false;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            "--chart" => chart = true,
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "all" => wanted.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
+            "ablations" => wanted.extend(ALL_ABLATIONS.iter().map(|s| s.to_string())),
+            other if other.starts_with("fig") || other.starts_with("ablation-") => {
+                wanted.push(other.to_string())
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: figures [--quick] [--seed N] [fig1..fig7 | all | ablations | ablation-threshold | ablation-channel]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if wanted.is_empty() {
+        wanted.extend(ALL_FIGURES.iter().map(|s| s.to_string()));
+    }
+
+    for name in wanted {
+        eprintln!("== running {name} ({scale:?}, seed {seed}) ==");
+        match by_name(&name, scale, seed) {
+            Some(set) => match egbench::emit(&name, &set) {
+                Ok(path) => {
+                    if chart {
+                        println!("{}", set.to_ascii_chart(64, 16));
+                    }
+                    eprintln!("   wrote {}", path.display());
+                }
+                Err(e) => {
+                    eprintln!("   cannot write results: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => {
+                eprintln!("unknown figure: {name}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

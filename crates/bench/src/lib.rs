@@ -1,0 +1,63 @@
+//! Shared plumbing for the figure harness: table printing and JSON
+//! emission of [`simgrid::SeriesSet`] results.
+
+#![warn(missing_docs)]
+
+use simgrid::SeriesSet;
+use std::path::{Path, PathBuf};
+
+/// Where figure data lands (`results/` at the workspace root).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    root.join("results")
+}
+
+/// Print a figure as an aligned table and persist it as JSON and CSV.
+/// Returns the JSON path.
+pub fn emit(name: &str, set: &SeriesSet) -> std::io::Result<PathBuf> {
+    println!("{}", set.to_table());
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(set).expect("series serialize");
+    std::fs::write(&path, json)?;
+    std::fs::write(dir.join(format!("{name}.csv")), set.to_csv())?;
+    Ok(path)
+}
+
+/// A compact textual summary of a figure for EXPERIMENTS.md-style
+/// reporting: last value of each series.
+pub fn summarize(set: &SeriesSet) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = write!(out, "{}:", set.title);
+    for s in &set.series {
+        let _ = write!(out, " {}={:.1}", s.name, s.last().unwrap_or(f64::NAN));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgrid::Series;
+
+    #[test]
+    fn summarize_lists_series() {
+        let mut set = SeriesSet::new("T", "x", "y");
+        let s = set.add(Series::new("A"));
+        s.push_xy(1.0, 2.0);
+        assert_eq!(summarize(&set), "T: A=2.0");
+    }
+
+    #[test]
+    fn results_dir_is_under_workspace() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Smoke test of the `figures` binary in quick mode.
+
+use std::process::Command;
+
+fn figures() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_figures"))
+}
+
+#[test]
+fn quick_fig6_emits_table_and_json() {
+    let out = figures()
+        .args(["--quick", "--seed", "7", "fig6"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Figure 6"));
+    assert!(stdout.contains("Transfers"));
+    let json = egbench::results_dir().join("fig6.json");
+    assert!(json.exists(), "wrote {}", json.display());
+}
+
+#[test]
+fn unknown_figure_is_an_error() {
+    let st = figures().arg("fig99").status().unwrap();
+    assert!(!st.success());
+}
+
+#[test]
+fn bad_flag_is_a_usage_error() {
+    let st = figures().arg("--frobnicate").status().unwrap();
+    assert_eq!(st.code(), Some(2));
+}

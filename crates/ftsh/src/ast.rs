@@ -1,0 +1,352 @@
+//! Abstract syntax of ftsh.
+//!
+//! A script is a *group*: a fail-fast sequence of statements. The
+//! structural statements are exactly those §4 of the paper introduces —
+//! `try`/`catch`, `forany`, `forall`, `if`, assignment, the `failure`
+//! and `success` atoms — and the atom is an external command with
+//! optional redirections (to files or, dash-prefixed, to shell
+//! variables).
+
+use retry::Dur;
+use std::fmt;
+
+/// One segment of a [`Word`]: literal text or a `${var}` substitution.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Seg {
+    /// Literal text.
+    Lit(String),
+    /// Substitution of the named variable at expansion time.
+    Var(String),
+}
+
+/// A shell word: a run of literal and substitution segments that
+/// expands to a single string at evaluation time.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Word {
+    segs: Vec<Seg>,
+}
+
+impl Word {
+    /// A word from raw segments (adjacent literals are merged).
+    pub fn from_segs(segs: Vec<Seg>) -> Word {
+        let mut merged: Vec<Seg> = Vec::with_capacity(segs.len());
+        for s in segs {
+            match (merged.last_mut(), s) {
+                (Some(Seg::Lit(a)), Seg::Lit(b)) => a.push_str(&b),
+                (_, s) => merged.push(s),
+            }
+        }
+        Word { segs: merged }
+    }
+
+    /// A purely literal word.
+    pub fn lit(s: impl Into<String>) -> Word {
+        let s = s.into();
+        if s.is_empty() {
+            Word { segs: vec![] }
+        } else {
+            Word {
+                segs: vec![Seg::Lit(s)],
+            }
+        }
+    }
+
+    /// A single-variable word (`${name}`).
+    pub fn var(name: impl Into<String>) -> Word {
+        Word {
+            segs: vec![Seg::Var(name.into())],
+        }
+    }
+
+    /// The segments of this word.
+    pub fn segs(&self) -> &[Seg] {
+        &self.segs
+    }
+
+    /// If the word is a single literal, that literal.
+    pub fn as_lit(&self) -> Option<&str> {
+        match self.segs.as_slice() {
+            [Seg::Lit(s)] => Some(s),
+            [] => Some(""),
+            _ => None,
+        }
+    }
+
+    /// True if any segment is a substitution.
+    pub fn has_vars(&self) -> bool {
+        self.segs.iter().any(|s| matches!(s, Seg::Var(_)))
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w\"")?;
+        for s in &self.segs {
+            match s {
+                Seg::Lit(l) => write!(f, "{l}")?,
+                Seg::Var(v) => write!(f, "${{{v}}}")?,
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Where redirected output goes / input comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RedirTarget {
+    /// A file in the filesystem (`>`, `>>`, `>&`, `<`).
+    File,
+    /// A shell variable held by the interpreter (`->`, `->>`, `->&`,
+    /// `-<`) — the paper's I/O transaction mechanism.
+    Variable,
+}
+
+/// A single redirection attached to a command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Redir {
+    /// Redirect standard output (and error if `both`), truncating or
+    /// appending, to a file or variable named by `target`.
+    Out {
+        /// File or variable destination.
+        to: RedirTarget,
+        /// Append rather than truncate.
+        append: bool,
+        /// Capture standard error too (`>&` forms).
+        both: bool,
+        /// Name of the file/variable (expanded at run time).
+        target: Word,
+    },
+    /// Feed standard input from a file or variable.
+    In {
+        /// File or variable source.
+        from: RedirTarget,
+        /// Name of the file/variable (expanded at run time).
+        source: Word,
+    },
+}
+
+/// An external command: argv words plus redirections.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Command {
+    /// Argument words, `argv[0]` first.
+    pub words: Vec<Word>,
+    /// Redirections, applied left to right.
+    pub redirs: Vec<Redir>,
+}
+
+/// The limits of a `try`: time, attempts, both, or neither, plus an
+/// optional fixed retry interval (`every`) overriding exponential
+/// backoff.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct TrySpec {
+    /// `for <n> <unit>` total time limit.
+    pub time: Option<Dur>,
+    /// `<n> times` attempt limit.
+    pub attempts: Option<u32>,
+    /// `every <n> <unit>`: constant delay instead of exponential
+    /// backoff (extension documented in the ftsh cookbook).
+    pub every: Option<Dur>,
+}
+
+/// Comparison operators for `if` conditions. The dotted numeric forms
+/// are the ones the paper's carrier-sense fragment uses
+/// (`if ${n} .lt. 1000`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CondOp {
+    /// `.lt.` numeric less-than.
+    NumLt,
+    /// `.le.` numeric less-or-equal.
+    NumLe,
+    /// `.gt.` numeric greater-than.
+    NumGt,
+    /// `.ge.` numeric greater-or-equal.
+    NumGe,
+    /// `.eq.` numeric equality.
+    NumEq,
+    /// `.ne.` numeric inequality.
+    NumNe,
+    /// `.eql.` string equality.
+    StrEq,
+    /// `.neql.` string inequality.
+    StrNe,
+}
+
+impl CondOp {
+    /// The source spelling.
+    pub fn spelling(self) -> &'static str {
+        match self {
+            CondOp::NumLt => ".lt.",
+            CondOp::NumLe => ".le.",
+            CondOp::NumGt => ".gt.",
+            CondOp::NumGe => ".ge.",
+            CondOp::NumEq => ".eq.",
+            CondOp::NumNe => ".ne.",
+            CondOp::StrEq => ".eql.",
+            CondOp::StrNe => ".neql.",
+        }
+    }
+
+    /// Parse a spelling.
+    pub fn from_spelling(s: &str) -> Option<CondOp> {
+        Some(match s {
+            ".lt." => CondOp::NumLt,
+            ".le." => CondOp::NumLe,
+            ".gt." => CondOp::NumGt,
+            ".ge." => CondOp::NumGe,
+            ".eq." => CondOp::NumEq,
+            ".ne." => CondOp::NumNe,
+            ".eql." => CondOp::StrEq,
+            ".neql." => CondOp::StrNe,
+            _ => return None,
+        })
+    }
+}
+
+/// An `if` condition: `lhs OP rhs`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cond {
+    /// Left operand.
+    pub lhs: Word,
+    /// Comparison operator.
+    pub op: CondOp,
+    /// Right operand.
+    pub rhs: Word,
+}
+
+/// A statement. Groups are represented as `Vec<Stmt>` inside the
+/// structured statements; the script itself is the outermost group.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// An external command (or a builtin the executor recognizes).
+    Command(Command),
+    /// `try [for d] [or n times] [every d] ... [catch ...] end`
+    Try {
+        /// Retry limits.
+        spec: TrySpec,
+        /// The retried group.
+        body: Vec<Stmt>,
+        /// The handler group, if a `catch` clause is present.
+        catch: Option<Vec<Stmt>>,
+    },
+    /// `forany v in w1 w2 ... \n body \n end`
+    ForAny {
+        /// Loop variable bound to each alternative in turn.
+        var: String,
+        /// Alternative values (expanded at entry).
+        values: Vec<Word>,
+        /// Body attempted once per alternative until one succeeds.
+        body: Vec<Stmt>,
+    },
+    /// `forall v in w1 w2 ... \n body \n end` — parallel conjunction.
+    ForAll {
+        /// Loop variable bound per parallel branch.
+        var: String,
+        /// Branch values (expanded at entry).
+        values: Vec<Word>,
+        /// Body run once per value, concurrently.
+        body: Vec<Stmt>,
+    },
+    /// `if cond \n then-group [else \n else-group] end`
+    If {
+        /// The comparison.
+        cond: Cond,
+        /// Group when the condition holds.
+        then: Vec<Stmt>,
+        /// Group when it does not.
+        els: Option<Vec<Stmt>>,
+    },
+    /// `name=value` — bind a shell variable.
+    Assign {
+        /// Variable name.
+        var: String,
+        /// Value word (expanded at run time).
+        value: Word,
+    },
+    /// The `failure` atom: an untyped throw.
+    Failure,
+    /// The `success` atom: succeeds without doing anything.
+    Success,
+    /// `function name ... end` — define a callable procedure (from the
+    /// ftsh cookbook, TR-1476). Invoking `name args...` runs the body
+    /// with `${1}`…`${9}` bound to the arguments, `${0}` to the name,
+    /// and `${*}` to all arguments joined by spaces; the body's result
+    /// is the call's result.
+    Function {
+        /// Procedure name.
+        name: String,
+        /// The body group.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A parsed script: the outermost group.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Script {
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Script {
+    /// Number of statements at top level.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// True when the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_merges_adjacent_literals() {
+        let w = Word::from_segs(vec![
+            Seg::Lit("a".into()),
+            Seg::Lit("b".into()),
+            Seg::Var("x".into()),
+            Seg::Lit("c".into()),
+        ]);
+        assert_eq!(
+            w.segs(),
+            &[
+                Seg::Lit("ab".into()),
+                Seg::Var("x".into()),
+                Seg::Lit("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn word_as_lit() {
+        assert_eq!(Word::lit("abc").as_lit(), Some("abc"));
+        assert_eq!(Word::lit("").as_lit(), Some(""));
+        assert_eq!(Word::var("x").as_lit(), None);
+    }
+
+    #[test]
+    fn word_has_vars() {
+        assert!(!Word::lit("abc").has_vars());
+        assert!(Word::var("x").has_vars());
+    }
+
+    #[test]
+    fn condop_spellings_roundtrip() {
+        for op in [
+            CondOp::NumLt,
+            CondOp::NumLe,
+            CondOp::NumGt,
+            CondOp::NumGe,
+            CondOp::NumEq,
+            CondOp::NumNe,
+            CondOp::StrEq,
+            CondOp::StrNe,
+        ] {
+            assert_eq!(CondOp::from_spelling(op.spelling()), Some(op));
+        }
+        assert_eq!(CondOp::from_spelling(".xx."), None);
+    }
+}

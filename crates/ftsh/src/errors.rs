@@ -1,0 +1,41 @@
+//! Parse-time diagnostics.
+
+use std::fmt;
+
+/// A lexical or syntactic error with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the problem was detected.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl ParseError {
+    /// Construct an error at `line`.
+    pub fn new(line: u32, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = ParseError::new(3, "unexpected end");
+        assert_eq!(e.to_string(), "line 3: unexpected end");
+    }
+}

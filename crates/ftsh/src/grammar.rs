@@ -1,0 +1,75 @@
+//! The ftsh grammar, as implemented by [`crate::parse`].
+//!
+//! This module contains no code — it is the language reference.
+//!
+//! # Lexical structure
+//!
+//! * Statements end at newlines; `\` before a newline continues the
+//!   line; `#` starts a comment to end of line.
+//! * A **word** is a run of literal characters and substitutions.
+//!   `"..."` groups spaces and still substitutes `${var}`; `'...'` is
+//!   fully literal; `\c` escapes any character.
+//! * `${name}` (or bare `$name` for alphanumeric names) substitutes a
+//!   shell variable. Unset variables expand to the empty string.
+//!   Inside a function body, `${1}`…`${n}` are the call arguments,
+//!   `${0}` the function name, `${*}` all arguments joined by spaces.
+//! * The redirection operators `>`, `>>`, `>&`, `<`, `->`, `->>`,
+//!   `->&`, `-<` are tokens only when they stand alone between words.
+//! * Keywords are recognized *positionally*: only a fully literal word
+//!   in command position opens a construct.
+//!
+//! # Grammar (EBNF)
+//!
+//! ```text
+//! script      ::= { statement }
+//! statement   ::= command | assignment | try | forany | forall
+//!               | if | function | "failure" | "success"
+//!
+//! command     ::= word { word } { redirection }
+//! redirection ::= ( ">" | ">>" | ">&" ) word      (* stdout to file *)
+//!               | "<" word                        (* stdin from file *)
+//!               | ( "->" | "->>" | "->&" ) word   (* stdout to variable *)
+//!               | "-<" word                       (* stdin from variable *)
+//!
+//! assignment  ::= name "=" word-tail              (* one word: name=value *)
+//!
+//! try         ::= "try" [ limits ] NL { statement }
+//!                 [ "catch" NL { statement } ] "end" NL
+//! limits      ::= forclause [ ["or"] timesclause ] [ everyclause ]
+//!               | timesclause [ ["or"] forclause ] [ everyclause ]
+//! forclause   ::= "for" number unit
+//! timesclause ::= number ( "times" | "time" )
+//! everyclause ::= "every" number unit
+//! unit        ::= "us" | "ms" | "s" | "sec" | "second(s)"
+//!               | "m" | "min" | "minute(s)" | "h" | "hour(s)"
+//!               | "d" | "day(s)" | ...
+//!
+//! forany      ::= "forany" name "in" word { word } NL
+//!                 { statement } "end" NL
+//! forall      ::= "forall" name "in" word { word } NL
+//!                 { statement } "end" NL
+//!
+//! if          ::= "if" word op word NL { statement }
+//!                 [ "else" NL { statement } ] "end" NL
+//! op          ::= ".lt." | ".le." | ".gt." | ".ge." | ".eq." | ".ne."
+//!               | ".eql." | ".neql."
+//!
+//! function    ::= "function" name NL { statement } "end" NL
+//! ```
+//!
+//! # Semantics in one paragraph
+//!
+//! A statement **succeeds or fails**; there are no other values. A
+//! group (script, body) runs sequentially and fails fast. `try`
+//! re-runs its body under a time/attempt budget with randomized
+//! exponential backoff between failures (base 1 s, doubled, capped at
+//! 1 h, scaled by a uniform factor in [1, 2); `every` replaces this
+//! with a constant interval); a deadline that expires mid-flight
+//! forcibly terminates the body's processes. `catch` handles the
+//! failure; its own result becomes the try's result. `forany` runs its
+//! body once per binding until one succeeds; `forall` runs all
+//! bindings in parallel (optionally throttled via
+//! [`crate::Vm::set_max_parallel`]) and aborts the stragglers when any
+//! branch fails. Numeric comparisons on non-numbers fail like any
+//! command. Calling a defined function runs its body with positional
+//! parameters bound; recursion beyond depth 64 fails.

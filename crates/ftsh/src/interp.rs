@@ -1,0 +1,275 @@
+//! A synchronous driver for the VM.
+//!
+//! [`VmDriver`] runs a [`Vm`] to completion against a closure executor:
+//! each command is executed synchronously the moment the VM asks for
+//! it. Combined with [`SimClock`] this gives instant, deterministic
+//! script execution where backoff delays advance virtual time instead
+//! of sleeping — ideal for tests and for reasoning about scripts.
+//! Combined with [`WallClock`] the delays really sleep (the `procman`
+//! crate provides the full real-process driver with kill escalation;
+//! this one is for in-process executors).
+//!
+//! Note the executor is synchronous, so `forall` branches are started
+//! in order and their commands run sequentially; the VM semantics
+//! (all-must-succeed, abort-on-first-failure) are preserved.
+
+use crate::vm::{CmdResult, CommandSpec, Effect, Tick, Vm, VmStatus};
+use retry::Time;
+
+/// A source of virtual "now" plus the ability to wait until an instant.
+pub trait Clock {
+    /// The current instant.
+    fn now(&self) -> Time;
+    /// Block (or pretend to) until `t`.
+    fn advance_to(&mut self, t: Time);
+}
+
+/// A clock that moves only when asked: `advance_to` jumps straight to
+/// the target. Backoffs and deadlines cost nothing in real time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimClock {
+    now: Time,
+}
+
+impl SimClock {
+    /// A clock at `T+0`.
+    pub fn new() -> SimClock {
+        SimClock::default()
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Time {
+        self.now
+    }
+    fn advance_to(&mut self, t: Time) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+/// Real time: `now` is the elapsed wall-clock since construction and
+/// `advance_to` actually sleeps.
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    start: std::time::Instant,
+}
+
+impl WallClock {
+    /// Start the epoch now.
+    pub fn new() -> WallClock {
+        WallClock {
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Time {
+        Time::from_micros(self.start.elapsed().as_micros().min(u64::MAX as u128) as u64)
+    }
+    fn advance_to(&mut self, t: Time) {
+        let now = self.now();
+        if t > now {
+            std::thread::sleep((t - now).to_std());
+        }
+    }
+}
+
+/// The final state of a driven script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    success: bool,
+}
+
+impl RunOutcome {
+    /// Did the script as a whole succeed?
+    pub fn success(&self) -> bool {
+        self.success
+    }
+}
+
+/// Errors a synchronous drive can hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DriveError {
+    /// The VM reported it was waiting on a command completion that the
+    /// synchronous executor cannot produce — a driver bug.
+    Stuck,
+}
+
+impl std::fmt::Display for DriveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriveError::Stuck => write!(f, "vm is waiting on a command that never completes"),
+        }
+    }
+}
+
+impl std::error::Error for DriveError {}
+
+/// Drives a [`Vm`] with a [`Clock`] and a synchronous executor closure.
+pub struct VmDriver<C: Clock> {
+    vm: Vm,
+    clock: C,
+}
+
+impl<C: Clock> VmDriver<C> {
+    /// Pair a VM with a clock.
+    pub fn new(vm: Vm, clock: C) -> VmDriver<C> {
+        VmDriver { vm, clock }
+    }
+
+    /// Access the VM (e.g. its log) after or during a run.
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
+
+    /// The clock.
+    pub fn clock(&self) -> &C {
+        &self.clock
+    }
+
+    /// Run the script to completion. `exec` is called once per command;
+    /// `Ok(stdout)` is success, `Err(())` failure. Panics are not
+    /// caught.
+    pub fn run_to_completion<F>(&mut self, mut exec: F) -> RunOutcome
+    where
+        F: FnMut(&CommandSpec) -> Result<String, String>,
+    {
+        self.try_run(|spec| exec(spec))
+            .expect("synchronous executor cannot leave the vm stuck")
+    }
+
+    /// Like [`VmDriver::run_to_completion`] but reports driver errors
+    /// instead of panicking.
+    pub fn try_run<F>(&mut self, mut exec: F) -> Result<RunOutcome, DriveError>
+    where
+        F: FnMut(&CommandSpec) -> Result<String, String>,
+    {
+        loop {
+            let Tick { effects, status } = self.vm.tick(self.clock.now());
+            let mut completed_any = false;
+            for eff in effects {
+                match eff {
+                    Effect::Start { token, spec, .. } => {
+                        let result = match exec(&spec) {
+                            Ok(out) => CmdResult {
+                                success: true,
+                                stdout: out,
+                            },
+                            Err(_) => CmdResult::fail(),
+                        };
+                        self.vm.complete(token, result);
+                        completed_any = true;
+                    }
+                    Effect::Cancel { .. } => {
+                        // Synchronous commands are already finished by
+                        // the time a cancel could be issued.
+                    }
+                }
+            }
+            if completed_any {
+                continue;
+            }
+            match status {
+                VmStatus::Done { success } => return Ok(RunOutcome { success }),
+                VmStatus::Running {
+                    next_wake: Some(t),
+                } => self.clock.advance_to(t),
+                VmStatus::Running { next_wake: None } => return Err(DriveError::Stuck),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn drive(src: &str, mut exec: impl FnMut(&CommandSpec) -> Result<String, String>) -> (bool, SimClock) {
+        let script = parse(src).unwrap();
+        let mut d = VmDriver::new(Vm::with_seed(&script, 1), SimClock::new());
+        let out = d.run_to_completion(&mut exec);
+        (out.success(), *d.clock())
+    }
+
+    #[test]
+    fn group_success() {
+        let mut ran = Vec::new();
+        let (ok, _) = drive("a\nb\nc\n", |spec| {
+            ran.push(spec.program().to_string());
+            Ok(String::new())
+        });
+        assert!(ok);
+        assert_eq!(ran, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn group_fail_fast() {
+        let mut ran = Vec::new();
+        let (ok, _) = drive("a\nboom\nc\n", |spec| {
+            ran.push(spec.program().to_string());
+            if spec.program() == "boom" {
+                Err("exit 1".into())
+            } else {
+                Ok(String::new())
+            }
+        });
+        assert!(!ok);
+        assert_eq!(ran, ["a", "boom"], "c must not run after boom fails");
+    }
+
+    #[test]
+    fn try_retries_until_success() {
+        let mut failures_left = 3;
+        let (ok, clock) = drive("try 10 times\n flaky\nend\n", |_| {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err("flaky".into())
+            } else {
+                Ok(String::new())
+            }
+        });
+        assert!(ok);
+        // Backoff 1+2+4 seconds minimum (jittered up to 2x each).
+        let t = clock.now().as_secs_f64();
+        assert!((7.0..14.001).contains(&t), "elapsed {t}");
+    }
+
+    #[test]
+    fn try_exhausts_attempts() {
+        let mut n = 0;
+        let (ok, _) = drive("try 4 times\n nope\nend\n", |_| {
+            n += 1;
+            Err("always".into())
+        });
+        assert!(!ok);
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn wall_clock_actually_waits() {
+        let script = parse("try for 1 hour every 30 ms\n flaky\nend\n").unwrap();
+        let mut fails = 2;
+        let mut d = VmDriver::new(Vm::with_seed(&script, 1), WallClock::new());
+        let started = std::time::Instant::now();
+        let out = d.run_to_completion(|_| {
+            if fails > 0 {
+                fails -= 1;
+                Err("x".into())
+            } else {
+                Ok(String::new())
+            }
+        });
+        assert!(out.success());
+        assert!(started.elapsed() >= std::time::Duration::from_millis(60));
+    }
+}

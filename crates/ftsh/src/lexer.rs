@@ -1,0 +1,497 @@
+//! Tokenizer for ftsh scripts.
+//!
+//! ftsh is line-oriented like the Bourne shell: statements end at a
+//! newline, keywords are recognized positionally, and bare words may mix
+//! literal text with `${var}` substitutions. The lexer resolves quoting
+//! (`"..."` groups spaces and still substitutes, `'...'` is fully
+//! literal), strips `#` comments, honours `\` line continuations, and
+//! emits redirection operators (`>`, `>>`, `<`, `>&`, `->`, `->>`,
+//! `->&`, `-<`) as distinct tokens when they stand alone.
+
+use crate::ast::{Seg, Word};
+use crate::errors::ParseError;
+
+/// A lexical token with its source line (1-based) for diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What was read.
+    pub kind: TokenKind,
+    /// Source line the token started on.
+    pub line: u32,
+}
+
+/// The kinds of token ftsh understands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// A word: literal and `${...}` segments.
+    Word(Word),
+    /// `>` or `->` etc.; `var` is true for the dash-prefixed variable
+    /// forms, `append` for `>>` forms, `both` for `>&` forms.
+    RedirOut {
+        /// Dash-prefixed form targets a shell variable.
+        var: bool,
+        /// `>>` appends instead of truncating.
+        append: bool,
+        /// `>&` also captures standard error.
+        both: bool,
+    },
+    /// `<` or `-<`.
+    RedirIn {
+        /// Dash-prefixed form reads from a shell variable.
+        var: bool,
+    },
+    /// `=` in an assignment (only recognized when a word has the shape
+    /// `name=value`; the lexer leaves that to the parser, so this kind
+    /// is currently unused by the lexer itself).
+    Equals,
+    /// End of a statement line.
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+/// Lex a whole script into tokens. Returns a token stream always
+/// terminated by [`TokenKind::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    // Current word under construction.
+    let mut segs: Vec<Seg> = Vec::new();
+    let mut lit = String::new();
+    let mut word_open = false; // true if quotes made an (possibly empty) word
+
+    fn flush_lit(segs: &mut Vec<Seg>, lit: &mut String) {
+        if !lit.is_empty() {
+            segs.push(Seg::Lit(std::mem::take(lit)));
+        }
+    }
+
+    fn flush_word(
+        out: &mut Vec<Token>,
+        segs: &mut Vec<Seg>,
+        lit: &mut String,
+        word_open: &mut bool,
+        line: u32,
+    ) {
+        flush_lit(segs, lit);
+        if !segs.is_empty() || *word_open {
+            out.push(Token {
+                kind: TokenKind::Word(Word::from_segs(std::mem::take(segs))),
+                line,
+            });
+        }
+        *word_open = false;
+    }
+
+    // Read a ${name} or $name substitution; the leading '$' is consumed.
+    fn read_var(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        line: u32,
+    ) -> Result<String, ParseError> {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut name = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some('\n') => {
+                            return Err(ParseError::new(line, "unterminated ${...}"));
+                        }
+                        Some(c) => name.push(c),
+                        None => return Err(ParseError::new(line, "unterminated ${...}")),
+                    }
+                }
+                if name.is_empty() {
+                    return Err(ParseError::new(line, "empty variable name in ${}"));
+                }
+                Ok(name)
+            }
+            _ => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(ParseError::new(line, "lone '$' (use \\$ for a literal)"));
+                }
+                Ok(name)
+            }
+        }
+    }
+
+    while let Some(c) = chars.next() {
+        match c {
+            '\n' => {
+                flush_word(&mut out, &mut segs, &mut lit, &mut word_open, line);
+                // Collapse duplicate newlines.
+                if !matches!(
+                    out.last().map(|t| &t.kind),
+                    Some(TokenKind::Newline) | None
+                ) {
+                    out.push(Token {
+                        kind: TokenKind::Newline,
+                        line,
+                    });
+                }
+                line += 1;
+            }
+            ' ' | '\t' | '\r' => {
+                flush_word(&mut out, &mut segs, &mut lit, &mut word_open, line);
+            }
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        flush_word(&mut out, &mut segs, &mut lit, &mut word_open, line);
+                        if !matches!(
+                            out.last().map(|t| &t.kind),
+                            Some(TokenKind::Newline) | None
+                        ) {
+                            out.push(Token {
+                                kind: TokenKind::Newline,
+                                line,
+                            });
+                        }
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '\\' => match chars.next() {
+                Some('\n') => {
+                    line += 1; // continuation: the newline is swallowed
+                }
+                Some(e) => lit.push(e),
+                None => return Err(ParseError::new(line, "trailing backslash")),
+            },
+            '"' => {
+                word_open = true;
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('\n') => line += 1,
+                            Some(e) => lit.push(e),
+                            None => {
+                                return Err(ParseError::new(line, "unterminated double quote"))
+                            }
+                        },
+                        Some('$') => {
+                            flush_lit(&mut segs, &mut lit);
+                            segs.push(Seg::Var(read_var(&mut chars, line)?));
+                        }
+                        Some('\n') => {
+                            lit.push('\n');
+                            line += 1;
+                        }
+                        Some(e) => lit.push(e),
+                        None => return Err(ParseError::new(line, "unterminated double quote")),
+                    }
+                }
+            }
+            '\'' => {
+                word_open = true;
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some('\n') => {
+                            lit.push('\n');
+                            line += 1;
+                        }
+                        Some(e) => lit.push(e),
+                        None => return Err(ParseError::new(line, "unterminated single quote")),
+                    }
+                }
+            }
+            '$' => {
+                flush_lit(&mut segs, &mut lit);
+                segs.push(Seg::Var(read_var(&mut chars, line)?));
+            }
+            '>' if segs.is_empty() && lit.is_empty() && !word_open => {
+                let append = matches!(chars.peek(), Some('>'));
+                if append {
+                    chars.next();
+                }
+                let both = matches!(chars.peek(), Some('&'));
+                if both {
+                    chars.next();
+                }
+                out.push(Token {
+                    kind: TokenKind::RedirOut {
+                        var: false,
+                        append,
+                        both,
+                    },
+                    line,
+                });
+            }
+            '<' if segs.is_empty() && lit.is_empty() && !word_open => {
+                out.push(Token {
+                    kind: TokenKind::RedirIn { var: false },
+                    line,
+                });
+            }
+            '-' if segs.is_empty()
+                && lit.is_empty()
+                && !word_open
+                && matches!(chars.peek(), Some('>') | Some('<')) =>
+            {
+                match chars.next() {
+                    Some('>') => {
+                        let append = matches!(chars.peek(), Some('>'));
+                        if append {
+                            chars.next();
+                        }
+                        let both = matches!(chars.peek(), Some('&'));
+                        if both {
+                            chars.next();
+                        }
+                        out.push(Token {
+                            kind: TokenKind::RedirOut {
+                                var: true,
+                                append,
+                                both,
+                            },
+                            line,
+                        });
+                    }
+                    Some('<') => out.push(Token {
+                        kind: TokenKind::RedirIn { var: true },
+                        line,
+                    }),
+                    _ => unreachable!(),
+                }
+            }
+            other => lit.push(other),
+        }
+    }
+    flush_word(&mut out, &mut segs, &mut lit, &mut word_open, line);
+    if !matches!(out.last().map(|t| &t.kind), Some(TokenKind::Newline) | None) {
+        out.push(Token {
+            kind: TokenKind::Newline,
+            line,
+        });
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(src: &str) -> Vec<String> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Word(w) => Some(format!("{w:?}")),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_words() {
+        let ks = kinds("wget http://server/file.tar.gz\n");
+        assert_eq!(ks.len(), 4); // two words, newline, eof
+        assert!(matches!(ks[0], TokenKind::Word(_)));
+        assert!(matches!(ks[2], TokenKind::Newline));
+        assert!(matches!(ks[3], TokenKind::Eof));
+    }
+
+    #[test]
+    fn variables_brace_and_bare() {
+        let ks = kinds("echo ${server} $x\n");
+        if let TokenKind::Word(w) = &ks[1] {
+            assert_eq!(w.segs(), &[Seg::Var("server".into())]);
+        } else {
+            panic!("expected word");
+        }
+        if let TokenKind::Word(w) = &ks[2] {
+            assert_eq!(w.segs(), &[Seg::Var("x".into())]);
+        } else {
+            panic!("expected word");
+        }
+    }
+
+    #[test]
+    fn mixed_word_segments() {
+        let ks = kinds("wget http://${server}/file\n");
+        if let TokenKind::Word(w) = &ks[1] {
+            assert_eq!(
+                w.segs(),
+                &[
+                    Seg::Lit("http://".into()),
+                    Seg::Var("server".into()),
+                    Seg::Lit("/file".into())
+                ]
+            );
+        } else {
+            panic!("expected word");
+        }
+    }
+
+    #[test]
+    fn double_quotes_group_and_substitute() {
+        let ks = kinds("echo \"got file from ${server}\"\n");
+        if let TokenKind::Word(w) = &ks[1] {
+            assert_eq!(
+                w.segs(),
+                &[Seg::Lit("got file from ".into()), Seg::Var("server".into())]
+            );
+        } else {
+            panic!("expected word");
+        }
+    }
+
+    #[test]
+    fn single_quotes_are_literal() {
+        let ks = kinds("echo '${not_a_var}'\n");
+        if let TokenKind::Word(w) = &ks[1] {
+            assert_eq!(w.segs(), &[Seg::Lit("${not_a_var}".into())]);
+        } else {
+            panic!("expected word");
+        }
+    }
+
+    #[test]
+    fn empty_quoted_word_is_a_word() {
+        let ks = kinds("echo \"\"\n");
+        assert!(matches!(&ks[1], TokenKind::Word(w) if w.segs().is_empty()));
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let ks = kinds("wget url # fetch it\nnext\n");
+        let n_words = ks
+            .iter()
+            .filter(|k| matches!(k, TokenKind::Word(_)))
+            .count();
+        assert_eq!(n_words, 3); // wget, url, next
+    }
+
+    #[test]
+    fn line_continuation() {
+        let ks = kinds("wget \\\n url\n");
+        let n_newlines = ks
+            .iter()
+            .filter(|k| matches!(k, TokenKind::Newline))
+            .count();
+        assert_eq!(n_newlines, 1);
+    }
+
+    #[test]
+    fn redirect_operators() {
+        assert!(matches!(
+            kinds("cmd > f\n")[1],
+            TokenKind::RedirOut {
+                var: false,
+                append: false,
+                both: false
+            }
+        ));
+        assert!(matches!(
+            kinds("cmd >> f\n")[1],
+            TokenKind::RedirOut {
+                var: false,
+                append: true,
+                both: false
+            }
+        ));
+        assert!(matches!(
+            kinds("cmd >& f\n")[1],
+            TokenKind::RedirOut {
+                var: false,
+                append: false,
+                both: true
+            }
+        ));
+        assert!(matches!(
+            kinds("cmd -> v\n")[1],
+            TokenKind::RedirOut {
+                var: true,
+                append: false,
+                both: false
+            }
+        ));
+        assert!(matches!(
+            kinds("cmd ->& v\n")[1],
+            TokenKind::RedirOut {
+                var: true,
+                append: false,
+                both: true
+            }
+        ));
+        assert!(matches!(
+            kinds("cmd ->> v\n")[1],
+            TokenKind::RedirOut {
+                var: true,
+                append: true,
+                both: false
+            }
+        ));
+        assert!(matches!(kinds("cmd < f\n")[1], TokenKind::RedirIn { var: false }));
+        assert!(matches!(kinds("cmd -< v\n")[1], TokenKind::RedirIn { var: true }));
+    }
+
+    #[test]
+    fn dash_not_followed_by_angle_is_a_word() {
+        let ks = kinds("rm -f file\n");
+        assert!(matches!(&ks[1], TokenKind::Word(w) if w.segs() == [Seg::Lit("-f".into())]));
+    }
+
+    #[test]
+    fn angle_inside_word_is_literal() {
+        // `a>b` as a single word: the operator form requires a word break.
+        let ks = kinds("echo a>b\n");
+        // 'a' is under construction when '>' arrives, so it stays literal.
+        assert!(matches!(&ks[1], TokenKind::Word(w) if w.segs() == [Seg::Lit("a>b".into())]));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("echo ${unterminated\n").is_err());
+        assert!(lex("echo \"open\n").is_err());
+        assert!(lex("echo 'open").is_err());
+        assert!(lex("echo $ \n").is_err());
+        assert!(lex("echo ${}\n").is_err());
+        assert!(lex("trailing \\").is_err());
+    }
+
+    #[test]
+    fn multiple_blank_lines_collapse() {
+        let ks = kinds("a\n\n\n\nb\n");
+        let n_newlines = ks
+            .iter()
+            .filter(|k| matches!(k, TokenKind::Newline))
+            .count();
+        assert_eq!(n_newlines, 2);
+    }
+
+    #[test]
+    fn escaped_dollar() {
+        let ks = kinds("echo \\$HOME\n");
+        assert!(matches!(&ks[1], TokenKind::Word(w) if w.segs() == [Seg::Lit("$HOME".into())]));
+    }
+
+    #[test]
+    fn words_debug_smoke() {
+        // Exercise the helper to keep it honest.
+        assert_eq!(words("a b\n").len(), 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! # ftsh — the fault tolerant shell
+//!
+//! A Rust implementation of the scripting language from *"The Ethernet
+//! Approach to Grid Computing"* (Thain & Livny, HPDC 2003). ftsh is a
+//! shell whose atoms are external commands and whose control flow is
+//! organized around **untyped failure**:
+//!
+//! ```text
+//! try for 1 hour
+//!   forany host in xxx yyy zzz
+//!     try for 5 minutes
+//!       fetch-file ${host} filename
+//!     end
+//!   end
+//! end
+//! ```
+//!
+//! * a *group* of commands fails fast;
+//! * `try` retries a group with exponential backoff (1 s base, doubled,
+//!   1 h cap, random factor in [1, 2)) under a time and/or attempt
+//!   budget, forcibly terminating work that outlives its deadline;
+//! * `catch` handles the untyped failure; `failure` throws one;
+//! * `forany` succeeds on the first alternative that succeeds;
+//! * `forall` runs branches in parallel and aborts the rest when any
+//!   branch fails;
+//! * `->`/`->&`/`-<` redirect output and input to shell *variables*,
+//!   giving a simple I/O transaction so repeated attempts do not
+//!   interleave partial output.
+//!
+//! ## Architecture
+//!
+//! [`parse`] turns source into a [`Script`]. [`Vm`] interprets it as a
+//! **resumable stack machine**: [`Vm::tick`] returns commands to start
+//! or cancel plus the next deadline, and the caller supplies results
+//! via [`Vm::complete`]. Drivers:
+//!
+//! * [`VmDriver`] (here) — synchronous closure executor, with
+//!   [`SimClock`] (virtual time) or [`WallClock`];
+//! * `procman::RealDriver` — real POSIX processes in their own
+//!   sessions, SIGTERM→SIGKILL on deadline;
+//! * `gridworld` — hundreds of VMs inside a discrete-event simulation.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod cond;
+pub mod errors;
+pub mod grammar;
+pub mod interp;
+pub mod lexer;
+pub mod log;
+pub mod parser;
+pub mod pretty;
+pub mod vm;
+pub mod words;
+
+pub use ast::{Command, Cond, CondOp, Redir, RedirTarget, Script, Seg, Stmt, TrySpec, Word};
+pub use cond::eval_cond;
+pub use errors::ParseError;
+pub use interp::{Clock, DriveError, RunOutcome, SimClock, VmDriver, WallClock};
+pub use log::{EventLog, LogEvent, LogKind, LogSummary, ProgramStats};
+pub use parser::parse;
+pub use pretty::pretty;
+pub use vm::{
+    CmdInput, CmdResult, CmdToken, CommandSpec, Effect, OutSink, TaskId, Tick, Vm, VmStatus,
+};
+pub use words::Env;

@@ -1,0 +1,436 @@
+//! The execution log.
+//!
+//! §4: *"While executing a script, ftsh keeps a log of varying detail
+//! about the program. Online or post-mortem analysis may determine more
+//! detailed reasons for process failure, the exact resources used to
+//! execute the program, the frequency of each failure branch, and so
+//! forth."* The VM records one [`LogEvent`] per interesting transition;
+//! [`LogSummary`] is the post-mortem analysis.
+
+use retry::{Dur, Time};
+
+/// Kinds of logged transitions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogKind {
+    /// A command was dispatched to the executor.
+    CmdStart {
+        /// Expanded argv.
+        argv: Vec<String>,
+    },
+    /// A command finished.
+    CmdEnd {
+        /// Expanded `argv[0]` for correlation.
+        program: String,
+        /// Whether it exited successfully.
+        success: bool,
+    },
+    /// A command was cancelled by a deadline.
+    CmdCancelled {
+        /// Expanded `argv[0]`.
+        program: String,
+    },
+    /// A `try` opened an attempt.
+    TryAttempt {
+        /// 1-based attempt number within the try session.
+        attempt: u32,
+    },
+    /// A failed attempt scheduled a backoff delay.
+    Backoff {
+        /// How long the client will stay off the medium.
+        delay: Dur,
+    },
+    /// A `try` ran out of budget (time or attempts).
+    TryExhausted,
+    /// A `try` deadline expired while work was in flight; the work was
+    /// forcibly terminated.
+    TryTimeout,
+    /// Control entered a `catch` handler.
+    CatchEntered,
+    /// `forany` moved on to its next alternative.
+    ForAnyNext {
+        /// The value now bound to the loop variable.
+        value: String,
+    },
+    /// `forall` spawned its parallel branches.
+    ForAllSpawn {
+        /// Number of branches.
+        branches: usize,
+    },
+    /// A variable was assigned (assignment or capture).
+    VarSet {
+        /// Variable name.
+        name: String,
+    },
+    /// The whole script finished.
+    ScriptDone {
+        /// Overall outcome.
+        success: bool,
+    },
+}
+
+/// One logged transition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogEvent {
+    /// Virtual instant of the transition.
+    pub time: Time,
+    /// The VM task that made it (0 is the root; `forall` branches get
+    /// fresh ids).
+    pub task: usize,
+    /// What happened.
+    pub kind: LogKind,
+}
+
+/// Append-only event log.
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    events: Vec<LogEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Record an event.
+    pub fn push(&mut self, time: Time, task: usize, kind: LogKind) {
+        self.events.push(LogEvent { time, task, kind });
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[LogEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Post-mortem aggregate.
+    pub fn summary(&self) -> LogSummary {
+        let mut s = LogSummary::default();
+        for e in &self.events {
+            match &e.kind {
+                LogKind::CmdStart { .. } => s.commands_started += 1,
+                LogKind::CmdEnd { success, .. } => {
+                    if *success {
+                        s.commands_succeeded += 1;
+                    } else {
+                        s.commands_failed += 1;
+                    }
+                }
+                LogKind::CmdCancelled { .. } => s.commands_cancelled += 1,
+                LogKind::TryAttempt { .. } => s.attempts += 1,
+                LogKind::Backoff { delay } => {
+                    s.backoffs += 1;
+                    s.total_backoff += *delay;
+                }
+                LogKind::TryExhausted => s.exhausted_tries += 1,
+                LogKind::TryTimeout => s.timed_out_tries += 1,
+                LogKind::CatchEntered => s.catches += 1,
+                LogKind::ForAnyNext { .. } => s.alternatives_tried += 1,
+                _ => {}
+            }
+        }
+        s
+    }
+}
+
+impl EventLog {
+    /// Per-program statistics: (starts, successes, failures,
+    /// cancellations), keyed by `argv[0]` — "the frequency of each
+    /// failure branch" of §4's post-mortem analysis.
+    pub fn per_program(&self) -> std::collections::BTreeMap<String, ProgramStats> {
+        let mut map: std::collections::BTreeMap<String, ProgramStats> = Default::default();
+        for e in &self.events {
+            match &e.kind {
+                LogKind::CmdStart { argv } => {
+                    if let Some(p) = argv.first() {
+                        map.entry(p.clone()).or_default().started += 1;
+                    }
+                }
+                LogKind::CmdEnd { program, success } => {
+                    let st = map.entry(program.clone()).or_default();
+                    if *success {
+                        st.succeeded += 1;
+                    } else {
+                        st.failed += 1;
+                    }
+                }
+                LogKind::CmdCancelled { program } => {
+                    map.entry(program.clone()).or_default().cancelled += 1;
+                }
+                _ => {}
+            }
+        }
+        map
+    }
+
+    /// How often each `forany` alternative was tried, keyed by the
+    /// bound value — which alternates actually carried the load.
+    pub fn alternative_frequency(&self) -> std::collections::BTreeMap<String, u64> {
+        let mut map: std::collections::BTreeMap<String, u64> = Default::default();
+        for e in &self.events {
+            if let LogKind::ForAnyNext { value } = &e.kind {
+                *map.entry(value.clone()).or_default() += 1;
+            }
+        }
+        map
+    }
+}
+
+impl EventLog {
+    /// Render a human-readable per-task timeline — one swimlane per VM
+    /// task, with command durations and retry structure:
+    ///
+    /// ```text
+    /// task 0
+    ///     0.000s  attempt #1
+    ///     0.000s  wget http://x/f ... failed (2.000s)
+    ///     2.000s  backoff 1s
+    /// ```
+    pub fn render_timeline(&self) -> String {
+        use std::fmt::Write;
+        // Group events per task, preserving order.
+        let mut tasks: Vec<usize> = self.events.iter().map(|e| e.task).collect();
+        tasks.sort_unstable();
+        tasks.dedup();
+        let mut out = String::new();
+        for task in tasks {
+            let _ = writeln!(out, "task {task}");
+            let events: Vec<&LogEvent> = self.events.iter().filter(|e| e.task == task).collect();
+            let mut cmd_started_at: Option<Time> = None;
+            for e in &events {
+                let t = e.time.as_secs_f64();
+                match &e.kind {
+                    LogKind::CmdStart { argv } => {
+                        cmd_started_at = Some(e.time);
+                        let _ = writeln!(out, "  {t:>9.3}s  run {}", argv.join(" "));
+                    }
+                    LogKind::CmdEnd { program, success } => {
+                        let dur = cmd_started_at
+                            .take()
+                            .map(|s| e.time.saturating_since(s).as_secs_f64())
+                            .unwrap_or(0.0);
+                        let verdict = if *success { "ok" } else { "failed" };
+                        let _ =
+                            writeln!(out, "  {t:>9.3}s  └ {program} {verdict} ({dur:.3}s)");
+                    }
+                    LogKind::CmdCancelled { program } => {
+                        let dur = cmd_started_at
+                            .take()
+                            .map(|s| e.time.saturating_since(s).as_secs_f64())
+                            .unwrap_or(0.0);
+                        let _ = writeln!(out, "  {t:>9.3}s  └ {program} KILLED ({dur:.3}s)");
+                    }
+                    LogKind::TryAttempt { attempt } => {
+                        let _ = writeln!(out, "  {t:>9.3}s  attempt #{attempt}");
+                    }
+                    LogKind::Backoff { delay } => {
+                        let _ = writeln!(out, "  {t:>9.3}s  backoff {delay}");
+                    }
+                    LogKind::TryExhausted => {
+                        let _ = writeln!(out, "  {t:>9.3}s  try exhausted");
+                    }
+                    LogKind::TryTimeout => {
+                        let _ = writeln!(out, "  {t:>9.3}s  try deadline expired");
+                    }
+                    LogKind::CatchEntered => {
+                        let _ = writeln!(out, "  {t:>9.3}s  catch");
+                    }
+                    LogKind::ForAnyNext { value } => {
+                        let _ = writeln!(out, "  {t:>9.3}s  forany -> {value}");
+                    }
+                    LogKind::ForAllSpawn { branches } => {
+                        let _ = writeln!(out, "  {t:>9.3}s  forall x{branches}");
+                    }
+                    LogKind::VarSet { name } => {
+                        let _ = writeln!(out, "  {t:>9.3}s  set {name}");
+                    }
+                    LogKind::ScriptDone { success } => {
+                        let verdict = if *success { "SUCCESS" } else { "FAILURE" };
+                        let _ = writeln!(out, "  {t:>9.3}s  script done: {verdict}");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Per-program counters from [`EventLog::per_program`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Times the program was dispatched.
+    pub started: u64,
+    /// Times it exited zero.
+    pub succeeded: u64,
+    /// Times it exited nonzero.
+    pub failed: u64,
+    /// Times a deadline killed it.
+    pub cancelled: u64,
+}
+
+/// Aggregated view of an [`EventLog`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LogSummary {
+    /// Commands dispatched.
+    pub commands_started: u64,
+    /// Commands that exited zero.
+    pub commands_succeeded: u64,
+    /// Commands that exited nonzero.
+    pub commands_failed: u64,
+    /// Commands killed by deadlines.
+    pub commands_cancelled: u64,
+    /// `try` attempts opened.
+    pub attempts: u64,
+    /// Backoff delays taken.
+    pub backoffs: u64,
+    /// Total time spent backing off.
+    pub total_backoff: Dur,
+    /// `try` blocks that ran out of budget.
+    pub exhausted_tries: u64,
+    /// `try` blocks whose deadline killed in-flight work.
+    pub timed_out_tries: u64,
+    /// `catch` handlers entered.
+    pub catches: u64,
+    /// `forany` alternative switches.
+    pub alternatives_tried: u64,
+}
+
+impl std::ops::AddAssign for LogSummary {
+    fn add_assign(&mut self, o: LogSummary) {
+        self.commands_started += o.commands_started;
+        self.commands_succeeded += o.commands_succeeded;
+        self.commands_failed += o.commands_failed;
+        self.commands_cancelled += o.commands_cancelled;
+        self.attempts += o.attempts;
+        self.backoffs += o.backoffs;
+        self.total_backoff += o.total_backoff;
+        self.exhausted_tries += o.exhausted_tries;
+        self.timed_out_tries += o.timed_out_tries;
+        self.catches += o.catches;
+        self.alternatives_tried += o.alternatives_tried;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_addition_accumulates() {
+        let mut a = LogSummary {
+            attempts: 2,
+            backoffs: 1,
+            total_backoff: Dur::from_secs(3),
+            ..LogSummary::default()
+        };
+        let b = LogSummary {
+            attempts: 5,
+            total_backoff: Dur::from_secs(4),
+            ..LogSummary::default()
+        };
+        a += b;
+        assert_eq!(a.attempts, 7);
+        assert_eq!(a.backoffs, 1);
+        assert_eq!(a.total_backoff, Dur::from_secs(7));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let mut log = EventLog::new();
+        let t = Time::ZERO;
+        log.push(t, 0, LogKind::CmdStart { argv: vec!["wget".into()] });
+        log.push(
+            t,
+            0,
+            LogKind::CmdEnd {
+                program: "wget".into(),
+                success: false,
+            },
+        );
+        log.push(t, 0, LogKind::Backoff { delay: Dur::from_secs(1) });
+        log.push(t, 0, LogKind::TryAttempt { attempt: 2 });
+        log.push(t, 0, LogKind::CmdStart { argv: vec!["wget".into()] });
+        log.push(
+            t,
+            0,
+            LogKind::CmdEnd {
+                program: "wget".into(),
+                success: true,
+            },
+        );
+        log.push(t, 0, LogKind::ScriptDone { success: true });
+        let s = log.summary();
+        assert_eq!(s.commands_started, 2);
+        assert_eq!(s.commands_succeeded, 1);
+        assert_eq!(s.commands_failed, 1);
+        assert_eq!(s.backoffs, 1);
+        assert_eq!(s.total_backoff, Dur::from_secs(1));
+        assert_eq!(s.attempts, 1);
+    }
+
+    #[test]
+    fn per_program_and_alternatives() {
+        let mut log = EventLog::new();
+        let t = Time::ZERO;
+        log.push(t, 0, LogKind::CmdStart { argv: vec!["wget".into(), "u".into()] });
+        log.push(t, 0, LogKind::CmdEnd { program: "wget".into(), success: false });
+        log.push(t, 0, LogKind::ForAnyNext { value: "yyy".into() });
+        log.push(t, 0, LogKind::CmdStart { argv: vec!["wget".into(), "v".into()] });
+        log.push(t, 0, LogKind::CmdCancelled { program: "wget".into() });
+        log.push(t, 0, LogKind::CmdStart { argv: vec!["tar".into()] });
+        log.push(t, 0, LogKind::CmdEnd { program: "tar".into(), success: true });
+        let per = log.per_program();
+        assert_eq!(per["wget"].started, 2);
+        assert_eq!(per["wget"].failed, 1);
+        assert_eq!(per["wget"].cancelled, 1);
+        assert_eq!(per["tar"].succeeded, 1);
+        let alts = log.alternative_frequency();
+        assert_eq!(alts["yyy"], 1);
+    }
+
+    #[test]
+    fn timeline_renders_swimlanes() {
+        let mut log = EventLog::new();
+        log.push(Time::ZERO, 0, LogKind::TryAttempt { attempt: 1 });
+        log.push(
+            Time::ZERO,
+            0,
+            LogKind::CmdStart { argv: vec!["wget".into(), "u".into()] },
+        );
+        log.push(
+            Time::from_secs(2),
+            0,
+            LogKind::CmdEnd { program: "wget".into(), success: false },
+        );
+        log.push(Time::from_secs(2), 0, LogKind::Backoff { delay: Dur::from_secs(1) });
+        log.push(Time::from_secs(3), 1, LogKind::CmdStart { argv: vec!["tar".into()] });
+        log.push(
+            Time::from_secs(4),
+            1,
+            LogKind::CmdCancelled { program: "tar".into() },
+        );
+        let text = log.render_timeline();
+        assert!(text.contains("task 0"));
+        assert!(text.contains("task 1"));
+        assert!(text.contains("run wget u"));
+        assert!(text.contains("wget failed (2.000s)"));
+        assert!(text.contains("backoff 1s"));
+        assert!(text.contains("tar KILLED (1.000s)"));
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = EventLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.summary(), LogSummary::default());
+    }
+}

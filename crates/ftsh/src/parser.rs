@@ -1,0 +1,710 @@
+//! Recursive-descent parser for ftsh.
+//!
+//! Keywords (`try`, `forany`, `forall`, `if`, `else`, `catch`, `end`,
+//! `failure`, `success`) are recognized positionally: only a fully
+//! literal word at the start of a statement can open a construct, as in
+//! the Bourne shell family.
+
+use crate::ast::{Command, Cond, CondOp, Redir, RedirTarget, Script, Stmt, TrySpec, Word};
+use crate::errors::ParseError;
+use crate::lexer::{lex, Token, TokenKind};
+use retry::time::parse_duration;
+
+/// Parse a complete script.
+///
+/// ```
+/// use ftsh::{parse, Stmt};
+///
+/// let s = parse("try for 5 minutes\n  condor_submit job\nend\n").unwrap();
+/// assert!(matches!(s.stmts[0], Stmt::Try { .. }));
+/// assert!(parse("try without end\n").is_err());
+/// ```
+pub fn parse(src: &str) -> Result<Script, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let stmts = p.stmt_list(&[])?;
+    p.expect_eof()?;
+    Ok(Script { stmts })
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn line(&self) -> u32 {
+        self.peek().line
+    }
+
+    /// The literal spelling of the next token if it is a fully literal
+    /// word.
+    fn peek_lit(&self) -> Option<&str> {
+        match &self.peek().kind {
+            TokenKind::Word(w) => w.as_lit(),
+            _ => None,
+        }
+    }
+
+    fn eat_newlines(&mut self) {
+        while matches!(self.peek().kind, TokenKind::Newline) {
+            self.next();
+        }
+    }
+
+    fn expect_newline(&mut self, what: &str) -> Result<(), ParseError> {
+        match self.peek().kind {
+            TokenKind::Newline => {
+                self.next();
+                Ok(())
+            }
+            TokenKind::Eof => Ok(()),
+            _ => Err(ParseError::new(
+                self.line(),
+                format!("expected end of line after {what}"),
+            )),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        self.eat_newlines();
+        match self.peek().kind {
+            TokenKind::Eof => Ok(()),
+            _ => Err(ParseError::new(
+                self.line(),
+                "unexpected text after script (stray 'end'?)".to_string(),
+            )),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.peek_lit() == Some(kw) {
+            self.next();
+            Ok(())
+        } else {
+            Err(ParseError::new(self.line(), format!("expected '{kw}'")))
+        }
+    }
+
+    fn next_word(&mut self, what: &str) -> Result<Word, ParseError> {
+        match self.next() {
+            Token {
+                kind: TokenKind::Word(w),
+                ..
+            } => Ok(w),
+            t => Err(ParseError::new(t.line, format!("expected {what}"))),
+        }
+    }
+
+    fn next_number(&mut self, what: &str) -> Result<u64, ParseError> {
+        let line = self.line();
+        let w = self.next_word(what)?;
+        w.as_lit()
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| ParseError::new(line, format!("expected a number for {what}")))
+    }
+
+    /// Parse statements until one of `terminators` appears in command
+    /// position (the terminator is not consumed).
+    fn stmt_list(&mut self, terminators: &[&str]) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.eat_newlines();
+            match &self.peek().kind {
+                TokenKind::Eof => return Ok(out),
+                TokenKind::Word(w) => {
+                    if let Some(l) = w.as_lit() {
+                        if terminators.contains(&l) {
+                            return Ok(out);
+                        }
+                        if l == "end" || l == "catch" || l == "else" {
+                            return Err(ParseError::new(
+                                self.line(),
+                                format!("'{l}' without a matching construct"),
+                            ));
+                        }
+                    }
+                    out.push(self.stmt()?);
+                }
+                _ => {
+                    return Err(ParseError::new(
+                        self.line(),
+                        "statement cannot begin with a redirection",
+                    ))
+                }
+            }
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek_lit() {
+            Some("try") => self.try_stmt(),
+            Some("forany") => self.for_stmt(false),
+            Some("forall") => self.for_stmt(true),
+            Some("if") => self.if_stmt(),
+            Some("failure") => {
+                self.next();
+                self.expect_newline("'failure'")?;
+                Ok(Stmt::Failure)
+            }
+            Some("success") => {
+                self.next();
+                self.expect_newline("'success'")?;
+                Ok(Stmt::Success)
+            }
+            Some("function") => self.function_stmt(),
+            _ => self.command_or_assign(),
+        }
+    }
+
+    /// `try [for N unit] [or] [N times] [every N unit]` — both orders of
+    /// the `for`/`times` clauses are accepted.
+    fn try_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        self.expect_keyword("try")?;
+        let mut spec = TrySpec::default();
+        loop {
+            match self.peek_lit() {
+                Some("for") => {
+                    self.next();
+                    let n = self.next_number("a time limit")?;
+                    let unit_line = self.line();
+                    let unit = self.next_word("a time unit")?;
+                    let unit = unit
+                        .as_lit()
+                        .ok_or_else(|| ParseError::new(unit_line, "time unit must be literal"))?
+                        .to_string();
+                    let d = parse_duration(n, &unit).ok_or_else(|| {
+                        ParseError::new(unit_line, format!("unknown time unit '{unit}'"))
+                    })?;
+                    if spec.time.replace(d).is_some() {
+                        return Err(ParseError::new(unit_line, "duplicate 'for' clause"));
+                    }
+                }
+                Some("or") => {
+                    self.next();
+                }
+                Some("every") => {
+                    self.next();
+                    let n = self.next_number("an interval")?;
+                    let unit_line = self.line();
+                    let unit = self.next_word("a time unit")?;
+                    let unit = unit
+                        .as_lit()
+                        .ok_or_else(|| ParseError::new(unit_line, "time unit must be literal"))?
+                        .to_string();
+                    let d = parse_duration(n, &unit).ok_or_else(|| {
+                        ParseError::new(unit_line, format!("unknown time unit '{unit}'"))
+                    })?;
+                    if spec.every.replace(d).is_some() {
+                        return Err(ParseError::new(unit_line, "duplicate 'every' clause"));
+                    }
+                }
+                Some(_) if self.looks_like_times() => {
+                    let n = self.next_number("an attempt count")?;
+                    self.expect_keyword("times").or_else(|_| self.expect_keyword("time"))?;
+                    let n = u32::try_from(n)
+                        .map_err(|_| ParseError::new(line, "attempt count too large"))?;
+                    if spec.attempts.replace(n).is_some() {
+                        return Err(ParseError::new(line, "duplicate 'times' clause"));
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.expect_newline("'try' header")?;
+        let body = self.stmt_list(&["catch", "end"])?;
+        let catch = if self.peek_lit() == Some("catch") {
+            self.next();
+            self.expect_newline("'catch'")?;
+            Some(self.stmt_list(&["end"])?)
+        } else {
+            None
+        };
+        self.expect_keyword("end")
+            .map_err(|_| ParseError::new(line, "'try' without matching 'end'"))?;
+        self.expect_newline("'end'")?;
+        Ok(Stmt::Try { spec, body, catch })
+    }
+
+    fn function_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        self.expect_keyword("function")?;
+        let name_line = self.line();
+        let name = self.next_word("a function name")?;
+        let name = name
+            .as_lit()
+            .filter(|n| is_ident(n))
+            .ok_or_else(|| ParseError::new(name_line, "function name must be an identifier"))?
+            .to_string();
+        self.expect_newline("'function' header")?;
+        let body = self.stmt_list(&["end"])?;
+        self.expect_keyword("end")
+            .map_err(|_| ParseError::new(line, "'function' without matching 'end'"))?;
+        self.expect_newline("'end'")?;
+        Ok(Stmt::Function { name, body })
+    }
+
+    /// Does the upcoming input look like `<N> times`?
+    fn looks_like_times(&self) -> bool {
+        let is_num = self
+            .peek_lit()
+            .map(|l| !l.is_empty() && l.chars().all(|c| c.is_ascii_digit()))
+            .unwrap_or(false);
+        if !is_num {
+            return false;
+        }
+        match &self.toks.get(self.pos + 1).map(|t| &t.kind) {
+            Some(TokenKind::Word(w)) => matches!(w.as_lit(), Some("times") | Some("time")),
+            _ => false,
+        }
+    }
+
+    fn for_stmt(&mut self, all: bool) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        let kw = if all { "forall" } else { "forany" };
+        self.expect_keyword(kw)?;
+        let var_line = self.line();
+        let var = self.next_word("a loop variable")?;
+        let var = var
+            .as_lit()
+            .filter(|v| is_ident(v))
+            .ok_or_else(|| ParseError::new(var_line, "loop variable must be an identifier"))?
+            .to_string();
+        self.expect_keyword("in")?;
+        let mut values = Vec::new();
+        while let TokenKind::Word(_) = self.peek().kind {
+            values.push(self.next_word("a value")?);
+        }
+        if values.is_empty() {
+            return Err(ParseError::new(line, format!("'{kw}' needs at least one value")));
+        }
+        self.expect_newline(&format!("'{kw}' header"))?;
+        let body = self.stmt_list(&["end"])?;
+        self.expect_keyword("end")
+            .map_err(|_| ParseError::new(line, format!("'{kw}' without matching 'end'")))?;
+        self.expect_newline("'end'")?;
+        if all {
+            Ok(Stmt::ForAll { var, values, body })
+        } else {
+            Ok(Stmt::ForAny { var, values, body })
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        self.expect_keyword("if")?;
+        let lhs = self.next_word("a comparison operand")?;
+        let op_line = self.line();
+        let op = self.next_word("a comparison operator")?;
+        let op = op
+            .as_lit()
+            .and_then(CondOp::from_spelling)
+            .ok_or_else(|| {
+                ParseError::new(op_line, "expected .lt. .le. .gt. .ge. .eq. .ne. .eql. or .neql.")
+            })?;
+        let rhs = self.next_word("a comparison operand")?;
+        self.expect_newline("'if' condition")?;
+        let then = self.stmt_list(&["else", "end"])?;
+        let els = if self.peek_lit() == Some("else") {
+            self.next();
+            self.expect_newline("'else'")?;
+            Some(self.stmt_list(&["end"])?)
+        } else {
+            None
+        };
+        self.expect_keyword("end")
+            .map_err(|_| ParseError::new(line, "'if' without matching 'end'"))?;
+        self.expect_newline("'end'")?;
+        Ok(Stmt::If {
+            cond: Cond { lhs, op, rhs },
+            then,
+            els,
+        })
+    }
+
+    fn command_or_assign(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        let first = self.next_word("a command")?;
+
+        // Assignment: a lone word of the shape name=value.
+        if matches!(self.peek().kind, TokenKind::Newline | TokenKind::Eof) {
+            if let Some((var, value)) = split_assignment(&first) {
+                self.expect_newline("assignment")?;
+                return Ok(Stmt::Assign { var, value });
+            }
+        }
+
+        let mut cmd = Command {
+            words: vec![first],
+            redirs: Vec::new(),
+        };
+        loop {
+            match &self.peek().kind {
+                TokenKind::Word(_) => {
+                    let w = self.next_word("a word")?;
+                    if !cmd.redirs.is_empty() {
+                        return Err(ParseError::new(
+                            line,
+                            "command arguments must precede redirections",
+                        ));
+                    }
+                    cmd.words.push(w);
+                }
+                TokenKind::RedirOut { var, append, both } => {
+                    let (var, append, both) = (*var, *append, *both);
+                    self.next();
+                    let target = self.next_word("a redirection target")?;
+                    cmd.redirs.push(Redir::Out {
+                        to: if var {
+                            RedirTarget::Variable
+                        } else {
+                            RedirTarget::File
+                        },
+                        append,
+                        both,
+                        target,
+                    });
+                }
+                TokenKind::RedirIn { var } => {
+                    let var = *var;
+                    self.next();
+                    let source = self.next_word("a redirection source")?;
+                    cmd.redirs.push(Redir::In {
+                        from: if var {
+                            RedirTarget::Variable
+                        } else {
+                            RedirTarget::File
+                        },
+                        source,
+                    });
+                }
+                TokenKind::Newline | TokenKind::Eof => break,
+                TokenKind::Equals => {
+                    return Err(ParseError::new(line, "unexpected '='"));
+                }
+            }
+        }
+        self.expect_newline("command")?;
+        Ok(Stmt::Command(cmd))
+    }
+}
+
+/// Is `s` a valid shell identifier?
+pub fn is_ident(s: &str) -> bool {
+    let mut cs = s.chars();
+    match cs.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    cs.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// If `w` looks like `name=value` (name a valid identifier), split it.
+fn split_assignment(w: &Word) -> Option<(String, Word)> {
+    use crate::ast::Seg;
+    let segs = w.segs();
+    let first = match segs.first() {
+        Some(Seg::Lit(l)) => l,
+        _ => return None,
+    };
+    let eq = first.find('=')?;
+    let name = &first[..eq];
+    if !is_ident(name) {
+        return None;
+    }
+    let mut value_segs = Vec::new();
+    let rest = &first[eq + 1..];
+    if !rest.is_empty() {
+        value_segs.push(Seg::Lit(rest.to_string()));
+    }
+    value_segs.extend(segs[1..].iter().cloned());
+    Some((name.to_string(), Word::from_segs(value_segs)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retry::Dur;
+
+    #[test]
+    fn parse_group() {
+        let s = parse("wget url\ngunzip f\ntar xvf f\n").unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(matches!(s.stmts[0], Stmt::Command(_)));
+    }
+
+    #[test]
+    fn parse_try_for_minutes() {
+        let s = parse("try for 30 minutes\n  wget url\nend\n").unwrap();
+        match &s.stmts[0] {
+            Stmt::Try { spec, body, catch } => {
+                assert_eq!(spec.time, Some(Dur::from_mins(30)));
+                assert_eq!(spec.attempts, None);
+                assert_eq!(body.len(), 1);
+                assert!(catch.is_none());
+            }
+            other => panic!("expected try, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_try_times() {
+        let s = parse("try 5 times\n  wget url\nend\n").unwrap();
+        match &s.stmts[0] {
+            Stmt::Try { spec, .. } => {
+                assert_eq!(spec.attempts, Some(5));
+                assert_eq!(spec.time, None);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_try_both_orders() {
+        for src in [
+            "try for 1 hour or 3 times\nx\nend\n",
+            "try 3 times or for 1 hour\nx\nend\n",
+        ] {
+            let s = parse(src).unwrap();
+            match &s.stmts[0] {
+                Stmt::Try { spec, .. } => {
+                    assert_eq!(spec.time, Some(Dur::from_hours(1)));
+                    assert_eq!(spec.attempts, Some(3));
+                }
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_try_every() {
+        let s = parse("try for 1 hour every 10 seconds\nx\nend\n").unwrap();
+        match &s.stmts[0] {
+            Stmt::Try { spec, .. } => {
+                assert_eq!(spec.every, Some(Dur::from_secs(10)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_try_catch() {
+        let s = parse("try 5 times\n wget u\ncatch\n rm -f t\n failure\nend\n").unwrap();
+        match &s.stmts[0] {
+            Stmt::Try { catch, .. } => {
+                let c = catch.as_ref().unwrap();
+                assert_eq!(c.len(), 2);
+                assert!(matches!(c[1], Stmt::Failure));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_forany() {
+        let s = parse("forany server in xxx yyy zzz\n wget http://${server}/f\nend\n").unwrap();
+        match &s.stmts[0] {
+            Stmt::ForAny { var, values, body } => {
+                assert_eq!(var, "server");
+                assert_eq!(values.len(), 3);
+                assert_eq!(body.len(), 1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_forall() {
+        let s = parse("forall file in a b c\n wget http://s/${file}\nend\n").unwrap();
+        assert!(matches!(&s.stmts[0], Stmt::ForAll { values, .. } if values.len() == 3));
+    }
+
+    #[test]
+    fn parse_if_else() {
+        let s = parse("if ${n} .lt. 1000\n failure\nelse\n condor_submit j\nend\n").unwrap();
+        match &s.stmts[0] {
+            Stmt::If { cond, then, els } => {
+                assert_eq!(cond.op, CondOp::NumLt);
+                assert_eq!(then.len(), 1);
+                assert!(matches!(then[0], Stmt::Failure));
+                assert_eq!(els.as_ref().unwrap().len(), 1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_nested_try_from_paper() {
+        let src = "try for 30 minutes\n\
+                   try for 5 minutes\n\
+                   wget http://server/file.tar.gz\n\
+                   end\n\
+                   try for 1 minute or 3 times\n\
+                   gunzip file.tar.gz\n\
+                   tar xvf file.tar\n\
+                   end\n\
+                   end\n";
+        let s = parse(src).unwrap();
+        match &s.stmts[0] {
+            Stmt::Try { body, .. } => {
+                assert_eq!(body.len(), 2);
+                assert!(matches!(body[0], Stmt::Try { .. }));
+                assert!(matches!(body[1], Stmt::Try { .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_forany_with_inner_try() {
+        let src = "try for 1 hour\n\
+                   forany host in xxx yyy zzz\n\
+                   try for 5 minutes\n\
+                   fetch-file ${host} filename\n\
+                   end\n\
+                   end\n\
+                   end\n";
+        let s = parse(src).unwrap();
+        match &s.stmts[0] {
+            Stmt::Try { body, .. } => match &body[0] {
+                Stmt::ForAny { body, .. } => assert!(matches!(body[0], Stmt::Try { .. })),
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_redirections() {
+        let s = parse("run-simulation ->& tmp\ncat -< tmp\n").unwrap();
+        match &s.stmts[0] {
+            Stmt::Command(c) => {
+                assert_eq!(c.redirs.len(), 1);
+                assert!(matches!(
+                    c.redirs[0],
+                    Redir::Out {
+                        to: RedirTarget::Variable,
+                        both: true,
+                        append: false,
+                        ..
+                    }
+                ));
+            }
+            _ => panic!(),
+        }
+        match &s.stmts[1] {
+            Stmt::Command(c) => {
+                assert!(matches!(
+                    c.redirs[0],
+                    Redir::In {
+                        from: RedirTarget::Variable,
+                        ..
+                    }
+                ));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_assignment() {
+        let s = parse("x=5\nurl=http://${h}/f\n").unwrap();
+        assert!(matches!(&s.stmts[0], Stmt::Assign { var, value } if var == "x" && value.as_lit() == Some("5")));
+        assert!(matches!(&s.stmts[1], Stmt::Assign { var, value } if var == "url" && value.has_vars()));
+    }
+
+    #[test]
+    fn word_with_equals_in_command_is_not_assignment() {
+        let s = parse("env x=5 cmd\n").unwrap();
+        assert!(matches!(&s.stmts[0], Stmt::Command(c) if c.words.len() == 3));
+    }
+
+    #[test]
+    fn carrier_sense_fragment_from_paper() {
+        let src = "try for 5 minutes\n\
+                   cut -f2 /proc/sys/fs/file-nr -> n\n\
+                   if ${n} .lt. 1000\n\
+                   failure\n\
+                   else\n\
+                   condor_submit submit.job\n\
+                   end\n\
+                   end\n";
+        let s = parse(src).unwrap();
+        match &s.stmts[0] {
+            Stmt::Try { body, .. } => {
+                assert_eq!(body.len(), 2);
+                assert!(matches!(body[0], Stmt::Command(_)));
+                assert!(matches!(body[1], Stmt::If { .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_function() {
+        let s = parse("function fetch\n wget ${1}\nend\n").unwrap();
+        match &s.stmts[0] {
+            Stmt::Function { name, body } => {
+                assert_eq!(name, "fetch");
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected function, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_errors() {
+        assert!(parse("function\nx\nend\n").is_err()); // missing name
+        assert!(parse("function 9bad\nx\nend\n").is_err()); // bad name
+        assert!(parse("function f\nx\n").is_err()); // missing end
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("try for 5 minutes\nx\n").is_err()); // missing end
+        assert!(parse("end\n").is_err());
+        assert!(parse("catch\n").is_err());
+        assert!(parse("forany in a b\nx\nend\n").is_err()); // missing var
+        assert!(parse("forany v in\nx\nend\n").is_err()); // no values
+        assert!(parse("if a .zz. b\nx\nend\n").is_err()); // bad op
+        assert!(parse("try for 5 fortnights\nx\nend\n").is_err());
+        assert!(parse("> f\n").is_err()); // redirection with no command
+        assert!(parse("try for x minutes\ny\nend\n").is_err()); // non-numeric
+        assert!(parse("cmd > \n").is_err()); // missing target
+    }
+
+    #[test]
+    fn args_after_redirection_rejected() {
+        assert!(parse("cmd > f extra\n").is_err());
+    }
+
+    #[test]
+    fn empty_script() {
+        let s = parse("").unwrap();
+        assert!(s.is_empty());
+        let s = parse("\n\n\n").unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn is_ident_cases() {
+        assert!(is_ident("abc"));
+        assert!(is_ident("_x9"));
+        assert!(!is_ident("9x"));
+        assert!(!is_ident(""));
+        assert!(!is_ident("a-b"));
+    }
+}

@@ -1,0 +1,341 @@
+//! Canonical pretty-printing of scripts.
+//!
+//! `pretty(parse(src))` produces a normalized source form; for ASTs
+//! built from well-formed words, `parse(pretty(ast)) == ast`, which the
+//! property tests in `tests/` rely on. Words are emitted bare when the
+//! lexer would read them back unchanged and double-quoted otherwise.
+
+use crate::ast::{Command, Cond, Redir, RedirTarget, Script, Seg, Stmt, TrySpec, Word};
+use retry::Dur;
+use std::fmt::Write;
+
+/// Render a script as canonical source text.
+///
+/// ```
+/// use ftsh::{parse, pretty};
+///
+/// let script = parse("try   for 5   minutes\nwget url\nend\n").unwrap();
+/// assert_eq!(pretty(&script), "try for 5 minutes\n  wget url\nend\n");
+/// ```
+pub fn pretty(script: &Script) -> String {
+    let mut out = String::new();
+    for s in &script.stmts {
+        stmt(&mut out, s, 0);
+    }
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn stmt(out: &mut String, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match s {
+        Stmt::Command(c) => {
+            command(out, c);
+            out.push('\n');
+        }
+        Stmt::Try { spec, body, catch } => {
+            out.push_str("try");
+            try_spec(out, spec);
+            out.push('\n');
+            for b in body {
+                stmt(out, b, depth + 1);
+            }
+            if let Some(c) = catch {
+                indent(out, depth);
+                out.push_str("catch\n");
+                for b in c {
+                    stmt(out, b, depth + 1);
+                }
+            }
+            indent(out, depth);
+            out.push_str("end\n");
+        }
+        Stmt::ForAny { var, values, body } => {
+            for_stmt(out, "forany", var, values, body, depth);
+        }
+        Stmt::ForAll { var, values, body } => {
+            for_stmt(out, "forall", var, values, body, depth);
+        }
+        Stmt::If { cond, then, els } => {
+            out.push_str("if ");
+            cond_str(out, cond);
+            out.push('\n');
+            for b in then {
+                stmt(out, b, depth + 1);
+            }
+            if let Some(e) = els {
+                indent(out, depth);
+                out.push_str("else\n");
+                for b in e {
+                    stmt(out, b, depth + 1);
+                }
+            }
+            indent(out, depth);
+            out.push_str("end\n");
+        }
+        Stmt::Assign { var, value } => {
+            out.push_str(var);
+            out.push('=');
+            // The value continues the same word, so it must not start a
+            // fresh token: always render segments inline, quoting only
+            // what must be quoted.
+            word_into_assignment(out, value);
+            out.push('\n');
+        }
+        Stmt::Failure => out.push_str("failure\n"),
+        Stmt::Success => out.push_str("success\n"),
+        Stmt::Function { name, body } => {
+            let _ = writeln!(out, "function {name}");
+            for b in body {
+                stmt(out, b, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("end\n");
+        }
+    }
+}
+
+fn for_stmt(out: &mut String, kw: &str, var: &str, values: &[Word], body: &[Stmt], depth: usize) {
+    let _ = write!(out, "{kw} {var} in");
+    for v in values {
+        out.push(' ');
+        word(out, v);
+    }
+    out.push('\n');
+    for b in body {
+        stmt(out, b, depth + 1);
+    }
+    indent(out, depth);
+    out.push_str("end\n");
+}
+
+fn try_spec(out: &mut String, spec: &TrySpec) {
+    if let Some(d) = spec.time {
+        let _ = write!(out, " for {}", dur_words(d));
+    }
+    if let Some(n) = spec.attempts {
+        if spec.time.is_some() {
+            out.push_str(" or");
+        }
+        let _ = write!(out, " {n} times");
+    }
+    if let Some(d) = spec.every {
+        let _ = write!(out, " every {}", dur_words(d));
+    }
+}
+
+/// Render a duration in `N unit` words, choosing the largest exact
+/// unit.
+fn dur_words(d: Dur) -> String {
+    let us = d.as_micros();
+    if us.is_multiple_of(3_600_000_000) && us > 0 {
+        format!("{} hours", us / 3_600_000_000)
+    } else if us.is_multiple_of(60_000_000) && us > 0 {
+        format!("{} minutes", us / 60_000_000)
+    } else if us.is_multiple_of(1_000_000) {
+        format!("{} seconds", us / 1_000_000)
+    } else if us.is_multiple_of(1_000) {
+        format!("{} ms", us / 1_000)
+    } else {
+        format!("{us} us")
+    }
+}
+
+fn cond_str(out: &mut String, c: &Cond) {
+    word(out, &c.lhs);
+    let _ = write!(out, " {} ", c.op.spelling());
+    word(out, &c.rhs);
+}
+
+fn command(out: &mut String, c: &Command) {
+    let mut first = true;
+    for w in &c.words {
+        if !first {
+            out.push(' ');
+        }
+        word(out, w);
+        first = false;
+    }
+    for r in &c.redirs {
+        match r {
+            Redir::Out {
+                to,
+                append,
+                both,
+                target,
+            } => {
+                out.push(' ');
+                if *to == RedirTarget::Variable {
+                    out.push('-');
+                }
+                out.push('>');
+                if *append {
+                    out.push('>');
+                }
+                if *both {
+                    out.push('&');
+                }
+                out.push(' ');
+                word(out, target);
+            }
+            Redir::In { from, source } => {
+                out.push(' ');
+                if *from == RedirTarget::Variable {
+                    out.push('-');
+                }
+                out.push_str("< ");
+                word(out, source);
+            }
+        }
+    }
+}
+
+/// Characters that survive bare (outside quotes) without changing
+/// meaning, provided the word does not *start* like an operator.
+fn bare_safe(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '.' | '/' | ':' | '_' | '-' | '+' | '@' | '%' | ',' | '~' | '?' | '=')
+}
+
+fn lit_is_bare(s: &str) -> bool {
+    if s.is_empty() || !s.chars().all(bare_safe) {
+        return false;
+    }
+    // Words that would lex as operators must be quoted.
+    let operator_like =
+        s.starts_with('>') || s.starts_with('<') || s.starts_with("->") || s.starts_with("-<");
+    !operator_like
+}
+
+/// Render a word, bare if safe, quoted otherwise.
+fn word(out: &mut String, w: &Word) {
+    let bare = match w.segs() {
+        [] => false,
+        segs => segs.iter().enumerate().all(|(i, s)| match s {
+            Seg::Lit(l) => {
+                if i == 0 {
+                    lit_is_bare(l)
+                } else {
+                    !l.is_empty() && l.chars().all(bare_safe)
+                }
+            }
+            Seg::Var(_) => true,
+        }),
+    };
+    if bare {
+        for s in w.segs() {
+            match s {
+                Seg::Lit(l) => out.push_str(l),
+                Seg::Var(v) => {
+                    let _ = write!(out, "${{{v}}}");
+                }
+            }
+        }
+    } else {
+        quoted(out, w);
+    }
+}
+
+fn quoted(out: &mut String, w: &Word) {
+    out.push('"');
+    for s in w.segs() {
+        match s {
+            Seg::Lit(l) => {
+                for c in l.chars() {
+                    match c {
+                        '"' | '\\' | '$' => {
+                            out.push('\\');
+                            out.push(c);
+                        }
+                        c => out.push(c),
+                    }
+                }
+            }
+            Seg::Var(v) => {
+                let _ = write!(out, "${{{v}}}");
+            }
+        }
+    }
+    out.push('"');
+}
+
+/// Render an assignment value inline after `name=`. A leading quote is
+/// fine (`x="a b"`), so reuse word rendering but allow the empty word.
+fn word_into_assignment(out: &mut String, w: &Word) {
+    if w.segs().is_empty() {
+        out.push_str("\"\"");
+    } else {
+        word(out, w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let a = parse(src).unwrap();
+        let printed = pretty(&a);
+        let b = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(a, b, "roundtrip mismatch:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_paper_examples() {
+        roundtrip("wget http://server/file.tar.gz\ngunzip file.tar.gz\ntar xvf file.tar\n");
+        roundtrip("try for 30 minutes\n wget u\n gunzip f\n tar xvf f\nend\n");
+        roundtrip("try 5 times\n wget u\ncatch\n rm -f f\n failure\nend\n");
+        roundtrip("forany server in xxx yyy zzz\n wget http://${server}/file\nend\n");
+        roundtrip("forall file in xxx yyy zzz\n wget http://${server}/${file}\nend\n");
+        roundtrip(
+            "try for 1 hour\n forany host in xxx yyy zzz\n  try for 5 minutes\n   wget http://${host}/file\n  end\n end\nend\n",
+        );
+        roundtrip("try 5 times\n run-simulation ->& tmp\nend\ncat -< tmp\n");
+        roundtrip(
+            "try for 5 minutes\n cut -f2 /proc/sys/fs/file-nr -> n\n if ${n} .lt. 1000\n  failure\n else\n  condor_submit submit.job\n end\nend\n",
+        );
+    }
+
+    #[test]
+    fn roundtrip_assignments() {
+        roundtrip("x=5\n");
+        roundtrip("url=http://${h}/f\n");
+        roundtrip("empty=\"\"\n");
+    }
+
+    #[test]
+    fn roundtrip_quoting() {
+        roundtrip("echo \"two words\"\n");
+        roundtrip("echo \"a \\\"quote\\\"\"\n");
+        roundtrip("echo \"\"\n");
+    }
+
+    #[test]
+    fn roundtrip_functions() {
+        roundtrip("function fetch\n wget http://${h}/f\nend\nfetch a b\n");
+        roundtrip("function f\n try 2 times\n  x\n end\nend\n");
+    }
+
+    #[test]
+    fn roundtrip_try_specs() {
+        roundtrip("try for 90 seconds\nx\nend\n");
+        roundtrip("try for 2 hours or 7 times\nx\nend\n");
+        roundtrip("try 1 times\nx\nend\n");
+        roundtrip("try for 1 minutes every 10 seconds\nx\nend\n");
+        roundtrip("try\nx\nend\n");
+    }
+
+    #[test]
+    fn dur_words_units() {
+        assert_eq!(dur_words(Dur::from_hours(2)), "2 hours");
+        assert_eq!(dur_words(Dur::from_mins(90)), "90 minutes");
+        assert_eq!(dur_words(Dur::from_secs(5)), "5 seconds");
+        assert_eq!(dur_words(Dur::from_millis(250)), "250 ms");
+        assert_eq!(dur_words(Dur::from_micros(3)), "3 us");
+    }
+}

@@ -1,0 +1,1044 @@
+//! The ftsh virtual machine: a resumable stack machine.
+//!
+//! The original ftsh is a blocking C interpreter. We instead compile
+//! nothing and *interpret incrementally*: [`Vm::tick`] advances every
+//! runnable strand of the script as far as it can, then reports
+//! [`Effect`]s — commands to start or cancel — and the next virtual
+//! instant at which it must be ticked again (backoff wake-ups and `try`
+//! deadlines). The driver supplies "now", completes commands with
+//! [`Vm::complete`], and ticks again.
+//!
+//! This inversion is what lets one interpreter serve two worlds:
+//!
+//! * `procman` drives it with real wall-clock time and real POSIX
+//!   process sessions;
+//! * `gridworld` drives hundreds of VMs inside a discrete-event
+//!   simulation, reproducing the paper's figures deterministically.
+//!
+//! `forall` branches become independent *tasks* (the unit the paper
+//! kills via POSIX sessions); a `try` whose deadline expires unwinds
+//! every frame and task beneath it, cancelling in-flight commands, and
+//! then fails like any other untyped failure.
+
+use crate::ast::{Command, Redir, RedirTarget, Script, Stmt, TrySpec};
+use crate::cond::eval_cond;
+use crate::log::{EventLog, LogKind};
+use crate::words::{trim_capture, Env};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use retry::{BackoffPolicy, NextAttempt, Time, TryBudget, TrySession};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Identifies an in-flight command between [`Effect::Start`] and
+/// [`Vm::complete`].
+pub type CmdToken = u64;
+
+/// Identifies a VM task (the root script is task 0; every `forall`
+/// branch gets a fresh task).
+pub type TaskId = usize;
+
+/// Where a command's standard input comes from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CmdInput {
+    /// Literal data (the `-<` variable form, already expanded).
+    Data(String),
+    /// A file path (the `<` form); the executor opens it.
+    File(String),
+}
+
+/// Where a command's standard output goes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OutSink {
+    /// Capture into a shell variable: the executor must return stdout
+    /// in [`CmdResult::stdout`]; the VM assigns the variable.
+    Var {
+        /// Variable name.
+        name: String,
+        /// Append to the existing value (`->>`).
+        append: bool,
+    },
+    /// Write to a file; the executor owns the filesystem.
+    File {
+        /// Target path (already expanded).
+        path: String,
+        /// Append (`>>`).
+        append: bool,
+    },
+}
+
+/// A fully expanded command ready for an executor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommandSpec {
+    /// Expanded argv; `argv[0]` is the program.
+    pub argv: Vec<String>,
+    /// Standard input source, if redirected.
+    pub input: Option<CmdInput>,
+    /// Standard output sink, if redirected.
+    pub output: Option<OutSink>,
+    /// Capture/redirect standard error along with stdout (`>&`/`->&`).
+    pub both: bool,
+}
+
+impl CommandSpec {
+    /// The program name (empty string if argv is empty).
+    pub fn program(&self) -> &str {
+        self.argv.first().map(String::as_str).unwrap_or("")
+    }
+}
+
+/// What an executor reports back for a finished command.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CmdResult {
+    /// Did the command exit normally with status zero?
+    pub success: bool,
+    /// Captured standard output (only consulted for `Var` sinks).
+    pub stdout: String,
+}
+
+impl CmdResult {
+    /// A successful result carrying output.
+    pub fn ok(stdout: impl Into<String>) -> CmdResult {
+        CmdResult {
+            success: true,
+            stdout: stdout.into(),
+        }
+    }
+
+    /// A failed result.
+    pub fn fail() -> CmdResult {
+        CmdResult {
+            success: false,
+            stdout: String::new(),
+        }
+    }
+}
+
+/// Side effects a tick asks the driver to perform.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Effect {
+    /// Start the command; report back with [`Vm::complete`].
+    Start {
+        /// Correlation token.
+        token: CmdToken,
+        /// The task that issued it (useful for per-branch accounting).
+        task: TaskId,
+        /// What to run.
+        spec: CommandSpec,
+    },
+    /// Stop an in-flight command; no completion should follow (one that
+    /// races in anyway is ignored).
+    Cancel {
+        /// Token from the corresponding start.
+        token: CmdToken,
+    },
+}
+
+/// Overall VM state after a tick.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum VmStatus {
+    /// Work remains.
+    Running {
+        /// The next instant at which [`Vm::tick`] must be called even
+        /// if no command completes (earliest backoff wake-up or `try`
+        /// deadline); `None` when the VM is only waiting on commands.
+        next_wake: Option<Time>,
+    },
+    /// The script finished.
+    Done {
+        /// Overall script outcome.
+        success: bool,
+    },
+}
+
+/// The result of one [`Vm::tick`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tick {
+    /// Commands to start or cancel, in order.
+    pub effects: Vec<Effect>,
+    /// Whether to keep driving.
+    pub status: VmStatus,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Ctl {
+    Exec,
+    Return(bool),
+}
+
+#[derive(Debug)]
+enum Frame {
+    Seq {
+        stmts: Rc<Vec<Stmt>>,
+        idx: usize,
+    },
+    Try {
+        session: TrySession,
+        body: Rc<Vec<Stmt>>,
+        catch: Option<Rc<Vec<Stmt>>>,
+        in_catch: bool,
+    },
+    ForAny {
+        var: String,
+        values: Vec<String>,
+        idx: usize,
+        body: Rc<Vec<Stmt>>,
+    },
+    ForAll {
+        children: Vec<TaskId>,
+        /// Branch bindings not yet spawned (throttled parallelism).
+        pending: Vec<String>,
+        var: String,
+        body: Rc<Vec<Stmt>>,
+    },
+    /// A function invocation: restores the caller's positional
+    /// parameters when the body returns.
+    Call {
+        saved_positionals: Vec<(String, String)>,
+    },
+}
+
+#[derive(Debug)]
+enum TaskState {
+    Ready(Ctl),
+    RunningCmd {
+        token: CmdToken,
+        program: String,
+        out_var: Option<(String, bool)>,
+    },
+    Sleeping {
+        until: Time,
+    },
+    WaitingChildren,
+}
+
+#[derive(Debug)]
+struct Task {
+    frames: Vec<Frame>,
+    env: Env,
+    state: TaskState,
+    parent: Option<TaskId>,
+}
+
+/// The virtual machine for one script execution.
+///
+/// Manual driving (what `procman` and `gridworld` do internally):
+///
+/// ```
+/// use ftsh::parse;
+/// use ftsh::vm::{CmdResult, Effect, Vm, VmStatus};
+/// use retry::Time;
+///
+/// let script = parse("hello world\n").unwrap();
+/// let mut vm = Vm::with_seed(&script, 1);
+/// let tick = vm.tick(Time::ZERO);
+/// let Effect::Start { token, spec, .. } = &tick.effects[0] else { panic!() };
+/// assert_eq!(spec.argv, ["hello", "world"]);
+/// vm.complete(*token, CmdResult::ok(""));
+/// assert!(matches!(vm.tick(Time::ZERO).status, VmStatus::Done { success: true }));
+/// ```
+pub struct Vm {
+    tasks: Vec<Option<Task>>,
+    token_ctr: CmdToken,
+    token_task: HashMap<CmdToken, TaskId>,
+    rng: StdRng,
+    log: EventLog,
+    outcome: Option<bool>,
+    default_backoff: BackoffPolicy,
+    effects: Vec<Effect>,
+    now: Time,
+    final_env: Env,
+    max_parallel: Option<usize>,
+    functions: HashMap<String, Rc<Vec<Stmt>>>,
+}
+
+impl Vm {
+    /// Build a VM for a script with an empty environment and an
+    /// entropy-seeded RNG for backoff jitter.
+    pub fn new(script: &Script) -> Vm {
+        Vm::with_env_seed(script, Env::new(), rand::rng().random())
+    }
+
+    /// Build a VM with a fixed RNG seed (deterministic backoff jitter).
+    pub fn with_seed(script: &Script, seed: u64) -> Vm {
+        Vm::with_env_seed(script, Env::new(), seed)
+    }
+
+    /// Build a VM with an initial environment and seed.
+    pub fn with_env_seed(script: &Script, env: Env, seed: u64) -> Vm {
+        let root = Task {
+            frames: vec![Frame::Seq {
+                stmts: Rc::new(script.stmts.clone()),
+                idx: 0,
+            }],
+            env,
+            state: TaskState::Ready(Ctl::Exec),
+            parent: None,
+        };
+        Vm {
+            tasks: vec![Some(root)],
+            token_ctr: 0,
+            token_task: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            log: EventLog::new(),
+            outcome: None,
+            default_backoff: BackoffPolicy::ethernet(),
+            effects: Vec::new(),
+            now: Time::ZERO,
+            final_env: Env::new(),
+            max_parallel: None,
+            functions: HashMap::new(),
+        }
+    }
+
+    /// Override the backoff policy used by `try` blocks that do not
+    /// specify `every`. This is how the Fixed discipline (no delay) and
+    /// the jitter ablations are expressed.
+    pub fn set_default_backoff(&mut self, p: BackoffPolicy) {
+        self.default_backoff = p;
+    }
+
+    /// Throttle `forall`: at most `n` branches run concurrently, the
+    /// rest start as slots free up. §4 notes that "the creation of
+    /// processes must be governed by an Ethernet-like algorithm": this
+    /// is the limited-allocation obligation applied to the process
+    /// table itself. `None` (the default) spawns every branch at once.
+    pub fn set_max_parallel(&mut self, n: Option<usize>) {
+        self.max_parallel = n.map(|n| n.max(1));
+    }
+
+    /// The execution log so far.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// The root environment (variables visible after completion).
+    pub fn env(&self) -> &Env {
+        // The root task may already be gone if the script finished; we
+        // keep a copy of its env in that case.
+        match &self.tasks[0] {
+            Some(t) => &t.env,
+            None => &self.final_env,
+        }
+    }
+
+    /// The script outcome, if finished.
+    pub fn outcome(&self) -> Option<bool> {
+        self.outcome
+    }
+
+    /// Report an in-flight command as finished. Stale tokens (already
+    /// cancelled) are ignored. Call [`Vm::tick`] afterwards.
+    pub fn complete(&mut self, token: CmdToken, result: CmdResult) {
+        let Some(tid) = self.token_task.remove(&token) else {
+            return; // cancelled earlier; the race is benign
+        };
+        let task = self.tasks[tid].as_mut().expect("token mapped to dead task");
+        let (program, out_var) = match &task.state {
+            TaskState::RunningCmd {
+                token: t,
+                program,
+                out_var,
+            } => {
+                debug_assert_eq!(*t, token, "token/task mismatch");
+                (program.clone(), out_var.clone())
+            }
+            other => panic!("complete() on task not running a command: {other:?}"),
+        };
+        if let Some((name, append)) = out_var {
+            let value = trim_capture(&result.stdout);
+            if append {
+                task.env.append(&name, value);
+            } else {
+                task.env.set(name.clone(), value);
+            }
+            self.log.push(self.now, tid, LogKind::VarSet { name });
+        }
+        self.log.push(
+            self.now,
+            tid,
+            LogKind::CmdEnd {
+                program,
+                success: result.success,
+            },
+        );
+        task.state = TaskState::Ready(Ctl::Return(result.success));
+    }
+
+    /// Advance every runnable strand at virtual instant `now`.
+    pub fn tick(&mut self, now: Time) -> Tick {
+        debug_assert!(now >= self.now, "tick time went backwards");
+        self.now = now;
+        self.effects.clear();
+
+        if self.outcome.is_none() {
+            self.fire_deadlines();
+            self.wake_sleepers();
+            self.step_all();
+        }
+
+        let status = match self.outcome {
+            Some(success) => VmStatus::Done { success },
+            None => VmStatus::Running {
+                next_wake: self.next_wake(),
+            },
+        };
+        Tick {
+            effects: std::mem::take(&mut self.effects),
+            status,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn live_task_ids(&self) -> Vec<TaskId> {
+        (0..self.tasks.len())
+            .filter(|&i| self.tasks[i].is_some())
+            .collect()
+    }
+
+    /// Kill work under any `try` whose deadline has passed.
+    fn fire_deadlines(&mut self) {
+        for tid in self.live_task_ids() {
+            // The task may have been cancelled by an earlier task's
+            // unwind in this same loop.
+            let Some(task) = &self.tasks[tid] else { continue };
+            let expired = task.frames.iter().position(|f| match f {
+                Frame::Try {
+                    session, in_catch, ..
+                } => !in_catch && session.expired(self.now),
+                _ => false,
+            });
+            let Some(i) = expired else { continue };
+
+            let mut task = self.tasks[tid].take().expect("checked live");
+            // Cancel everything above the expired frame. Function-call
+            // frames restore the caller's positional parameters even
+            // when killed, so ${1}… never leak across an aborted call.
+            while task.frames.len() > i + 1 {
+                let f = task.frames.pop().expect("len checked");
+                match f {
+                    Frame::ForAll { children, .. } => {
+                        for c in children {
+                            self.cancel_subtree(c);
+                        }
+                    }
+                    Frame::Call { saved_positionals } => {
+                        task.env.clear_positionals();
+                        for (k, v) in saved_positionals {
+                            task.env.set(k, v);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            self.cancel_running_cmd(tid, &mut task);
+            self.log.push(self.now, tid, LogKind::TryTimeout);
+            self.fail_try_frame(tid, &mut task);
+            self.tasks[tid] = Some(task);
+        }
+    }
+
+    /// The top frame of `task` is a `Try` whose budget is spent: enter
+    /// its catch handler, or pop it and propagate failure.
+    fn fail_try_frame(&mut self, tid: TaskId, task: &mut Task) {
+        let Some(Frame::Try {
+            catch, in_catch, ..
+        }) = task.frames.last_mut()
+        else {
+            unreachable!("fail_try_frame: top frame is not a try");
+        };
+        if let (Some(c), false) = (catch.clone(), *in_catch) {
+            *in_catch = true;
+            self.log.push(self.now, tid, LogKind::CatchEntered);
+            task.frames.push(Frame::Seq { stmts: c, idx: 0 });
+            task.state = TaskState::Ready(Ctl::Exec);
+        } else {
+            task.frames.pop();
+            task.state = TaskState::Ready(Ctl::Return(false));
+        }
+    }
+
+    fn cancel_running_cmd(&mut self, tid: TaskId, task: &mut Task) {
+        if let TaskState::RunningCmd { token, program, .. } = &task.state {
+            self.effects.push(Effect::Cancel { token: *token });
+            self.token_task.remove(token);
+            self.log.push(
+                self.now,
+                tid,
+                LogKind::CmdCancelled {
+                    program: program.clone(),
+                },
+            );
+        }
+    }
+
+    /// Remove a task and its whole subtree, cancelling in-flight
+    /// commands. Used when a sibling failure or a deadline aborts a
+    /// `forall`.
+    fn cancel_subtree(&mut self, tid: TaskId) {
+        let Some(mut task) = self.tasks[tid].take() else {
+            return;
+        };
+        self.cancel_running_cmd(tid, &mut task);
+        for f in task.frames.drain(..) {
+            if let Frame::ForAll { children, .. } = f {
+                for c in children {
+                    self.cancel_subtree(c);
+                }
+            }
+        }
+    }
+
+    fn wake_sleepers(&mut self) {
+        for tid in self.live_task_ids() {
+            if let Some(task) = &mut self.tasks[tid] {
+                if let TaskState::Sleeping { until } = task.state {
+                    if until <= self.now {
+                        task.state = TaskState::Ready(Ctl::Exec);
+                    }
+                }
+            }
+        }
+    }
+
+    fn step_all(&mut self) {
+        loop {
+            let ready = self.live_task_ids().into_iter().find(|&i| {
+                matches!(
+                    self.tasks[i].as_ref().map(|t| &t.state),
+                    Some(TaskState::Ready(_))
+                )
+            });
+            let Some(tid) = ready else { break };
+            self.step_task(tid);
+            if self.outcome.is_some() {
+                break;
+            }
+        }
+    }
+
+    fn step_task(&mut self, tid: TaskId) {
+        let mut task = self.tasks[tid].take().expect("stepping a dead task");
+        match self.run_task(tid, &mut task) {
+            None => {
+                self.tasks[tid] = Some(task);
+            }
+            Some(result) => {
+                if let Some(pid) = task.parent {
+                    self.child_finished(pid, tid, result);
+                } else {
+                    self.final_env = std::mem::take(&mut task.env);
+                    self.outcome = Some(result);
+                    self.log
+                        .push(self.now, tid, LogKind::ScriptDone { success: result });
+                }
+            }
+        }
+    }
+
+    /// Run one task until it blocks or finishes. Returns `Some(result)`
+    /// when the task's stack empties.
+    fn run_task(&mut self, tid: TaskId, task: &mut Task) -> Option<bool> {
+        let mut ctl = match task.state {
+            TaskState::Ready(c) => c,
+            _ => return None,
+        };
+        // Mark as consumed; we will set a new state before blocking.
+        task.state = TaskState::WaitingChildren; // placeholder, always overwritten
+
+        loop {
+            match ctl {
+                Ctl::Return(res) => match self.return_into_frame(tid, task, res) {
+                    Flow::Continue(c) => ctl = c,
+                    Flow::Blocked => return None,
+                    Flow::Finished(r) => return Some(r),
+                },
+                Ctl::Exec => match self.exec_top(tid, task) {
+                    Flow::Continue(c) => ctl = c,
+                    Flow::Blocked => return None,
+                    Flow::Finished(r) => return Some(r),
+                },
+            }
+        }
+    }
+
+    fn return_into_frame(&mut self, tid: TaskId, task: &mut Task, res: bool) -> Flow {
+        let Some(top) = task.frames.last_mut() else {
+            return Flow::Finished(res);
+        };
+        match top {
+            Frame::Seq { stmts, idx } => {
+                if res {
+                    *idx += 1;
+                    if *idx >= stmts.len() {
+                        task.frames.pop();
+                        Flow::Continue(Ctl::Return(true))
+                    } else {
+                        Flow::Continue(Ctl::Exec)
+                    }
+                } else {
+                    // Fail-fast group.
+                    task.frames.pop();
+                    Flow::Continue(Ctl::Return(false))
+                }
+            }
+            Frame::Try {
+                session, in_catch, ..
+            } => {
+                if *in_catch {
+                    // The catch group's result is the try's result.
+                    task.frames.pop();
+                    Flow::Continue(Ctl::Return(res))
+                } else if res {
+                    task.frames.pop();
+                    Flow::Continue(Ctl::Return(true))
+                } else {
+                    match session.on_failure(self.now, &mut self.rng) {
+                        NextAttempt::RetryAt(t) => {
+                            self.log.push(
+                                self.now,
+                                tid,
+                                LogKind::Backoff {
+                                    delay: t.saturating_since(self.now),
+                                },
+                            );
+                            task.state = TaskState::Sleeping { until: t };
+                            Flow::Blocked
+                        }
+                        NextAttempt::Exhausted => {
+                            self.log.push(self.now, tid, LogKind::TryExhausted);
+                            self.fail_try_frame(tid, task);
+                            match task.state {
+                                TaskState::Ready(c) => Flow::Continue(c),
+                                _ => Flow::Blocked,
+                            }
+                        }
+                    }
+                }
+            }
+            Frame::ForAny {
+                var,
+                values,
+                idx,
+                body,
+            } => {
+                if res {
+                    task.frames.pop();
+                    Flow::Continue(Ctl::Return(true))
+                } else {
+                    *idx += 1;
+                    if *idx >= values.len() {
+                        task.frames.pop();
+                        Flow::Continue(Ctl::Return(false))
+                    } else {
+                        let value = values[*idx].clone();
+                        let var = var.clone();
+                        let body = body.clone();
+                        self.log
+                            .push(self.now, tid, LogKind::ForAnyNext { value: value.clone() });
+                        task.env.set(var, value);
+                        task.frames.push(Frame::Seq {
+                            stmts: body,
+                            idx: 0,
+                        });
+                        Flow::Continue(Ctl::Exec)
+                    }
+                }
+            }
+            Frame::ForAll { .. } => {
+                unreachable!("forall results arrive via child_finished")
+            }
+            Frame::Call { saved_positionals } => {
+                let saved = std::mem::take(saved_positionals);
+                task.frames.pop();
+                task.env.clear_positionals();
+                for (k, v) in saved {
+                    task.env.set(k, v);
+                }
+                Flow::Continue(Ctl::Return(res))
+            }
+        }
+    }
+
+    fn exec_top(&mut self, tid: TaskId, task: &mut Task) -> Flow {
+        // Decide with a short borrow what to do, then act.
+        enum Act {
+            Finished,
+            GroupDone,
+            Stmt(Stmt),
+            EnterTryBody(Rc<Vec<Stmt>>, u32),
+            TrySpent,
+            BindForAny(String, String, Rc<Vec<Stmt>>),
+        }
+
+        let act = match task.frames.last_mut() {
+            None => Act::Finished,
+            Some(Frame::Seq { stmts, idx }) => {
+                if *idx >= stmts.len() {
+                    Act::GroupDone
+                } else {
+                    Act::Stmt(stmts[*idx].clone())
+                }
+            }
+            Some(Frame::Try { session, body, .. }) => {
+                if session.begin_attempt(self.now) {
+                    Act::EnterTryBody(body.clone(), session.attempts())
+                } else {
+                    Act::TrySpent
+                }
+            }
+            Some(Frame::ForAny {
+                var, values, idx, body,
+            }) => Act::BindForAny(var.clone(), values[*idx].clone(), body.clone()),
+            Some(Frame::ForAll { .. }) => {
+                unreachable!("forall frame is never executed directly")
+            }
+            Some(Frame::Call { .. }) => Act::GroupDone,
+        };
+
+        match act {
+            Act::Finished => Flow::Finished(true),
+            Act::GroupDone => {
+                task.frames.pop();
+                Flow::Continue(Ctl::Return(true))
+            }
+            Act::Stmt(stmt) => self.exec_stmt(tid, task, stmt),
+            Act::EnterTryBody(body, attempt) => {
+                self.log.push(self.now, tid, LogKind::TryAttempt { attempt });
+                task.frames.push(Frame::Seq {
+                    stmts: body,
+                    idx: 0,
+                });
+                Flow::Continue(Ctl::Exec)
+            }
+            Act::TrySpent => {
+                self.log.push(self.now, tid, LogKind::TryExhausted);
+                self.fail_try_frame(tid, task);
+                match task.state {
+                    TaskState::Ready(c) => Flow::Continue(c),
+                    _ => Flow::Blocked,
+                }
+            }
+            Act::BindForAny(var, value, body) => {
+                self.log
+                    .push(self.now, tid, LogKind::ForAnyNext { value: value.clone() });
+                task.env.set(var, value);
+                task.frames.push(Frame::Seq {
+                    stmts: body,
+                    idx: 0,
+                });
+                Flow::Continue(Ctl::Exec)
+            }
+        }
+    }
+
+    fn exec_stmt(&mut self, tid: TaskId, task: &mut Task, stmt: Stmt) -> Flow {
+        match stmt {
+            Stmt::Failure => Flow::Continue(Ctl::Return(false)),
+            Stmt::Success => Flow::Continue(Ctl::Return(true)),
+            Stmt::Assign { var, value } => {
+                let v = task.env.expand(&value);
+                task.env.set(var.clone(), v);
+                self.log.push(self.now, tid, LogKind::VarSet { name: var });
+                Flow::Continue(Ctl::Return(true))
+            }
+            Stmt::If { cond, then, els } => match eval_cond(&cond, &task.env) {
+                Ok(true) => {
+                    task.frames.push(Frame::Seq {
+                        stmts: Rc::new(then),
+                        idx: 0,
+                    });
+                    Flow::Continue(Ctl::Exec)
+                }
+                Ok(false) => match els {
+                    Some(e) => {
+                        task.frames.push(Frame::Seq {
+                            stmts: Rc::new(e),
+                            idx: 0,
+                        });
+                        Flow::Continue(Ctl::Exec)
+                    }
+                    None => Flow::Continue(Ctl::Return(true)),
+                },
+                Err(_) => Flow::Continue(Ctl::Return(false)),
+            },
+            Stmt::Try { spec, body, catch } => {
+                let budget = self.budget_for(&spec);
+                task.frames.push(Frame::Try {
+                    session: TrySession::start(budget, self.now),
+                    body: Rc::new(body),
+                    catch: catch.map(Rc::new),
+                    in_catch: false,
+                });
+                Flow::Continue(Ctl::Exec)
+            }
+            Stmt::ForAny { var, values, body } => {
+                let values = task.env.expand_all(&values);
+                task.frames.push(Frame::ForAny {
+                    var,
+                    values,
+                    idx: 0,
+                    body: Rc::new(body),
+                });
+                Flow::Continue(Ctl::Exec)
+            }
+            Stmt::ForAll { var, values, body } => {
+                let values = task.env.expand_all(&values);
+                let body = Rc::new(body);
+                self.log.push(
+                    self.now,
+                    tid,
+                    LogKind::ForAllSpawn {
+                        branches: values.len(),
+                    },
+                );
+                let limit = self.max_parallel.unwrap_or(values.len()).max(1);
+                let (now_vals, later_vals) = if values.len() > limit {
+                    let later = values[limit..].to_vec();
+                    (values[..limit].to_vec(), later)
+                } else {
+                    (values, Vec::new())
+                };
+                let mut children = Vec::with_capacity(now_vals.len());
+                for v in now_vals {
+                    children.push(self.spawn_branch(tid, &task.env, &var, v, &body));
+                }
+                // Pending branches start in reverse-pop order.
+                let mut pending = later_vals;
+                pending.reverse();
+                task.frames.push(Frame::ForAll {
+                    children,
+                    pending,
+                    var,
+                    body,
+                });
+                task.state = TaskState::WaitingChildren;
+                Flow::Blocked
+            }
+            Stmt::Function { name, body } => {
+                self.functions.insert(name, Rc::new(body));
+                Flow::Continue(Ctl::Return(true))
+            }
+            Stmt::Command(cmd) => self.exec_command(tid, task, &cmd),
+        }
+    }
+
+    fn exec_command(&mut self, tid: TaskId, task: &mut Task, cmd: &Command) -> Flow {
+        let argv = task.env.expand_all(&cmd.words);
+        if argv.first().map(|s| s.is_empty()).unwrap_or(true) {
+            // A command whose name expanded to nothing cannot run.
+            return Flow::Continue(Ctl::Return(false));
+        }
+
+        // Defined functions shadow external commands. Redirections on
+        // a call are meaningless (a function has no byte streams of
+        // its own) and are ignored.
+        if let Some(body) = self.functions.get(&argv[0]).cloned() {
+            let depth = task
+                .frames
+                .iter()
+                .filter(|f| matches!(f, Frame::Call { .. }))
+                .count();
+            if depth >= 64 {
+                // Runaway recursion is just another untyped failure.
+                return Flow::Continue(Ctl::Return(false));
+            }
+            let saved = task.env.snapshot_positionals();
+            task.env.clear_positionals();
+            task.env.set("0", argv[0].clone());
+            for (i, a) in argv[1..].iter().enumerate() {
+                task.env.set((i + 1).to_string(), a.clone());
+            }
+            task.env.set("*", argv[1..].join(" "));
+            task.frames.push(Frame::Call {
+                saved_positionals: saved,
+            });
+            task.frames.push(Frame::Seq {
+                stmts: body,
+                idx: 0,
+            });
+            return Flow::Continue(Ctl::Exec);
+        }
+
+        let mut input = None;
+        let mut output = None;
+        let mut both = false;
+        let mut out_var = None;
+        for r in &cmd.redirs {
+            match r {
+                Redir::In { from, source } => {
+                    let name = task.env.expand(source);
+                    input = Some(match from {
+                        RedirTarget::Variable => CmdInput::Data(task.env.get(&name).to_string()),
+                        RedirTarget::File => CmdInput::File(name),
+                    });
+                }
+                Redir::Out {
+                    to,
+                    append,
+                    both: b,
+                    target,
+                } => {
+                    let name = task.env.expand(target);
+                    both = *b;
+                    match to {
+                        RedirTarget::Variable => {
+                            out_var = Some((name.clone(), *append));
+                            output = Some(OutSink::Var {
+                                name,
+                                append: *append,
+                            });
+                        }
+                        RedirTarget::File => {
+                            out_var = None;
+                            output = Some(OutSink::File {
+                                path: name,
+                                append: *append,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let token = self.token_ctr;
+        self.token_ctr += 1;
+        self.token_task.insert(token, tid);
+        let spec = CommandSpec {
+            argv,
+            input,
+            output,
+            both,
+        };
+        self.log.push(
+            self.now,
+            tid,
+            LogKind::CmdStart {
+                argv: spec.argv.clone(),
+            },
+        );
+        task.state = TaskState::RunningCmd {
+            token,
+            program: spec.program().to_string(),
+            out_var,
+        };
+        self.effects.push(Effect::Start {
+            token,
+            task: tid,
+            spec,
+        });
+        Flow::Blocked
+    }
+
+    fn spawn_branch(
+        &mut self,
+        parent: TaskId,
+        parent_env: &Env,
+        var: &str,
+        value: String,
+        body: &Rc<Vec<Stmt>>,
+    ) -> TaskId {
+        let mut env = parent_env.clone();
+        env.set(var.to_string(), value);
+        let child = Task {
+            frames: vec![Frame::Seq {
+                stmts: body.clone(),
+                idx: 0,
+            }],
+            env,
+            state: TaskState::Ready(Ctl::Exec),
+            parent: Some(parent),
+        };
+        self.tasks.push(Some(child));
+        self.tasks.len() - 1
+    }
+
+    fn child_finished(&mut self, pid: TaskId, child: TaskId, res: bool) {
+        let Some(mut parent) = self.tasks[pid].take() else {
+            return; // parent already cancelled
+        };
+        let Some(Frame::ForAll {
+            children,
+            pending,
+            var,
+            body,
+        }) = parent.frames.last_mut()
+        else {
+            unreachable!("child finished but parent is not in a forall")
+        };
+        children.retain(|&c| c != child);
+        if !res {
+            // First failure aborts all outstanding branches; pending
+            // ones never start.
+            pending.clear();
+            let remaining = std::mem::take(children);
+            parent.frames.pop();
+            parent.state = TaskState::Ready(Ctl::Return(false));
+            for c in remaining {
+                self.cancel_subtree(c);
+            }
+        } else if let Some(value) = pending.pop() {
+            // A slot freed up: start the next throttled branch.
+            let var = var.clone();
+            let body = body.clone();
+            let env = parent.env.clone();
+            let new_child = self.spawn_branch(pid, &env, &var, value, &body);
+            if let Some(Frame::ForAll { children, .. }) = parent.frames.last_mut() {
+                children.push(new_child);
+            }
+        } else if children.is_empty() {
+            parent.frames.pop();
+            parent.state = TaskState::Ready(Ctl::Return(true));
+        }
+        self.tasks[pid] = Some(parent);
+    }
+
+    fn budget_for(&self, spec: &TrySpec) -> TryBudget {
+        let backoff = match spec.every {
+            Some(d) => BackoffPolicy::Constant(d),
+            None => self.default_backoff,
+        };
+        TryBudget {
+            time_limit: spec.time,
+            attempt_limit: spec.attempts,
+            backoff,
+        }
+    }
+
+    fn next_wake(&self) -> Option<Time> {
+        let mut wake: Option<Time> = None;
+        let mut consider = |t: Time| {
+            wake = Some(match wake {
+                Some(w) if w <= t => w,
+                _ => t,
+            });
+        };
+        for task in self.tasks.iter().flatten() {
+            if let TaskState::Sleeping { until } = task.state {
+                consider(until);
+            }
+            for f in &task.frames {
+                if let Frame::Try {
+                    session,
+                    in_catch: false,
+                    ..
+                } = f
+                {
+                    if let Some(d) = session.deadline() {
+                        consider(d);
+                    }
+                }
+            }
+        }
+        wake
+    }
+}
+
+enum Flow {
+    Continue(Ctl),
+    Blocked,
+    Finished(bool),
+}

@@ -1,0 +1,172 @@
+//! Shell variables and word expansion.
+//!
+//! ftsh keeps variables in the interpreter itself (not the process
+//! environment): they are the target of the `->` capture redirections,
+//! the binding of `forany`/`forall` loop variables, and the operands of
+//! `if` comparisons. Unset variables expand to the empty string, as in
+//! the Bourne shell.
+
+use crate::ast::{Seg, Word};
+use std::collections::HashMap;
+
+/// A variable scope. Cloned for `forall` branches so that branch-local
+/// mutations stay branch-local (branches are notionally separate
+/// processes).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Env {
+    vars: HashMap<String, String>,
+}
+
+impl Env {
+    /// An empty scope.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Look up a variable; unset variables read as `""`.
+    pub fn get(&self, name: &str) -> &str {
+        self.vars.get(name).map(String::as_str).unwrap_or("")
+    }
+
+    /// Whether the variable has been set.
+    pub fn is_set(&self, name: &str) -> bool {
+        self.vars.contains_key(name)
+    }
+
+    /// Bind a variable.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.vars.insert(name.into(), value.into());
+    }
+
+    /// Append to a variable (the `->>` capture form).
+    pub fn append(&mut self, name: &str, value: &str) {
+        self.vars
+            .entry(name.to_string())
+            .or_default()
+            .push_str(value);
+    }
+
+    /// Remove a binding.
+    pub fn unset(&mut self, name: &str) {
+        self.vars.remove(name);
+    }
+
+    /// Number of bindings (for diagnostics).
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Snapshot the positional bindings (`0`–`99…`, `*`) for a
+    /// function call.
+    pub fn snapshot_positionals(&self) -> Vec<(String, String)> {
+        self.vars
+            .iter()
+            .filter(|(k, _)| k.as_str() == "*" || k.chars().all(|c| c.is_ascii_digit()))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Remove every positional binding.
+    pub fn clear_positionals(&mut self) {
+        self.vars
+            .retain(|k, _| k != "*" && !k.chars().all(|c| c.is_ascii_digit()));
+    }
+
+    /// Expand a word against this scope.
+    pub fn expand(&self, w: &Word) -> String {
+        let mut out = String::new();
+        for seg in w.segs() {
+            match seg {
+                Seg::Lit(l) => out.push_str(l),
+                Seg::Var(v) => out.push_str(self.get(v)),
+            }
+        }
+        out
+    }
+
+    /// Expand a slice of words.
+    pub fn expand_all(&self, ws: &[Word]) -> Vec<String> {
+        ws.iter().map(|w| self.expand(w)).collect()
+    }
+}
+
+/// Trim the trailing newline (and a preceding carriage return) from
+/// captured command output, as command substitution does in every
+/// shell. Interior newlines are preserved.
+pub fn trim_capture(s: &str) -> &str {
+    let s = s.strip_suffix('\n').unwrap_or(s);
+    s.strip_suffix('\r').unwrap_or(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_reads_empty() {
+        let env = Env::new();
+        assert_eq!(env.get("nope"), "");
+        assert!(!env.is_set("nope"));
+    }
+
+    #[test]
+    fn set_get_unset() {
+        let mut env = Env::new();
+        env.set("host", "xxx");
+        assert_eq!(env.get("host"), "xxx");
+        assert!(env.is_set("host"));
+        env.unset("host");
+        assert!(!env.is_set("host"));
+    }
+
+    #[test]
+    fn append_creates_and_extends() {
+        let mut env = Env::new();
+        env.append("log", "a");
+        env.append("log", "b");
+        assert_eq!(env.get("log"), "ab");
+    }
+
+    #[test]
+    fn expansion_mixes_segments() {
+        let mut env = Env::new();
+        env.set("server", "yyy");
+        let w = Word::from_segs(vec![
+            Seg::Lit("http://".into()),
+            Seg::Var("server".into()),
+            Seg::Lit("/file".into()),
+        ]);
+        assert_eq!(env.expand(&w), "http://yyy/file");
+    }
+
+    #[test]
+    fn expansion_of_unset_is_empty() {
+        let env = Env::new();
+        assert_eq!(env.expand(&Word::var("missing")), "");
+    }
+
+    #[test]
+    fn clone_isolates_scopes() {
+        let mut parent = Env::new();
+        parent.set("x", "1");
+        let mut child = parent.clone();
+        child.set("x", "2");
+        child.set("y", "3");
+        assert_eq!(parent.get("x"), "1");
+        assert!(!parent.is_set("y"));
+    }
+
+    #[test]
+    fn trim_capture_variants() {
+        assert_eq!(trim_capture("1234\n"), "1234");
+        assert_eq!(trim_capture("1234\r\n"), "1234");
+        assert_eq!(trim_capture("1234"), "1234");
+        assert_eq!(trim_capture("a\nb\n"), "a\nb");
+        assert_eq!(trim_capture(""), "");
+    }
+}

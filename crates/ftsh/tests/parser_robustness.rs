@@ -1,0 +1,80 @@
+//! Robustness properties of the lexer and parser: arbitrary input must
+//! never panic, and diagnostics must carry plausible line numbers.
+
+use ftsh::{parse, ParseError};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Parsing arbitrary text never panics; it either produces a
+    /// script or a diagnostic.
+    #[test]
+    fn parse_never_panics(src in ".{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Parsing arbitrary *shell-flavoured* text never panics either
+    /// (denser in the interesting bytes: quotes, $, redirects,
+    /// keywords).
+    #[test]
+    fn parse_never_panics_shelly(
+        src in proptest::collection::vec(
+            prop_oneof![
+                Just("try".to_string()),
+                Just("end".to_string()),
+                Just("forany".to_string()),
+                Just("forall".to_string()),
+                Just("if".to_string()),
+                Just("catch".to_string()),
+                Just("for".to_string()),
+                Just("times".to_string()),
+                Just("5".to_string()),
+                Just("minutes".to_string()),
+                Just("in".to_string()),
+                Just("\n".to_string()),
+                Just("->".to_string()),
+                Just("->&".to_string()),
+                Just("-<".to_string()),
+                Just(">".to_string()),
+                Just("<".to_string()),
+                Just("${x}".to_string()),
+                Just("$".to_string()),
+                Just("\"".to_string()),
+                Just("'".to_string()),
+                Just("#c".to_string()),
+                Just("\\".to_string()),
+                Just("a=b".to_string()),
+                Just(".lt.".to_string()),
+                Just("cmd".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let text = src.join(" ");
+        let _ = parse(&text);
+    }
+
+    /// Error line numbers stay within the script.
+    #[test]
+    fn error_lines_in_range(src in "[a-z \\n${}\"']{0,120}") {
+        if let Err(ParseError { line, .. }) = parse(&src) {
+            let n_lines = src.split('\n').count() as u32;
+            prop_assert!(line >= 1 && line <= n_lines + 1, "line {line} of {n_lines}");
+        }
+    }
+
+    /// A parsed script re-parses from its pretty form (the workspace
+    /// property tests generate ASTs; this one starts from *source* that
+    /// happened to parse).
+    #[test]
+    fn accepted_source_roundtrips(
+        cmds in proptest::collection::vec("[a-z][a-z0-9]{0,6}( [a-z0-9./:-]{1,8}){0,3}", 1..6)
+    ) {
+        let src = cmds.join("\n") + "\n";
+        if let Ok(a) = parse(&src) {
+            let b = parse(&ftsh::pretty(&a)).expect("pretty output parses");
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based fuzzing of the VM: random (bounded) scripts driven
+//! with random command outcomes and completion orders must terminate,
+//! never panic, and keep the token ledger balanced — every started
+//! command is either completed or cancelled, exactly once.
+
+use ftsh::ast::{Command, Cond, CondOp, Script, Stmt, TrySpec, Word};
+use ftsh::vm::{CmdResult, Effect, Vm, VmStatus};
+use proptest::prelude::*;
+use retry::{Dur, Time};
+use std::collections::HashSet;
+
+fn arb_word() -> impl Strategy<Value = Word> {
+    prop_oneof![
+        "[a-z]{1,6}".prop_map(Word::lit),
+        "[a-z]{1,4}".prop_map(Word::var),
+    ]
+}
+
+fn arb_cmd() -> impl Strategy<Value = Stmt> {
+    ("[a-z]{1,6}", proptest::collection::vec(arb_word(), 0..3)).prop_map(|(p, mut args)| {
+        let mut words = vec![Word::lit(p)];
+        words.append(&mut args);
+        Stmt::Command(Command {
+            words,
+            redirs: vec![],
+        })
+    })
+}
+
+/// Statements whose `try` budgets are always bounded, so every script
+/// terminates under any executor.
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    if depth == 0 {
+        prop_oneof![
+            6 => arb_cmd(),
+            1 => Just(Stmt::Failure),
+            1 => Just(Stmt::Success),
+        ]
+        .boxed()
+    } else {
+        let body = || proptest::collection::vec(arb_stmt(depth - 1), 1..3);
+        let try_s = (1u32..4, 0u64..20, body(), proptest::option::of(body())).prop_map(
+            |(attempts, secs, b, c)| Stmt::Try {
+                spec: TrySpec {
+                    time: Some(Dur::from_secs(secs + 1)),
+                    attempts: Some(attempts),
+                    every: None,
+                },
+                body: b,
+                catch: c,
+            },
+        );
+        let forany = (
+            "[a-z]{1,3}",
+            proptest::collection::vec(arb_word(), 1..3),
+            body(),
+        )
+            .prop_map(|(var, values, body)| Stmt::ForAny { var, values, body });
+        let forall = (
+            "[a-z]{1,3}",
+            proptest::collection::vec(arb_word(), 1..3),
+            body(),
+        )
+            .prop_map(|(var, values, body)| Stmt::ForAll { var, values, body });
+        let ifs = (arb_word(), arb_word(), body(), proptest::option::of(body())).prop_map(
+            |(l, r, t, e)| Stmt::If {
+                cond: Cond {
+                    lhs: l,
+                    op: CondOp::StrEq,
+                    rhs: r,
+                },
+                then: t,
+                els: e,
+            },
+        );
+        prop_oneof![
+            4 => arb_cmd(),
+            2 => try_s,
+            2 => forany,
+            2 => forall,
+            1 => ifs,
+            1 => Just(Stmt::Failure),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn vm_terminates_and_balances_tokens(
+        stmts in proptest::collection::vec(arb_stmt(2), 1..5),
+        seed in any::<u64>(),
+        outcome_bits in any::<u64>(),
+        hold_bits in any::<u64>(),
+    ) {
+        let script = Script { stmts };
+        let mut vm = Vm::with_seed(&script, seed);
+        let mut now = Time::ZERO;
+        let mut pending: Vec<u64> = Vec::new();
+        let mut started: HashSet<u64> = HashSet::new();
+        let mut resolved: HashSet<u64> = HashSet::new();
+        let mut flips = outcome_bits;
+        let mut holds = hold_bits;
+        let mut next_flip = || {
+            let b = flips & 1 == 1;
+            flips = flips.rotate_right(1) ^ 0x9E37_79B9;
+            b
+        };
+        let mut next_hold = || {
+            let b = holds & 1 == 1;
+            holds = holds.rotate_right(1) ^ 0x1234_5678;
+            b
+        };
+
+        let mut ticks = 0u32;
+        loop {
+            ticks += 1;
+            prop_assert!(ticks < 10_000, "vm did not terminate");
+            let t = vm.tick(now);
+            for e in t.effects {
+                match e {
+                    Effect::Start { token, .. } => {
+                        prop_assert!(started.insert(token), "token reused");
+                        pending.push(token);
+                    }
+                    Effect::Cancel { token } => {
+                        prop_assert!(started.contains(&token), "cancel of unknown token");
+                        prop_assert!(resolved.insert(token), "token resolved twice");
+                        pending.retain(|&p| p != token);
+                    }
+                }
+            }
+            match t.status {
+                VmStatus::Done { .. } => break,
+                VmStatus::Running { next_wake } => {
+                    // Resolve some pending commands (random subset,
+                    // random results); if we hold everything and there
+                    // is no wake, we must resolve at least one to make
+                    // progress.
+                    let mut completed_any = false;
+                    let mut keep = Vec::new();
+                    for token in pending.drain(..) {
+                        if next_hold() && (next_wake.is_some() || completed_any || !keep.is_empty())
+                        {
+                            keep.push(token);
+                            continue;
+                        }
+                        let ok = next_flip();
+                        prop_assert!(resolved.insert(token), "token resolved twice");
+                        vm.complete(
+                            token,
+                            if ok {
+                                CmdResult::ok("out\n")
+                            } else {
+                                CmdResult::fail()
+                            },
+                        );
+                        completed_any = true;
+                    }
+                    pending = keep;
+                    if !completed_any {
+                        match next_wake {
+                            Some(w) => now = w.max(now),
+                            None => {
+                                // Nothing pending and no wake would be a
+                                // stuck VM: must not happen while Running.
+                                prop_assert!(
+                                    !pending.is_empty(),
+                                    "running with no pending work and no wake"
+                                );
+                                // Forced: complete one.
+                                let token = pending.remove(0);
+                                prop_assert!(resolved.insert(token), "token resolved twice");
+                                vm.complete(token, CmdResult::fail());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Ledger: everything started was completed or cancelled; no
+        // duplicates (asserted inline); terminal state is stable.
+        for token in &pending {
+            // Commands still pending at Done can only exist if they
+            // were cancelled — and cancels remove from pending.
+            prop_assert!(resolved.contains(token), "dangling token {token}");
+        }
+        let outcome = vm.outcome();
+        prop_assert!(outcome.is_some());
+        // Ticking after completion stays Done with the same outcome.
+        let again = vm.tick(now);
+        let stable = matches!(again.status, VmStatus::Done { success } if Some(success) == outcome);
+        prop_assert!(stable);
+        prop_assert!(again.effects.is_empty());
+    }
+}

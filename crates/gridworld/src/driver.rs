@@ -1,0 +1,608 @@
+//! The simulation driver: multiplexes a population of ftsh VMs over
+//! one discrete-event queue.
+//!
+//! Each client of a scenario runs a real ftsh script on a real
+//! [`Vm`]; the scenario implements [`CommandWorld`], which decides what
+//! each command (`condor_submit`, `wget`, `write-output`, …) does to
+//! the shared resources and when it completes. The driver owns the
+//! plumbing: wake-ups at backoff instants and `try` deadlines, command
+//! completion routing, cancellation of in-flight work, and work-unit
+//! restarts.
+
+use ftsh::vm::{CmdResult, CmdToken, CommandSpec, Effect, Tick, Vm, VmStatus};
+use retry::Time;
+use simgrid::EventQueue;
+use std::collections::HashSet;
+
+/// A client index within a scenario.
+pub type ClientId = usize;
+
+/// Events the driver understands; `W` is the scenario's own event type.
+#[derive(Debug)]
+pub enum SimEv<W> {
+    /// Tick a client's VM (backoff wake-up or `try` deadline).
+    Wake(ClientId),
+    /// A command scheduled with [`ExecOutcome::At`] finished.
+    CmdDone {
+        /// Owning client.
+        client: ClientId,
+        /// The client's work-unit epoch when the command started (VM
+        /// token numbering restarts with every unit, so completions
+        /// from a finished unit must not leak into the next).
+        epoch: u64,
+        /// The VM's token for the command.
+        token: CmdToken,
+        /// Result to deliver.
+        result: CmdResult,
+    },
+    /// A scenario-specific event.
+    World(W),
+}
+
+/// What the world decides about a just-started command.
+#[derive(Debug)]
+pub enum ExecOutcome {
+    /// Completes immediately with this result.
+    Now(CmdResult),
+    /// Completes at the given instant with this result, unless the VM
+    /// cancels it first.
+    At(Time, CmdResult),
+    /// The world holds it and will complete it later by returning a
+    /// [`Completion`] from [`CommandWorld::on_event`] (e.g. a transfer
+    /// that starts only when a server queue drains).
+    Held,
+}
+
+/// A deferred completion produced by the world.
+#[derive(Debug)]
+pub struct Completion {
+    /// Owning client.
+    pub client: ClientId,
+    /// Command token.
+    pub token: CmdToken,
+    /// Result to deliver.
+    pub result: CmdResult,
+}
+
+/// Access to the event queue (and clock) for world callbacks.
+pub struct Ctx<'a, W> {
+    /// The scenario's event queue; schedule [`SimEv::World`] events or
+    /// [`SimEv::CmdDone`] completions here.
+    pub queue: &'a mut EventQueue<SimEv<W>>,
+    epochs: &'a [u64],
+}
+
+impl<W> Ctx<'_, W> {
+    /// The current virtual instant.
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Schedule a world event.
+    pub fn schedule(&mut self, at: Time, ev: W) {
+        self.queue.schedule(at, SimEv::World(ev));
+    }
+
+    /// Schedule the completion of a currently held command. The
+    /// completion is stamped with the client's current work-unit
+    /// epoch, so it is dropped automatically if the unit has moved on
+    /// by the time it fires.
+    pub fn schedule_completion(
+        &mut self,
+        at: Time,
+        client: ClientId,
+        token: CmdToken,
+        result: CmdResult,
+    ) {
+        self.queue.schedule(
+            at,
+            SimEv::CmdDone {
+                client,
+                epoch: self.epochs[client],
+                token,
+                result,
+            },
+        );
+    }
+}
+
+/// A scenario: what commands do, and what happens between work units.
+pub trait CommandWorld: Sized {
+    /// Scenario-specific event payload.
+    type Ev;
+
+    /// A client's VM started a command. Decide its fate.
+    fn exec(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Ev>,
+        client: ClientId,
+        token: CmdToken,
+        spec: &CommandSpec,
+    ) -> ExecOutcome;
+
+    /// A command the world was still holding (or that was scheduled via
+    /// `At`) has been cancelled by a `try` deadline: release whatever
+    /// it held.
+    fn cancelled(&mut self, ctx: &mut Ctx<'_, Self::Ev>, client: ClientId, token: CmdToken);
+
+    /// A scenario event fired. Return any held-command completions it
+    /// triggers.
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Self::Ev>, ev: Self::Ev) -> Vec<Completion>;
+
+    /// A client's script finished (one work unit). Return the next VM
+    /// and the instant it should start, or `None` to retire the client.
+    fn unit_done(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Ev>,
+        client: ClientId,
+        success: bool,
+    ) -> Option<(Vm, Time)>;
+}
+
+/// The generic scenario engine.
+pub struct SimDriver<W: CommandWorld> {
+    /// The scenario state, accessible between runs for metrics.
+    pub world: W,
+    /// Aggregated ftsh log summary over every finished work unit —
+    /// total attempts, backoffs, kills across the population.
+    pub log_totals: ftsh::LogSummary,
+    queue: EventQueue<SimEv<W::Ev>>,
+    vms: Vec<Option<Vm>>,
+    epochs: Vec<u64>,
+    cancelled: HashSet<(ClientId, u64, CmdToken)>,
+    /// Tokens currently live with the world or scheduled; used to
+    /// suppress stale completions.
+    live: HashSet<(ClientId, u64, CmdToken)>,
+}
+
+impl<W: CommandWorld> SimDriver<W> {
+    /// Create a driver over `world` with the given client VMs, all
+    /// starting at `T+0`.
+    pub fn new(world: W, vms: Vec<Vm>) -> SimDriver<W> {
+        let n = vms.len();
+        SimDriver::with_starts(world, vms, vec![Time::ZERO; n])
+    }
+
+    /// Create a driver whose clients start at the given instants.
+    /// Real populations never start in the same microsecond; staggered
+    /// starts keep the t=0 thundering herd from defeating carrier
+    /// sense before it has anything to measure.
+    pub fn with_starts(world: W, vms: Vec<Vm>, starts: Vec<Time>) -> SimDriver<W> {
+        assert_eq!(vms.len(), starts.len(), "one start time per client");
+        let mut queue = EventQueue::new();
+        for (c, &at) in starts.iter().enumerate() {
+            queue.schedule(at, SimEv::Wake(c));
+        }
+        let n = vms.len();
+        SimDriver {
+            world,
+            log_totals: ftsh::LogSummary::default(),
+            queue,
+            vms: vms.into_iter().map(Some).collect(),
+            epochs: vec![0; n],
+            cancelled: HashSet::new(),
+            live: HashSet::new(),
+        }
+    }
+
+    /// Schedule an initial scenario event (consumer ticks, samplers…).
+    pub fn schedule_world(&mut self, at: Time, ev: W::Ev) {
+        self.queue.schedule(at, SimEv::World(ev));
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Run until the queue drains or virtual time would pass `end`.
+    /// Events strictly after `end` remain unpopped, so the final clock
+    /// never exceeds `end`.
+    pub fn run_until(&mut self, end: Time) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > end {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            match ev {
+                SimEv::Wake(c) => self.tick_client(c, now),
+                SimEv::CmdDone {
+                    client,
+                    epoch,
+                    token,
+                    result,
+                } => self.deliver(client, epoch, token, result, now),
+                SimEv::World(w) => {
+                    let completions = {
+                        let mut ctx = Ctx {
+                            queue: &mut self.queue,
+                            epochs: &self.epochs,
+                        };
+                        self.world.on_event(&mut ctx, w)
+                    };
+                    for c in completions {
+                        let epoch = self.epochs[c.client];
+                        self.deliver(c.client, epoch, c.token, c.result, now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        client: ClientId,
+        epoch: u64,
+        token: CmdToken,
+        result: CmdResult,
+        now: Time,
+    ) {
+        if self.cancelled.remove(&(client, epoch, token)) {
+            return; // the try deadline beat the completion
+        }
+        if epoch != self.epochs[client] || !self.live.remove(&(client, epoch, token)) {
+            return; // unit already retired
+        }
+        if let Some(vm) = self.vms[client].as_mut() {
+            vm.complete(token, result);
+        }
+        self.tick_client(client, now);
+    }
+
+    fn tick_client(&mut self, client: ClientId, now: Time) {
+        loop {
+            let Some(vm) = self.vms[client].as_mut() else {
+                return;
+            };
+            let Tick { effects, status } = vm.tick(now);
+            let mut completed_inline = false;
+            for eff in effects {
+                match eff {
+                    Effect::Start { token, spec, .. } => {
+                        let outcome = {
+                            let mut ctx = Ctx {
+                                queue: &mut self.queue,
+                                epochs: &self.epochs,
+                            };
+                            self.world.exec(&mut ctx, client, token, &spec)
+                        };
+                        match outcome {
+                            ExecOutcome::Now(result) => {
+                                let vm = self.vms[client].as_mut().expect("vm present");
+                                vm.complete(token, result);
+                                completed_inline = true;
+                            }
+                            ExecOutcome::At(at, result) => {
+                                let epoch = self.epochs[client];
+                                self.live.insert((client, epoch, token));
+                                self.queue.schedule(
+                                    at,
+                                    SimEv::CmdDone {
+                                        client,
+                                        epoch,
+                                        token,
+                                        result,
+                                    },
+                                );
+                            }
+                            ExecOutcome::Held => {
+                                let epoch = self.epochs[client];
+                                self.live.insert((client, epoch, token));
+                            }
+                        }
+                    }
+                    Effect::Cancel { token } => {
+                        let epoch = self.epochs[client];
+                        if self.live.remove(&(client, epoch, token)) {
+                            self.cancelled.insert((client, epoch, token));
+                            let mut ctx = Ctx {
+                                queue: &mut self.queue,
+                                epochs: &self.epochs,
+                            };
+                            self.world.cancelled(&mut ctx, client, token);
+                        }
+                    }
+                }
+            }
+            if completed_inline {
+                continue; // commands finished synchronously: step again
+            }
+            match status {
+                VmStatus::Done { success } => {
+                    // Retire the unit; its epoch's stale completions
+                    // will be dropped on arrival.
+                    self.epochs[client] += 1;
+                    if let Some(vm) = &self.vms[client] {
+                        self.log_totals += vm.log().summary();
+                    }
+                    self.vms[client] = None;
+                    let next = {
+                        let mut ctx = Ctx {
+                            queue: &mut self.queue,
+                            epochs: &self.epochs,
+                        };
+                        self.world.unit_done(&mut ctx, client, success)
+                    };
+                    match next {
+                        Some((vm, at)) => {
+                            self.vms[client] = Some(vm);
+                            if at <= now {
+                                continue; // start immediately
+                            }
+                            self.queue.schedule(at, SimEv::Wake(client));
+                            return;
+                        }
+                        None => return, // client retired
+                    }
+                }
+                VmStatus::Running { next_wake: Some(t) } => {
+                    self.queue.schedule(t.max(now), SimEv::Wake(client));
+                    return;
+                }
+                VmStatus::Running { next_wake: None } => return,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsh::parse;
+    use retry::Dur;
+
+    /// A toy world: `work` succeeds after 2 s; `flaky` fails the first
+    /// `fail_first` times then behaves like `work`; units restart 1 s
+    /// after finishing; clients retire after `max_units`.
+    struct ToyWorld {
+        fail_first: u32,
+        failures_injected: u32,
+        successes: u32,
+        units: u32,
+        max_units: u32,
+        script: &'static str,
+        cancel_count: u32,
+    }
+
+    impl ToyWorld {
+        fn vm(&self, seed: u64) -> Vm {
+            Vm::with_seed(&parse(self.script).unwrap(), seed)
+        }
+    }
+
+    impl CommandWorld for ToyWorld {
+        type Ev = ();
+
+        fn exec(
+            &mut self,
+            ctx: &mut Ctx<'_, ()>,
+            _client: ClientId,
+            _token: CmdToken,
+            spec: &CommandSpec,
+        ) -> ExecOutcome {
+            match spec.program() {
+                "work" => ExecOutcome::At(
+                    ctx.now() + Dur::from_secs(2),
+                    CmdResult::ok(""),
+                ),
+                "flaky" => {
+                    if self.failures_injected < self.fail_first {
+                        self.failures_injected += 1;
+                        ExecOutcome::Now(CmdResult::fail())
+                    } else {
+                        ExecOutcome::At(ctx.now() + Dur::from_secs(2), CmdResult::ok(""))
+                    }
+                }
+                "hang" => ExecOutcome::Held,
+                _ => ExecOutcome::Now(CmdResult::fail()),
+            }
+        }
+
+        fn cancelled(&mut self, _ctx: &mut Ctx<'_, ()>, _client: ClientId, _token: CmdToken) {
+            self.cancel_count += 1;
+        }
+
+        fn on_event(&mut self, _ctx: &mut Ctx<'_, ()>, _ev: ()) -> Vec<Completion> {
+            Vec::new()
+        }
+
+        fn unit_done(
+            &mut self,
+            ctx: &mut Ctx<'_, ()>,
+            _client: ClientId,
+            success: bool,
+        ) -> Option<(Vm, Time)> {
+            self.units += 1;
+            if success {
+                self.successes += 1;
+            }
+            if self.units >= self.max_units {
+                return None;
+            }
+            Some((self.vm(self.units as u64), ctx.now() + Dur::from_secs(1)))
+        }
+    }
+
+    #[test]
+    fn repeated_units_accumulate() {
+        let world = ToyWorld {
+            fail_first: 0,
+            failures_injected: 0,
+            successes: 0,
+            units: 0,
+            max_units: 5,
+            script: "work\n",
+            cancel_count: 0,
+        };
+        let vm = world.vm(0);
+        let mut d = SimDriver::new(world, vec![vm]);
+        d.run_until(Time::from_secs(1000));
+        assert_eq!(d.world.successes, 5);
+        // 5 units x (2s work + 1s gap) minus the trailing gap.
+        assert_eq!(d.now(), Time::from_secs(14));
+    }
+
+    #[test]
+    fn retries_inside_try_use_backoff() {
+        let world = ToyWorld {
+            fail_first: 2,
+            failures_injected: 0,
+            successes: 0,
+            units: 0,
+            max_units: 1,
+            script: "try for 1 hour\n flaky\nend\n",
+            cancel_count: 0,
+        };
+        let vm = world.vm(7);
+        let mut d = SimDriver::new(world, vec![vm]);
+        d.run_until(Time::from_secs(1000));
+        assert_eq!(d.world.successes, 1);
+        // Two instant failures with backoff 1..2 then 2..4 s, then 2 s
+        // of work: total in [5, 8] s.
+        let t = d.now().as_secs_f64();
+        assert!((5.0..=8.0).contains(&t), "elapsed {t}");
+    }
+
+    #[test]
+    fn held_command_cancelled_by_deadline() {
+        let world = ToyWorld {
+            fail_first: 0,
+            failures_injected: 0,
+            successes: 0,
+            units: 0,
+            max_units: 1,
+            script: "try for 10 seconds or 1 times\n hang\nend\n",
+            cancel_count: 0,
+        };
+        let vm = world.vm(0);
+        let mut d = SimDriver::new(world, vec![vm]);
+        d.run_until(Time::from_secs(1000));
+        assert_eq!(d.world.successes, 0);
+        assert_eq!(d.world.cancel_count, 1, "world told about the cancel");
+        assert_eq!(d.now(), Time::from_secs(10));
+    }
+
+    #[test]
+    fn many_clients_interleave() {
+        let world = ToyWorld {
+            fail_first: 0,
+            failures_injected: 0,
+            successes: 0,
+            units: 0,
+            max_units: 30, // 10 clients x 3 units
+            script: "work\n",
+            cancel_count: 0,
+        };
+        let vms = (0..10).map(|i| world.vm(i)).collect();
+        let mut d = SimDriver::new(world, vms);
+        d.run_until(Time::from_secs(1000));
+        // The budget is a shared counter checked on completion, so the
+        // clients still in flight when it trips also land: between 30
+        // and 39 units complete, then everyone retires.
+        assert!(
+            (30..40).contains(&d.world.units),
+            "units = {}",
+            d.world.units
+        );
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let world = ToyWorld {
+            fail_first: 0,
+            failures_injected: 0,
+            successes: 0,
+            units: 0,
+            max_units: u32::MAX,
+            script: "work\n",
+            cancel_count: 0,
+        };
+        let vm = world.vm(0);
+        let mut d = SimDriver::new(world, vec![vm]);
+        d.run_until(Time::from_secs(30));
+        assert!(d.now() <= Time::from_secs(30));
+        let units_at_30 = d.world.units;
+        assert!(units_at_30 >= 9, "about one unit per 3s: {units_at_30}");
+        // Resume: more work happens.
+        d.run_until(Time::from_secs(60));
+        assert!(d.world.units > units_at_30);
+    }
+}
+
+#[cfg(test)]
+mod epoch_tests {
+    use super::*;
+    use ftsh::parse;
+    use retry::Dur;
+
+    /// A world whose single command is Held forever; units time out via
+    /// `try` and restart. Completions scheduled for dead units must be
+    /// dropped, even though the new unit reuses token numbers.
+    struct StaleWorld {
+        delivered: u32,
+        units: u32,
+    }
+
+    impl CommandWorld for StaleWorld {
+        type Ev = ();
+
+        fn exec(
+            &mut self,
+            ctx: &mut Ctx<'_, ()>,
+            client: ClientId,
+            token: CmdToken,
+            _spec: &CommandSpec,
+        ) -> ExecOutcome {
+            // Schedule a completion far in the future — after the unit
+            // will have died and been replaced.
+            ctx.schedule_completion(
+                ctx.now() + Dur::from_secs(100),
+                client,
+                token,
+                CmdResult::ok("stale"),
+            );
+            ExecOutcome::Held
+        }
+
+        fn cancelled(&mut self, _ctx: &mut Ctx<'_, ()>, _c: ClientId, _t: CmdToken) {}
+
+        fn on_event(&mut self, _ctx: &mut Ctx<'_, ()>, _ev: ()) -> Vec<Completion> {
+            Vec::new()
+        }
+
+        fn unit_done(
+            &mut self,
+            ctx: &mut Ctx<'_, ()>,
+            _client: ClientId,
+            success: bool,
+        ) -> Option<(Vm, Time)> {
+            self.units += 1;
+            if success {
+                self.delivered += 1;
+            }
+            if self.units >= 3 {
+                return None;
+            }
+            let script = parse("try for 5 seconds or 1 times\n hang\nend\n").unwrap();
+            Some((Vm::with_seed(&script, self.units as u64), ctx.now()))
+        }
+    }
+
+    #[test]
+    fn stale_completions_never_cross_unit_epochs() {
+        let script = parse("try for 5 seconds or 1 times\n hang\nend\n").unwrap();
+        let vm = Vm::with_seed(&script, 0);
+        let world = StaleWorld {
+            delivered: 0,
+            units: 0,
+        };
+        let mut d = SimDriver::new(world, vec![vm]);
+        // Run long enough for all stale completions (t+100s) to fire.
+        d.run_until(Time::from_secs(1000));
+        assert_eq!(d.world.units, 3, "three units each timed out");
+        assert_eq!(
+            d.world.delivered, 0,
+            "no stale completion may succeed a later unit"
+        );
+    }
+}

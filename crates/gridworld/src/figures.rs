@@ -1,0 +1,363 @@
+//! Regeneration of every figure in the paper's evaluation (§5).
+//!
+//! Each function runs the corresponding scenario and returns a
+//! [`SeriesSet`] whose series match the figure's legend. Absolute
+//! numbers come from a simulated testbed and differ from the paper's
+//! 2003 hardware; the *shapes* — who wins, where Fixed collapses,
+//! where the broadcast-jam spikes appear — are the reproduction
+//! target (see EXPERIMENTS.md).
+
+use crate::scenarios::blackhole::{run_blackhole, BlackHoleParams};
+use crate::scenarios::buffer::{run_buffer, BufferParams};
+use crate::scenarios::submit::{run_submission, SubmitParams};
+use retry::{Discipline, Dur, Time};
+use simgrid::{Series, SeriesSet};
+
+/// Scale of a figure run: `full` matches the paper's population sizes
+/// and windows; `quick` is a reduced version for CI and Criterion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale populations and windows.
+    Full,
+    /// Reduced sizes for fast iteration.
+    Quick,
+}
+
+impl Scale {
+    fn pick<T>(self, full: T, quick: T) -> T {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// Figure 1 — *Scalability of Job Submission*: jobs submitted in a
+/// five-minute window vs. number of submitters, for the three
+/// disciplines.
+pub fn fig1_submission_scalability(scale: Scale, seed: u64) -> SeriesSet {
+    let ns: Vec<usize> = scale.pick(
+        vec![5, 10, 25, 50, 100, 150, 200, 250, 300, 350, 400, 425, 450, 500],
+        vec![50, 200, 450],
+    );
+    let window = scale.pick(Dur::from_mins(5), Dur::from_secs(90));
+    let mut set = SeriesSet::new(
+        "Figure 1: Scalability of Job Submission",
+        "Number of Submitters",
+        "Jobs Submitted",
+    );
+    for d in Discipline::ALL {
+        let mut series = Series::new(d.label());
+        for &n in &ns {
+            let params = SubmitParams {
+                n_clients: n,
+                discipline: d,
+                seed: seed ^ (n as u64),
+                ..SubmitParams::default()
+            };
+            let o = run_submission(params, window);
+            series.push_xy(n as f64, o.jobs_submitted as f64);
+        }
+        set.add(series);
+    }
+    set
+}
+
+fn submit_timeline(d: Discipline, scale: Scale, seed: u64, title: &str) -> SeriesSet {
+    // The paper ran its timelines at 400 submitters, just past its
+    // testbed's crash knee; our knee sits at ~405 attempts' worth of
+    // descriptors, so 425 puts the timeline in the same regime.
+    let params = SubmitParams {
+        n_clients: scale.pick(425, 120),
+        discipline: d,
+        seed,
+        ..SubmitParams::default()
+    };
+    let window = scale.pick(Dur::from_secs(1800), Dur::from_secs(300));
+    let o = run_submission(params, window);
+    let mut set = SeriesSet::new(title, "Time (s)", "Available FDs / Jobs Submitted");
+    let mut fd = o.fd_series;
+    fd.name = "Available FDs".into();
+    let mut jobs = o.jobs_series;
+    jobs.name = "Jobs Submitted".into();
+    set.add(fd);
+    set.add(jobs);
+    set
+}
+
+/// Figure 2 — *Timeline of Aloha Submitter*: available FDs and
+/// cumulative jobs over 30 minutes with the submitter population just
+/// past the crash knee.
+pub fn fig2_aloha_timeline(scale: Scale, seed: u64) -> SeriesSet {
+    submit_timeline(
+        Discipline::Aloha,
+        scale,
+        seed,
+        "Figure 2: Timeline of Aloha Submitter",
+    )
+}
+
+/// Figure 3 — *Timeline of Ethernet Submitter*: as Figure 2 for the
+/// Ethernet discipline.
+pub fn fig3_ethernet_timeline(scale: Scale, seed: u64) -> SeriesSet {
+    submit_timeline(
+        Discipline::Ethernet,
+        scale,
+        seed,
+        "Figure 3: Timeline of Ethernet Submitter",
+    )
+}
+
+/// The steady-state measurement window for the buffer figures: run
+/// until the buffer has been saturated, then count what the consumer
+/// drains in the last segment.
+fn buffer_run(d: Discipline, n: usize, scale: Scale, seed: u64) -> (f64, u64) {
+    let total = scale.pick(Dur::from_secs(180), Dur::from_secs(120));
+    let measure_from = scale.pick(Dur::from_secs(120), Dur::from_secs(80));
+    let params = BufferParams {
+        n_producers: n,
+        discipline: d,
+        seed: seed ^ (n as u64),
+        ..BufferParams::default()
+    };
+    let o = run_buffer(params, total);
+    let consumed = o.consumed_between(Time::ZERO + measure_from, Time::ZERO + total);
+    (consumed, o.collisions)
+}
+
+/// Figure 4 — *Buffer Throughput*: files consumed in the steady-state
+/// window vs. number of producers.
+pub fn fig4_buffer_throughput(scale: Scale, seed: u64) -> SeriesSet {
+    let ns: Vec<usize> = scale.pick(vec![5, 10, 15, 20, 25, 30, 35, 40, 45, 50], vec![10, 40]);
+    let mut set = SeriesSet::new(
+        "Figure 4: Buffer Throughput",
+        "Number of Producers",
+        "Total Files Consumed",
+    );
+    for d in Discipline::ALL {
+        let mut series = Series::new(d.label());
+        for &n in &ns {
+            let (consumed, _) = buffer_run(d, n, scale, seed);
+            series.push_xy(n as f64, consumed);
+        }
+        set.add(series);
+    }
+    set
+}
+
+/// Figure 5 — *Buffer Collisions*: mid-write ENOSPC collisions over
+/// the whole run vs. number of producers.
+pub fn fig5_buffer_collisions(scale: Scale, seed: u64) -> SeriesSet {
+    let ns: Vec<usize> = scale.pick(vec![5, 10, 15, 20, 25, 30, 35, 40, 45, 50], vec![10, 40]);
+    let mut set = SeriesSet::new(
+        "Figure 5: Buffer Collisions",
+        "Number of Producers",
+        "Total Collisions",
+    );
+    for d in Discipline::ALL {
+        let mut series = Series::new(d.label());
+        for &n in &ns {
+            let (_, collisions) = buffer_run(d, n, scale, seed);
+            series.push_xy(n as f64, collisions as f64);
+        }
+        set.add(series);
+    }
+    set
+}
+
+fn reader_figure(d: Discipline, scale: Scale, seed: u64, title: &str) -> SeriesSet {
+    let params = BlackHoleParams {
+        discipline: d,
+        seed,
+        ..BlackHoleParams::default()
+    };
+    let window = scale.pick(Dur::from_secs(900), Dur::from_secs(300));
+    let o = run_blackhole(params, window);
+    let mut set = SeriesSet::new(title, "Time (s)", "Number of Events");
+    let mut t = o.transfer_series;
+    t.name = "Transfers".into();
+    set.add(t);
+    if d == Discipline::Ethernet {
+        let mut s = o.deferral_series;
+        s.name = "Deferrals".into();
+        set.add(s);
+    } else {
+        let mut s = o.collision_series;
+        s.name = "Collisions".into();
+        set.add(s);
+    }
+    set
+}
+
+/// Figure 6 — *Aloha File Reader*: cumulative transfers and collisions
+/// over 900 s with one black-hole server.
+pub fn fig6_aloha_reader(scale: Scale, seed: u64) -> SeriesSet {
+    reader_figure(
+        Discipline::Aloha,
+        scale,
+        seed,
+        "Figure 6: Aloha File Reader",
+    )
+}
+
+/// Figure 7 — *Ethernet File Reader*: cumulative transfers and
+/// deferrals over 900 s with one black-hole server.
+pub fn fig7_ethernet_reader(scale: Scale, seed: u64) -> SeriesSet {
+    reader_figure(
+        Discipline::Ethernet,
+        scale,
+        seed,
+        "Figure 7: Ethernet File Reader",
+    )
+}
+
+/// Ablation A — carrier-sense threshold sweep: jobs submitted and
+/// schedd crashes vs. the Ethernet client's free-FD threshold, in the
+/// overload regime. Shows the knob the paper fixes at 1000: too low
+/// reverts to Aloha behaviour, too high over-defers.
+pub fn ablation_threshold_sweep(scale: Scale, seed: u64) -> SeriesSet {
+    let thresholds: Vec<u64> = scale.pick(
+        vec![0, 100, 500, 1000, 2000, 4000, 6000, 7000, 7500, 7900],
+        vec![0, 1000, 4000],
+    );
+    let window = scale.pick(Dur::from_mins(5), Dur::from_secs(90));
+    let mut set = SeriesSet::new(
+        "Ablation: carrier-sense threshold (450 submitters)",
+        "Threshold (free FDs)",
+        "Jobs Submitted / Crashes",
+    );
+    let mut jobs = Series::new("Jobs");
+    let mut crashes = Series::new("Crashes");
+    for &t in &thresholds {
+        let o = run_submission(
+            SubmitParams {
+                n_clients: 450,
+                discipline: Discipline::Ethernet,
+                threshold: t,
+                seed,
+                ..SubmitParams::default()
+            },
+            window,
+        );
+        jobs.push_xy(t as f64, o.jobs_submitted as f64);
+        crashes.push_xy(t as f64, o.crashes as f64);
+    }
+    set.add(jobs);
+    set.add(crashes);
+    set
+}
+
+/// Ablation B — the shared-channel story of §3: throughput S vs.
+/// offered load G for the three station disciplines on a slotted
+/// medium (the "Aloha saturates" remark, mechanically).
+pub fn ablation_channel_saturation(scale: Scale, seed: u64) -> SeriesSet {
+    use simgrid::{simulate_channel, ChannelDiscipline};
+    let ps: Vec<f64> = scale.pick(
+        vec![0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1],
+        vec![0.005, 0.05],
+    );
+    let slots = scale.pick(100_000, 10_000);
+    let mut set = SeriesSet::new(
+        "Ablation: slotted-channel throughput (50 stations)",
+        "Offered load G (new frames/slot)",
+        "Throughput S (successes/slot)",
+    );
+    for (d, label) in [
+        (ChannelDiscipline::Ethernet, "Ethernet"),
+        (ChannelDiscipline::Aloha, "Aloha"),
+        (ChannelDiscipline::Fixed, "Fixed"),
+    ] {
+        let mut series = Series::new(label);
+        for &p in &ps {
+            let st = simulate_channel(d, 50, p, slots, seed);
+            series.push_xy(st.offered_load(), st.throughput());
+        }
+        set.add(series);
+    }
+    set
+}
+
+/// All figures by id (`"fig1"` … `"fig7"`, plus the ablations
+/// `"ablation-threshold"` and `"ablation-channel"`).
+pub fn by_name(name: &str, scale: Scale, seed: u64) -> Option<SeriesSet> {
+    Some(match name {
+        "fig1" => fig1_submission_scalability(scale, seed),
+        "fig2" => fig2_aloha_timeline(scale, seed),
+        "fig3" => fig3_ethernet_timeline(scale, seed),
+        "fig4" => fig4_buffer_throughput(scale, seed),
+        "fig5" => fig5_buffer_collisions(scale, seed),
+        "fig6" => fig6_aloha_reader(scale, seed),
+        "fig7" => fig7_ethernet_reader(scale, seed),
+        "ablation-threshold" => ablation_threshold_sweep(scale, seed),
+        "ablation-channel" => ablation_channel_saturation(scale, seed),
+        _ => return None,
+    })
+}
+
+/// The ids of the extra ablation figures.
+pub const ALL_ABLATIONS: [&str; 2] = ["ablation-threshold", "ablation-channel"];
+
+/// The ids of all figures.
+pub const ALL_FIGURES: [&str; 7] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig1_has_three_disciplines() {
+        let set = fig1_submission_scalability(Scale::Quick, 1);
+        assert_eq!(set.series.len(), 3);
+        for s in &set.series {
+            assert_eq!(s.len(), 3, "three population sizes in quick mode");
+        }
+        // Shape: at the overload point (450), Ethernet > Fixed.
+        let eth = set.get("Ethernet").unwrap().points.last().unwrap().1;
+        let fix = set.get("Fixed").unwrap().points.last().unwrap().1;
+        assert!(eth > fix, "ethernet {eth} vs fixed {fix}");
+    }
+
+    #[test]
+    fn quick_timelines_have_two_series() {
+        for f in [fig2_aloha_timeline(Scale::Quick, 1), fig3_ethernet_timeline(Scale::Quick, 1)] {
+            assert_eq!(f.series.len(), 2);
+            assert!(f.series.iter().all(|s| !s.is_empty()));
+        }
+    }
+
+    #[test]
+    fn quick_reader_figures() {
+        let f6 = fig6_aloha_reader(Scale::Quick, 1);
+        assert!(f6.get("Transfers").is_some());
+        assert!(f6.get("Collisions").is_some());
+        let f7 = fig7_ethernet_reader(Scale::Quick, 1);
+        assert!(f7.get("Transfers").is_some());
+        assert!(f7.get("Deferrals").is_some());
+    }
+
+    #[test]
+    fn quick_ablations_have_shape() {
+        let t = ablation_threshold_sweep(Scale::Quick, 1);
+        assert_eq!(t.series.len(), 2);
+        let jobs = t.get("Jobs").unwrap();
+        // Threshold 1000 beats threshold 0 in the overload regime.
+        assert!(jobs.points[1].1 > jobs.points[0].1);
+
+        let c = ablation_channel_saturation(Scale::Quick, 1);
+        let eth = c.get("Ethernet").unwrap().last().unwrap();
+        let alo = c.get("Aloha").unwrap().last().unwrap();
+        let fix = c.get("Fixed").unwrap().last().unwrap();
+        assert!(eth > alo && alo > fix);
+    }
+
+    #[test]
+    fn by_name_covers_all() {
+        for name in ALL_FIGURES {
+            // Only check dispatch, not execution, for the heavy ones.
+            assert!(name.starts_with("fig"));
+        }
+        assert!(by_name("fig9", Scale::Quick, 0).is_none());
+    }
+}

@@ -1,0 +1,20 @@
+//! # gridworld — the paper's three evaluation scenarios, end to end
+//!
+//! Populations of clients running real ftsh scripts (see
+//! [`scripts`]) are multiplexed over a discrete-event simulation by
+//! [`driver::SimDriver`]; the scenario worlds in [`scenarios`] give
+//! the commands their semantics against the contended resources of
+//! `simgrid`. [`figures`] regenerates every figure of §5.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod figures;
+pub mod scenarios;
+pub mod scripts;
+
+pub use driver::{ClientId, CommandWorld, Completion, Ctx, ExecOutcome, SimDriver, SimEv};
+pub use figures::Scale;
+pub use scenarios::blackhole::{run_blackhole, BlackHoleOutcome, BlackHoleParams};
+pub use scenarios::buffer::{run_buffer, BufferOutcome, BufferParams};
+pub use scenarios::submit::{run_submission, SubmitOutcome, SubmitParams};

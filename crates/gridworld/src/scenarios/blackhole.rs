@@ -1,0 +1,437 @@
+//! Scenario 3 — black holes (Figures 6–7).
+//!
+//! Three clients repeatedly fetch a 100 MB file from one of three
+//! single-threaded replica servers chosen in random order. One server
+//! is a permanent black hole: it accepts connections but never sends a
+//! byte. The Aloha reader commits 60 seconds to whichever server it
+//! picked; the Ethernet reader first fetches a well-known one-byte
+//! flag file under a 5-second limit and only then commits to the
+//! transfer.
+
+use crate::driver::{ClientId, CommandWorld, Completion, Ctx, ExecOutcome, SimDriver};
+use crate::scripts::{reader_script, unit_vm};
+use ftsh::vm::{CmdResult, CmdToken, CommandSpec, Vm};
+use ftsh::Script;
+use retry::{Discipline, Dur, Time};
+use simgrid::{Admission, FileServer, Series, ServerKind, SimRng};
+use std::collections::HashMap;
+
+/// Parameters of the reader scenario (defaults: the paper's numbers).
+#[derive(Clone, Debug)]
+pub struct BlackHoleParams {
+    /// Number of reader clients (paper: 3).
+    pub n_clients: usize,
+    /// Reader discipline (the paper compares Aloha and Ethernet here).
+    pub discipline: Discipline,
+    /// Server hostnames; index into `black_holes` marks the traps.
+    pub servers: Vec<String>,
+    /// Which servers are black holes (paper: one of three).
+    pub black_holes: Vec<usize>,
+    /// Server bandwidth in bytes/second (100 MB ≈ 10 s ⇒ 10 MB/s).
+    pub bandwidth: u64,
+    /// Size of the data file (paper: 100 MB).
+    pub data_size: u64,
+    /// Size of the flag file (paper: 1 byte).
+    pub flag_size: u64,
+    /// Connection setup latency.
+    pub connect_latency: Dur,
+    /// Pause between work units.
+    pub unit_think: Dur,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for BlackHoleParams {
+    fn default() -> BlackHoleParams {
+        BlackHoleParams {
+            n_clients: 3,
+            discipline: Discipline::Ethernet,
+            servers: vec!["xxx".into(), "yyy".into(), "zzz".into()],
+            black_holes: vec![2],
+            bandwidth: 10 * (1 << 20),
+            data_size: 100 * (1 << 20),
+            flag_size: 1,
+            connect_latency: Dur::from_millis(100),
+            unit_think: Dur::from_millis(100),
+            seed: 0xb1ac_401e,
+        }
+    }
+}
+
+/// Scenario events.
+#[derive(Debug)]
+pub enum BlackHoleEv {
+    /// A server finished its current transfer (valid per server seq).
+    TransferDone {
+        /// Server index.
+        server: usize,
+        /// Validity sequence number.
+        seq: u64,
+    },
+}
+
+/// The replica-servers world.
+pub struct BlackHoleWorld {
+    params: BlackHoleParams,
+    script: Script,
+    rng: SimRng,
+    servers: Vec<FileServer<(ClientId, CmdToken)>>,
+    server_seq: Vec<u64>,
+    /// The connection currently being served, per server.
+    active_transfer: Vec<Option<(ClientId, CmdToken)>>,
+    /// Bytes requested per in-flight connection.
+    request_size: HashMap<(ClientId, CmdToken), u64>,
+    /// Which server each in-flight connection is on.
+    conn_server: HashMap<(ClientId, CmdToken), usize>,
+    /// Successful 100 MB transfers.
+    pub transfers: u64,
+    /// Failed/killed data-transfer attempts (Figure 6's collisions).
+    pub collisions: u64,
+    /// Failed/killed flag probes (Figure 7's deferrals).
+    pub deferrals: u64,
+    /// Event timeline: cumulative transfers.
+    pub transfer_series: Series,
+    /// Event timeline: cumulative collisions.
+    pub collision_series: Series,
+    /// Event timeline: cumulative deferrals.
+    pub deferral_series: Series,
+    /// Per-client instants of successful transfers.
+    pub per_client_successes: Vec<Vec<Time>>,
+}
+
+impl BlackHoleWorld {
+    fn new(params: BlackHoleParams) -> BlackHoleWorld {
+        let servers = (0..params.servers.len())
+            .map(|i| {
+                let kind = if params.black_holes.contains(&i) {
+                    ServerKind::BlackHole
+                } else {
+                    ServerKind::Normal
+                };
+                FileServer::new(kind, params.bandwidth)
+            })
+            .collect();
+        BlackHoleWorld {
+            script: reader_script(params.discipline),
+            rng: SimRng::new(params.seed),
+            server_seq: vec![0; params.servers.len()],
+            active_transfer: vec![None; params.servers.len()],
+            servers,
+            request_size: HashMap::new(),
+            conn_server: HashMap::new(),
+            transfers: 0,
+            collisions: 0,
+            deferrals: 0,
+            transfer_series: Series::new("transfers"),
+            collision_series: Series::new("collisions"),
+            deferral_series: Series::new("deferrals"),
+            per_client_successes: vec![Vec::new(); params.n_clients],
+            params,
+        }
+    }
+
+    fn host_index(&self, host: &str) -> Option<usize> {
+        self.params.servers.iter().position(|s| s == host)
+    }
+
+    /// Start serving the given connection: schedule its completion.
+    fn start_transfer(
+        &mut self,
+        ctx: &mut Ctx<'_, BlackHoleEv>,
+        server: usize,
+        conn: (ClientId, CmdToken),
+    ) {
+        let size = self.request_size[&conn];
+        self.server_seq[server] += 1;
+        self.active_transfer[server] = Some(conn);
+        let dur = self.servers[server].transfer_time(size);
+        ctx.schedule(
+            ctx.now() + dur,
+            BlackHoleEv::TransferDone {
+                server,
+                seq: self.server_seq[server],
+            },
+        );
+    }
+
+    fn unit_env(&mut self) -> ftsh::Env {
+        // Shuffle the host order for this work unit ("a server chosen
+        // at random").
+        let mut order: Vec<usize> = (0..self.params.servers.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = self.rng.range_u64(0, i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        let mut env = ftsh::Env::new();
+        for (slot, &srv) in order.iter().enumerate() {
+            env.set(format!("h{}", slot + 1), self.params.servers[srv].clone());
+        }
+        env
+    }
+
+    /// A failed or killed attempt: classify by what was being fetched.
+    fn record_miss(&mut self, now: Time, was_flag: bool) {
+        if was_flag {
+            self.deferrals += 1;
+            self.deferral_series.push(now, self.deferrals as f64);
+        } else {
+            self.collisions += 1;
+            self.collision_series.push(now, self.collisions as f64);
+        }
+    }
+}
+
+/// Parse `http://host/path` into (host, path).
+fn parse_url(url: &str) -> Option<(&str, &str)> {
+    let rest = url.strip_prefix("http://")?;
+    let (host, path) = rest.split_once('/')?;
+    Some((host, path))
+}
+
+impl CommandWorld for BlackHoleWorld {
+    type Ev = BlackHoleEv;
+
+    fn exec(
+        &mut self,
+        ctx: &mut Ctx<'_, BlackHoleEv>,
+        client: ClientId,
+        token: CmdToken,
+        spec: &CommandSpec,
+    ) -> ExecOutcome {
+        if spec.program() != "wget" {
+            return ExecOutcome::Now(CmdResult::fail());
+        }
+        let Some((host, path)) = spec.argv.get(1).and_then(|u| parse_url(u)) else {
+            return ExecOutcome::Now(CmdResult::fail());
+        };
+        let Some(server) = self.host_index(host) else {
+            // Unknown host: DNS failure, reported quickly.
+            return ExecOutcome::At(ctx.now() + self.params.connect_latency, CmdResult::fail());
+        };
+        let size = if path == "flag" {
+            self.params.flag_size
+        } else {
+            self.params.data_size
+        };
+        let conn = (client, token);
+        self.request_size.insert(conn, size);
+        self.conn_server.insert(conn, server);
+        match self.servers[server].connect(conn) {
+            Admission::Serving => {
+                self.start_transfer(ctx, server, conn);
+                ExecOutcome::Held
+            }
+            Admission::Queued | Admission::Hung => ExecOutcome::Held,
+        }
+    }
+
+    fn cancelled(&mut self, ctx: &mut Ctx<'_, BlackHoleEv>, client: ClientId, token: CmdToken) {
+        let conn = (client, token);
+        let Some(server) = self.conn_server.remove(&conn) else {
+            return;
+        };
+        let size = self.request_size.remove(&conn).unwrap_or(0);
+        let was_flag = size == self.params.flag_size;
+        self.record_miss(ctx.now(), was_flag);
+        if self.active_transfer[server] == Some(conn) {
+            // The killed client was the one being served: invalidate
+            // its completion and promote the next in line.
+            self.server_seq[server] += 1;
+            self.active_transfer[server] = None;
+        }
+        let d = self.servers[server].disconnect(conn);
+        if let Some(next) = d.promoted {
+            self.start_transfer(ctx, server, next);
+        }
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, BlackHoleEv>, ev: BlackHoleEv) -> Vec<Completion> {
+        let mut out = Vec::new();
+        match ev {
+            BlackHoleEv::TransferDone { server, seq } => {
+                if seq != self.server_seq[server] {
+                    return out; // that transfer was killed
+                }
+                let Some(conn) = self.active_transfer[server].take() else {
+                    return out;
+                };
+                let size = self.request_size.remove(&conn).unwrap_or(0);
+                self.conn_server.remove(&conn);
+                if size == self.params.data_size {
+                    self.transfers += 1;
+                    self.transfer_series.push(ctx.now(), self.transfers as f64);
+                    self.per_client_successes[conn.0].push(ctx.now());
+                }
+                out.push(Completion {
+                    client: conn.0,
+                    token: conn.1,
+                    result: CmdResult::ok(""),
+                });
+                if let Some(next) = self.servers[server].finish_current() {
+                    self.start_transfer(ctx, server, next);
+                }
+                out
+            }
+        }
+    }
+
+    fn unit_done(
+        &mut self,
+        ctx: &mut Ctx<'_, BlackHoleEv>,
+        _client: ClientId,
+        _success: bool,
+    ) -> Option<(Vm, Time)> {
+        let env = self.unit_env();
+        let seed = self.rng.next_u64();
+        let vm = unit_vm(&self.script, self.params.discipline, env, seed);
+        Some((vm, ctx.now() + self.params.unit_think))
+    }
+}
+
+/// Results of a reader run.
+#[derive(Debug)]
+pub struct BlackHoleOutcome {
+    /// Successful 100 MB transfers.
+    pub transfers: u64,
+    /// Failed/killed data attempts.
+    pub collisions: u64,
+    /// Failed/killed flag probes.
+    pub deferrals: u64,
+    /// Cumulative transfer timeline.
+    pub transfer_series: Series,
+    /// Cumulative collision timeline.
+    pub collision_series: Series,
+    /// Cumulative deferral timeline.
+    pub deferral_series: Series,
+    /// The longest time any single client went between successful
+    /// transfers — the "hiccup" the Aloha reader suffers on the black
+    /// hole.
+    pub longest_stall: Dur,
+}
+
+/// Run the scenario for `duration` of virtual time (paper: 900 s).
+pub fn run_blackhole(params: BlackHoleParams, duration: Dur) -> BlackHoleOutcome {
+    let mut world = BlackHoleWorld::new(params.clone());
+    let mut vms = Vec::with_capacity(params.n_clients);
+    let mut rng = SimRng::new(params.seed ^ 0x5e1f);
+    for _ in 0..params.n_clients {
+        let env = world.unit_env();
+        vms.push(unit_vm(
+            &world.script,
+            params.discipline,
+            env,
+            rng.next_u64(),
+        ));
+    }
+    let mut driver = SimDriver::new(world, vms);
+    driver.run_until(Time::ZERO + duration);
+    let w = &driver.world;
+    let mut longest = Dur::ZERO;
+    for times in &w.per_client_successes {
+        let mut prev = Time::ZERO;
+        for &t in times {
+            longest = longest.max(t.saturating_since(prev));
+            prev = t;
+        }
+        longest = longest.max((Time::ZERO + duration).saturating_since(prev));
+    }
+    BlackHoleOutcome {
+        transfers: w.transfers,
+        collisions: w.collisions,
+        deferrals: w.deferrals,
+        transfer_series: w.transfer_series.clone(),
+        collision_series: w.collision_series.clone(),
+        deferral_series: w.deferral_series.clone(),
+        longest_stall: longest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(d: Discipline) -> BlackHoleOutcome {
+        let params = BlackHoleParams {
+            discipline: d,
+            ..BlackHoleParams::default()
+        };
+        run_blackhole(params, Dur::from_secs(900))
+    }
+
+    #[test]
+    fn aloha_reader_makes_progress_but_stalls() {
+        let o = run(Discipline::Aloha);
+        assert!(o.transfers > 20, "transfers {}", o.transfers);
+        assert!(o.collisions > 3, "collisions {}", o.collisions);
+        assert!(
+            o.longest_stall >= Dur::from_secs(55),
+            "expected a ~60s black-hole stall, saw {}",
+            o.longest_stall
+        );
+    }
+
+    #[test]
+    fn ethernet_reader_avoids_stalls() {
+        let o = run(Discipline::Ethernet);
+        assert!(o.transfers > 30, "transfers {}", o.transfers);
+        assert!(o.deferrals > 3, "deferrals {}", o.deferrals);
+        assert!(
+            o.longest_stall < Dur::from_secs(55),
+            "no 60s hiccups expected, saw {}",
+            o.longest_stall
+        );
+    }
+
+    #[test]
+    fn ethernet_outperforms_aloha() {
+        let a = run(Discipline::Aloha);
+        let e = run(Discipline::Ethernet);
+        assert!(
+            e.transfers > a.transfers,
+            "ethernet {} vs aloha {}",
+            e.transfers,
+            a.transfers
+        );
+        assert!(e.collisions < a.collisions.max(1));
+    }
+
+    #[test]
+    fn no_black_hole_means_no_collisions_for_aloha() {
+        let params = BlackHoleParams {
+            discipline: Discipline::Aloha,
+            black_holes: vec![],
+            ..BlackHoleParams::default()
+        };
+        let o = run_blackhole(params, Dur::from_secs(300));
+        assert_eq!(o.collisions, 0, "healthy servers, 3 clients, no misses");
+        assert!(o.transfers > 20);
+    }
+
+    #[test]
+    fn all_black_holes_means_no_transfers() {
+        let params = BlackHoleParams {
+            discipline: Discipline::Aloha,
+            black_holes: vec![0, 1, 2],
+            ..BlackHoleParams::default()
+        };
+        let o = run_blackhole(params, Dur::from_secs(300));
+        assert_eq!(o.transfers, 0);
+        assert!(o.collisions > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(Discipline::Aloha);
+        let b = run(Discipline::Aloha);
+        assert_eq!(a.transfers, b.transfers);
+        assert_eq!(a.collisions, b.collisions);
+    }
+
+    #[test]
+    fn url_parsing() {
+        assert_eq!(parse_url("http://xxx/data"), Some(("xxx", "data")));
+        assert_eq!(parse_url("http://yyy/flag"), Some(("yyy", "flag")));
+        assert_eq!(parse_url("ftp://xxx/data"), None);
+        assert_eq!(parse_url("http://nohost"), None);
+    }
+}

@@ -1,0 +1,5 @@
+//! The paper's three evaluation scenarios, end to end.
+
+pub mod blackhole;
+pub mod buffer;
+pub mod submit;

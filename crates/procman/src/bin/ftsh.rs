@@ -1,0 +1,185 @@
+//! The `ftsh` command-line interpreter.
+//!
+//! ```text
+//! ftsh SCRIPT.ftsh        run a script file
+//! ftsh -c 'try ... end'   run an inline script
+//! ftsh --check SCRIPT     parse only, report errors
+//! ftsh --pretty SCRIPT    parse and print the canonical form
+//! ftsh --log SCRIPT       run and dump the execution log afterwards
+//! ftsh --timeline SCRIPT  run and render per-task swimlanes
+//! ftsh --repl             interactive session (variables persist)
+//! ```
+//!
+//! Backoff tuning (the paper's defaults are 1 s base, 1 h cap, with a
+//! random factor in [1, 2)):
+//!
+//! ```text
+//! --backoff-base MILLIS   first delay after a failure
+//! --backoff-cap SECONDS   upper bound on the delay
+//! --no-jitter             disable the random spreading factor
+//! --seed N                fix the jitter RNG (reproducible runs)
+//! ```
+//!
+//! Exit status: 0 if the script succeeded, 1 if it failed, 2 on usage
+//! or parse errors.
+
+use ftsh::{parse, pretty, LogKind, Vm};
+use procman::{run_vm, RealOptions};
+
+use retry::{BackoffPolicy, Dur};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ftsh [--check|--pretty|--log] SCRIPT\n       ftsh -c 'script text'");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut show_pretty = false;
+    let mut show_log = false;
+    let mut show_timeline = false;
+    let mut inline: Option<String> = None;
+    let mut path: Option<String> = None;
+    let mut backoff_base: Option<u64> = None;
+    let mut backoff_cap: Option<u64> = None;
+    let mut jitter = true;
+    let mut seed: Option<u64> = None;
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--pretty" => show_pretty = true,
+            "--log" => show_log = true,
+            "--timeline" => show_timeline = true,
+            "-c" => match it.next() {
+                Some(s) => inline = Some(s),
+                None => return usage(),
+            },
+            "--backoff-base" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(ms) => backoff_base = Some(ms),
+                None => return usage(),
+            },
+            "--backoff-cap" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(secs) => backoff_cap = Some(secs),
+                None => return usage(),
+            },
+            "--no-jitter" => jitter = false,
+            "--repl" | "-i" => {
+                let mut repl = procman::Repl::new(RealOptions::default(), true);
+                let stdin = std::io::stdin();
+                let status = repl.run(stdin.lock(), std::io::stdout());
+                return ExitCode::from(status.clamp(0, 2) as u8);
+            }
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = Some(n),
+                None => return usage(),
+            },
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => return usage(),
+            other => {
+                if path.is_some() {
+                    return usage();
+                }
+                path = Some(other.to_string());
+            }
+        }
+    }
+
+    let source = match (inline, path) {
+        (Some(s), None) => s,
+        (None, Some(p)) => match std::fs::read_to_string(&p) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ftsh: cannot read {p}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        _ => return usage(),
+    };
+
+    let script = match parse(&source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ftsh: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if show_pretty {
+        print!("{}", pretty(&script));
+        return ExitCode::SUCCESS;
+    }
+    if check {
+        return ExitCode::SUCCESS;
+    }
+
+    // §4: nested shells relay termination — trap the parent's SIGTERM
+    // and take our own sessions down with us.
+    procman::install_sigterm_hook();
+    let opts = RealOptions {
+        handle_sigterm: true,
+        ..RealOptions::default()
+    };
+    let mut vm = match seed {
+        Some(n) => Vm::with_seed(&script, n),
+        None => Vm::new(&script),
+    };
+    if backoff_base.is_some() || backoff_cap.is_some() || !jitter {
+        let mut policy = BackoffPolicy::exponential(
+            Dur::from_millis(backoff_base.unwrap_or(1000)),
+            Dur::from_secs(backoff_cap.unwrap_or(3600)),
+        );
+        if !jitter {
+            policy = policy.without_jitter();
+        }
+        vm.set_default_backoff(policy);
+    }
+    let report = run_vm(vm, &opts);
+
+    if show_timeline {
+        eprint!("{}", report.log.render_timeline());
+    }
+    if show_log {
+        for e in report.log.events() {
+            let what = match &e.kind {
+                LogKind::CmdStart { argv } => format!("start {}", argv.join(" ")),
+                LogKind::CmdEnd { program, success } => {
+                    format!("end {program} ({})", if *success { "ok" } else { "failed" })
+                }
+                LogKind::CmdCancelled { program } => format!("killed {program}"),
+                LogKind::TryAttempt { attempt } => format!("attempt #{attempt}"),
+                LogKind::Backoff { delay } => format!("backoff {delay}"),
+                LogKind::TryExhausted => "try exhausted".into(),
+                LogKind::TryTimeout => "try deadline expired".into(),
+                LogKind::CatchEntered => "catch".into(),
+                LogKind::ForAnyNext { value } => format!("forany -> {value}"),
+                LogKind::ForAllSpawn { branches } => format!("forall x{branches}"),
+                LogKind::VarSet { name } => format!("set {name}"),
+                LogKind::ScriptDone { success } => {
+                    format!("done ({})", if *success { "ok" } else { "failed" })
+                }
+            };
+            eprintln!("[{:>10.3}] task {} {}", e.time.as_secs_f64(), e.task, what);
+        }
+        let s = report.log.summary();
+        eprintln!(
+            "-- {} commands, {} attempts, {} backoffs ({} total), {} timeouts",
+            s.commands_started, s.attempts, s.backoffs, s.total_backoff, s.timed_out_tries
+        );
+        for (prog, outcome) in &report.process_outcomes {
+            eprintln!("-- {prog}: {outcome:?}");
+        }
+    }
+
+    if report.success {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

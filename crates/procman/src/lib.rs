@@ -1,0 +1,19 @@
+//! # procman — real POSIX execution for ftsh
+//!
+//! The production driver for the fault tolerant shell: external
+//! commands run as real processes, each the leader of its own POSIX
+//! session so that a `try` deadline can terminate the entire process
+//! tree with SIGTERM, escalating to SIGKILL after a grace period —
+//! the mechanism §4 of the paper describes.
+//!
+//! The crate also ships the `ftsh` command-line binary.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod repl;
+pub mod session;
+
+pub use driver::{install_sigterm_hook, run_script, run_vm, RealOptions, RealReport};
+pub use repl::Repl;
+pub use session::{ProcessOutcome, SessionChild, SpawnError};

@@ -1,0 +1,202 @@
+//! An interactive read-eval loop for ftsh.
+//!
+//! Lines are accumulated until every `try`/`forany`/`forall`/`if`/
+//! `function` block is closed by its `end`, then parsed and run against
+//! real processes. Shell variables and function definitions persist
+//! across statements, so a session feels like one growing script:
+//!
+//! ```text
+//! ftsh> x=41
+//! ok
+//! ftsh> if ${x} .lt. 42
+//! ....>   echo almost
+//! ....> end
+//! almost
+//! ok
+//! ```
+
+use crate::driver::{run_vm, RealOptions};
+use ftsh::{parse, Env, Script, Stmt, Vm};
+use std::io::{BufRead, Write};
+
+/// How many block openers minus `end`s a snippet contains, counted the
+/// way the REPL decides whether to keep reading. Quoted keywords at
+/// line starts will fool it — an accepted REPL limitation.
+pub fn block_balance(src: &str) -> i32 {
+    let mut depth = 0;
+    for line in src.lines() {
+        let first = line.trim_start().split_whitespace().next().unwrap_or("");
+        match first {
+            "try" | "forany" | "forall" | "if" | "function" => depth += 1,
+            "end" => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+/// One REPL session over arbitrary input/output streams (so it can be
+/// driven by tests as well as by a terminal).
+pub struct Repl {
+    env: Env,
+    functions: Vec<Stmt>,
+    opts: RealOptions,
+    interactive: bool,
+}
+
+impl Repl {
+    /// A fresh session.
+    pub fn new(opts: RealOptions, interactive: bool) -> Repl {
+        Repl {
+            env: Env::new(),
+            functions: Vec::new(),
+            opts,
+            interactive,
+        }
+    }
+
+    /// Run one complete (block-balanced) snippet; returns its success,
+    /// or a parse error message.
+    pub fn eval(&mut self, snippet: &str) -> Result<bool, String> {
+        let parsed = parse(snippet).map_err(|e| e.to_string())?;
+        // Prepend remembered function definitions so calls resolve.
+        let mut stmts = self.functions.clone();
+        stmts.extend(parsed.stmts.iter().cloned());
+        let script = Script { stmts };
+        let vm = match self.opts.seed {
+            Some(s) => Vm::with_env_seed(&script, self.env.clone(), s),
+            None => Vm::with_env_seed(&script, self.env.clone(), rand_seed()),
+        };
+        let report = run_vm(vm, &self.opts);
+        self.env = report.final_env.clone();
+        // Remember any new function definitions for later snippets.
+        for s in &parsed.stmts {
+            if let Stmt::Function { name, .. } = s {
+                self.functions
+                    .retain(|f| !matches!(f, Stmt::Function { name: n, .. } if n == name));
+                self.functions.push(s.clone());
+            }
+        }
+        Ok(report.success)
+    }
+
+    /// Drive the session until EOF or `exit`. Returns the exit status
+    /// of the last statement (0 if none ran).
+    pub fn run(&mut self, input: impl BufRead, mut output: impl Write) -> i32 {
+        let mut pending = String::new();
+        let mut last_status = 0;
+        if self.interactive {
+            let _ = write!(output, "ftsh> ");
+            let _ = output.flush();
+        }
+        for line in input.lines() {
+            let Ok(line) = line else { break };
+            if pending.is_empty() && line.trim() == "exit" {
+                break;
+            }
+            pending.push_str(&line);
+            pending.push('\n');
+            if block_balance(&pending) > 0 {
+                if self.interactive {
+                    let _ = write!(output, "....> ");
+                    let _ = output.flush();
+                }
+                continue;
+            }
+            let snippet = std::mem::take(&mut pending);
+            if !snippet.trim().is_empty() {
+                match self.eval(&snippet) {
+                    Ok(ok) => {
+                        last_status = if ok { 0 } else { 1 };
+                        let _ = writeln!(output, "{}", if ok { "ok" } else { "failed" });
+                    }
+                    Err(e) => {
+                        last_status = 2;
+                        let _ = writeln!(output, "parse error: {e}");
+                    }
+                }
+            }
+            if self.interactive {
+                let _ = write!(output, "ftsh> ");
+                let _ = output.flush();
+            }
+        }
+        last_status
+    }
+}
+
+fn rand_seed() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5eed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn opts() -> RealOptions {
+        RealOptions {
+            seed: Some(1),
+            ..RealOptions::default()
+        }
+    }
+
+    #[test]
+    fn balance_counts_blocks() {
+        assert_eq!(block_balance("true\n"), 0);
+        assert_eq!(block_balance("try for 5 seconds\n"), 1);
+        assert_eq!(block_balance("try 1 times\nx\nend\n"), 0);
+        assert_eq!(block_balance("if a .eql. b\nfunction f\nend\n"), 1);
+    }
+
+    #[test]
+    fn variables_persist_across_statements() {
+        let mut r = Repl::new(opts(), false);
+        assert_eq!(r.eval("x=41\n"), Ok(true));
+        assert_eq!(r.eval("sh -c \"test ${x} = 41\"\n"), Ok(true));
+        assert_eq!(r.eval("sh -c \"test ${x} = 42\"\n"), Ok(false));
+    }
+
+    #[test]
+    fn functions_persist_and_can_be_redefined() {
+        let mut r = Repl::new(opts(), false);
+        assert_eq!(r.eval("function f\n  failure\nend\n"), Ok(true));
+        assert_eq!(r.eval("f\n"), Ok(false));
+        assert_eq!(r.eval("function f\n  success\nend\n"), Ok(true));
+        assert_eq!(r.eval("f\n"), Ok(true));
+    }
+
+    #[test]
+    fn run_loop_reads_blocks_and_reports() {
+        let input = Cursor::new(
+            "y=ok\n\
+             if ${y} .eql. ok\n\
+             true\n\
+             end\n\
+             false\n\
+             exit\n\
+             true\n",
+        );
+        let mut out = Vec::new();
+        let status = Repl::new(opts(), false).run(input, &mut out);
+        let text = String::from_utf8(out).unwrap();
+        let oks = text.matches("ok\n").count();
+        assert!(oks >= 2, "{text}");
+        assert!(text.contains("failed"));
+        assert_eq!(status, 1, "last statement before exit failed");
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_fatal() {
+        let input = Cursor::new("try for 5 bananas\nx\nend\ntrue\n");
+        let mut out = Vec::new();
+        let status = Repl::new(opts(), false).run(input, &mut out);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("parse error"));
+        assert_eq!(status, 0, "the session recovered: {text}");
+    }
+}

@@ -1,0 +1,354 @@
+//! POSIX process sessions and kill escalation.
+//!
+//! §4: *"Whenever ftsh creates a new child process, it allocates a new
+//! POSIX session id with `setsid`. POSIX allows for an entire process
+//! session to be terminated with a single system call… Such processes
+//! are first gently requested to exit with SIGTERM and later forcibly
+//! killed with SIGKILL."* This module is exactly that mechanism: spawn
+//! in a fresh session, signal the whole session, escalate after a
+//! grace period.
+
+use ftsh::vm::{CmdInput, CommandSpec, OutSink};
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::os::unix::process::{CommandExt, ExitStatusExt};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// How a real process ended — the detail §2 laments is unavailable to
+/// shells at the interface. ftsh keeps control flow untyped, but the
+/// log records it for post-mortem analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcessOutcome {
+    /// Normal exit with this status code.
+    Exited(i32),
+    /// Abnormal termination by this signal (e.g. the SIGTERM/SIGKILL
+    /// of a deadline).
+    Signaled(i32),
+    /// The wait itself failed (should not happen in practice).
+    Unknown,
+}
+
+impl ProcessOutcome {
+    /// The POSIX success criterion: exited normally with status 0.
+    pub fn success(self) -> bool {
+        self == ProcessOutcome::Exited(0)
+    }
+}
+
+/// A child process leading its own session.
+#[derive(Debug)]
+pub struct SessionChild {
+    child: Child,
+    pid: i32,
+    /// Whether stdout was piped for capture.
+    captures: bool,
+}
+
+/// Errors spawning a command.
+#[derive(Debug)]
+pub enum SpawnError {
+    /// The program could not be started (not found, not executable…).
+    Spawn(std::io::Error),
+    /// A redirection file could not be opened.
+    Redirect(std::io::Error),
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::Spawn(e) => write!(f, "cannot run program: {e}"),
+            SpawnError::Redirect(e) => write!(f, "cannot open redirection: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+impl SessionChild {
+    /// Spawn `spec` as the leader of a new POSIX session, with its
+    /// redirections applied.
+    pub fn spawn(spec: &CommandSpec) -> Result<SessionChild, SpawnError> {
+        assert!(!spec.argv.is_empty(), "empty argv");
+        let mut cmd = Command::new(&spec.argv[0]);
+        cmd.args(&spec.argv[1..]);
+
+        // Standard input.
+        match &spec.input {
+            Some(CmdInput::Data(_)) => {
+                cmd.stdin(Stdio::piped());
+            }
+            Some(CmdInput::File(path)) => {
+                let f = OpenOptions::new()
+                    .read(true)
+                    .open(path)
+                    .map_err(SpawnError::Redirect)?;
+                cmd.stdin(Stdio::from(f));
+            }
+            None => {
+                cmd.stdin(Stdio::null());
+            }
+        }
+
+        // Standard output (and error).
+        let mut captures = false;
+        match &spec.output {
+            Some(OutSink::Var { .. }) => {
+                captures = true;
+                cmd.stdout(Stdio::piped());
+                if spec.both {
+                    // Capture stderr alongside stdout. A shared pipe
+                    // would interleave arbitrarily; the VM only needs
+                    // the combined text, so we route stderr into the
+                    // same pipe via the child's fd table after fork.
+                    cmd.stderr(Stdio::piped());
+                } else {
+                    cmd.stderr(Stdio::inherit());
+                }
+            }
+            Some(OutSink::File { path, append }) => {
+                let f = OpenOptions::new()
+                    .create(true)
+                    .write(true)
+                    .append(*append)
+                    .truncate(!*append)
+                    .open(path)
+                    .map_err(SpawnError::Redirect)?;
+                if spec.both {
+                    let f2 = f.try_clone().map_err(SpawnError::Redirect)?;
+                    cmd.stderr(Stdio::from(f2));
+                }
+                cmd.stdout(Stdio::from(f));
+            }
+            None => {}
+        }
+
+        // New session: the whole process tree can be signalled at once.
+        // SAFETY: setsid is async-signal-safe and has no preconditions
+        // in the just-forked child.
+        unsafe {
+            cmd.pre_exec(|| {
+                if libc::setsid() == -1 {
+                    return Err(std::io::Error::last_os_error());
+                }
+                Ok(())
+            });
+        }
+
+        let mut child = cmd.spawn().map_err(SpawnError::Spawn)?;
+        let pid = child.id() as i32;
+
+        // Feed stdin data, then close the pipe so the child sees EOF.
+        if let Some(CmdInput::Data(data)) = &spec.input {
+            if let Some(mut stdin) = child.stdin.take() {
+                // A child that never reads can make this block; data
+                // sizes here are shell-variable sized, well under pipe
+                // capacity, so a straight write is fine.
+                let _ = stdin.write_all(data.as_bytes());
+            }
+        }
+
+        Ok(SessionChild {
+            child,
+            pid,
+            captures,
+        })
+    }
+
+    /// The session (and process-group) id.
+    pub fn pid(&self) -> i32 {
+        self.pid
+    }
+
+    /// Send a signal to the whole session.
+    pub fn signal_session(pid: i32, sig: i32) {
+        // SAFETY: plain kill(2); an ESRCH result (already gone) is fine.
+        unsafe {
+            libc::kill(-pid, sig);
+        }
+    }
+
+    /// Politely terminate the session, then force-kill after `grace`.
+    /// Spawns a detached escalation thread so the caller never blocks.
+    pub fn kill_escalate(pid: i32, grace: Duration) {
+        Self::signal_session(pid, libc::SIGTERM);
+        std::thread::spawn(move || {
+            std::thread::sleep(grace);
+            Self::signal_session(pid, libc::SIGKILL);
+        });
+    }
+
+    /// Wait for the child to exit, collecting captured output. Blocks.
+    pub fn wait(self) -> (bool, String) {
+        let (outcome, text) = self.wait_detailed();
+        (outcome.success(), text)
+    }
+
+    /// Like [`SessionChild::wait`], but reporting how the process
+    /// ended (exit code vs. signal) for the post-mortem log.
+    pub fn wait_detailed(self) -> (ProcessOutcome, String) {
+        let SessionChild {
+            child, captures, ..
+        } = self;
+        match child.wait_with_output() {
+            Ok(out) => {
+                let mut text = String::new();
+                if captures {
+                    text.push_str(&String::from_utf8_lossy(&out.stdout));
+                    if !out.stderr.is_empty() {
+                        text.push_str(&String::from_utf8_lossy(&out.stderr));
+                    }
+                }
+                let outcome = match (out.status.code(), out.status.signal()) {
+                    (Some(code), _) => ProcessOutcome::Exited(code),
+                    (None, Some(sig)) => ProcessOutcome::Signaled(sig),
+                    (None, None) => ProcessOutcome::Unknown,
+                };
+                (outcome, text)
+            }
+            Err(_) => (ProcessOutcome::Unknown, String::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsh::vm::{CmdResult, CommandSpec};
+
+    fn spec(argv: &[&str]) -> CommandSpec {
+        CommandSpec {
+            argv: argv.iter().map(|s| s.to_string()).collect(),
+            input: None,
+            output: None,
+            both: false,
+        }
+    }
+
+    #[test]
+    fn true_succeeds_false_fails() {
+        let c = SessionChild::spawn(&spec(&["true"])).unwrap();
+        assert!(c.wait().0);
+        let c = SessionChild::spawn(&spec(&["false"])).unwrap();
+        assert!(!c.wait().0);
+    }
+
+    #[test]
+    fn missing_program_is_a_spawn_error() {
+        let e = SessionChild::spawn(&spec(&["/no/such/program-xyz"]));
+        assert!(matches!(e, Err(SpawnError::Spawn(_))));
+    }
+
+    #[test]
+    fn captures_stdout() {
+        let mut s = spec(&["echo", "hello"]);
+        s.output = Some(OutSink::Var {
+            name: "x".into(),
+            append: false,
+        });
+        let c = SessionChild::spawn(&s).unwrap();
+        let (ok, out) = c.wait();
+        assert!(ok);
+        assert_eq!(out, "hello\n");
+    }
+
+    #[test]
+    fn captures_stderr_with_both() {
+        let mut s = spec(&["sh", "-c", "echo err >&2"]);
+        s.output = Some(OutSink::Var {
+            name: "x".into(),
+            append: false,
+        });
+        s.both = true;
+        let c = SessionChild::spawn(&s).unwrap();
+        let (ok, out) = c.wait();
+        assert!(ok);
+        assert!(out.contains("err"));
+    }
+
+    #[test]
+    fn stdin_data_reaches_child() {
+        let mut s = spec(&["cat"]);
+        s.input = Some(CmdInput::Data("ping".into()));
+        s.output = Some(OutSink::Var {
+            name: "x".into(),
+            append: false,
+        });
+        let c = SessionChild::spawn(&s).unwrap();
+        let (ok, out) = c.wait();
+        assert!(ok);
+        assert_eq!(out, "ping");
+    }
+
+    #[test]
+    fn file_redirection_writes_and_appends() {
+        let dir = std::env::temp_dir().join(format!("ftsh-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.txt");
+        let p = path.to_str().unwrap().to_string();
+
+        let mut s = spec(&["echo", "one"]);
+        s.output = Some(OutSink::File {
+            path: p.clone(),
+            append: false,
+        });
+        SessionChild::spawn(&s).unwrap().wait();
+
+        let mut s = spec(&["echo", "two"]);
+        s.output = Some(OutSink::File {
+            path: p.clone(),
+            append: true,
+        });
+        SessionChild::spawn(&s).unwrap().wait();
+
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "one\ntwo\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kill_escalate_terminates_sleepers() {
+        let c = SessionChild::spawn(&spec(&["sleep", "30"])).unwrap();
+        let pid = c.pid();
+        let started = std::time::Instant::now();
+        SessionChild::kill_escalate(pid, Duration::from_millis(200));
+        let (outcome, _) = c.wait_detailed();
+        assert!(!outcome.success(), "killed process reports failure");
+        assert!(
+            matches!(outcome, ProcessOutcome::Signaled(sig) if sig == libc::SIGTERM || sig == libc::SIGKILL),
+            "death by signal is visible post mortem: {outcome:?}"
+        );
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn exit_codes_are_detailed() {
+        let c = SessionChild::spawn(&spec(&["sh", "-c", "exit 42"])).unwrap();
+        let (outcome, _) = c.wait_detailed();
+        assert_eq!(outcome, ProcessOutcome::Exited(42));
+        assert!(!outcome.success());
+        let c = SessionChild::spawn(&spec(&["true"])).unwrap();
+        assert_eq!(c.wait_detailed().0, ProcessOutcome::Exited(0));
+    }
+
+    #[test]
+    fn session_kill_reaches_grandchildren() {
+        // sh spawns a sleeping grandchild; killing the session must
+        // reach it because the whole tree shares the session id.
+        let c = SessionChild::spawn(&spec(&["sh", "-c", "sleep 30 & wait"])).unwrap();
+        let pid = c.pid();
+        std::thread::sleep(Duration::from_millis(100));
+        SessionChild::kill_escalate(pid, Duration::from_millis(200));
+        let started = std::time::Instant::now();
+        let (ok, _) = c.wait();
+        assert!(!ok);
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn result_roundtrip_types() {
+        // Sanity on the ftsh-facing result shape.
+        let r = CmdResult::ok("x");
+        assert!(r.success);
+    }
+}

@@ -1,0 +1,206 @@
+//! End-to-end tests of the `ftsh` command-line binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn ftsh() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ftsh"))
+}
+
+#[test]
+fn inline_script_success_and_failure_exit_codes() {
+    let st = ftsh().args(["-c", "true\n"]).status().unwrap();
+    assert_eq!(st.code(), Some(0));
+    let st = ftsh().args(["-c", "false\n"]).status().unwrap();
+    assert_eq!(st.code(), Some(1));
+}
+
+#[test]
+fn parse_error_exits_2() {
+    let out = ftsh().args(["-c", "try for 5 minutes\nx\n"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line"), "diagnostic mentions the line: {err}");
+}
+
+#[test]
+fn check_mode_parses_without_running() {
+    let st = ftsh()
+        .args(["--check", "-c", "definitely-not-a-real-program\n"])
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(0), "--check never executes");
+}
+
+#[test]
+fn pretty_mode_prints_canonical_form() {
+    let out = ftsh()
+        .args(["--pretty", "-c", "try   for  5    minutes\n  wget url\nend\n"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text, "try for 5 minutes\n  wget url\nend\n");
+}
+
+#[test]
+fn script_file_runs() {
+    let dir = std::env::temp_dir().join(format!("ftsh-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("s.ftsh");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "#!/usr/bin/env ftsh").unwrap();
+    writeln!(f, "echo ok -> x").unwrap();
+    writeln!(f, "if ${{x}} .eql. ok").unwrap();
+    writeln!(f, "true").unwrap();
+    writeln!(f, "else").unwrap();
+    writeln!(f, "failure").unwrap();
+    writeln!(f, "end").unwrap();
+    drop(f);
+    let st = ftsh().arg(path.to_str().unwrap()).status().unwrap();
+    assert_eq!(st.code(), Some(0), "shebang line is a comment");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn log_mode_reports_attempts() {
+    let out = ftsh()
+        .args(["--log", "-c", "try for 1 hour every 10 ms or 3 times\nfalse\nend\n"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("attempt #3"), "log shows attempts: {err}");
+    assert!(err.contains("try exhausted"), "log shows exhaustion: {err}");
+}
+
+#[test]
+fn missing_file_is_a_usage_error() {
+    let st = ftsh().arg("/no/such/script.ftsh").status().unwrap();
+    assert_eq!(st.code(), Some(2));
+}
+
+#[test]
+fn usage_error_on_bad_flags() {
+    let st = ftsh().arg("--bogus").status().unwrap();
+    assert_eq!(st.code(), Some(2));
+    let st = ftsh().args(["-c"]).status().unwrap();
+    assert_eq!(st.code(), Some(2));
+}
+
+#[test]
+fn deadline_kills_inline_sleep() {
+    let started = std::time::Instant::now();
+    let st = ftsh()
+        .args(["-c", "try for 1 seconds or 1 times\nsleep 30\nend\n"])
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(1));
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(10),
+        "the CLI enforced the deadline: {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn timeline_mode_renders_swimlanes() {
+    let out = ftsh()
+        .args(["--timeline", "-c", "forall t in 0.05 0.05\nsleep ${t}\nend\n"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("task 0"), "{err}");
+    assert!(err.contains("task 1"), "branches get their own lanes: {err}");
+    assert!(err.contains("forall x2"), "{err}");
+}
+
+#[test]
+fn backoff_flags_change_retry_pacing() {
+    // Two failing attempts with a 50 ms base and no jitter finish fast
+    // and deterministically; the paper default (1 s base) would take
+    // over a second.
+    let started = std::time::Instant::now();
+    let st = ftsh()
+        .args([
+            "--backoff-base",
+            "50",
+            "--no-jitter",
+            "--seed",
+            "1",
+            "-c",
+            "try 3 times\nfalse\nend\n",
+        ])
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(1));
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_millis(900),
+        "50ms+100ms backoff, took {elapsed:?}"
+    );
+}
+
+#[test]
+fn backoff_flag_usage_errors() {
+    assert_eq!(ftsh().args(["--backoff-base"]).status().unwrap().code(), Some(2));
+    assert_eq!(
+        ftsh().args(["--backoff-cap", "xyz", "-c", "true\n"]).status().unwrap().code(),
+        Some(2)
+    );
+}
+
+#[test]
+fn repl_mode_persists_variables_across_lines() {
+    use std::io::Write;
+    let mut child = ftsh()
+        .arg("--repl")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"n=5\nif ${n} .eq. 5\ntrue\nend\nexit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.matches("ok").count() >= 2, "{text}");
+}
+
+#[test]
+fn sigterm_relays_to_nested_shells_and_their_children() {
+    // A parent ftsh runs a child ftsh (a new session!), which runs a
+    // long sleep in yet another session. SIGTERM to the parent must
+    // tear the whole arrangement down promptly — §4's nested-shell
+    // protocol.
+    use std::io::Read;
+    let ftsh_bin = env!("CARGO_BIN_EXE_ftsh");
+    let mut child = ftsh()
+        .args(["-c", &format!("{ftsh_bin} -c \"sleep 30\"\n")])
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    // SIGTERM the parent shell process itself.
+    unsafe {
+        libc::kill(child.id() as i32, libc::SIGTERM);
+    }
+    let started = std::time::Instant::now();
+    let status = child.wait().unwrap();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(10),
+        "parent exited promptly: {:?}",
+        started.elapsed()
+    );
+    assert_ne!(status.code(), Some(0), "terminated run reports failure");
+    let mut buf = String::new();
+    if let Some(mut e) = child.stderr.take() {
+        let _ = e.read_to_string(&mut buf);
+    }
+}

@@ -1,0 +1,78 @@
+//! The script corpus: real .ftsh files run end to end through the
+//! `ftsh` CLI against /bin tools. Each file documents one idiom; the
+//! expectations table says whether the script should succeed.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXPECTATIONS: &[(&str, bool)] = &[
+    ("unpack.ftsh", true),
+    ("carrier_sense.ftsh", true),
+    ("forany_fallback.ftsh", true),
+    ("forall_parallel.ftsh", true),
+    ("catch_cleanup.ftsh", true),
+    ("io_transaction.ftsh", true),
+    ("deadline_kill.ftsh", false),
+    ("functions.ftsh", true),
+    ("precheck.ftsh", true),
+];
+
+fn scripts_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/scripts")
+}
+
+#[test]
+fn corpus_is_fully_listed() {
+    let mut on_disk: Vec<String> = std::fs::read_dir(scripts_dir())
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    on_disk.sort();
+    let mut listed: Vec<String> = EXPECTATIONS.iter().map(|(n, _)| n.to_string()).collect();
+    listed.sort();
+    assert_eq!(on_disk, listed, "every corpus script needs an expectation");
+}
+
+#[test]
+fn corpus_scripts_parse() {
+    for (name, _) in EXPECTATIONS {
+        let st = Command::new(env!("CARGO_BIN_EXE_ftsh"))
+            .arg("--check")
+            .arg(scripts_dir().join(name))
+            .status()
+            .unwrap();
+        assert!(st.success(), "{name} must parse");
+    }
+}
+
+#[test]
+fn corpus_scripts_run_with_expected_outcomes() {
+    for (name, expect_ok) in EXPECTATIONS {
+        let started = std::time::Instant::now();
+        let out = Command::new(env!("CARGO_BIN_EXE_ftsh"))
+            .arg(scripts_dir().join(name))
+            .output()
+            .unwrap();
+        let ok = out.status.code() == Some(0);
+        assert_eq!(
+            ok,
+            *expect_ok,
+            "{name}: expected success={expect_ok}, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(20),
+            "{name} took too long"
+        );
+    }
+}
+
+#[test]
+fn corpus_scripts_pretty_roundtrip() {
+    for (name, _) in EXPECTATIONS {
+        let src = std::fs::read_to_string(scripts_dir().join(name)).unwrap();
+        let a = ftsh::parse(&src).unwrap();
+        let b = ftsh::parse(&ftsh::pretty(&a)).unwrap();
+        assert_eq!(a, b, "{name} round-trips");
+    }
+}

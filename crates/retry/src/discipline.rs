@@ -1,0 +1,196 @@
+//! Client disciplines: Fixed, Aloha, and Ethernet.
+//!
+//! Section 5 of the paper evaluates three client algorithms against
+//! every contended resource:
+//!
+//! * **Fixed** — "aggressively repeats its assigned work without delay
+//!   and without regard to any sort of failure";
+//! * **Aloha** — the ordinary ftsh `try`: exponential backoff with a
+//!   random factor, but resources are consumed at will and collisions
+//!   are only detected after the fact;
+//! * **Ethernet** — the same `try`, plus "a small piece of code to
+//!   perform carrier sense before accessing a resource".
+
+use crate::backoff::BackoffPolicy;
+use crate::budget::TryBudget;
+use crate::time::Dur;
+
+/// The three client algorithms of §5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Discipline {
+    /// Immediate blind retry, no backoff, no sensing.
+    Fixed,
+    /// Exponential backoff with jitter, no sensing.
+    Aloha,
+    /// Exponential backoff with jitter plus carrier sense.
+    Ethernet,
+}
+
+impl Discipline {
+    /// All three, in the order the paper's figures list them.
+    pub const ALL: [Discipline; 3] = [Discipline::Ethernet, Discipline::Aloha, Discipline::Fixed];
+
+    /// The delay policy this discipline applies between failures.
+    pub fn backoff(self) -> BackoffPolicy {
+        match self {
+            Discipline::Fixed => BackoffPolicy::None,
+            Discipline::Aloha | Discipline::Ethernet => BackoffPolicy::ethernet(),
+        }
+    }
+
+    /// A per-work-unit budget as used in the submission scenario
+    /// (`try for 5 minutes`), under this discipline's backoff.
+    pub fn budget_for(self, limit: Dur) -> TryBudget {
+        TryBudget::for_time(limit).with_backoff(self.backoff())
+    }
+
+    /// Whether the client measures the resource before consuming it.
+    pub fn uses_carrier_sense(self) -> bool {
+        matches!(self, Discipline::Ethernet)
+    }
+
+    /// The label the paper's figure legends use.
+    pub fn label(self) -> &'static str {
+        match self {
+            Discipline::Fixed => "Fixed",
+            Discipline::Aloha => "Aloha",
+            Discipline::Ethernet => "Ethernet",
+        }
+    }
+}
+
+impl std::fmt::Display for Discipline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Discipline {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Discipline, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "fixed" => Ok(Discipline::Fixed),
+            "aloha" => Ok(Discipline::Aloha),
+            "ethernet" => Ok(Discipline::Ethernet),
+            other => Err(format!("unknown discipline: {other}")),
+        }
+    }
+}
+
+/// The outcome of a carrier-sense measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CarrierDecision {
+    /// Capacity appears available: proceed to consume the resource.
+    Clear,
+    /// The medium is busy: fail this attempt immediately (cheaply) so
+    /// the surrounding `try` backs off.
+    Defer,
+}
+
+/// Anything that can measure whether a shared resource has capacity.
+///
+/// In the paper this is a shell fragment (`cut -f2 /proc/sys/fs/file-nr`
+/// compared against 1000, or free-space estimation in the buffer
+/// scenario); here it is a trait so the simulator and the real shell
+/// share the decision logic.
+pub trait CarrierSense {
+    /// Probe the medium and decide whether to proceed.
+    fn sense(&mut self) -> CarrierDecision;
+}
+
+/// Carrier sense on a measured amount of *free* capacity: clear while
+/// the probe reports at least `threshold` units free.
+///
+/// This is exactly the paper's submission client, which defers while
+/// fewer than 1000 file descriptors are free.
+///
+/// ```
+/// use retry::{CarrierDecision, CarrierSense, FreeCapacitySense};
+///
+/// let mut free = 2048u64;
+/// let mut sense = FreeCapacitySense::new(|| free, 1000);
+/// assert_eq!(sense.sense(), CarrierDecision::Clear);
+/// ```
+pub struct FreeCapacitySense<F> {
+    probe: F,
+    threshold: u64,
+}
+
+impl<F: FnMut() -> u64> FreeCapacitySense<F> {
+    /// Build from a probe returning free units and a minimum threshold.
+    pub fn new(probe: F, threshold: u64) -> Self {
+        FreeCapacitySense { probe, threshold }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+}
+
+impl<F: FnMut() -> u64> CarrierSense for FreeCapacitySense<F> {
+    fn sense(&mut self) -> CarrierDecision {
+        if (self.probe)() >= self.threshold {
+            CarrierDecision::Clear
+        } else {
+            CarrierDecision::Defer
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_selection() {
+        assert_eq!(Discipline::Fixed.backoff(), BackoffPolicy::None);
+        assert_eq!(Discipline::Aloha.backoff(), BackoffPolicy::ethernet());
+        assert_eq!(Discipline::Ethernet.backoff(), BackoffPolicy::ethernet());
+    }
+
+    #[test]
+    fn only_ethernet_senses() {
+        assert!(!Discipline::Fixed.uses_carrier_sense());
+        assert!(!Discipline::Aloha.uses_carrier_sense());
+        assert!(Discipline::Ethernet.uses_carrier_sense());
+    }
+
+    #[test]
+    fn parse_and_display() {
+        for d in Discipline::ALL {
+            let round: Discipline = d.label().parse().unwrap();
+            assert_eq!(round, d);
+            assert_eq!(d.to_string(), d.label());
+        }
+        assert!("csma".parse::<Discipline>().is_err());
+    }
+
+    #[test]
+    fn free_capacity_sense_thresholds() {
+        let mut level = 1500u64;
+        {
+            let mut s = FreeCapacitySense::new(|| level, 1000);
+            assert_eq!(s.sense(), CarrierDecision::Clear);
+        }
+        level = 999;
+        {
+            let mut s = FreeCapacitySense::new(|| level, 1000);
+            assert_eq!(s.sense(), CarrierDecision::Defer);
+        }
+        level = 1000;
+        {
+            let mut s = FreeCapacitySense::new(|| level, 1000);
+            assert_eq!(s.sense(), CarrierDecision::Clear, "threshold is inclusive");
+        }
+    }
+
+    #[test]
+    fn budget_for_combines() {
+        let b = Discipline::Fixed.budget_for(Dur::from_mins(5));
+        assert_eq!(b.time_limit, Some(Dur::from_mins(5)));
+        assert_eq!(b.backoff, BackoffPolicy::None);
+        let b = Discipline::Aloha.budget_for(Dur::from_mins(5));
+        assert_eq!(b.backoff, BackoffPolicy::ethernet());
+    }
+}

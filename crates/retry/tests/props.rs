@@ -1,0 +1,81 @@
+//! Property tests for the time and backoff primitives.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use retry::time::parse_duration;
+use retry::{BackoffPolicy, Dur, Time};
+
+proptest! {
+    /// Time + Dur arithmetic is consistent: (t + d) - t == d whenever
+    /// no saturation occurs.
+    #[test]
+    fn add_then_sub_roundtrips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let time = Time::from_micros(t);
+        let dur = Dur::from_micros(d);
+        prop_assert_eq!((time + dur) - time, dur);
+    }
+
+    /// Duration addition is commutative and associative under
+    /// saturation.
+    #[test]
+    fn dur_add_commutes(a in any::<u64>(), b in any::<u64>()) {
+        let (a, b) = (Dur::from_micros(a), Dur::from_micros(b));
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    /// `saturating_since` is the inverse of addition and clamps
+    /// negative spans to zero.
+    #[test]
+    fn saturating_since_clamps(a in any::<u64>(), b in any::<u64>()) {
+        let (ta, tb) = (Time::from_micros(a), Time::from_micros(b));
+        if a >= b {
+            prop_assert_eq!(ta.saturating_since(tb), Dur::from_micros(a - b));
+        } else {
+            prop_assert_eq!(ta.saturating_since(tb), Dur::ZERO);
+        }
+    }
+
+    /// mul_f64 by a factor in [1, 2] stays within [d, 2d] (+1us for
+    /// rounding).
+    #[test]
+    fn mul_f64_bounds(us in 0u64..u64::MAX / 4, k in 1.0f64..2.0) {
+        let d = Dur::from_micros(us);
+        let m = d.mul_f64(k);
+        prop_assert!(m >= d);
+        prop_assert!(m.as_micros() <= us.saturating_mul(2) + 1);
+    }
+
+    /// Duration parsing accepts every canonical unit spelling and
+    /// scales linearly.
+    #[test]
+    fn parse_duration_scales(n in 1u64..10_000) {
+        prop_assert_eq!(parse_duration(n, "seconds"), Some(Dur::from_secs(n)));
+        prop_assert_eq!(parse_duration(n, "minutes"), Some(Dur::from_mins(n)));
+        prop_assert_eq!(parse_duration(n, "ms"), Some(Dur::from_millis(n)));
+        prop_assert_eq!(
+            parse_duration(n, "minutes").unwrap().as_secs(),
+            60 * n
+        );
+    }
+
+    /// Backoff is monotone in the failure count when unjittered.
+    #[test]
+    fn unjittered_backoff_is_monotone(k in 1u32..40) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = BackoffPolicy::ethernet().without_jitter();
+        let a = p.delay_after(k, &mut rng);
+        let b = p.delay_after(k + 1, &mut rng);
+        prop_assert!(b >= a);
+    }
+
+    /// Display uses the largest exact unit: whole hours print as
+    /// hours, whole non-hour minutes as minutes.
+    #[test]
+    fn display_of_whole_units(n in 1u64..1000) {
+        prop_assert_eq!(Dur::from_secs(n * 3600).to_string(), format!("{n}h"));
+        if n % 60 != 0 {
+            prop_assert_eq!(Dur::from_secs(n * 60).to_string(), format!("{n}m"));
+        }
+    }
+}

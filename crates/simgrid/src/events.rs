@@ -1,0 +1,202 @@
+//! The discrete-event kernel: a virtual clock driven by a priority
+//! queue of timestamped events.
+//!
+//! Determinism is load-bearing for the reproduction: given the same
+//! seed, a scenario must produce bit-identical figure data. Events at
+//! equal instants therefore break ties by insertion order (a strictly
+//! increasing sequence number), never by heap internals.
+
+use retry::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list with its own clock.
+///
+/// ```
+/// use retry::Time;
+/// use simgrid::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::from_secs(3), "later");
+/// q.schedule(Time::from_secs(1), "sooner");
+/// assert_eq!(q.pop(), Some((Time::from_secs(1), "sooner")));
+/// assert_eq!(q.now(), Time::from_secs(1));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at `T+0`.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// The current virtual instant (the timestamp of the last popped
+    /// event, or zero).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule `event` at absolute instant `at`. Scheduling in the
+    /// past is a logic error in debug builds; in release it clamps to
+    /// `now` (the event fires immediately, preserving progress).
+    pub fn schedule(&mut self, at: Time, event: E) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let at = at.max(self.now);
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `event` after a delay from now.
+    pub fn schedule_in(&mut self, delay: retry::Dur, event: E) {
+        self.schedule(self.now.saturating_add(delay), event);
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.at >= self.now, "clock went backwards");
+        self.now = e.at;
+        Some((e.at, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retry::Dur;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(5), "c");
+        q.schedule(Time::from_secs(1), "a");
+        q.schedule(Time::from_secs(3), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Time::from_secs(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(2), ());
+        q.schedule(Time::from_secs(9), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_secs(2));
+        q.pop();
+        assert_eq!(q.now(), Time::from_secs(9));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(10), "first");
+        q.pop();
+        q.schedule_in(Dur::from_secs(5), "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Time::from_secs(15));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(4), ());
+        assert_eq!(q.peek_time(), Some(Time::from_secs(4)));
+        assert_eq!(q.now(), Time::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(1), 1);
+        q.schedule(Time::from_secs(10), 10);
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 1);
+        // Schedule between now (1s) and the pending 10s event.
+        q.schedule(Time::from_secs(5), 5);
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 5);
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, 10);
+    }
+}

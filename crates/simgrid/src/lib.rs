@@ -1,0 +1,38 @@
+//! # simgrid — a discrete-event grid substrate
+//!
+//! The paper evaluates the Ethernet approach on a real testbed: a
+//! Condor scheduler driven to file-descriptor exhaustion, an NFS buffer
+//! filled by producers, and replicated web servers, one of which is a
+//! black hole. This crate is the synthetic equivalent: a deterministic
+//! discrete-event kernel ([`EventQueue`]) plus models of the three
+//! contended resources:
+//!
+//! * [`FdTable`] — a kernel file-descriptor table with conservation
+//!   accounting (the unexpected contended resource of §5's first
+//!   scenario);
+//! * [`DiskBuffer`] — a shared output buffer with in-progress vs.
+//!   complete files, mid-write ENOSPC, and the paper's free-space
+//!   estimator for carrier sense;
+//! * [`FileServer`] — a single-threaded file server with a FIFO accept
+//!   queue, or a *black hole* that accepts connections and never sends
+//!   a byte.
+//!
+//! Time is `retry::Time` — the same virtual instants the ftsh VM
+//! consumes — so whole populations of VMs can be multiplexed over one
+//! queue.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod events;
+pub mod metrics;
+pub mod resources;
+pub mod rng;
+
+pub use channel::{simulate_channel, ChannelDiscipline, ChannelStats};
+pub use events::EventQueue;
+pub use metrics::{percentile, Series, SeriesSet};
+pub use resources::disk::{DiskBuffer, FileId, WriteError};
+pub use resources::fdtable::{FdExhausted, FdTable};
+pub use resources::server::{Admission, FileServer, ServerKind};
+pub use rng::SimRng;

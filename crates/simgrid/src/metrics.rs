@@ -1,0 +1,357 @@
+//! Measurement collection: named time series, exactly what the paper's
+//! figures plot (cumulative jobs, available FDs, transfers,
+//! collisions…). Serializable so the figure harness can emit JSON.
+
+use retry::Time;
+use serde::Serialize;
+
+/// A named series of `(seconds, value)` points.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Points in time order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new(name: impl Into<String>) -> Series {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, t: Time, v: f64) {
+        self.points.push((t.as_secs_f64(), v));
+    }
+
+    /// Append an (x, y) sample where x is not a time (e.g. "number of
+    /// submitters").
+    pub fn push_xy(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The last value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Largest value in the series.
+    pub fn max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Smallest value in the series.
+    pub fn min(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| Some(m.map_or(v, |m: f64| m.min(v))))
+    }
+
+    /// Arithmetic mean of values.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            None
+        } else {
+            Some(self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no samples were taken.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Percentile of a sample set (nearest-rank; `q` in [0, 1]). Returns
+/// `None` on an empty set.
+pub fn percentile(samples: &mut [f64], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((samples.len() as f64 * q).ceil() as usize).clamp(1, samples.len());
+    Some(samples[rank - 1])
+}
+
+/// A group of series belonging to one figure.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct SeriesSet {
+    /// Figure title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The member series.
+    pub series: Vec<Series>,
+}
+
+impl SeriesSet {
+    /// An empty figure.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> SeriesSet {
+        SeriesSet {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a member series and return a handle to it.
+    pub fn add(&mut self, s: Series) -> &mut Series {
+        self.series.push(s);
+        self.series.last_mut().expect("just pushed")
+    }
+
+    /// Look up a member series by name.
+    pub fn get(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Render an ASCII line chart (roughly the paper's figure, in the
+    /// terminal): one glyph per series, shared axes, legend below.
+    pub fn to_ascii_chart(&self, width: usize, height: usize) -> String {
+        const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+        let width = width.max(16);
+        let height = height.max(6);
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (0.0f64, f64::NEG_INFINITY);
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+                y_min = y_min.min(y);
+                y_max = y_max.max(y);
+            }
+        }
+        if !x_min.is_finite() || !y_max.is_finite() {
+            return format!("# {} (no data)\n", self.title);
+        }
+        if (x_max - x_min).abs() < f64::EPSILON {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < f64::EPSILON {
+            y_max = y_min + 1.0;
+        }
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let g = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+                let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+                let row = height - 1 - cy.min(height - 1);
+                grid[row][cx.min(width - 1)] = g;
+            }
+        }
+        let mut out = String::new();
+        use std::fmt::Write;
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "{y_max:>10.1} ┤");
+        for row in &grid {
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "{:>10} │{}", "", line);
+        }
+        let _ = writeln!(out, "{y_min:>10.1} ┼{}", "─".repeat(width));
+        let _ = writeln!(
+            out,
+            "{:>11}{x_min:<12.1}{:>width$.1}",
+            "",
+            x_max,
+            width = width.saturating_sub(12)
+        );
+        let _ = write!(out, "{:>11}{}:", "", self.x_label);
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = write!(out, "  [{}] {}", GLYPHS[si % GLYPHS.len()], s.name);
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Render as CSV (header row: x label then series names) for
+    /// external plotting tools.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = write!(out, "{}", esc(&self.x_label));
+        for s in &self.series {
+            let _ = write!(out, ",{}", esc(&s.name));
+        }
+        out.push('\n');
+        let n = self.series.iter().map(|s| s.len()).max().unwrap_or(0);
+        for i in 0..n {
+            let Some(x) = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(i).map(|p| p.0))
+            else {
+                continue;
+            };
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, v)) => {
+                        let _ = write!(out, ",{v}");
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as aligned text columns (the "same rows the paper
+    /// reports" output of the figure harness).
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = write!(out, "{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {:>14}", s.name);
+        }
+        out.push('\n');
+        // Union of x values in order of first appearance (series are
+        // sampled on a shared grid in our harness, so this is aligned).
+        let n = self.series.iter().map(|s| s.len()).max().unwrap_or(0);
+        for i in 0..n {
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.points.get(i).map(|p| p.0));
+            let Some(x) = x else { continue };
+            let _ = write!(out, "{x:>12.1}");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, v)) => {
+                        let _ = write!(out, " {v:>14.1}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>14}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&mut v, 0.5), Some(3.0));
+        assert_eq!(percentile(&mut v, 0.0), Some(1.0));
+        assert_eq!(percentile(&mut v, 1.0), Some(5.0));
+        assert_eq!(percentile(&mut v, 0.9), Some(5.0));
+        assert_eq!(percentile(&mut [], 0.5), None);
+    }
+
+    #[test]
+    fn push_and_stats() {
+        let mut s = Series::new("jobs");
+        s.push(Time::from_secs(1), 10.0);
+        s.push(Time::from_secs(2), 30.0);
+        s.push(Time::from_secs(3), 20.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.last(), Some(20.0));
+        assert_eq!(s.max(), Some(30.0));
+        assert_eq!(s.min(), Some(10.0));
+        assert_eq!(s.mean(), Some(20.0));
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = Series::new("x");
+        assert!(s.is_empty());
+        assert_eq!(s.last(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    fn set_lookup_and_table() {
+        let mut set = SeriesSet::new("Fig 1", "submitters", "jobs");
+        let a = set.add(Series::new("Ethernet"));
+        a.push_xy(100.0, 800.0);
+        a.push_xy(200.0, 700.0);
+        let b = set.add(Series::new("Fixed"));
+        b.push_xy(100.0, 750.0);
+        b.push_xy(200.0, 0.0);
+        assert!(set.get("Ethernet").is_some());
+        assert!(set.get("Aloha").is_none());
+        let t = set.to_table();
+        assert!(t.contains("Fig 1"));
+        assert!(t.contains("Ethernet"));
+        assert!(t.contains("800.0"));
+        let lines: Vec<_> = t.lines().collect();
+        assert_eq!(lines.len(), 4); // title + header + 2 rows
+    }
+
+    #[test]
+    fn ascii_chart_renders_and_scales() {
+        let mut set = SeriesSet::new("Fig", "x", "y");
+        let a = set.add(Series::new("up"));
+        for i in 0..10 {
+            a.push_xy(i as f64, i as f64 * 10.0);
+        }
+        let chart = set.to_ascii_chart(40, 10);
+        assert!(chart.contains("# Fig"));
+        assert!(chart.contains('*'), "points plotted");
+        assert!(chart.contains("90.0"), "y max labelled");
+        assert!(chart.contains("[*] up"), "legend present");
+        // Empty set degrades gracefully.
+        let empty = SeriesSet::new("E", "x", "y");
+        assert!(empty.to_ascii_chart(40, 10).contains("no data"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut set = SeriesSet::new("t", "x,axis", "y");
+        let a = set.add(Series::new("A"));
+        a.push_xy(1.0, 2.0);
+        a.push_xy(3.0, 4.0);
+        let csv = set.to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "\"x,axis\",A");
+        assert_eq!(lines[1], "1,2");
+        assert_eq!(lines[2], "3,4");
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let mut s = Series::new("t");
+        s.push(Time::from_secs(1), 2.0);
+        let j = serde_json::to_string(&s).unwrap();
+        assert!(j.contains("\"name\":\"t\""));
+    }
+}

@@ -1,0 +1,319 @@
+//! The shared filesystem output buffer of the producer-consumer
+//! scenario.
+//!
+//! §5: producers write output files of unknown size into a 120 MB
+//! buffer; completed files are atomically renamed to `x.done` so the
+//! consumer (draining at 1 MB/s) knows they are whole. A write that
+//! hits ENOSPC mid-file is a *collision*: the partial file is deleted
+//! and the producer backs off. The Ethernet producer estimates free
+//! space by assuming each incomplete file will grow to the average size
+//! of the completed ones.
+
+use std::collections::BTreeMap;
+
+/// Identifier of a file in the buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(u64);
+
+/// Why a write failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteError {
+    /// No space left on device — the paper's collision.
+    NoSpace,
+    /// The file does not exist (deleted or consumed).
+    NoSuchFile,
+    /// The file was already completed (renamed `.done`) and is
+    /// immutable.
+    AlreadyComplete,
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteError::NoSpace => write!(f, "no space left on device"),
+            WriteError::NoSuchFile => write!(f, "no such file"),
+            WriteError::AlreadyComplete => write!(f, "file already complete"),
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+#[derive(Clone, Copy, Debug)]
+struct FileState {
+    size: u64,
+    complete: bool,
+}
+
+/// A bounded shared buffer of in-progress and complete files.
+///
+/// ```
+/// use simgrid::{DiskBuffer, WriteError};
+///
+/// let mut d = DiskBuffer::new(10);
+/// let f = d.create();
+/// d.write(f, 8).unwrap();
+/// d.complete(f).unwrap();
+/// // A second file colliding with ENOSPC is deleted and counted.
+/// let g = d.create();
+/// assert_eq!(d.write(g, 5), Err(WriteError::NoSpace));
+/// assert_eq!(d.collisions(), 1);
+/// assert_eq!(d.used(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DiskBuffer {
+    capacity: u64,
+    used: u64,
+    files: BTreeMap<FileId, FileState>,
+    next_id: u64,
+    collisions: u64,
+}
+
+impl DiskBuffer {
+    /// A buffer with `capacity` bytes (the paper uses 120 MB).
+    pub fn new(capacity: u64) -> DiskBuffer {
+        DiskBuffer {
+            capacity,
+            used: 0,
+            files: BTreeMap::new(),
+            next_id: 0,
+            collisions: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently occupied (complete + in-progress).
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes free — what `df` would report.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Mid-write ENOSPC events so far (the collision counter of
+    /// Figure 5).
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// Open a new in-progress file of size zero.
+    pub fn create(&mut self) -> FileId {
+        let id = FileId(self.next_id);
+        self.next_id += 1;
+        self.files.insert(
+            id,
+            FileState {
+                size: 0,
+                complete: false,
+            },
+        );
+        id
+    }
+
+    /// Append `bytes` to an in-progress file. On ENOSPC the partial
+    /// file is deleted (as the paper's producers do), the collision is
+    /// counted, and the error returned.
+    pub fn write(&mut self, id: FileId, bytes: u64) -> Result<(), WriteError> {
+        let state = self.files.get_mut(&id).ok_or(WriteError::NoSuchFile)?;
+        if state.complete {
+            return Err(WriteError::AlreadyComplete);
+        }
+        if self.used + bytes > self.capacity {
+            self.collisions += 1;
+            let state = self.files.remove(&id).expect("present above");
+            self.used -= state.size;
+            return Err(WriteError::NoSpace);
+        }
+        state.size += bytes;
+        self.used += bytes;
+        Ok(())
+    }
+
+    /// Atomically rename to `.done`: the file becomes visible to the
+    /// consumer and immutable.
+    pub fn complete(&mut self, id: FileId) -> Result<(), WriteError> {
+        let state = self.files.get_mut(&id).ok_or(WriteError::NoSuchFile)?;
+        if state.complete {
+            return Err(WriteError::AlreadyComplete);
+        }
+        state.complete = true;
+        Ok(())
+    }
+
+    /// Delete a file (producer abandoning a partial, or consumer
+    /// removing what it has read), freeing its space.
+    pub fn delete(&mut self, id: FileId) -> Result<u64, WriteError> {
+        let state = self.files.remove(&id).ok_or(WriteError::NoSuchFile)?;
+        self.used -= state.size;
+        Ok(state.size)
+    }
+
+    /// Size of a file, if it exists.
+    pub fn size_of(&self, id: FileId) -> Option<u64> {
+        self.files.get(&id).map(|s| s.size)
+    }
+
+    /// The oldest complete file (what the consumer reads next) and its
+    /// size.
+    pub fn oldest_complete(&self) -> Option<(FileId, u64)> {
+        self.files
+            .iter()
+            .find(|(_, s)| s.complete)
+            .map(|(&id, s)| (id, s.size))
+    }
+
+    /// Count and total size of complete files.
+    pub fn complete_stats(&self) -> (u64, u64) {
+        let mut n = 0;
+        let mut bytes = 0;
+        for s in self.files.values() {
+            if s.complete {
+                n += 1;
+                bytes += s.size;
+            }
+        }
+        (n, bytes)
+    }
+
+    /// Number of in-progress (incomplete) files.
+    pub fn incomplete_count(&self) -> u64 {
+        self.files.values().filter(|s| !s.complete).count() as u64
+    }
+
+    /// The paper's Ethernet carrier-sense estimate: assume every
+    /// incomplete file will grow to the average size of the complete
+    /// ones, subtract that projected demand from the reported free
+    /// space. Negative means "expect a collision: defer".
+    pub fn ethernet_estimate_free(&self) -> i64 {
+        let (n_done, done_bytes) = self.complete_stats();
+        let avg = if n_done > 0 {
+            done_bytes as f64 / n_done as f64
+        } else {
+            0.0
+        };
+        let projected = avg * self.incomplete_count() as f64;
+        self.free() as i64 - projected as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn create_write_complete_consume_cycle() {
+        let mut d = DiskBuffer::new(120 * MB);
+        let f = d.create();
+        d.write(f, 5 * MB).unwrap();
+        assert_eq!(d.used(), 5 * MB);
+        assert_eq!(d.oldest_complete(), None, "incomplete files are invisible");
+        d.complete(f).unwrap();
+        assert_eq!(d.oldest_complete(), Some((f, 5 * MB)));
+        let freed = d.delete(f).unwrap();
+        assert_eq!(freed, 5 * MB);
+        assert_eq!(d.used(), 0);
+    }
+
+    #[test]
+    fn enospc_deletes_partial_and_counts_collision() {
+        let mut d = DiskBuffer::new(10 * MB);
+        let a = d.create();
+        d.write(a, 8 * MB).unwrap();
+        let b = d.create();
+        d.write(b, MB).unwrap();
+        // b tries to grow past capacity.
+        assert_eq!(d.write(b, 2 * MB), Err(WriteError::NoSpace));
+        assert_eq!(d.collisions(), 1);
+        assert_eq!(d.size_of(b), None, "partial deleted on collision");
+        assert_eq!(d.used(), 8 * MB, "a unaffected");
+    }
+
+    #[test]
+    fn exact_fit_is_not_a_collision() {
+        let mut d = DiskBuffer::new(MB);
+        let f = d.create();
+        d.write(f, MB).unwrap();
+        assert_eq!(d.free(), 0);
+        assert_eq!(d.collisions(), 0);
+    }
+
+    #[test]
+    fn complete_files_are_immutable() {
+        let mut d = DiskBuffer::new(MB);
+        let f = d.create();
+        d.write(f, 1).unwrap();
+        d.complete(f).unwrap();
+        assert_eq!(d.write(f, 1), Err(WriteError::AlreadyComplete));
+        assert_eq!(d.complete(f), Err(WriteError::AlreadyComplete));
+    }
+
+    #[test]
+    fn missing_files_error() {
+        let mut d = DiskBuffer::new(MB);
+        let f = d.create();
+        d.delete(f).unwrap();
+        assert_eq!(d.write(f, 1), Err(WriteError::NoSuchFile));
+        assert_eq!(d.delete(f), Err(WriteError::NoSuchFile));
+        assert_eq!(d.complete(f), Err(WriteError::NoSuchFile));
+    }
+
+    #[test]
+    fn oldest_complete_is_fifo() {
+        let mut d = DiskBuffer::new(10 * MB);
+        let a = d.create();
+        let b = d.create();
+        d.write(a, MB).unwrap();
+        d.write(b, MB).unwrap();
+        d.complete(b).unwrap();
+        assert_eq!(d.oldest_complete(), Some((b, MB)));
+        d.complete(a).unwrap();
+        assert_eq!(d.oldest_complete(), Some((a, MB)), "a was created first");
+    }
+
+    #[test]
+    fn ethernet_estimate_projects_incomplete_growth() {
+        let mut d = DiskBuffer::new(10 * MB);
+        // Two complete 2 MB files -> average 2 MB.
+        for _ in 0..2 {
+            let f = d.create();
+            d.write(f, 2 * MB).unwrap();
+            d.complete(f).unwrap();
+        }
+        // Three in-progress files of 0 bytes: projected 6 MB demand.
+        for _ in 0..3 {
+            d.create();
+        }
+        // free = 6 MB, projected = 6 MB -> estimate 0.
+        assert_eq!(d.ethernet_estimate_free(), 0);
+        // A fourth in-progress file pushes the estimate negative.
+        d.create();
+        assert!(d.ethernet_estimate_free() < 0);
+    }
+
+    #[test]
+    fn estimate_with_no_completes_equals_free() {
+        let mut d = DiskBuffer::new(5 * MB);
+        d.create();
+        assert_eq!(d.ethernet_estimate_free(), 5 * MB as i64);
+    }
+
+    #[test]
+    fn used_never_exceeds_capacity_under_pressure() {
+        let mut d = DiskBuffer::new(3 * MB);
+        let mut ids = Vec::new();
+        for i in 0..10 {
+            let f = d.create();
+            let _ = d.write(f, (i % 4) * MB / 2 + 1);
+            ids.push(f);
+            assert!(d.used() <= d.capacity());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The kernel file-descriptor table.
+//!
+//! §5: *"Most systems go to great lengths to manage the use of physical
+//! resources such as disks, memories, and CPUs. This overlooked
+//! resource is just as vital in a system under a heavy load."* The
+//! submission scenario's carrier sense reads the free count (the
+//! second field of `/proc/sys/fs/file-nr`) and defers below a
+//! threshold.
+
+/// Error returned when the table is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FdExhausted;
+
+impl std::fmt::Display for FdExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "file descriptor table exhausted")
+    }
+}
+
+impl std::error::Error for FdExhausted {}
+
+/// A bounded descriptor table with conservation accounting.
+///
+/// ```
+/// use simgrid::FdTable;
+///
+/// let mut t = FdTable::new(100);
+/// t.alloc(90).unwrap();
+/// assert!(t.alloc(20).is_err());
+/// assert_eq!(t.free(), 10);
+/// t.release(90);
+/// assert_eq!(t.min_free_seen(), 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FdTable {
+    capacity: u64,
+    in_use: u64,
+    min_free_seen: u64,
+}
+
+impl FdTable {
+    /// A table with the given total capacity (Linux of the era
+    /// defaulted `fs.file-max` to roughly 8192; the paper's figures top
+    /// out near 8000).
+    pub fn new(capacity: u64) -> FdTable {
+        FdTable {
+            capacity,
+            in_use: 0,
+            min_free_seen: capacity,
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Descriptors currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Descriptors currently free — what the carrier-sense probe reads.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.in_use
+    }
+
+    /// The low-water mark of free descriptors over the table's life.
+    pub fn min_free_seen(&self) -> u64 {
+        self.min_free_seen
+    }
+
+    /// Can `n` descriptors be allocated right now?
+    pub fn can_alloc(&self, n: u64) -> bool {
+        self.free() >= n
+    }
+
+    /// Allocate `n` descriptors or fail atomically (no partial
+    /// allocation).
+    pub fn alloc(&mut self, n: u64) -> Result<(), FdExhausted> {
+        if !self.can_alloc(n) {
+            return Err(FdExhausted);
+        }
+        self.in_use += n;
+        self.min_free_seen = self.min_free_seen.min(self.free());
+        Ok(())
+    }
+
+    /// Release `n` descriptors. Releasing more than are allocated is a
+    /// bug in the caller.
+    pub fn release(&mut self, n: u64) {
+        assert!(n <= self.in_use, "releasing {n} FDs but only {} in use", self.in_use);
+        self.in_use -= n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_release_conserve() {
+        let mut t = FdTable::new(100);
+        t.alloc(30).unwrap();
+        t.alloc(50).unwrap();
+        assert_eq!(t.in_use(), 80);
+        assert_eq!(t.free(), 20);
+        t.release(50);
+        assert_eq!(t.free(), 70);
+        t.release(30);
+        assert_eq!(t.in_use(), 0);
+    }
+
+    #[test]
+    fn alloc_fails_atomically_when_full() {
+        let mut t = FdTable::new(10);
+        t.alloc(8).unwrap();
+        assert_eq!(t.alloc(3), Err(FdExhausted));
+        assert_eq!(t.in_use(), 8, "failed alloc must not consume anything");
+        t.alloc(2).unwrap();
+        assert_eq!(t.free(), 0);
+        assert_eq!(t.alloc(1), Err(FdExhausted));
+    }
+
+    #[test]
+    fn zero_alloc_always_succeeds() {
+        let mut t = FdTable::new(0);
+        assert!(t.alloc(0).is_ok());
+        assert_eq!(t.alloc(1), Err(FdExhausted));
+    }
+
+    #[test]
+    fn low_water_mark_tracks_minimum() {
+        let mut t = FdTable::new(100);
+        assert_eq!(t.min_free_seen(), 100);
+        t.alloc(90).unwrap();
+        assert_eq!(t.min_free_seen(), 10);
+        t.release(90);
+        assert_eq!(t.min_free_seen(), 10, "mark is sticky");
+    }
+
+    #[test]
+    #[should_panic(expected = "releasing")]
+    fn over_release_panics() {
+        let mut t = FdTable::new(10);
+        t.alloc(1).unwrap();
+        t.release(2);
+    }
+}

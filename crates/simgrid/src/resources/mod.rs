@@ -1,0 +1,5 @@
+//! Models of the contended resources from the paper's three scenarios.
+
+pub mod disk;
+pub mod fdtable;
+pub mod server;

@@ -1,0 +1,232 @@
+//! Single-threaded file servers and black holes.
+//!
+//! §5's third scenario: *"Each server is single-threaded, allowing only
+//! one client at a time to transfer data. One of the three is a
+//! permanent black hole. It permits clients to connect, but does not
+//! provide data or voluntarily disconnect."* A busy normal server
+//! holds later connections in its accept queue; a black hole accepts
+//! everyone and serves no one. Clients escape only through their own
+//! timeouts (`try for 60 seconds ... end`).
+
+use retry::Dur;
+use std::collections::VecDeque;
+
+/// Whether a server serves data or swallows clients.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerKind {
+    /// Serves one client at a time at a fixed bandwidth.
+    Normal,
+    /// Accepts connections, never transmits, never disconnects.
+    BlackHole,
+}
+
+/// The outcome of a connection attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// The client is now being served; the transfer will take
+    /// `size / bandwidth`.
+    Serving,
+    /// The server is busy; the client waits in the accept queue.
+    Queued,
+    /// The server is a black hole: the connection is open but no data
+    /// will ever flow.
+    Hung,
+}
+
+/// A single-threaded server keyed by caller-supplied client handles.
+#[derive(Clone, Debug)]
+pub struct FileServer<C> {
+    kind: ServerKind,
+    bandwidth: u64, // bytes per second
+    current: Option<C>,
+    queue: VecDeque<C>,
+    hung: Vec<C>,
+}
+
+impl<C: PartialEq + Copy> FileServer<C> {
+    /// A server of the given kind and bandwidth (bytes/second). The
+    /// paper's 100 MB in ~10 s implies 10 MB/s.
+    pub fn new(kind: ServerKind, bandwidth: u64) -> FileServer<C> {
+        FileServer {
+            kind,
+            bandwidth,
+            current: None,
+            queue: VecDeque::new(),
+            hung: Vec::new(),
+        }
+    }
+
+    /// The server's nature.
+    pub fn kind(&self) -> ServerKind {
+        self.kind
+    }
+
+    /// How long a transfer of `bytes` takes once being served.
+    pub fn transfer_time(&self, bytes: u64) -> Dur {
+        debug_assert!(self.bandwidth > 0, "normal server needs bandwidth");
+        Dur::from_secs_f64(bytes as f64 / self.bandwidth as f64)
+    }
+
+    /// Is a client currently being served?
+    pub fn is_busy(&self) -> bool {
+        self.current.is_some()
+    }
+
+    /// Clients waiting in the accept queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Clients stuck in the black hole.
+    pub fn hung_count(&self) -> usize {
+        self.hung.len()
+    }
+
+    /// A client connects.
+    pub fn connect(&mut self, client: C) -> Admission {
+        match self.kind {
+            ServerKind::BlackHole => {
+                self.hung.push(client);
+                Admission::Hung
+            }
+            ServerKind::Normal => {
+                if self.current.is_none() {
+                    self.current = Some(client);
+                    Admission::Serving
+                } else {
+                    self.queue.push_back(client);
+                    Admission::Queued
+                }
+            }
+        }
+    }
+
+    /// The current transfer finished: the client leaves and the next
+    /// queued client (returned) starts being served.
+    pub fn finish_current(&mut self) -> Option<C> {
+        debug_assert!(self.current.is_some(), "no transfer in progress");
+        self.current = self.queue.pop_front();
+        self.current
+    }
+
+    /// A client gives up (its `try` deadline fired): remove it wherever
+    /// it is. If it was the one being served, the next queued client
+    /// (returned in `promoted`) starts immediately.
+    pub fn disconnect(&mut self, client: C) -> Disconnect<C> {
+        if self.current == Some(client) {
+            self.current = self.queue.pop_front();
+            return Disconnect {
+                was_connected: true,
+                promoted: self.current,
+            };
+        }
+        if let Some(pos) = self.queue.iter().position(|c| *c == client) {
+            self.queue.remove(pos);
+            return Disconnect {
+                was_connected: true,
+                promoted: None,
+            };
+        }
+        if let Some(pos) = self.hung.iter().position(|c| *c == client) {
+            self.hung.swap_remove(pos);
+            return Disconnect {
+                was_connected: true,
+                promoted: None,
+            };
+        }
+        Disconnect {
+            was_connected: false,
+            promoted: None,
+        }
+    }
+}
+
+/// Result of [`FileServer::disconnect`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Disconnect<C> {
+    /// Whether the client was actually connected here.
+    pub was_connected: bool,
+    /// A queued client promoted to being served, if any.
+    pub promoted: Option<C>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_server_serves_one_and_queues_rest() {
+        let mut s = FileServer::new(ServerKind::Normal, 10 << 20);
+        assert_eq!(s.connect(1), Admission::Serving);
+        assert_eq!(s.connect(2), Admission::Queued);
+        assert_eq!(s.connect(3), Admission::Queued);
+        assert!(s.is_busy());
+        assert_eq!(s.queue_len(), 2);
+    }
+
+    #[test]
+    fn finish_promotes_fifo() {
+        let mut s = FileServer::new(ServerKind::Normal, 1);
+        s.connect(1);
+        s.connect(2);
+        s.connect(3);
+        assert_eq!(s.finish_current(), Some(2));
+        assert_eq!(s.finish_current(), Some(3));
+        assert_eq!(s.finish_current(), None);
+        assert!(!s.is_busy());
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size() {
+        let s: FileServer<u32> = FileServer::new(ServerKind::Normal, 10 << 20);
+        let t = s.transfer_time(100 << 20);
+        assert!((t.as_secs_f64() - 10.0).abs() < 1e-9, "100MB at 10MB/s is 10s");
+    }
+
+    #[test]
+    fn black_hole_hangs_everyone() {
+        let mut s = FileServer::new(ServerKind::BlackHole, 10 << 20);
+        assert_eq!(s.connect(1), Admission::Hung);
+        assert_eq!(s.connect(2), Admission::Hung);
+        assert_eq!(s.hung_count(), 2);
+        assert!(!s.is_busy(), "a black hole never serves");
+    }
+
+    #[test]
+    fn disconnect_current_promotes_next() {
+        let mut s = FileServer::new(ServerKind::Normal, 1);
+        s.connect(1);
+        s.connect(2);
+        let d = s.disconnect(1);
+        assert!(d.was_connected);
+        assert_eq!(d.promoted, Some(2));
+        assert!(s.is_busy());
+    }
+
+    #[test]
+    fn disconnect_queued_and_hung() {
+        let mut s = FileServer::new(ServerKind::Normal, 1);
+        s.connect(1);
+        s.connect(2);
+        s.connect(3);
+        let d = s.disconnect(2);
+        assert!(d.was_connected);
+        assert_eq!(d.promoted, None);
+        assert_eq!(s.queue_len(), 1);
+        assert_eq!(s.finish_current(), Some(3), "2 left the queue");
+
+        let mut bh = FileServer::new(ServerKind::BlackHole, 1);
+        bh.connect(9);
+        assert!(bh.disconnect(9).was_connected);
+        assert_eq!(bh.hung_count(), 0);
+    }
+
+    #[test]
+    fn disconnect_unknown_client_is_noop() {
+        let mut s = FileServer::new(ServerKind::Normal, 1);
+        s.connect(1);
+        let d = s.disconnect(42);
+        assert!(!d.was_connected);
+        assert!(s.is_busy());
+    }
+}

@@ -1,0 +1,312 @@
+//! Property-based tests on the core invariants, spanning crates.
+
+use ethernet_grid::ftsh::{parse, pretty, Seg, Word};
+use ethernet_grid::ftsh::{Command, Cond, CondOp, Script, Stmt, TrySpec};
+use ethernet_grid::retry::{BackoffPolicy, Dur, NextAttempt, Time, TryBudget, TrySession};
+use ethernet_grid::simgrid::{DiskBuffer, EventQueue, FdTable};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------------------------------------------------------------------
+// retry: backoff bounds and budget monotonicity
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The jittered delay is always within [pure, 2*pure] where pure is
+    /// the unjittered, capped exponential delay.
+    #[test]
+    fn backoff_jitter_bounds(failures in 1u32..64, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = BackoffPolicy::ethernet();
+        let pure = p.without_jitter().delay_after(failures, &mut rng);
+        let d = p.delay_after(failures, &mut rng);
+        prop_assert!(d >= pure);
+        prop_assert!(d.as_micros() <= pure.as_micros().saturating_mul(2) + 1);
+    }
+
+    /// Backoff delays never exceed the cap times the maximum jitter.
+    #[test]
+    fn backoff_never_exceeds_cap(failures in 1u32..10_000, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = BackoffPolicy::ethernet().delay_after(failures, &mut rng);
+        prop_assert!(d <= Dur::from_hours(2));
+    }
+
+    /// A time-limited session never allows an attempt to begin at or
+    /// after its deadline, and never schedules a wake at or past it.
+    #[test]
+    fn try_session_respects_deadline(
+        limit_s in 1u64..3600,
+        seed in any::<u64>(),
+        failures in 1usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let budget = TryBudget::for_time(Dur::from_secs(limit_s));
+        let mut s = TrySession::start(budget, Time::from_secs(5));
+        let deadline = s.deadline().unwrap();
+        let mut now = Time::from_secs(5);
+        for _ in 0..failures {
+            if !s.begin_attempt(now) {
+                prop_assert!(now >= deadline);
+                return Ok(());
+            }
+            prop_assert!(now < deadline);
+            match s.on_failure(now, &mut rng) {
+                NextAttempt::RetryAt(t) => {
+                    prop_assert!(t < deadline, "wake {t:?} at/past deadline {deadline:?}");
+                    now = t;
+                }
+                NextAttempt::Exhausted => return Ok(()),
+            }
+        }
+    }
+
+    /// An attempt-limited session makes exactly its limit of attempts.
+    #[test]
+    fn try_session_attempt_limit_exact(n in 1u32..50, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = TrySession::start(TryBudget::times(n), Time::ZERO);
+        let mut now = Time::ZERO;
+        let mut attempts = 0;
+        loop {
+            if !s.begin_attempt(now) {
+                break;
+            }
+            attempts += 1;
+            match s.on_failure(now, &mut rng) {
+                NextAttempt::RetryAt(t) => now = t,
+                NextAttempt::Exhausted => break,
+            }
+        }
+        prop_assert_eq!(attempts, n);
+    }
+}
+
+// ---------------------------------------------------------------------
+// simgrid: event order, FD conservation, disk accounting
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Pops come out in nondecreasing time order regardless of insert
+    /// order, with ties broken by insertion sequence.
+    #[test]
+    fn event_queue_is_totally_ordered(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Time::from_secs(t), i);
+        }
+        let mut last_time = Time::ZERO;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(t >= last_time);
+            if t > last_time {
+                seen_at_time.clear();
+            }
+            // Ties: indices increase (insertion order).
+            if let Some(&prev) = seen_at_time.last() {
+                prop_assert!(i > prev, "tie broken out of order");
+            }
+            seen_at_time.push(i);
+            last_time = t;
+        }
+    }
+
+    /// Alloc/release sequences conserve descriptors and never go
+    /// negative or above capacity.
+    #[test]
+    fn fd_table_conserves(ops in proptest::collection::vec((0u64..200, any::<bool>()), 1..200)) {
+        let mut t = FdTable::new(1000);
+        let mut held: Vec<u64> = Vec::new();
+        for (n, release) in ops {
+            if release && !held.is_empty() {
+                let n = held.pop().unwrap();
+                t.release(n);
+            } else if t.alloc(n).is_ok() {
+                held.push(n);
+            }
+            let total: u64 = held.iter().sum();
+            prop_assert_eq!(t.in_use(), total);
+            prop_assert!(t.in_use() <= t.capacity());
+        }
+    }
+
+    /// Disk usage equals the sum of live file sizes at all times and
+    /// never exceeds capacity, across arbitrary create/write/complete/
+    /// delete interleavings.
+    #[test]
+    fn disk_buffer_accounting(ops in proptest::collection::vec((0u8..5, 0u64..4096), 1..300)) {
+        let mut d = DiskBuffer::new(64 * 1024);
+        let mut live: Vec<ethernet_grid::simgrid::FileId> = Vec::new();
+        let mut sizes: std::collections::HashMap<_, u64> = Default::default();
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    let id = d.create();
+                    live.push(id);
+                    sizes.insert(id, 0);
+                }
+                1 if !live.is_empty() => {
+                    let id = live[arg as usize % live.len()];
+                    match d.write(id, arg) {
+                        Ok(()) => {
+                            *sizes.get_mut(&id).unwrap() += arg;
+                        }
+                        Err(_) => {
+                            // ENOSPC deletes the file; other errors keep it.
+                            if d.size_of(id).is_none() {
+                                live.retain(|&x| x != id);
+                                sizes.remove(&id);
+                            }
+                        }
+                    }
+                }
+                2 if !live.is_empty() => {
+                    let id = live[arg as usize % live.len()];
+                    let _ = d.complete(id);
+                }
+                3 if !live.is_empty() => {
+                    let id = live[arg as usize % live.len()];
+                    if d.delete(id).is_ok() {
+                        live.retain(|&x| x != id);
+                        sizes.remove(&id);
+                    }
+                }
+                _ => {}
+            }
+            let expect: u64 = sizes.values().sum();
+            prop_assert_eq!(d.used(), expect);
+            prop_assert!(d.used() <= d.capacity());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ftsh: parser <-> pretty-printer round trip on generated ASTs
+// ---------------------------------------------------------------------
+
+/// Words that survive the trip bare or quoted: avoid keywords in
+/// command position by construction.
+fn arb_word() -> impl Strategy<Value = Word> {
+    let lit = "[a-z][a-z0-9._/:-]{0,8}".prop_map(Seg::Lit);
+    let var = "[a-z][a-z0-9_]{0,5}".prop_map(Seg::Var);
+    let spaced = "[a-z][a-z ]{0,8}[a-z]".prop_map(Seg::Lit);
+    proptest::collection::vec(prop_oneof![3 => lit, 2 => var, 1 => spaced], 1..3)
+        .prop_map(Word::from_segs)
+}
+
+/// argv0 must be a non-keyword bare literal so it parses as a command.
+fn arb_prog() -> impl Strategy<Value = Word> {
+    "[a-z][a-z0-9_-]{2,8}"
+        .prop_filter("not a keyword", |s| {
+            !matches!(
+                s.as_str(),
+                "try" | "forany" | "forall" | "if" | "else" | "end" | "catch" | "failure"
+                    | "success" | "for" | "in" | "times" | "every" | "or"
+            )
+        })
+        .prop_map(Word::lit)
+}
+
+fn arb_command() -> impl Strategy<Value = Stmt> {
+    (arb_prog(), proptest::collection::vec(arb_word(), 0..3))
+        .prop_map(|(p, mut args)| {
+            let mut words = vec![p];
+            words.append(&mut args);
+            Stmt::Command(Command {
+                words,
+                redirs: vec![],
+            })
+        })
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    if depth == 0 {
+        prop_oneof![
+            5 => arb_command(),
+            1 => Just(Stmt::Failure),
+            1 => Just(Stmt::Success),
+        ]
+        .boxed()
+    } else {
+        let inner = proptest::collection::vec(arb_stmt(depth - 1), 1..3);
+        let inner2 = proptest::collection::vec(arb_stmt(depth - 1), 1..3);
+        let try_stmt = (
+            proptest::option::of(1u64..120),
+            proptest::option::of(1u32..9),
+            inner.clone(),
+            proptest::option::of(inner2.clone()),
+        )
+            .prop_map(|(mins, times, body, catch)| Stmt::Try {
+                spec: TrySpec {
+                    time: mins.map(Dur::from_mins),
+                    attempts: times,
+                    every: None,
+                },
+                body,
+                catch,
+            });
+        let forany = (
+            "[a-z][a-z0-9_]{0,5}",
+            proptest::collection::vec(arb_word(), 1..4),
+            inner.clone(),
+        )
+            .prop_map(|(var, values, body)| Stmt::ForAny { var, values, body });
+        let forall = (
+            "[a-z][a-z0-9_]{0,5}",
+            proptest::collection::vec(arb_word(), 1..4),
+            inner.clone(),
+        )
+            .prop_map(|(var, values, body)| Stmt::ForAll { var, values, body });
+        let ifstmt = (
+            arb_word(),
+            prop_oneof![
+                Just(CondOp::NumLt),
+                Just(CondOp::NumGe),
+                Just(CondOp::StrEq),
+                Just(CondOp::StrNe),
+            ],
+            arb_word(),
+            inner.clone(),
+            proptest::option::of(inner2),
+        )
+            .prop_map(|(lhs, op, rhs, then, els)| Stmt::If {
+                cond: Cond { lhs, op, rhs },
+                then,
+                els,
+            });
+        prop_oneof![
+            4 => arb_command(),
+            2 => try_stmt,
+            2 => forany,
+            1 => forall,
+            2 => ifstmt,
+            1 => Just(Stmt::Failure),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// parse(pretty(ast)) == ast for generated scripts.
+    #[test]
+    fn pretty_parse_roundtrip(stmts in proptest::collection::vec(arb_stmt(2), 1..5)) {
+        let script = Script { stmts };
+        let printed = pretty(&script);
+        let reparsed = parse(&printed)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{printed}")))?;
+        prop_assert_eq!(script, reparsed, "printed:\n{}", printed);
+    }
+
+    /// The pretty-printer is idempotent: printing the reparse gives
+    /// byte-identical text.
+    #[test]
+    fn pretty_is_idempotent(stmts in proptest::collection::vec(arb_stmt(2), 1..4)) {
+        let script = Script { stmts };
+        let once = pretty(&script);
+        let twice = pretty(&parse(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+}
