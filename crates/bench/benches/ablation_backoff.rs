@@ -34,7 +34,10 @@ fn jobs(backoff: Option<BackoffPolicy>) -> u64 {
 fn bench(c: &mut Criterion) {
     let variants: [(&str, Option<BackoffPolicy>); 3] = [
         ("jittered", None),
-        ("no_jitter", Some(BackoffPolicy::ethernet().without_jitter())),
+        (
+            "no_jitter",
+            Some(BackoffPolicy::ethernet().without_jitter()),
+        ),
         (
             "constant_1s",
             Some(BackoffPolicy::Constant(Dur::from_secs(1))),

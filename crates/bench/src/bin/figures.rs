@@ -2,20 +2,202 @@
 //!
 //! ```text
 //! figures [--quick] [--seed N] [fig1 fig2 ... | all]
+//! figures --stats [--quick] [--seed N] [figs...]
 //! ```
 //!
 //! Prints each figure as an aligned table (the rows the paper plots)
 //! and writes `results/figN.json`. Default scale is `--full`
 //! (paper-size populations and windows); `--quick` runs the reduced
 //! versions used in CI.
+//!
+//! `--stats` is the engine perf baseline: it runs the multi-point
+//! sweep figures twice — once pinned to one sweep thread (the
+//! sequential baseline) and once fanned across threads — and writes
+//! wall-clock, peak RSS, events-processed/sec and allocations-per-tick
+//! for both passes, plus the parallel speedup, to
+//! `BENCH_engine.json` at the workspace root.
 
 use gridworld::figures::{by_name, Scale, ALL_ABLATIONS, ALL_FIGURES};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every heap allocation so `--stats` can report
+/// allocations-per-tick; delegates all actual memory work to the
+/// system allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Peak resident set size in kB from `/proc/self/status` (`VmHWM`), or
+/// 0 where procfs is unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// One measured pass over the sweep figures at a fixed thread count.
+struct PassStats {
+    threads: usize,
+    wall_s: f64,
+    events: u64,
+    vm_ticks: u64,
+    allocs: u64,
+}
+
+impl PassStats {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    fn allocs_per_tick(&self) -> f64 {
+        if self.vm_ticks > 0 {
+            self.allocs as f64 / self.vm_ticks as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n    \"threads\": {},\n    \"wall_s\": {:.6},\n    \"events\": {},\n    \"events_per_sec\": {:.1},\n    \"vm_ticks\": {},\n    \"allocations\": {},\n    \"allocs_per_tick\": {:.2}\n  }}",
+            self.threads,
+            self.wall_s,
+            self.events,
+            self.events_per_sec(),
+            self.vm_ticks,
+            self.allocs,
+            self.allocs_per_tick(),
+        )
+    }
+}
+
+/// Run every named figure once with the sweep pinned to `threads`
+/// workers, sampling the engine counters around the pass.
+fn run_pass(threads: usize, figs: &[String], scale: Scale, seed: u64) -> PassStats {
+    std::env::set_var("EG_SWEEP_THREADS", threads.to_string());
+    let events0 = simgrid::events_popped_total();
+    let ticks0 = gridworld::driver::vm_ticks_total();
+    let allocs0 = ALLOCS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for name in figs {
+        let set = by_name(name, scale, seed).expect("stats figure exists");
+        std::hint::black_box(&set);
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    std::env::remove_var("EG_SWEEP_THREADS");
+    PassStats {
+        threads,
+        wall_s,
+        events: simgrid::events_popped_total() - events0,
+        vm_ticks: gridworld::driver::vm_ticks_total() - ticks0,
+        allocs: ALLOCS.load(Ordering::Relaxed) - allocs0,
+    }
+}
+
+/// The perf baseline harness behind `--stats`.
+fn run_stats(mut figs: Vec<String>, scale: Scale, seed: u64) -> ExitCode {
+    if figs.is_empty() {
+        // The multi-point sweep figures: one independent simulation per
+        // (discipline, population) point, the parallel runner's home turf.
+        figs = vec!["fig1".into(), "fig4".into(), "fig5".into()];
+    }
+    if let Some(bad) = figs
+        .iter()
+        .find(|f| !ALL_FIGURES.contains(&f.as_str()) && !ALL_ABLATIONS.contains(&f.as_str()))
+    {
+        eprintln!("unknown figure: {bad}");
+        return ExitCode::from(2);
+    }
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // Exercise the fan-out path even on a single-core host (where the
+    // recorded speedup will honestly sit near 1.0).
+    let par_threads = host_cpus.max(2);
+
+    eprintln!("== stats: sequential baseline (1 sweep thread) ==");
+    let seq = run_pass(1, &figs, scale, seed);
+    eprintln!(
+        "   {:.3}s, {} events ({:.0}/s), {} ticks, {:.1} allocs/tick",
+        seq.wall_s,
+        seq.events,
+        seq.events_per_sec(),
+        seq.vm_ticks,
+        seq.allocs_per_tick()
+    );
+    eprintln!("== stats: parallel sweep ({par_threads} threads) ==");
+    let par = run_pass(par_threads, &figs, scale, seed);
+    eprintln!(
+        "   {:.3}s, {} events ({:.0}/s), {} ticks, {:.1} allocs/tick",
+        par.wall_s,
+        par.events,
+        par.events_per_sec(),
+        par.vm_ticks,
+        par.allocs_per_tick()
+    );
+
+    let speedup = if par.wall_s > 0.0 {
+        seq.wall_s / par.wall_s
+    } else {
+        0.0
+    };
+    let rss = peak_rss_kb();
+    let fig_list = figs
+        .iter()
+        .map(|f| format!("\"{f}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"harness\": \"figures --stats\",\n  \"scale\": \"{scale:?}\",\n  \"seed\": {seed},\n  \"figures\": [{fig_list}],\n  \"host_cpus\": {host_cpus},\n  \"peak_rss_kb\": {rss},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {speedup:.2}\n}}\n",
+        seq.to_json(),
+        par.to_json(),
+    );
+    let path = egbench::workspace_root().join("BENCH_engine.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    print!("{json}");
+    eprintln!("   wrote {}", path.display());
+    eprintln!("   speedup: {speedup:.2}x over sequential on {host_cpus} CPU(s)");
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
     let mut scale = Scale::Full;
     let mut seed: u64 = 2003;
     let mut chart = false;
+    let mut stats = false;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut it = std::env::args().skip(1);
@@ -24,6 +206,7 @@ fn main() -> ExitCode {
             "--quick" => scale = Scale::Quick,
             "--full" => scale = Scale::Full,
             "--chart" => chart = true,
+            "--stats" => stats = true,
             "--seed" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = s,
                 None => {
@@ -39,11 +222,14 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: figures [--quick] [--seed N] [fig1..fig7 | all | ablations | ablation-threshold | ablation-channel]"
+                    "usage: figures [--quick] [--seed N] [--stats] [fig1..fig7 | all | ablations | ablation-threshold | ablation-channel]"
                 );
                 return ExitCode::from(2);
             }
         }
+    }
+    if stats {
+        return run_stats(wanted, scale, seed);
     }
     if wanted.is_empty() {
         wanted.extend(ALL_FIGURES.iter().map(|s| s.to_string()));

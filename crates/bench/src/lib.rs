@@ -6,15 +6,19 @@
 use simgrid::SeriesSet;
 use std::path::{Path, PathBuf};
 
-/// Where figure data lands (`results/` at the workspace root).
-pub fn results_dir() -> PathBuf {
+/// The workspace root (where `BENCH_engine.json` and `results/` land).
+pub fn workspace_root() -> PathBuf {
     // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("workspace root exists")
-        .to_path_buf();
-    root.join("results")
+        .to_path_buf()
+}
+
+/// Where figure data lands (`results/` at the workspace root).
+pub fn results_dir() -> PathBuf {
+    workspace_root().join("results")
 }
 
 /// Print a figure as an aligned table and persist it as JSON and CSV.
@@ -24,8 +28,7 @@ pub fn emit(name: &str, set: &SeriesSet) -> std::io::Result<PathBuf> {
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(set).expect("series serialize");
-    std::fs::write(&path, json)?;
+    std::fs::write(&path, set.to_json_pretty())?;
     std::fs::write(dir.join(format!("{name}.csv")), set.to_csv())?;
     Ok(path)
 }

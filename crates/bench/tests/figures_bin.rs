@@ -12,7 +12,11 @@ fn quick_fig6_emits_table_and_json() {
         .args(["--quick", "--seed", "7", "fig6"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Figure 6"));
     assert!(stdout.contains("Transfers"));

@@ -9,6 +9,8 @@
 
 use retry::Dur;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// One segment of a [`Word`]: literal text or a `${var}` substitution.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -213,7 +215,77 @@ pub struct Cond {
     pub rhs: Word,
 }
 
-/// A statement. Groups are represented as `Vec<Stmt>` inside the
+/// A group of statements, shared by reference.
+///
+/// Every structured statement owns its sub-groups through `Block`, and
+/// cloning one is a reference-count bump rather than a deep copy. That
+/// is what lets a population of VMs execute one parsed script with O(1)
+/// AST clones total, and lets the VM enter nested `try`/`forall` bodies
+/// without duplicating them per attempt. Backed by `Arc`, so scripts
+/// and VMs can cross threads.
+#[derive(Clone, Default)]
+pub struct Block(Arc<[Stmt]>);
+
+impl Block {
+    /// A group from its statements.
+    pub fn new(stmts: Vec<Stmt>) -> Block {
+        Block(stmts.into())
+    }
+
+    /// True when two blocks share one allocation (O(1), no deep
+    /// comparison) — the regression-test hook for AST sharing.
+    pub fn ptr_eq(a: &Block, b: &Block) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// How many handles share this group's allocation.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+}
+
+impl Deref for Block {
+    type Target = [Stmt];
+
+    fn deref(&self) -> &[Stmt] {
+        &self.0
+    }
+}
+
+impl From<Vec<Stmt>> for Block {
+    fn from(stmts: Vec<Stmt>) -> Block {
+        Block::new(stmts)
+    }
+}
+
+impl FromIterator<Stmt> for Block {
+    fn from_iter<I: IntoIterator<Item = Stmt>>(iter: I) -> Block {
+        Block(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Block {
+    type Item = &'a Stmt;
+    type IntoIter = std::slice::Iter<'a, Stmt>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl PartialEq for Block {
+    fn eq(&self, other: &Block) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.0, f)
+    }
+}
+
+/// A statement. Groups are represented as [`Block`]s inside the
 /// structured statements; the script itself is the outermost group.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Stmt {
@@ -224,9 +296,9 @@ pub enum Stmt {
         /// Retry limits.
         spec: TrySpec,
         /// The retried group.
-        body: Vec<Stmt>,
+        body: Block,
         /// The handler group, if a `catch` clause is present.
-        catch: Option<Vec<Stmt>>,
+        catch: Option<Block>,
     },
     /// `forany v in w1 w2 ... \n body \n end`
     ForAny {
@@ -235,7 +307,7 @@ pub enum Stmt {
         /// Alternative values (expanded at entry).
         values: Vec<Word>,
         /// Body attempted once per alternative until one succeeds.
-        body: Vec<Stmt>,
+        body: Block,
     },
     /// `forall v in w1 w2 ... \n body \n end` — parallel conjunction.
     ForAll {
@@ -244,16 +316,16 @@ pub enum Stmt {
         /// Branch values (expanded at entry).
         values: Vec<Word>,
         /// Body run once per value, concurrently.
-        body: Vec<Stmt>,
+        body: Block,
     },
     /// `if cond \n then-group [else \n else-group] end`
     If {
         /// The comparison.
         cond: Cond,
         /// Group when the condition holds.
-        then: Vec<Stmt>,
+        then: Block,
         /// Group when it does not.
-        els: Option<Vec<Stmt>>,
+        els: Option<Block>,
     },
     /// `name=value` — bind a shell variable.
     Assign {
@@ -275,15 +347,17 @@ pub enum Stmt {
         /// Procedure name.
         name: String,
         /// The body group.
-        body: Vec<Stmt>,
+        body: Block,
     },
 }
 
-/// A parsed script: the outermost group.
+/// A parsed script: the outermost group. Cloning a script (or handing
+/// it to a [`crate::Vm`]) shares the statement block rather than
+/// copying it.
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct Script {
     /// Top-level statements.
-    pub stmts: Vec<Stmt>,
+    pub stmts: Block,
 }
 
 impl Script {

@@ -69,9 +69,18 @@ mod tests {
     #[test]
     fn numeric_comparisons() {
         let env = Env::new();
-        assert_eq!(eval_cond(&cond("999", CondOp::NumLt, "1000"), &env), Ok(true));
-        assert_eq!(eval_cond(&cond("1000", CondOp::NumLt, "1000"), &env), Ok(false));
-        assert_eq!(eval_cond(&cond("1000", CondOp::NumLe, "1000"), &env), Ok(true));
+        assert_eq!(
+            eval_cond(&cond("999", CondOp::NumLt, "1000"), &env),
+            Ok(true)
+        );
+        assert_eq!(
+            eval_cond(&cond("1000", CondOp::NumLt, "1000"), &env),
+            Ok(false)
+        );
+        assert_eq!(
+            eval_cond(&cond("1000", CondOp::NumLe, "1000"), &env),
+            Ok(true)
+        );
         assert_eq!(eval_cond(&cond("2", CondOp::NumGt, "1"), &env), Ok(true));
         assert_eq!(eval_cond(&cond("1", CondOp::NumGe, "1"), &env), Ok(true));
         assert_eq!(eval_cond(&cond("3", CondOp::NumEq, "3.0"), &env), Ok(true));
@@ -81,8 +90,14 @@ mod tests {
     #[test]
     fn string_comparisons() {
         let env = Env::new();
-        assert_eq!(eval_cond(&cond("abc", CondOp::StrEq, "abc"), &env), Ok(true));
-        assert_eq!(eval_cond(&cond("abc", CondOp::StrNe, "abd"), &env), Ok(true));
+        assert_eq!(
+            eval_cond(&cond("abc", CondOp::StrEq, "abc"), &env),
+            Ok(true)
+        );
+        assert_eq!(
+            eval_cond(&cond("abc", CondOp::StrNe, "abd"), &env),
+            Ok(true)
+        );
         // Strings that happen to be numbers compare as text under .eql.
         assert_eq!(eval_cond(&cond("3", CondOp::StrEq, "3.0"), &env), Ok(false));
     }

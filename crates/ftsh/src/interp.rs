@@ -180,9 +180,7 @@ impl<C: Clock> VmDriver<C> {
             }
             match status {
                 VmStatus::Done { success } => return Ok(RunOutcome { success }),
-                VmStatus::Running {
-                    next_wake: Some(t),
-                } => self.clock.advance_to(t),
+                VmStatus::Running { next_wake: Some(t) } => self.clock.advance_to(t),
                 VmStatus::Running { next_wake: None } => return Err(DriveError::Stuck),
             }
         }
@@ -194,7 +192,10 @@ mod tests {
     use super::*;
     use crate::parser::parse;
 
-    fn drive(src: &str, mut exec: impl FnMut(&CommandSpec) -> Result<String, String>) -> (bool, SimClock) {
+    fn drive(
+        src: &str,
+        mut exec: impl FnMut(&CommandSpec) -> Result<String, String>,
+    ) -> (bool, SimClock) {
         let script = parse(src).unwrap();
         let mut d = VmDriver::new(Vm::with_seed(&script, 1), SimClock::new());
         let out = d.run_to_completion(&mut exec);

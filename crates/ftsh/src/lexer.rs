@@ -131,10 +131,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
             '\n' => {
                 flush_word(&mut out, &mut segs, &mut lit, &mut word_open, line);
                 // Collapse duplicate newlines.
-                if !matches!(
-                    out.last().map(|t| &t.kind),
-                    Some(TokenKind::Newline) | None
-                ) {
+                if !matches!(out.last().map(|t| &t.kind), Some(TokenKind::Newline) | None) {
                     out.push(Token {
                         kind: TokenKind::Newline,
                         line,
@@ -150,10 +147,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                 for c in chars.by_ref() {
                     if c == '\n' {
                         flush_word(&mut out, &mut segs, &mut lit, &mut word_open, line);
-                        if !matches!(
-                            out.last().map(|t| &t.kind),
-                            Some(TokenKind::Newline) | None
-                        ) {
+                        if !matches!(out.last().map(|t| &t.kind), Some(TokenKind::Newline) | None) {
                             out.push(Token {
                                 kind: TokenKind::Newline,
                                 line,
@@ -179,9 +173,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                         Some('\\') => match chars.next() {
                             Some('\n') => line += 1,
                             Some(e) => lit.push(e),
-                            None => {
-                                return Err(ParseError::new(line, "unterminated double quote"))
-                            }
+                            None => return Err(ParseError::new(line, "unterminated double quote")),
                         },
                         Some('$') => {
                             flush_lit(&mut segs, &mut lit);
@@ -445,8 +437,14 @@ mod tests {
                 both: false
             }
         ));
-        assert!(matches!(kinds("cmd < f\n")[1], TokenKind::RedirIn { var: false }));
-        assert!(matches!(kinds("cmd -< v\n")[1], TokenKind::RedirIn { var: true }));
+        assert!(matches!(
+            kinds("cmd < f\n")[1],
+            TokenKind::RedirIn { var: false }
+        ));
+        assert!(matches!(
+            kinds("cmd -< v\n")[1],
+            TokenKind::RedirIn { var: true }
+        ));
     }
 
     #[test]

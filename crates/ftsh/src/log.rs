@@ -219,8 +219,7 @@ impl EventLog {
                             .map(|s| e.time.saturating_since(s).as_secs_f64())
                             .unwrap_or(0.0);
                         let verdict = if *success { "ok" } else { "failed" };
-                        let _ =
-                            writeln!(out, "  {t:>9.3}s  └ {program} {verdict} ({dur:.3}s)");
+                        let _ = writeln!(out, "  {t:>9.3}s  └ {program} {verdict} ({dur:.3}s)");
                     }
                     LogKind::CmdCancelled { program } => {
                         let dur = cmd_started_at
@@ -347,7 +346,13 @@ mod tests {
     fn summary_counts() {
         let mut log = EventLog::new();
         let t = Time::ZERO;
-        log.push(t, 0, LogKind::CmdStart { argv: vec!["wget".into()] });
+        log.push(
+            t,
+            0,
+            LogKind::CmdStart {
+                argv: vec!["wget".into()],
+            },
+        );
         log.push(
             t,
             0,
@@ -356,9 +361,21 @@ mod tests {
                 success: false,
             },
         );
-        log.push(t, 0, LogKind::Backoff { delay: Dur::from_secs(1) });
+        log.push(
+            t,
+            0,
+            LogKind::Backoff {
+                delay: Dur::from_secs(1),
+            },
+        );
         log.push(t, 0, LogKind::TryAttempt { attempt: 2 });
-        log.push(t, 0, LogKind::CmdStart { argv: vec!["wget".into()] });
+        log.push(
+            t,
+            0,
+            LogKind::CmdStart {
+                argv: vec!["wget".into()],
+            },
+        );
         log.push(
             t,
             0,
@@ -381,13 +398,57 @@ mod tests {
     fn per_program_and_alternatives() {
         let mut log = EventLog::new();
         let t = Time::ZERO;
-        log.push(t, 0, LogKind::CmdStart { argv: vec!["wget".into(), "u".into()] });
-        log.push(t, 0, LogKind::CmdEnd { program: "wget".into(), success: false });
-        log.push(t, 0, LogKind::ForAnyNext { value: "yyy".into() });
-        log.push(t, 0, LogKind::CmdStart { argv: vec!["wget".into(), "v".into()] });
-        log.push(t, 0, LogKind::CmdCancelled { program: "wget".into() });
-        log.push(t, 0, LogKind::CmdStart { argv: vec!["tar".into()] });
-        log.push(t, 0, LogKind::CmdEnd { program: "tar".into(), success: true });
+        log.push(
+            t,
+            0,
+            LogKind::CmdStart {
+                argv: vec!["wget".into(), "u".into()],
+            },
+        );
+        log.push(
+            t,
+            0,
+            LogKind::CmdEnd {
+                program: "wget".into(),
+                success: false,
+            },
+        );
+        log.push(
+            t,
+            0,
+            LogKind::ForAnyNext {
+                value: "yyy".into(),
+            },
+        );
+        log.push(
+            t,
+            0,
+            LogKind::CmdStart {
+                argv: vec!["wget".into(), "v".into()],
+            },
+        );
+        log.push(
+            t,
+            0,
+            LogKind::CmdCancelled {
+                program: "wget".into(),
+            },
+        );
+        log.push(
+            t,
+            0,
+            LogKind::CmdStart {
+                argv: vec!["tar".into()],
+            },
+        );
+        log.push(
+            t,
+            0,
+            LogKind::CmdEnd {
+                program: "tar".into(),
+                success: true,
+            },
+        );
         let per = log.per_program();
         assert_eq!(per["wget"].started, 2);
         assert_eq!(per["wget"].failed, 1);
@@ -404,19 +465,38 @@ mod tests {
         log.push(
             Time::ZERO,
             0,
-            LogKind::CmdStart { argv: vec!["wget".into(), "u".into()] },
+            LogKind::CmdStart {
+                argv: vec!["wget".into(), "u".into()],
+            },
         );
         log.push(
             Time::from_secs(2),
             0,
-            LogKind::CmdEnd { program: "wget".into(), success: false },
+            LogKind::CmdEnd {
+                program: "wget".into(),
+                success: false,
+            },
         );
-        log.push(Time::from_secs(2), 0, LogKind::Backoff { delay: Dur::from_secs(1) });
-        log.push(Time::from_secs(3), 1, LogKind::CmdStart { argv: vec!["tar".into()] });
+        log.push(
+            Time::from_secs(2),
+            0,
+            LogKind::Backoff {
+                delay: Dur::from_secs(1),
+            },
+        );
+        log.push(
+            Time::from_secs(3),
+            1,
+            LogKind::CmdStart {
+                argv: vec!["tar".into()],
+            },
+        );
         log.push(
             Time::from_secs(4),
             1,
-            LogKind::CmdCancelled { program: "tar".into() },
+            LogKind::CmdCancelled {
+                program: "tar".into(),
+            },
         );
         let text = log.render_timeline();
         assert!(text.contains("task 0"));

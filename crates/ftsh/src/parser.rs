@@ -5,7 +5,7 @@
 //! literal word at the start of a statement can open a construct, as in
 //! the Bourne shell family.
 
-use crate::ast::{Command, Cond, CondOp, Redir, RedirTarget, Script, Stmt, TrySpec, Word};
+use crate::ast::{Block, Command, Cond, CondOp, Redir, RedirTarget, Script, Stmt, TrySpec, Word};
 use crate::errors::ParseError;
 use crate::lexer::{lex, Token, TokenKind};
 use retry::time::parse_duration;
@@ -118,16 +118,16 @@ impl Parser {
 
     /// Parse statements until one of `terminators` appears in command
     /// position (the terminator is not consumed).
-    fn stmt_list(&mut self, terminators: &[&str]) -> Result<Vec<Stmt>, ParseError> {
+    fn stmt_list(&mut self, terminators: &[&str]) -> Result<Block, ParseError> {
         let mut out = Vec::new();
         loop {
             self.eat_newlines();
             match &self.peek().kind {
-                TokenKind::Eof => return Ok(out),
+                TokenKind::Eof => return Ok(out.into()),
                 TokenKind::Word(w) => {
                     if let Some(l) = w.as_lit() {
                         if terminators.contains(&l) {
-                            return Ok(out);
+                            return Ok(out.into());
                         }
                         if l == "end" || l == "catch" || l == "else" {
                             return Err(ParseError::new(
@@ -214,7 +214,8 @@ impl Parser {
                 }
                 Some(_) if self.looks_like_times() => {
                     let n = self.next_number("an attempt count")?;
-                    self.expect_keyword("times").or_else(|_| self.expect_keyword("time"))?;
+                    self.expect_keyword("times")
+                        .or_else(|_| self.expect_keyword("time"))?;
                     let n = u32::try_from(n)
                         .map_err(|_| ParseError::new(line, "attempt count too large"))?;
                     if spec.attempts.replace(n).is_some() {
@@ -289,7 +290,10 @@ impl Parser {
             values.push(self.next_word("a value")?);
         }
         if values.is_empty() {
-            return Err(ParseError::new(line, format!("'{kw}' needs at least one value")));
+            return Err(ParseError::new(
+                line,
+                format!("'{kw}' needs at least one value"),
+            ));
         }
         self.expect_newline(&format!("'{kw}' header"))?;
         let body = self.stmt_list(&["end"])?;
@@ -309,12 +313,12 @@ impl Parser {
         let lhs = self.next_word("a comparison operand")?;
         let op_line = self.line();
         let op = self.next_word("a comparison operator")?;
-        let op = op
-            .as_lit()
-            .and_then(CondOp::from_spelling)
-            .ok_or_else(|| {
-                ParseError::new(op_line, "expected .lt. .le. .gt. .ge. .eq. .ne. .eql. or .neql.")
-            })?;
+        let op = op.as_lit().and_then(CondOp::from_spelling).ok_or_else(|| {
+            ParseError::new(
+                op_line,
+                "expected .lt. .le. .gt. .ge. .eq. .ne. .eql. or .neql.",
+            )
+        })?;
         let rhs = self.next_word("a comparison operand")?;
         self.expect_newline("'if' condition")?;
         let then = self.stmt_list(&["else", "end"])?;
@@ -622,8 +626,12 @@ mod tests {
     #[test]
     fn parse_assignment() {
         let s = parse("x=5\nurl=http://${h}/f\n").unwrap();
-        assert!(matches!(&s.stmts[0], Stmt::Assign { var, value } if var == "x" && value.as_lit() == Some("5")));
-        assert!(matches!(&s.stmts[1], Stmt::Assign { var, value } if var == "url" && value.has_vars()));
+        assert!(
+            matches!(&s.stmts[0], Stmt::Assign { var, value } if var == "x" && value.as_lit() == Some("5"))
+        );
+        assert!(
+            matches!(&s.stmts[1], Stmt::Assign { var, value } if var == "url" && value.has_vars())
+        );
     }
 
     #[test]

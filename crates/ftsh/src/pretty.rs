@@ -198,7 +198,11 @@ fn command(out: &mut String, c: &Command) {
 /// Characters that survive bare (outside quotes) without changing
 /// meaning, provided the word does not *start* like an operator.
 fn bare_safe(c: char) -> bool {
-    c.is_ascii_alphanumeric() || matches!(c, '.' | '/' | ':' | '_' | '-' | '+' | '@' | '%' | ',' | '~' | '?' | '=')
+    c.is_ascii_alphanumeric()
+        || matches!(
+            c,
+            '.' | '/' | ':' | '_' | '-' | '+' | '@' | '%' | ',' | '~' | '?' | '='
+        )
 }
 
 fn lit_is_bare(s: &str) -> bool {

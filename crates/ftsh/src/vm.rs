@@ -20,7 +20,7 @@
 //! every frame and task beneath it, cancelling in-flight commands, and
 //! then fails like any other untyped failure.
 
-use crate::ast::{Command, Redir, RedirTarget, Script, Stmt, TrySpec};
+use crate::ast::{Block, Command, Redir, RedirTarget, Script, Stmt, TrySpec};
 use crate::cond::eval_cond;
 use crate::log::{EventLog, LogKind};
 use crate::words::{trim_capture, Env};
@@ -28,7 +28,6 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use retry::{BackoffPolicy, NextAttempt, Time, TryBudget, TrySession};
 use std::collections::HashMap;
-use std::rc::Rc;
 
 /// Identifies an in-flight command between [`Effect::Start`] and
 /// [`Vm::complete`].
@@ -169,27 +168,27 @@ enum Ctl {
 #[derive(Debug)]
 enum Frame {
     Seq {
-        stmts: Rc<Vec<Stmt>>,
+        stmts: Block,
         idx: usize,
     },
     Try {
         session: TrySession,
-        body: Rc<Vec<Stmt>>,
-        catch: Option<Rc<Vec<Stmt>>>,
+        body: Block,
+        catch: Option<Block>,
         in_catch: bool,
     },
     ForAny {
         var: String,
         values: Vec<String>,
         idx: usize,
-        body: Rc<Vec<Stmt>>,
+        body: Block,
     },
     ForAll {
         children: Vec<TaskId>,
         /// Branch bindings not yet spawned (throttled parallelism).
         pending: Vec<String>,
         var: String,
-        body: Rc<Vec<Stmt>>,
+        body: Block,
     },
     /// A function invocation: restores the caller's positional
     /// parameters when the body returns.
@@ -249,7 +248,7 @@ pub struct Vm {
     now: Time,
     final_env: Env,
     max_parallel: Option<usize>,
-    functions: HashMap<String, Rc<Vec<Stmt>>>,
+    functions: HashMap<String, Block>,
 }
 
 impl Vm {
@@ -268,7 +267,9 @@ impl Vm {
     pub fn with_env_seed(script: &Script, env: Env, seed: u64) -> Vm {
         let root = Task {
             frames: vec![Frame::Seq {
-                stmts: Rc::new(script.stmts.clone()),
+                // An O(1) handle clone: the whole population of VMs
+                // built from one parsed script shares a single AST.
+                stmts: script.stmts.clone(),
                 idx: 0,
             }],
             env,
@@ -404,7 +405,9 @@ impl Vm {
         for tid in self.live_task_ids() {
             // The task may have been cancelled by an earlier task's
             // unwind in this same loop.
-            let Some(task) = &self.tasks[tid] else { continue };
+            let Some(task) = &self.tasks[tid] else {
+                continue;
+            };
             let expired = task.frames.iter().position(|f| match f {
                 Frame::Try {
                     session, in_catch, ..
@@ -637,8 +640,13 @@ impl Vm {
                         let value = values[*idx].clone();
                         let var = var.clone();
                         let body = body.clone();
-                        self.log
-                            .push(self.now, tid, LogKind::ForAnyNext { value: value.clone() });
+                        self.log.push(
+                            self.now,
+                            tid,
+                            LogKind::ForAnyNext {
+                                value: value.clone(),
+                            },
+                        );
                         task.env.set(var, value);
                         task.frames.push(Frame::Seq {
                             stmts: body,
@@ -668,10 +676,10 @@ impl Vm {
         enum Act {
             Finished,
             GroupDone,
-            Stmt(Stmt),
-            EnterTryBody(Rc<Vec<Stmt>>, u32),
+            Stmt(Block, usize),
+            EnterTryBody(Block, u32),
             TrySpent,
-            BindForAny(String, String, Rc<Vec<Stmt>>),
+            BindForAny(String, String, Block),
         }
 
         let act = match task.frames.last_mut() {
@@ -680,7 +688,9 @@ impl Vm {
                 if *idx >= stmts.len() {
                     Act::GroupDone
                 } else {
-                    Act::Stmt(stmts[*idx].clone())
+                    // Clone the shared handle (reference-count bump),
+                    // not the statement: execution is by reference.
+                    Act::Stmt(stmts.clone(), *idx)
                 }
             }
             Some(Frame::Try { session, body, .. }) => {
@@ -691,7 +701,10 @@ impl Vm {
                 }
             }
             Some(Frame::ForAny {
-                var, values, idx, body,
+                var,
+                values,
+                idx,
+                body,
             }) => Act::BindForAny(var.clone(), values[*idx].clone(), body.clone()),
             Some(Frame::ForAll { .. }) => {
                 unreachable!("forall frame is never executed directly")
@@ -705,9 +718,10 @@ impl Vm {
                 task.frames.pop();
                 Flow::Continue(Ctl::Return(true))
             }
-            Act::Stmt(stmt) => self.exec_stmt(tid, task, stmt),
+            Act::Stmt(block, idx) => self.exec_stmt(tid, task, &block[idx]),
             Act::EnterTryBody(body, attempt) => {
-                self.log.push(self.now, tid, LogKind::TryAttempt { attempt });
+                self.log
+                    .push(self.now, tid, LogKind::TryAttempt { attempt });
                 task.frames.push(Frame::Seq {
                     stmts: body,
                     idx: 0,
@@ -723,8 +737,13 @@ impl Vm {
                 }
             }
             Act::BindForAny(var, value, body) => {
-                self.log
-                    .push(self.now, tid, LogKind::ForAnyNext { value: value.clone() });
+                self.log.push(
+                    self.now,
+                    tid,
+                    LogKind::ForAnyNext {
+                        value: value.clone(),
+                    },
+                );
                 task.env.set(var, value);
                 task.frames.push(Frame::Seq {
                     stmts: body,
@@ -735,20 +754,21 @@ impl Vm {
         }
     }
 
-    fn exec_stmt(&mut self, tid: TaskId, task: &mut Task, stmt: Stmt) -> Flow {
+    fn exec_stmt(&mut self, tid: TaskId, task: &mut Task, stmt: &Stmt) -> Flow {
         match stmt {
             Stmt::Failure => Flow::Continue(Ctl::Return(false)),
             Stmt::Success => Flow::Continue(Ctl::Return(true)),
             Stmt::Assign { var, value } => {
-                let v = task.env.expand(&value);
+                let v = task.env.expand(value);
                 task.env.set(var.clone(), v);
-                self.log.push(self.now, tid, LogKind::VarSet { name: var });
+                self.log
+                    .push(self.now, tid, LogKind::VarSet { name: var.clone() });
                 Flow::Continue(Ctl::Return(true))
             }
-            Stmt::If { cond, then, els } => match eval_cond(&cond, &task.env) {
+            Stmt::If { cond, then, els } => match eval_cond(cond, &task.env) {
                 Ok(true) => {
                     task.frames.push(Frame::Seq {
-                        stmts: Rc::new(then),
+                        stmts: then.clone(),
                         idx: 0,
                     });
                     Flow::Continue(Ctl::Exec)
@@ -756,7 +776,7 @@ impl Vm {
                 Ok(false) => match els {
                     Some(e) => {
                         task.frames.push(Frame::Seq {
-                            stmts: Rc::new(e),
+                            stmts: e.clone(),
                             idx: 0,
                         });
                         Flow::Continue(Ctl::Exec)
@@ -766,28 +786,28 @@ impl Vm {
                 Err(_) => Flow::Continue(Ctl::Return(false)),
             },
             Stmt::Try { spec, body, catch } => {
-                let budget = self.budget_for(&spec);
+                let budget = self.budget_for(spec);
                 task.frames.push(Frame::Try {
                     session: TrySession::start(budget, self.now),
-                    body: Rc::new(body),
-                    catch: catch.map(Rc::new),
+                    body: body.clone(),
+                    catch: catch.clone(),
                     in_catch: false,
                 });
                 Flow::Continue(Ctl::Exec)
             }
             Stmt::ForAny { var, values, body } => {
-                let values = task.env.expand_all(&values);
+                let values = task.env.expand_all(values);
                 task.frames.push(Frame::ForAny {
-                    var,
+                    var: var.clone(),
                     values,
                     idx: 0,
-                    body: Rc::new(body),
+                    body: body.clone(),
                 });
                 Flow::Continue(Ctl::Exec)
             }
             Stmt::ForAll { var, values, body } => {
-                let values = task.env.expand_all(&values);
-                let body = Rc::new(body);
+                let values = task.env.expand_all(values);
+                let body = body.clone();
                 self.log.push(
                     self.now,
                     tid,
@@ -804,7 +824,7 @@ impl Vm {
                 };
                 let mut children = Vec::with_capacity(now_vals.len());
                 for v in now_vals {
-                    children.push(self.spawn_branch(tid, &task.env, &var, v, &body));
+                    children.push(self.spawn_branch(tid, &task.env, var, v, &body));
                 }
                 // Pending branches start in reverse-pop order.
                 let mut pending = later_vals;
@@ -812,17 +832,17 @@ impl Vm {
                 task.frames.push(Frame::ForAll {
                     children,
                     pending,
-                    var,
+                    var: var.clone(),
                     body,
                 });
                 task.state = TaskState::WaitingChildren;
                 Flow::Blocked
             }
             Stmt::Function { name, body } => {
-                self.functions.insert(name, Rc::new(body));
+                self.functions.insert(name.clone(), body.clone());
                 Flow::Continue(Ctl::Return(true))
             }
-            Stmt::Command(cmd) => self.exec_command(tid, task, &cmd),
+            Stmt::Command(cmd) => self.exec_command(tid, task, cmd),
         }
     }
 
@@ -939,7 +959,7 @@ impl Vm {
         parent_env: &Env,
         var: &str,
         value: String,
-        body: &Rc<Vec<Stmt>>,
+        body: &Block,
     ) -> TaskId {
         let mut env = parent_env.clone();
         env.set(var.to_string(), value);

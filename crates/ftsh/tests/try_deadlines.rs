@@ -1,0 +1,78 @@
+//! Property: an outer `try for` deadline dominates any inner `try`
+//! deadline, regardless of nesting depth. However deep the stack of
+//! inner tries and however generous their budgets, a VM whose commands
+//! never complete must be unwound and finished by the instant the
+//! outermost deadline expires.
+
+use ftsh::parse;
+use ftsh::vm::{Effect, Vm, VmStatus};
+use proptest::prelude::*;
+use retry::{Dur, Time};
+
+/// Build `try for <outer> s` wrapping `depth` nested inner tries (each
+/// `for <inner[i]> s`) around a single command.
+fn nested_try_script(outer_secs: u64, inner_secs: &[u64]) -> String {
+    let mut src = format!("try for {outer_secs} seconds\n");
+    for s in inner_secs {
+        src.push_str(&format!("try for {s} seconds\n"));
+    }
+    src.push_str("wget http://server/data\n");
+    for _ in inner_secs {
+        src.push_str("end\n");
+    }
+    src.push_str("end\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn outer_deadline_dominates_inner(
+        outer_secs in 1u64..120,
+        inner_secs in proptest::collection::vec(1u64..100_000, 1..6),
+        seed in any::<u64>(),
+    ) {
+        let src = nested_try_script(outer_secs, &inner_secs);
+        let script = parse(&src).unwrap();
+        let mut vm = Vm::with_seed(&script, seed);
+        let deadline = Time::ZERO + Dur::from_secs(outer_secs);
+
+        // Drive the VM on wake-ups alone: no command ever completes,
+        // so only deadlines and backoff timers can move it forward.
+        let mut now = Time::ZERO;
+        let mut started = 0u32;
+        let mut cancelled = 0u32;
+        for _ in 0..100_000 {
+            let tick = vm.tick(now);
+            for e in &tick.effects {
+                match e {
+                    Effect::Start { .. } => started += 1,
+                    Effect::Cancel { .. } => cancelled += 1,
+                }
+            }
+            match tick.status {
+                VmStatus::Done { success } => {
+                    prop_assert!(!success, "a never-completing command cannot succeed");
+                    prop_assert!(
+                        now <= deadline,
+                        "finished at {now}, after the outer deadline {deadline}"
+                    );
+                    // Whatever was in flight at the kill was cancelled.
+                    prop_assert_eq!(started, cancelled, "dangling in-flight command");
+                    return Ok(());
+                }
+                VmStatus::Running { next_wake } => {
+                    let wake = next_wake.expect("running VM with held command must have a deadline");
+                    prop_assert!(
+                        wake <= deadline,
+                        "VM scheduled a wake at {wake}, past the outer deadline {deadline}"
+                    );
+                    prop_assert!(wake >= now, "wake-ups must not go backwards");
+                    now = wake.max(now + Dur::from_micros(1));
+                }
+            }
+        }
+        prop_assert!(false, "VM did not finish by the outer deadline");
+    }
+}

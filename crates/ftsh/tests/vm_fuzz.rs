@@ -46,8 +46,8 @@ fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
                     attempts: Some(attempts),
                     every: None,
                 },
-                body: b,
-                catch: c,
+                body: b.into(),
+                catch: c.map(Into::into),
             },
         );
         let forany = (
@@ -55,13 +55,21 @@ fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
             proptest::collection::vec(arb_word(), 1..3),
             body(),
         )
-            .prop_map(|(var, values, body)| Stmt::ForAny { var, values, body });
+            .prop_map(|(var, values, body)| Stmt::ForAny {
+                var,
+                values,
+                body: body.into(),
+            });
         let forall = (
             "[a-z]{1,3}",
             proptest::collection::vec(arb_word(), 1..3),
             body(),
         )
-            .prop_map(|(var, values, body)| Stmt::ForAll { var, values, body });
+            .prop_map(|(var, values, body)| Stmt::ForAll {
+                var,
+                values,
+                body: body.into(),
+            });
         let ifs = (arb_word(), arb_word(), body(), proptest::option::of(body())).prop_map(
             |(l, r, t, e)| Stmt::If {
                 cond: Cond {
@@ -69,8 +77,8 @@ fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
                     op: CondOp::StrEq,
                     rhs: r,
                 },
-                then: t,
-                els: e,
+                then: t.into(),
+                els: e.map(Into::into),
             },
         );
         prop_oneof![
@@ -95,7 +103,7 @@ proptest! {
         outcome_bits in any::<u64>(),
         hold_bits in any::<u64>(),
     ) {
-        let script = Script { stmts };
+        let script = Script { stmts: stmts.into() };
         let mut vm = Vm::with_seed(&script, seed);
         let mut now = Time::ZERO;
         let mut pending: Vec<u64> = Vec::new();

@@ -189,7 +189,9 @@ fn try_deadline_cancels_inflight_command() {
     // Log records the forcible termination.
     let kinds: Vec<_> = h.vm.log().events().iter().map(|e| &e.kind).collect();
     assert!(kinds.iter().any(|k| matches!(k, LogKind::TryTimeout)));
-    assert!(kinds.iter().any(|k| matches!(k, LogKind::CmdCancelled { .. })));
+    assert!(kinds
+        .iter()
+        .any(|k| matches!(k, LogKind::CmdCancelled { .. })));
 }
 
 #[test]
@@ -380,16 +382,15 @@ fn every_interval_overrides_backoff() {
     });
     assert!(ok);
     // Verify the constant 5s cadence from the backoff log entries.
-    let logged: Vec<Dur> = h
-        .vm
-        .log()
-        .events()
-        .iter()
-        .filter_map(|e| match e.kind {
-            LogKind::Backoff { delay } => Some(delay),
-            _ => None,
-        })
-        .collect();
+    let logged: Vec<Dur> =
+        h.vm.log()
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                LogKind::Backoff { delay } => Some(delay),
+                _ => None,
+            })
+            .collect();
     assert_eq!(logged, vec![Dur::from_secs(5); 3]);
 }
 
@@ -725,11 +726,7 @@ fn deadline_kill_restores_caller_positionals() {
     let mut probed = None;
     loop {
         let status = h.tick();
-        if let Some(idx) = h
-            .pending
-            .iter()
-            .position(|(_, s)| s.program() == "probe")
-        {
+        if let Some(idx) = h.pending.iter().position(|(_, s)| s.program() == "probe") {
             let (token, spec) = h.pending.remove(idx);
             probed = Some(spec.argv[1].clone());
             h.vm.complete(token, CmdResult::ok(""));

@@ -13,6 +13,17 @@ use ftsh::vm::{CmdResult, CmdToken, CommandSpec, Effect, Tick, Vm, VmStatus};
 use retry::Time;
 use simgrid::EventQueue;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of VM ticks across every driver on any thread.
+/// The perf harness samples this around a run to normalise allocation
+/// counts to allocations-per-tick; it never affects behaviour.
+static VM_TICKS: AtomicU64 = AtomicU64::new(0);
+
+/// Total VM ticks process-wide since start (monotonic).
+pub fn vm_ticks_total() -> u64 {
+    VM_TICKS.load(Ordering::Relaxed)
+}
 
 /// A client index within a scenario.
 pub type ClientId = usize;
@@ -254,6 +265,7 @@ impl<W: CommandWorld> SimDriver<W> {
             let Some(vm) = self.vms[client].as_mut() else {
                 return;
             };
+            VM_TICKS.fetch_add(1, Ordering::Relaxed);
             let Tick { effects, status } = vm.tick(now);
             let mut completed_inline = false;
             for eff in effects {
@@ -381,10 +393,7 @@ mod tests {
             spec: &CommandSpec,
         ) -> ExecOutcome {
             match spec.program() {
-                "work" => ExecOutcome::At(
-                    ctx.now() + Dur::from_secs(2),
-                    CmdResult::ok(""),
-                ),
+                "work" => ExecOutcome::At(ctx.now() + Dur::from_secs(2), CmdResult::ok("")),
                 "flaky" => {
                     if self.failures_injected < self.fail_first {
                         self.failures_injected += 1;

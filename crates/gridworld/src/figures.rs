@@ -10,8 +10,32 @@
 use crate::scenarios::blackhole::{run_blackhole, BlackHoleParams};
 use crate::scenarios::buffer::{run_buffer, BufferParams};
 use crate::scenarios::submit::{run_submission, SubmitParams};
+use crate::sweep;
 use retry::{Discipline, Dur, Time};
 use simgrid::{Series, SeriesSet};
+
+/// The cross product of disciplines and population sizes, in figure
+/// order: one independent simulation point each, ready for a parallel
+/// sweep.
+fn cross_points(ns: &[usize]) -> Vec<(Discipline, usize)> {
+    Discipline::ALL
+        .iter()
+        .flat_map(|&d| ns.iter().map(move |&n| (d, n)))
+        .collect()
+}
+
+/// Reassemble per-point sweep results (in `cross_points` order) into
+/// one series per discipline.
+fn series_per_discipline(set: &mut SeriesSet, ns: &[usize], values: Vec<f64>) {
+    let mut it = values.into_iter();
+    for d in Discipline::ALL {
+        let mut series = Series::new(d.label());
+        for &n in ns {
+            series.push_xy(n as f64, it.next().expect("one value per point"));
+        }
+        set.add(series);
+    }
+}
 
 /// Scale of a figure run: `full` matches the paper's population sizes
 /// and windows; `quick` is a reduced version for CI and Criterion.
@@ -37,7 +61,9 @@ impl Scale {
 /// disciplines.
 pub fn fig1_submission_scalability(scale: Scale, seed: u64) -> SeriesSet {
     let ns: Vec<usize> = scale.pick(
-        vec![5, 10, 25, 50, 100, 150, 200, 250, 300, 350, 400, 425, 450, 500],
+        vec![
+            5, 10, 25, 50, 100, 150, 200, 250, 300, 350, 400, 425, 450, 500,
+        ],
         vec![50, 200, 450],
     );
     let window = scale.pick(Dur::from_mins(5), Dur::from_secs(90));
@@ -46,20 +72,17 @@ pub fn fig1_submission_scalability(scale: Scale, seed: u64) -> SeriesSet {
         "Number of Submitters",
         "Jobs Submitted",
     );
-    for d in Discipline::ALL {
-        let mut series = Series::new(d.label());
-        for &n in &ns {
-            let params = SubmitParams {
-                n_clients: n,
-                discipline: d,
-                seed: seed ^ (n as u64),
-                ..SubmitParams::default()
-            };
-            let o = run_submission(params, window);
-            series.push_xy(n as f64, o.jobs_submitted as f64);
-        }
-        set.add(series);
-    }
+    let points = cross_points(&ns);
+    let jobs = sweep::map(&points, |&(d, n)| {
+        let params = SubmitParams {
+            n_clients: n,
+            discipline: d,
+            seed: seed ^ (n as u64),
+            ..SubmitParams::default()
+        };
+        run_submission(params, window).jobs_submitted as f64
+    });
+    series_per_discipline(&mut set, &ns, jobs);
     set
 }
 
@@ -134,14 +157,9 @@ pub fn fig4_buffer_throughput(scale: Scale, seed: u64) -> SeriesSet {
         "Number of Producers",
         "Total Files Consumed",
     );
-    for d in Discipline::ALL {
-        let mut series = Series::new(d.label());
-        for &n in &ns {
-            let (consumed, _) = buffer_run(d, n, scale, seed);
-            series.push_xy(n as f64, consumed);
-        }
-        set.add(series);
-    }
+    let points = cross_points(&ns);
+    let consumed = sweep::map(&points, |&(d, n)| buffer_run(d, n, scale, seed).0);
+    series_per_discipline(&mut set, &ns, consumed);
     set
 }
 
@@ -154,14 +172,9 @@ pub fn fig5_buffer_collisions(scale: Scale, seed: u64) -> SeriesSet {
         "Number of Producers",
         "Total Collisions",
     );
-    for d in Discipline::ALL {
-        let mut series = Series::new(d.label());
-        for &n in &ns {
-            let (_, collisions) = buffer_run(d, n, scale, seed);
-            series.push_xy(n as f64, collisions as f64);
-        }
-        set.add(series);
-    }
+    let points = cross_points(&ns);
+    let collisions = sweep::map(&points, |&(d, n)| buffer_run(d, n, scale, seed).1 as f64);
+    series_per_discipline(&mut set, &ns, collisions);
     set
 }
 
@@ -228,7 +241,7 @@ pub fn ablation_threshold_sweep(scale: Scale, seed: u64) -> SeriesSet {
     );
     let mut jobs = Series::new("Jobs");
     let mut crashes = Series::new("Crashes");
-    for &t in &thresholds {
+    let outcomes = sweep::map(&thresholds, |&t| {
         let o = run_submission(
             SubmitParams {
                 n_clients: 450,
@@ -239,8 +252,11 @@ pub fn ablation_threshold_sweep(scale: Scale, seed: u64) -> SeriesSet {
             },
             window,
         );
-        jobs.push_xy(t as f64, o.jobs_submitted as f64);
-        crashes.push_xy(t as f64, o.crashes as f64);
+        (o.jobs_submitted, o.crashes)
+    });
+    for (&t, &(j, c)) in thresholds.iter().zip(&outcomes) {
+        jobs.push_xy(t as f64, j as f64);
+        crashes.push_xy(t as f64, c as f64);
     }
     set.add(jobs);
     set.add(crashes);
@@ -298,9 +314,7 @@ pub fn by_name(name: &str, scale: Scale, seed: u64) -> Option<SeriesSet> {
 pub const ALL_ABLATIONS: [&str; 2] = ["ablation-threshold", "ablation-channel"];
 
 /// The ids of all figures.
-pub const ALL_FIGURES: [&str; 7] = [
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-];
+pub const ALL_FIGURES: [&str; 7] = ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"];
 
 #[cfg(test)]
 mod tests {
@@ -321,7 +335,10 @@ mod tests {
 
     #[test]
     fn quick_timelines_have_two_series() {
-        for f in [fig2_aloha_timeline(Scale::Quick, 1), fig3_ethernet_timeline(Scale::Quick, 1)] {
+        for f in [
+            fig2_aloha_timeline(Scale::Quick, 1),
+            fig3_ethernet_timeline(Scale::Quick, 1),
+        ] {
             assert_eq!(f.series.len(), 2);
             assert!(f.series.iter().all(|s| !s.is_empty()));
         }

@@ -12,6 +12,7 @@ pub mod driver;
 pub mod figures;
 pub mod scenarios;
 pub mod scripts;
+pub mod sweep;
 
 pub use driver::{ClientId, CommandWorld, Completion, Ctx, ExecOutcome, SimDriver, SimEv};
 pub use figures::Scale;

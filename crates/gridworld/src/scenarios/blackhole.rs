@@ -213,6 +213,14 @@ impl CommandWorld for BlackHoleWorld {
         } else {
             self.params.data_size
         };
+        if path == "flag" && !self.params.black_holes.contains(&server) {
+            // A live server answers the one-byte liveness probe promptly
+            // even while a bulk transfer occupies its data channel —
+            // carrier sensing distinguishes dead from busy (§5). Only a
+            // black hole leaves the probe hanging.
+            let dur = self.params.connect_latency + self.servers[server].transfer_time(size);
+            return ExecOutcome::At(ctx.now() + dur, CmdResult::ok(""));
+        }
         let conn = (client, token);
         self.request_size.insert(conn, size);
         self.conn_server.insert(conn, server);

@@ -167,7 +167,8 @@ impl BufferWorld {
 
     fn sample(&mut self, now: Time) {
         self.consumed_series.push(now, self.files_consumed as f64);
-        self.collision_series.push(now, self.disk.collisions() as f64);
+        self.collision_series
+            .push(now, self.disk.collisions() as f64);
         self.occupancy_series.push(now, self.disk.used() as f64);
     }
 }

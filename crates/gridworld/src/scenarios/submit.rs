@@ -386,7 +386,8 @@ impl CommandWorld for SubmitWorld {
                     self.transient_held = false;
                 }
                 if let Some(&t0) = self.enqueued_at.get(&conn) {
-                    self.sojourns.push(ctx.now().saturating_since(t0).as_secs_f64());
+                    self.sojourns
+                        .push(ctx.now().saturating_since(t0).as_secs_f64());
                 }
                 self.release_sub(conn);
                 self.jobs_submitted += 1;
@@ -630,10 +631,7 @@ mod tests {
             a.client_totals.total_backoff
         );
         let f = quick(Discipline::Fixed, 450);
-        assert_eq!(
-            f.client_totals.backoffs, 0,
-            "fixed clients never back off"
-        );
+        assert_eq!(f.client_totals.backoffs, 0, "fixed clients never back off");
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Parallel fan-out of independent sweep points across OS threads.
+//!
+//! The multi-point figures (1, 4, 5 and the ablations) run one
+//! discrete-event simulation per `(discipline, population)` point, and
+//! the points share nothing: each builds its own world, VM population
+//! and seeded RNG stream. [`map`] exploits that independence by
+//! fanning the points over `std::thread::scope` workers while
+//! preserving input order in the output, so a parallel sweep is
+//! bit-identical to a sequential one — per-point determinism is a
+//! property of the point's seed, not of scheduling.
+//!
+//! Worker count defaults to the machine's available parallelism
+//! (capped by the number of points) and can be pinned with the
+//! `EG_SWEEP_THREADS` environment variable; `EG_SWEEP_THREADS=1`
+//! forces the sequential baseline the perf harness compares against.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The worker count [`map`] would use for `n_items` points: available
+/// parallelism capped by the item count, overridden by
+/// `EG_SWEEP_THREADS` when set.
+pub fn configured_threads(n_items: usize) -> usize {
+    let default = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let n = std::env::var("EG_SWEEP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(default);
+    n.min(n_items).max(1)
+}
+
+/// Apply `f` to every item, fanning across [`configured_threads`]
+/// scoped threads. Output order matches input order exactly.
+pub fn map<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    map_with_threads(configured_threads(items.len()), items, f)
+}
+
+/// [`map`] with an explicit worker count (1 = run on this thread).
+pub fn map_with_threads<I, O, F>(threads: usize, items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<O>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(items.len()))
+            .map(|_| {
+                scope.spawn(|| {
+                    // Work-stealing by index: uneven point costs (a 500-
+                    // client run vs a 5-client run) balance themselves.
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            return local;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, out) in h.join().expect("sweep worker panicked") {
+                slots[i] = Some(out);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = map_with_threads(8, &items, |&i| i * 2);
+        assert_eq!(out, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..40).collect();
+        let f = |&i: &u64| {
+            // A little arithmetic per item so threads interleave.
+            (0..1000u64).fold(i, |a, b| a.wrapping_mul(31).wrapping_add(b))
+        };
+        assert_eq!(
+            map_with_threads(1, &items, f),
+            map_with_threads(6, &items, f)
+        );
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out = map_with_threads(8, &[42], |&i: &i32| i + 1);
+        assert_eq!(out, vec![43]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = map_with_threads(4, &[], |&i: &i32| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn configured_threads_is_capped_by_items() {
+        assert_eq!(configured_threads(1), 1);
+        assert!(configured_threads(1000) >= 1);
+    }
+}

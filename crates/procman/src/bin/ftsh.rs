@@ -128,6 +128,8 @@ fn main() -> ExitCode {
     };
     let mut vm = match seed {
         Some(n) => Vm::with_seed(&script, n),
+        // No --seed: entropy keeps concurrent shells' jitter
+        // decorrelated (§4); pass --seed for reproducible runs.
         None => Vm::new(&script),
     };
     if backoff_base.is_some() || backoff_cap.is_some() || !jitter {

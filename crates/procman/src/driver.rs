@@ -100,6 +100,8 @@ pub struct RealReport {
 pub fn run_script(script: &Script, opts: &RealOptions) -> RealReport {
     let vm = match opts.seed {
         Some(s) => Vm::with_seed(script, s),
+        // Deliberately entropy-seeded: concurrent real shells must not
+        // share a jitter stream (§4). Simulation paths always seed.
         None => Vm::new(script),
     };
     run_vm(vm, opts)
@@ -281,14 +283,12 @@ mod tests {
 
     #[test]
     fn capture_into_variable_feeds_condition() {
-        let r = run(
-            "echo 2048 -> n\n\
+        let r = run("echo 2048 -> n\n\
              if ${n} .ge. 1000\n\
                true\n\
              else\n\
                failure\n\
-             end\n",
-        );
+             end\n");
         assert!(r.success);
     }
 
@@ -337,11 +337,9 @@ mod tests {
 
     #[test]
     fn forany_falls_through_to_working_command() {
-        let r = run(
-            "forany cmd in false false true\n\
+        let r = run("forany cmd in false false true\n\
                ${cmd}\n\
-             end\n",
-        );
+             end\n");
         assert!(r.success);
     }
 
@@ -349,11 +347,9 @@ mod tests {
     fn forall_runs_real_branches_in_parallel() {
         // Three 300 ms sleeps in parallel finish well under 900 ms.
         let started = Instant::now();
-        let r = run(
-            "forall t in 0.3 0.3 0.3\n\
+        let r = run("forall t in 0.3 0.3 0.3\n\
                sleep ${t}\n\
-             end\n",
-        );
+             end\n");
         assert!(r.success);
         assert!(
             started.elapsed() < Duration::from_millis(850),
@@ -365,11 +361,9 @@ mod tests {
     #[test]
     fn forall_failure_aborts_siblings_quickly() {
         let started = Instant::now();
-        let r = run(
-            "forall t in 30 0.1x 30\n\
+        let r = run("forall t in 30 0.1x 30\n\
                sleep ${t}\n\
-             end\n",
-        );
+             end\n");
         assert!(!r.success, "bad sleep operand fails the forall");
         assert!(
             started.elapsed() < Duration::from_secs(10),

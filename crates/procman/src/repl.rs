@@ -25,7 +25,7 @@ use std::io::{BufRead, Write};
 pub fn block_balance(src: &str) -> i32 {
     let mut depth = 0;
     for line in src.lines() {
-        let first = line.trim_start().split_whitespace().next().unwrap_or("");
+        let first = line.split_whitespace().next().unwrap_or("");
         match first {
             "try" | "forany" | "forall" | "if" | "function" => depth += 1,
             "end" => depth -= 1,
@@ -62,7 +62,9 @@ impl Repl {
         // Prepend remembered function definitions so calls resolve.
         let mut stmts = self.functions.clone();
         stmts.extend(parsed.stmts.iter().cloned());
-        let script = Script { stmts };
+        let script = Script {
+            stmts: stmts.into(),
+        };
         let vm = match self.opts.seed {
             Some(s) => Vm::with_env_seed(&script, self.env.clone(), s),
             None => Vm::with_env_seed(&script, self.env.clone(), rand_seed()),

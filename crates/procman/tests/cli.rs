@@ -17,7 +17,10 @@ fn inline_script_success_and_failure_exit_codes() {
 
 #[test]
 fn parse_error_exits_2() {
-    let out = ftsh().args(["-c", "try for 5 minutes\nx\n"]).output().unwrap();
+    let out = ftsh()
+        .args(["-c", "try for 5 minutes\nx\n"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("line"), "diagnostic mentions the line: {err}");
@@ -35,7 +38,11 @@ fn check_mode_parses_without_running() {
 #[test]
 fn pretty_mode_prints_canonical_form() {
     let out = ftsh()
-        .args(["--pretty", "-c", "try   for  5    minutes\n  wget url\nend\n"])
+        .args([
+            "--pretty",
+            "-c",
+            "try   for  5    minutes\n  wget url\nend\n",
+        ])
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(0));
@@ -65,7 +72,11 @@ fn script_file_runs() {
 #[test]
 fn log_mode_reports_attempts() {
     let out = ftsh()
-        .args(["--log", "-c", "try for 1 hour every 10 ms or 3 times\nfalse\nend\n"])
+        .args([
+            "--log",
+            "-c",
+            "try for 1 hour every 10 ms or 3 times\nfalse\nend\n",
+        ])
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(1));
@@ -107,13 +118,20 @@ fn deadline_kills_inline_sleep() {
 #[test]
 fn timeline_mode_renders_swimlanes() {
     let out = ftsh()
-        .args(["--timeline", "-c", "forall t in 0.05 0.05\nsleep ${t}\nend\n"])
+        .args([
+            "--timeline",
+            "-c",
+            "forall t in 0.05 0.05\nsleep ${t}\nend\n",
+        ])
         .output()
         .unwrap();
     assert_eq!(out.status.code(), Some(0));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("task 0"), "{err}");
-    assert!(err.contains("task 1"), "branches get their own lanes: {err}");
+    assert!(
+        err.contains("task 1"),
+        "branches get their own lanes: {err}"
+    );
     assert!(err.contains("forall x2"), "{err}");
 }
 
@@ -145,9 +163,16 @@ fn backoff_flags_change_retry_pacing() {
 
 #[test]
 fn backoff_flag_usage_errors() {
-    assert_eq!(ftsh().args(["--backoff-base"]).status().unwrap().code(), Some(2));
     assert_eq!(
-        ftsh().args(["--backoff-cap", "xyz", "-c", "true\n"]).status().unwrap().code(),
+        ftsh().args(["--backoff-base"]).status().unwrap().code(),
+        Some(2)
+    );
+    assert_eq!(
+        ftsh()
+            .args(["--backoff-cap", "xyz", "-c", "true\n"])
+            .status()
+            .unwrap()
+            .code(),
         Some(2)
     );
 }

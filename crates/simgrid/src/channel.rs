@@ -122,8 +122,7 @@ pub fn simulate_channel(
         // sense it busy and politely hold for the next slot (no backoff
         // penalty — deferral is not a collision). Ties within the
         // propagation window collide.
-        let transmitters: Vec<usize> = if discipline == ChannelDiscipline::Ethernet
-            && due.len() > 1
+        let transmitters: Vec<usize> = if discipline == ChannelDiscipline::Ethernet && due.len() > 1
         {
             let offsets: Vec<u64> = due.iter().map(|_| rng.range_u64(0, MINI_SLOTS)).collect();
             let min = *offsets.iter().min().expect("due nonempty");

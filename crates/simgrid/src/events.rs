@@ -9,6 +9,17 @@
 use retry::Time;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+/// Process-wide count of events popped from every [`EventQueue`], on
+/// any thread. The perf harness samples this around a run to compute
+/// events-processed/second; it never affects simulation behaviour.
+static EVENTS_POPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Total events popped process-wide since start (monotonic).
+pub fn events_popped_total() -> u64 {
+    EVENTS_POPPED.load(AtomicOrdering::Relaxed)
+}
 
 struct Entry<E> {
     at: Time,
@@ -106,6 +117,7 @@ impl<E> EventQueue<E> {
         let e = self.heap.pop()?;
         debug_assert!(e.at >= self.now, "clock went backwards");
         self.now = e.at;
+        EVENTS_POPPED.fetch_add(1, AtomicOrdering::Relaxed);
         Some((e.at, e.event))
     }
 

@@ -30,7 +30,7 @@ pub mod resources;
 pub mod rng;
 
 pub use channel::{simulate_channel, ChannelDiscipline, ChannelStats};
-pub use events::EventQueue;
+pub use events::{events_popped_total, EventQueue};
 pub use metrics::{percentile, Series, SeriesSet};
 pub use resources::disk::{DiskBuffer, FileId, WriteError};
 pub use resources::fdtable::{FdExhausted, FdTable};

@@ -3,10 +3,38 @@
 //! collisions…). Serializable so the figure harness can emit JSON.
 
 use retry::Time;
-use serde::Serialize;
+
+/// Escape a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float as a JSON number (finite values only; non-finite
+/// values are clamped to null, which JSON cannot represent as a float).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
 
 /// A named series of `(seconds, value)` points.
-#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Series {
     /// Legend label.
     pub name: String,
@@ -73,6 +101,20 @@ impl Series {
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
     }
+
+    /// Compact JSON, shaped like `{"name":…,"points":[[x,y],…]}`.
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|&(x, y)| format!("[{},{}]", json_f64(x), json_f64(y)))
+            .collect();
+        format!(
+            "{{\"name\":\"{}\",\"points\":[{}]}}",
+            json_escape(&self.name),
+            points.join(",")
+        )
+    }
 }
 
 /// Percentile of a sample set (nearest-rank; `q` in [0, 1]). Returns
@@ -88,7 +130,7 @@ pub fn percentile(samples: &mut [f64], q: f64) -> Option<f64> {
 }
 
 /// A group of series belonging to one figure.
-#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SeriesSet {
     /// Figure title.
     pub title: String,
@@ -124,6 +166,37 @@ impl SeriesSet {
     /// Look up a member series by name.
     pub fn get(&self, name: &str) -> Option<&Series> {
         self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Compact JSON for the whole figure.
+    pub fn to_json(&self) -> String {
+        let series: Vec<String> = self.series.iter().map(|s| s.to_json()).collect();
+        format!(
+            "{{\"title\":\"{}\",\"x_label\":\"{}\",\"y_label\":\"{}\",\"series\":[{}]}}",
+            json_escape(&self.title),
+            json_escape(&self.x_label),
+            json_escape(&self.y_label),
+            series.join(",")
+        )
+    }
+
+    /// Indented JSON for the whole figure (one series per line block,
+    /// points kept compact).
+    pub fn to_json_pretty(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"title\": \"{}\",", json_escape(&self.title));
+        let _ = writeln!(out, "  \"x_label\": \"{}\",", json_escape(&self.x_label));
+        let _ = writeln!(out, "  \"y_label\": \"{}\",", json_escape(&self.y_label));
+        let _ = writeln!(out, "  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            let comma = if i + 1 < self.series.len() { "," } else { "" };
+            let _ = writeln!(out, "    {}{}", s.to_json(), comma);
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = write!(out, "}}");
+        out
     }
 
     /// Render an ASCII line chart (roughly the paper's figure, in the
@@ -351,7 +424,26 @@ mod tests {
     fn serializes_to_json() {
         let mut s = Series::new("t");
         s.push(Time::from_secs(1), 2.0);
-        let j = serde_json::to_string(&s).unwrap();
+        let j = s.to_json();
         assert!(j.contains("\"name\":\"t\""));
+        assert_eq!(j, "{\"name\":\"t\",\"points\":[[1,2]]}");
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let s = Series::new("a\"b\\c\nd");
+        assert_eq!(s.to_json(), "{\"name\":\"a\\\"b\\\\c\\nd\",\"points\":[]}");
+    }
+
+    #[test]
+    fn set_json_nests_series() {
+        let mut set = SeriesSet::new("Fig 1", "x", "y");
+        set.add(Series::new("A")).push_xy(1.0, 2.5);
+        let j = set.to_json();
+        assert!(j.contains("\"title\":\"Fig 1\""));
+        assert!(j.contains("[1,2.5]"));
+        let p = set.to_json_pretty();
+        assert!(p.contains("\"series\": ["));
+        assert!(p.ends_with('}'));
     }
 }

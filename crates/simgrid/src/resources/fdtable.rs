@@ -89,7 +89,11 @@ impl FdTable {
     /// Release `n` descriptors. Releasing more than are allocated is a
     /// bug in the caller.
     pub fn release(&mut self, n: u64) {
-        assert!(n <= self.in_use, "releasing {n} FDs but only {} in use", self.in_use);
+        assert!(
+            n <= self.in_use,
+            "releasing {n} FDs but only {} in use",
+            self.in_use
+        );
         self.in_use -= n;
     }
 }

@@ -180,7 +180,10 @@ mod tests {
     fn transfer_time_scales_with_size() {
         let s: FileServer<u32> = FileServer::new(ServerKind::Normal, 10 << 20);
         let t = s.transfer_time(100 << 20);
-        assert!((t.as_secs_f64() - 10.0).abs() < 1e-9, "100MB at 10MB/s is 10s");
+        assert!(
+            (t.as_secs_f64() - 10.0).abs() < 1e-9,
+            "100MB at 10MB/s is 10s"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ end
         }
     });
 
-    println!("script outcome: {}\n", if out.success() { "ok" } else { "failed" });
+    println!(
+        "script outcome: {}\n",
+        if out.success() { "ok" } else { "failed" }
+    );
 
     let log = driver.vm().log();
     let s = log.summary();

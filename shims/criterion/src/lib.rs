@@ -1,0 +1,200 @@
+//! A small, self-contained benchmarking harness exposing the subset of
+//! the `criterion` API this workspace uses, so `cargo bench` works
+//! without a crates.io registry. The workspace imports it under the
+//! name `criterion` via Cargo dependency renaming.
+//!
+//! Each benchmark is warmed up briefly, then timed over enough
+//! iterations to fill a small measurement window; the mean ns/iter is
+//! printed in a `name ... time: [...]` line similar to criterion's.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark registry and runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Run one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let stats = run_bench(self.sample_size, self.measurement, &mut f);
+        report(&name.into(), &stats);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let stats = run_bench(samples, self.criterion.measurement, &mut f);
+        report(&format!("{}/{}", self.name, name.into()), &stats);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the routine under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `self.iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+struct Stats {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(samples: usize, window: Duration, f: &mut F) -> Stats {
+    // Calibrate: how many iterations fit one sample slot?
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let slot = window / samples.max(1) as u32;
+    let iters = (slot.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter_ns = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    Stats {
+        mean_ns: mean,
+        min_ns: per_iter_ns.iter().copied().fold(f64::INFINITY, f64::min),
+        max_ns: per_iter_ns.iter().copied().fold(0.0, f64::max),
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(name: &str, stats: &Stats) {
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        human(stats.min_ns),
+        human(stats.mean_ns),
+        human(stats.max_ns)
+    );
+}
+
+/// Register benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measurement: Duration::from_millis(3),
+        };
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_honours_sample_size() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measurement: Duration::from_millis(3),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut ran = false;
+        g.bench_function("x", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,51 @@
+//! Minimal raw bindings to the C library for the handful of POSIX
+//! calls this workspace uses (session management and signalling), so
+//! builds work without a crates.io registry. The workspace imports it
+//! under the name `libc` via Cargo dependency renaming. Linux x86-64 /
+//! aarch64 signal numbers.
+
+#![allow(non_camel_case_types)]
+
+/// C `int`.
+pub type c_int = i32;
+/// POSIX process id.
+pub type pid_t = i32;
+/// Signal-handler slot as passed to `signal(2)` (function pointer cast
+/// to a word).
+pub type sighandler_t = usize;
+
+/// Termination request (catchable).
+pub const SIGTERM: c_int = 15;
+/// Forced kill (uncatchable).
+pub const SIGKILL: c_int = 9;
+/// Interrupt from keyboard.
+pub const SIGINT: c_int = 2;
+/// Hangup.
+pub const SIGHUP: c_int = 1;
+
+extern "C" {
+    /// Send `sig` to `pid` (negative: the whole process group).
+    pub fn kill(pid: pid_t, sig: c_int) -> c_int;
+    /// Make the calling process a session leader.
+    pub fn setsid() -> pid_t;
+    /// Install a signal handler; returns the previous one.
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+    /// The calling process id.
+    pub fn getpid() -> pid_t;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn getpid_matches_std() {
+        let pid = unsafe { super::getpid() };
+        assert_eq!(pid as u32, std::process::id());
+    }
+
+    #[test]
+    fn kill_signal_zero_probes_self() {
+        // Signal 0 performs error checking only: our own pid exists.
+        let rc = unsafe { super::kill(super::getpid(), 0) };
+        assert_eq!(rc, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! A small, self-contained property-testing framework exposing the
+//! subset of the `proptest` API this workspace uses, so builds work
+//! without a crates.io registry. The workspace imports it under the
+//! name `proptest` via Cargo dependency renaming.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! deterministic seed (reruns explore the same inputs), and failures
+//! are reported without input shrinking — the failing values are
+//! printed as-is.
+
+pub mod collection;
+pub mod option;
+pub mod regex;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-import surface used by test files.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies; the body may use `prop_assert!`-style macros and `?` on
+/// [`test_runner::TestCaseError`] results.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+                runner.run(|__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __proptest_rng);)+
+                    let mut __proptest_case = move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    __proptest_case()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Fail the current case (by returning a [`test_runner::TestCaseError`])
+/// unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, "assertion failed: {:?} == {:?}", lhs, rhs);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: {:?} == {:?}: {}",
+            lhs,
+            rhs,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail the current case unless the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs != *rhs, "assertion failed: {:?} != {:?}", lhs, rhs);
+    }};
+}
+
+/// A union of strategies, optionally weighted (`w => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,307 @@
+//! A tiny regex-subset *generator*: `&str` strategies sample strings
+//! matching the pattern. Supported syntax: literal characters, escapes
+//! (`\n`, `\t`, `\\`, `\.` …), `.` (any printable ASCII), character
+//! classes with ranges and negation, groups with alternation, and the
+//! quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (unbounded ones capped at
+//! 8 repetitions).
+
+use crate::test_runner::TestRng;
+
+/// Generate one string matching `pattern`. Panics on syntax this
+/// subset does not understand.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = Parser {
+        chars: &chars,
+        pos: 0,
+        pattern,
+    };
+    let node = p.alternation();
+    assert!(
+        p.pos == p.chars.len(),
+        "unsupported regex (stopped at byte {}): {pattern:?}",
+        p.pos
+    );
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+enum Node {
+    /// Alternatives, one chosen at random.
+    Alt(Vec<Node>),
+    /// Concatenation.
+    Seq(Vec<Node>),
+    /// A repeated node with an inclusive count range.
+    Repeat(Box<Node>, u32, u32),
+    /// One literal character.
+    Char(char),
+    /// One character drawn from a set.
+    Class { set: Vec<char>, negated: bool },
+    /// `.`: any printable ASCII character.
+    Dot,
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+    pattern: &'a str,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        c
+    }
+
+    fn alternation(&mut self) -> Node {
+        let mut alts = vec![self.sequence()];
+        while self.peek() == Some('|') {
+            self.bump();
+            alts.push(self.sequence());
+        }
+        if alts.len() == 1 {
+            alts.pop().unwrap()
+        } else {
+            Node::Alt(alts)
+        }
+    }
+
+    fn sequence(&mut self) -> Node {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.atom();
+            items.push(self.quantified(atom));
+        }
+        Node::Seq(items)
+    }
+
+    fn atom(&mut self) -> Node {
+        match self.bump() {
+            '(' => {
+                let inner = self.alternation();
+                assert_eq!(self.bump(), ')', "unclosed group in {:?}", self.pattern);
+                inner
+            }
+            '[' => self.class(),
+            '.' => Node::Dot,
+            '\\' => Node::Char(unescape(self.bump())),
+            c => Node::Char(c),
+        }
+    }
+
+    fn class(&mut self) -> Node {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut set = Vec::new();
+        let mut first = true;
+        loop {
+            let c = match self.peek() {
+                Some(']') if !first => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+                None => panic!("unclosed character class in {:?}", self.pattern),
+            };
+            first = false;
+            let c = if c == '\\' { unescape(self.bump()) } else { c };
+            // A range needs `-` followed by something other than `]`.
+            if self.peek() == Some('-')
+                && self.chars.get(self.pos + 1) != Some(&']')
+                && self.chars.get(self.pos + 1).is_some()
+            {
+                self.bump();
+                let hi = self.bump();
+                let hi = if hi == '\\' {
+                    unescape(self.bump())
+                } else {
+                    hi
+                };
+                assert!(c <= hi, "inverted class range in {:?}", self.pattern);
+                for v in (c as u32)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(v) {
+                        set.push(ch);
+                    }
+                }
+            } else {
+                set.push(c);
+            }
+        }
+        assert!(
+            !set.is_empty(),
+            "empty character class in {:?}",
+            self.pattern
+        );
+        Node::Class { set, negated }
+    }
+
+    fn quantified(&mut self, atom: Node) -> Node {
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, 8)
+            }
+            Some('+') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 1, 8)
+            }
+            Some('{') => {
+                self.bump();
+                let mut lo = String::new();
+                while self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                    lo.push(self.bump());
+                }
+                let lo: u32 = lo.parse().expect("repeat count");
+                let hi = if self.peek() == Some(',') {
+                    self.bump();
+                    let mut hi = String::new();
+                    while self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                        hi.push(self.bump());
+                    }
+                    hi.parse().expect("repeat bound")
+                } else {
+                    lo
+                };
+                assert_eq!(self.bump(), '}', "unclosed repeat in {:?}", self.pattern);
+                Node::Repeat(Box::new(atom), lo, hi)
+            }
+            _ => atom,
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+const PRINTABLE: std::ops::Range<u32> = 0x20..0x7F;
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(alts) => {
+            let pick = rng.below(alts.len() as u64) as usize;
+            emit(&alts[pick], rng, out);
+        }
+        Node::Seq(items) => {
+            for item in items {
+                emit(item, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = *lo as u64 + rng.below((*hi - *lo + 1) as u64);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+        Node::Char(c) => out.push(*c),
+        Node::Class { set, negated } => {
+            if *negated {
+                for _ in 0..1000 {
+                    let c = char::from_u32(
+                        PRINTABLE.start
+                            + rng.below((PRINTABLE.end - PRINTABLE.start) as u64) as u32,
+                    )
+                    .unwrap();
+                    if !set.contains(&c) {
+                        out.push(c);
+                        return;
+                    }
+                }
+                panic!("negated class excludes all printable ASCII");
+            }
+            let pick = rng.below(set.len() as u64) as usize;
+            out.push(set[pick]);
+        }
+        Node::Dot => {
+            let c = char::from_u32(
+                PRINTABLE.start + rng.below((PRINTABLE.end - PRINTABLE.start) as u64) as u32,
+            )
+            .unwrap();
+            out.push(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    fn gen_many(pattern: &str) -> Vec<String> {
+        let mut rng = TestRng::new(42);
+        (0..200).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn fixed_repeat_class() {
+        for s in gen_many("[a-z]{1,6}") {
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn grouped_repeat() {
+        for s in gen_many("[a-z][a-z0-9]{0,6}( [a-z0-9./:-]{1,8}){0,3}") {
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn dot_is_printable() {
+        for s in gen_many(".{0,200}") {
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_literals() {
+        for s in gen_many("[a-z \n${}\"']{0,120}") {
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase() || " \n${}\"'".contains(c),
+                    "unexpected {c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alternation_picks_each_arm() {
+        let all = gen_many("(ab|cd)");
+        assert!(all.iter().any(|s| s == "ab"));
+        assert!(all.iter().any(|s| s == "cd"));
+    }
+
+    #[test]
+    fn optional_and_star() {
+        for s in gen_many("a?b*c+") {
+            assert!(s.contains('c'));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The case loop, its RNG, and failure reporting.
+
+/// Per-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// How many cases to generate and run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion (or explicit `fail`) tripped.
+    Fail(String),
+    /// The case asked to be discarded.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A discard request carrying `message`.
+    pub fn reject(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// The deterministic generator strategies draw from.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A stream fully determined by `seed`.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x6A09_E667_F3BC_C909,
+        }
+    }
+
+    /// The next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n = 0` yields 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs the case loop for one `proptest!` test function.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// A runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> TestRunner {
+        TestRunner { config, name }
+    }
+
+    /// Run `case` once per configured case with a per-case RNG. Panics
+    /// on the first failing case, reporting its index and seed.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        // Derive a stable per-test base seed from the test name so
+        // different tests explore different corners, reproducibly.
+        let mut base: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.name.bytes() {
+            base ^= b as u64;
+            base = base.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        for i in 0..self.config.cases {
+            let seed = base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut rng = TestRng::new(seed);
+            match case(&mut rng) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case {}/{} of '{}' failed (seed {seed:#x}): {msg}",
+                        i + 1,
+                        self.config.cases,
+                        self.name,
+                    );
+                }
+            }
+        }
+    }
+}

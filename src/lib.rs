@@ -31,7 +31,9 @@
 //! .unwrap();
 //!
 //! // Drive the script with a toy executor: every command succeeds.
-//! let mut driver = VmDriver::new(Vm::new(&script), SimClock::new());
+//! // A fixed seed makes the run (and this doctest) deterministic;
+//! // `Vm::new` seeds backoff jitter from entropy instead.
+//! let mut driver = VmDriver::new(Vm::with_seed(&script, 42), SimClock::new());
 //! let outcome = driver.run_to_completion(|_cmd| Ok(String::new()));
 //! assert!(outcome.success());
 //! ```

@@ -45,10 +45,7 @@ fn same_script_runs_simulated_and_real() {
     // Simulated: cmd=flaky-twice.
     let mut env = ethernet_grid::ftsh::Env::new();
     env.set("cmd", "anything");
-    let mut d = VmDriver::new(
-        Vm::with_env_seed(&script, env, 3),
-        SimClock::new(),
-    );
+    let mut d = VmDriver::new(Vm::with_env_seed(&script, env, 3), SimClock::new());
     let mut failures = 1;
     let out = d.run_to_completion(|_| {
         if failures > 0 {

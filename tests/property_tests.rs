@@ -201,23 +201,34 @@ fn arb_prog() -> impl Strategy<Value = Word> {
         .prop_filter("not a keyword", |s| {
             !matches!(
                 s.as_str(),
-                "try" | "forany" | "forall" | "if" | "else" | "end" | "catch" | "failure"
-                    | "success" | "for" | "in" | "times" | "every" | "or"
+                "try"
+                    | "forany"
+                    | "forall"
+                    | "if"
+                    | "else"
+                    | "end"
+                    | "catch"
+                    | "failure"
+                    | "success"
+                    | "for"
+                    | "in"
+                    | "times"
+                    | "every"
+                    | "or"
             )
         })
         .prop_map(Word::lit)
 }
 
 fn arb_command() -> impl Strategy<Value = Stmt> {
-    (arb_prog(), proptest::collection::vec(arb_word(), 0..3))
-        .prop_map(|(p, mut args)| {
-            let mut words = vec![p];
-            words.append(&mut args);
-            Stmt::Command(Command {
-                words,
-                redirs: vec![],
-            })
+    (arb_prog(), proptest::collection::vec(arb_word(), 0..3)).prop_map(|(p, mut args)| {
+        let mut words = vec![p];
+        words.append(&mut args);
+        Stmt::Command(Command {
+            words,
+            redirs: vec![],
         })
+    })
 }
 
 fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
@@ -243,21 +254,29 @@ fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
                     attempts: times,
                     every: None,
                 },
-                body,
-                catch,
+                body: body.into(),
+                catch: catch.map(Into::into),
             });
         let forany = (
             "[a-z][a-z0-9_]{0,5}",
             proptest::collection::vec(arb_word(), 1..4),
             inner.clone(),
         )
-            .prop_map(|(var, values, body)| Stmt::ForAny { var, values, body });
+            .prop_map(|(var, values, body)| Stmt::ForAny {
+                var,
+                values,
+                body: body.into(),
+            });
         let forall = (
             "[a-z][a-z0-9_]{0,5}",
             proptest::collection::vec(arb_word(), 1..4),
             inner.clone(),
         )
-            .prop_map(|(var, values, body)| Stmt::ForAll { var, values, body });
+            .prop_map(|(var, values, body)| Stmt::ForAll {
+                var,
+                values,
+                body: body.into(),
+            });
         let ifstmt = (
             arb_word(),
             prop_oneof![
@@ -272,8 +291,8 @@ fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
         )
             .prop_map(|(lhs, op, rhs, then, els)| Stmt::If {
                 cond: Cond { lhs, op, rhs },
-                then,
-                els,
+                then: then.into(),
+                els: els.map(Into::into),
             });
         prop_oneof![
             4 => arb_command(),
@@ -293,7 +312,7 @@ proptest! {
     /// parse(pretty(ast)) == ast for generated scripts.
     #[test]
     fn pretty_parse_roundtrip(stmts in proptest::collection::vec(arb_stmt(2), 1..5)) {
-        let script = Script { stmts };
+        let script = Script { stmts: stmts.into() };
         let printed = pretty(&script);
         let reparsed = parse(&printed)
             .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{printed}")))?;
@@ -304,7 +323,7 @@ proptest! {
     /// byte-identical text.
     #[test]
     fn pretty_is_idempotent(stmts in proptest::collection::vec(arb_stmt(2), 1..4)) {
-        let script = Script { stmts };
+        let script = Script { stmts: stmts.into() };
         let once = pretty(&script);
         let twice = pretty(&parse(&once).unwrap());
         prop_assert_eq!(once, twice);
