@@ -4,7 +4,10 @@
 //!   script; with the shared AST this is 500 `Arc` bumps, not 500 deep
 //!   copies.
 //! * `vm_population_tick` — first tick of a 200-VM population, the
-//!   allocation-lean path the driver runs millions of times.
+//!   allocation-lean path the driver runs millions of times. The
+//!   `_traced` variant runs the same ticks with a ring sink installed,
+//!   bounding what tracing costs when it *is* on (off, it is a single
+//!   `Option` test — compare the two).
 //! * `sweep_seq` / `sweep_par` — a fig1-style multi-point submission
 //!   sweep through `gridworld::sweep` pinned to 1 vs. 4 workers (on a
 //!   multi-core host the parallel one should win; see also
@@ -53,6 +56,25 @@ fn bench(c: &mut Criterion) {
     g.bench_function("vm_population_tick_200", |b| {
         b.iter(|| {
             let mut vms: Vec<Vm> = (0..200).map(|i| Vm::with_seed(&script, i)).collect();
+            let effects: usize = vms
+                .iter_mut()
+                .map(|vm| vm.tick(Time::ZERO).effects.len())
+                .sum();
+            std::hint::black_box(effects)
+        })
+    });
+
+    g.bench_function("vm_population_tick_200_traced", |b| {
+        use ftsh::trace::{shared, RingSink};
+        b.iter(|| {
+            let sink = shared(RingSink::new(4096));
+            let mut vms: Vec<Vm> = (0..200)
+                .map(|i| {
+                    let mut vm = Vm::with_seed(&script, i);
+                    vm.set_tracer(sink.clone(), i as i64);
+                    vm
+                })
+                .collect();
             let effects: usize = vms
                 .iter_mut()
                 .map(|vm| vm.tick(Time::ZERO).effects.len())

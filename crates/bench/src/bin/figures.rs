@@ -2,13 +2,27 @@
 //!
 //! ```text
 //! figures [--quick] [--seed N] [fig1 fig2 ... | all]
+//! figures --trace OUT.jsonl [--seed N] [figs...]
 //! figures --stats [--quick] [--seed N] [figs...]
+//! figures postmortem TRACE.jsonl [--timeline] [--client N]
 //! ```
 //!
 //! Prints each figure as an aligned table (the rows the paper plots)
 //! and writes `results/figN.json`. Default scale is `--full`
 //! (paper-size populations and windows); `--quick` runs the reduced
 //! versions used in CI.
+//!
+//! `--trace` additionally records the structured trace of every
+//! simulation behind the figure — attempt spans with backoff draws and
+//! budgets, command boundaries, carrier-sense probes, deferrals,
+//! collisions, schedd crashes — as JSONL. With one figure the file is
+//! written at the given path; with several, each figure gets
+//! `PATH-<fig>.jsonl`. Traces are bit-deterministic per seed, however
+//! many sweep threads run.
+//!
+//! `postmortem` reads such a file back and reconstructs the run: event
+//! counts, retry/backoff distributions, attempts-per-success, and
+//! (with `--timeline`) per-client swimlanes, filtered by `--client`.
 //!
 //! `--stats` is the engine perf baseline: it runs the multi-point
 //! sweep figures twice — once pinned to one sweep thread (the
@@ -17,7 +31,7 @@
 //! for both passes, plus the parallel speedup, to
 //! `BENCH_engine.json` at the workspace root.
 
-use gridworld::figures::{by_name, Scale, ALL_ABLATIONS, ALL_FIGURES};
+use gridworld::figures::{by_name_full, Scale, ALL_ABLATIONS, ALL_FIGURES};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -105,20 +119,24 @@ impl PassStats {
 /// workers, sampling the engine counters around the pass.
 fn run_pass(threads: usize, figs: &[String], scale: Scale, seed: u64) -> PassStats {
     std::env::set_var("EG_SWEEP_THREADS", threads.to_string());
-    let events0 = simgrid::events_popped_total();
     let ticks0 = gridworld::driver::vm_ticks_total();
     let allocs0 = ALLOCS.load(Ordering::Relaxed);
     let start = Instant::now();
+    // Events are aggregated per run (each figure sums its own queues),
+    // not read from the deprecated process-global counter, so another
+    // thread's simulations can never contaminate the sample.
+    let mut events = 0u64;
     for name in figs {
-        let set = by_name(name, scale, seed).expect("stats figure exists");
-        std::hint::black_box(&set);
+        let run = by_name_full(name, scale, seed, false).expect("stats figure exists");
+        events += run.events_popped;
+        std::hint::black_box(&run.set);
     }
     let wall_s = start.elapsed().as_secs_f64();
     std::env::remove_var("EG_SWEEP_THREADS");
     PassStats {
         threads,
         wall_s,
-        events: simgrid::events_popped_total() - events0,
+        events,
         vm_ticks: gridworld::driver::vm_ticks_total() - ticks0,
         allocs: ALLOCS.load(Ordering::Relaxed) - allocs0,
     }
@@ -193,20 +211,96 @@ fn run_stats(mut figs: Vec<String>, scale: Scale, seed: u64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `figures postmortem TRACE.jsonl [--timeline] [--client N]` — read a
+/// structured trace back and reconstruct what happened.
+fn run_postmortem(args: Vec<String>) -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut timeline = false;
+    let mut client: Option<i64> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--timeline" => timeline = true,
+            "--client" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(c) => client = Some(c),
+                None => {
+                    eprintln!("--client needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
+            other => {
+                eprintln!("unknown postmortem argument: {other}");
+                eprintln!("usage: figures postmortem TRACE.jsonl [--timeline] [--client N]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: figures postmortem TRACE.jsonl [--timeline] [--client N]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let records = match simgrid::trace::from_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let summary = simgrid::TraceSummary::from_records(&records);
+    print!("{}", summary.render());
+    if timeline {
+        print!("{}", simgrid::postmortem::render_timeline(&records, client));
+    }
+    ExitCode::SUCCESS
+}
+
+/// Where one figure's trace goes: the exact `--trace` path when a
+/// single figure runs, `PATH-<fig>.jsonl` when several do.
+fn trace_path_for(base: &str, name: &str, single: bool) -> String {
+    if single {
+        return base.to_string();
+    }
+    match base.strip_suffix(".jsonl") {
+        Some(stem) => format!("{stem}-{name}.jsonl"),
+        None => format!("{base}-{name}.jsonl"),
+    }
+}
+
 fn main() -> ExitCode {
     let mut scale = Scale::Full;
     let mut seed: u64 = 2003;
     let mut chart = false;
     let mut stats = false;
+    let mut trace_base: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
 
-    let mut it = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("postmortem") {
+        args.next();
+        return run_postmortem(args.collect());
+    }
+    let mut it = args;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => scale = Scale::Quick,
             "--full" => scale = Scale::Full,
             "--chart" => chart = true,
             "--stats" => stats = true,
+            "--trace" => match it.next() {
+                Some(p) => trace_base = Some(p),
+                None => {
+                    eprintln!("--trace needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--seed" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = s,
                 None => {
@@ -222,7 +316,7 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: figures [--quick] [--seed N] [--stats] [fig1..fig7 | all | ablations | ablation-threshold | ablation-channel]"
+                    "usage: figures [--quick] [--seed N] [--stats] [--trace OUT.jsonl] [fig1..fig7 | all | ablations | ablation-threshold | ablation-channel]\n       figures postmortem TRACE.jsonl [--timeline] [--client N]"
                 );
                 return ExitCode::from(2);
             }
@@ -235,21 +329,33 @@ fn main() -> ExitCode {
         wanted.extend(ALL_FIGURES.iter().map(|s| s.to_string()));
     }
 
+    let single = wanted.len() == 1;
     for name in wanted {
         eprintln!("== running {name} ({scale:?}, seed {seed}) ==");
-        match by_name(&name, scale, seed) {
-            Some(set) => match egbench::emit(&name, &set) {
-                Ok(path) => {
-                    if chart {
-                        println!("{}", set.to_ascii_chart(64, 16));
+        match by_name_full(&name, scale, seed, trace_base.is_some()) {
+            Some(run) => {
+                match egbench::emit(&name, &run.set) {
+                    Ok(path) => {
+                        if chart {
+                            println!("{}", run.set.to_ascii_chart(64, 16));
+                        }
+                        eprintln!("   wrote {}", path.display());
                     }
-                    eprintln!("   wrote {}", path.display());
+                    Err(e) => {
+                        eprintln!("   cannot write results: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
-                Err(e) => {
-                    eprintln!("   cannot write results: {e}");
-                    return ExitCode::FAILURE;
+                if let (Some(base), Some(records)) = (&trace_base, &run.trace) {
+                    let tpath = trace_path_for(base, &name, single);
+                    let jsonl = simgrid::trace::to_jsonl(records);
+                    if let Err(e) = std::fs::write(&tpath, jsonl) {
+                        eprintln!("   cannot write trace {tpath}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("   wrote {tpath} ({} records)", records.len());
                 }
-            },
+            }
             None => {
                 eprintln!("unknown figure: {name}");
                 return ExitCode::from(2);

@@ -131,6 +131,19 @@ impl<C: Clock> VmDriver<C> {
         &self.vm
     }
 
+    /// Mutable access to the VM, e.g. to reseed it between runs.
+    pub fn vm_mut(&mut self) -> &mut Vm {
+        &mut self.vm
+    }
+
+    /// Install a structured-trace sink on the underlying VM; every
+    /// attempt, backoff, and command boundary is recorded as it
+    /// happens. `client` labels this driver's records when several
+    /// drivers share one sink.
+    pub fn set_tracer(&mut self, sink: simgrid::trace::SharedSink, client: i64) {
+        self.vm.set_tracer(sink, client);
+    }
+
     /// The clock.
     pub fn clock(&self) -> &C {
         &self.clock
@@ -254,6 +267,45 @@ mod tests {
         });
         assert!(!ok);
         assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn driver_records_trace_through_sink() {
+        use simgrid::trace::{RingSink, TraceEv};
+        use std::sync::{Arc, Mutex};
+
+        let script = parse("try 3 times\n flaky\nend\n").unwrap();
+        let mut d = VmDriver::new(Vm::with_seed(&script, 1), SimClock::new());
+        let ring = Arc::new(Mutex::new(RingSink::new(64)));
+        d.set_tracer(ring.clone(), 42);
+        assert!(d.vm().has_tracer());
+
+        let mut fails = 1;
+        let out = d.run_to_completion(|_| {
+            if fails > 0 {
+                fails -= 1;
+                Err("x".into())
+            } else {
+                Ok(String::new())
+            }
+        });
+        assert!(out.success());
+
+        let recs: Vec<_> = ring.lock().unwrap().records().cloned().collect();
+        assert!(recs.iter().all(|r| r.client == 42));
+        let tags: Vec<&str> = recs.iter().map(|r| r.ev.tag()).collect();
+        assert!(tags.contains(&"attempt-start"));
+        assert!(tags.contains(&"backoff"));
+        assert!(tags.contains(&"attempt-ok"));
+        assert!(tags.contains(&"cmd-start"));
+        assert!(tags.contains(&"unit-done"));
+        // Two attempts: the first fails (backoff), the second succeeds.
+        assert_eq!(
+            recs.iter()
+                .filter(|r| matches!(r.ev, TraceEv::AttemptStart { .. }))
+                .count(),
+            2
+        );
     }
 
     #[test]

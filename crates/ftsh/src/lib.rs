@@ -65,3 +65,8 @@ pub use vm::{
     CmdInput, CmdResult, CmdToken, CommandSpec, Effect, OutSink, TaskId, Tick, Vm, VmStatus,
 };
 pub use words::Env;
+
+/// The shared structured-trace vocabulary ([`simgrid::trace`],
+/// re-exported so `procman` and scripts driving [`Vm`] directly can
+/// install sinks without a simulator dependency).
+pub use simgrid::trace;

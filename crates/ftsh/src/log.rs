@@ -186,6 +186,61 @@ impl EventLog {
 }
 
 impl EventLog {
+    /// Bridge this VM-local log into the cross-layer structured-trace
+    /// pipeline: replay every event as a [`TraceRecord`] attributed to
+    /// `client`. This is the post-hoc path for runs that finished
+    /// without a live tracer (e.g. a real-driver run whose log is only
+    /// inspected after failure); live tracing via `Vm::set_tracer`
+    /// additionally carries span budgets, which the log does not
+    /// retain, so replayed `attempt-start` records have no budget and
+    /// backoffs borrow the last attempt number seen on the task.
+    ///
+    /// [`TraceRecord`]: simgrid::trace::TraceRecord
+    pub fn replay_into(&self, sink: &mut dyn simgrid::trace::TraceSink, client: i64) {
+        use simgrid::trace::{TraceEv, TraceRecord};
+        let mut last_attempt: std::collections::HashMap<usize, u32> = Default::default();
+        for e in &self.events {
+            let ev = match &e.kind {
+                LogKind::CmdStart { argv } => TraceEv::CmdStart {
+                    program: argv.first().cloned().unwrap_or_default(),
+                },
+                LogKind::CmdEnd { program, success } => TraceEv::CmdEnd {
+                    program: program.clone(),
+                    ok: *success,
+                },
+                LogKind::CmdCancelled { program } => TraceEv::CmdKilled {
+                    program: program.clone(),
+                },
+                LogKind::TryAttempt { attempt } => {
+                    last_attempt.insert(e.task, *attempt);
+                    TraceEv::AttemptStart {
+                        attempt: *attempt,
+                        budget: None,
+                    }
+                }
+                LogKind::Backoff { delay } => TraceEv::Backoff {
+                    attempt: last_attempt.get(&e.task).copied().unwrap_or(0),
+                    delay: *delay,
+                },
+                LogKind::TryExhausted => TraceEv::TryExhausted,
+                LogKind::TryTimeout => TraceEv::TryTimeout,
+                LogKind::CatchEntered => TraceEv::CatchEntered,
+                LogKind::ScriptDone { success } => TraceEv::UnitDone { ok: *success },
+                // Variable and loop bookkeeping has no cross-layer
+                // trace counterpart.
+                LogKind::ForAnyNext { .. }
+                | LogKind::ForAllSpawn { .. }
+                | LogKind::VarSet { .. } => continue,
+            };
+            sink.record(&TraceRecord {
+                t: e.time,
+                client,
+                task: e.task as i64,
+                ev,
+            });
+        }
+    }
+
     /// Render a human-readable per-task timeline — one swimlane per VM
     /// task, with command durations and retry structure:
     ///
@@ -512,5 +567,61 @@ mod tests {
         let log = EventLog::new();
         assert!(log.is_empty());
         assert_eq!(log.summary(), LogSummary::default());
+    }
+
+    #[test]
+    fn replay_bridges_log_into_trace() {
+        use simgrid::trace::{TraceEv, VecSink};
+        let mut log = EventLog::new();
+        log.push(Time::ZERO, 0, LogKind::TryAttempt { attempt: 1 });
+        log.push(
+            Time::ZERO,
+            0,
+            LogKind::CmdStart {
+                argv: vec!["wget".into(), "u".into()],
+            },
+        );
+        log.push(
+            Time::from_secs(2),
+            0,
+            LogKind::CmdEnd {
+                program: "wget".into(),
+                success: false,
+            },
+        );
+        log.push(
+            Time::from_secs(2),
+            0,
+            LogKind::Backoff {
+                delay: Dur::from_secs(1),
+            },
+        );
+        log.push(Time::from_secs(3), 0, LogKind::VarSet { name: "x".into() });
+        log.push(
+            Time::from_secs(4),
+            0,
+            LogKind::ScriptDone { success: false },
+        );
+        let mut sink = VecSink::new();
+        log.replay_into(&mut sink, 7);
+        let recs = sink.records();
+        // VarSet has no trace counterpart; everything else maps 1:1.
+        assert_eq!(recs.len(), 5);
+        assert!(recs.iter().all(|r| r.client == 7));
+        assert_eq!(
+            recs[0].ev,
+            TraceEv::AttemptStart {
+                attempt: 1,
+                budget: None
+            }
+        );
+        assert_eq!(
+            recs[3].ev,
+            TraceEv::Backoff {
+                attempt: 1,
+                delay: Dur::from_secs(1)
+            }
+        );
+        assert_eq!(recs[4].ev, TraceEv::UnitDone { ok: false });
     }
 }

@@ -26,7 +26,8 @@ use crate::log::{EventLog, LogKind};
 use crate::words::{trim_capture, Env};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use retry::{BackoffPolicy, NextAttempt, Time, TryBudget, TrySession};
+use retry::{BackoffPolicy, Dur, NextAttempt, Time, TryBudget, TrySession};
+use simgrid::trace::{SharedSink, TraceEv, NO_ID};
 use std::collections::HashMap;
 
 /// Identifies an in-flight command between [`Effect::Start`] and
@@ -249,6 +250,8 @@ pub struct Vm {
     final_env: Env,
     max_parallel: Option<usize>,
     functions: HashMap<String, Block>,
+    tracer: Option<SharedSink>,
+    trace_client: i64,
 }
 
 impl Vm {
@@ -289,7 +292,31 @@ impl Vm {
             final_env: Env::new(),
             max_parallel: None,
             functions: HashMap::new(),
+            tracer: None,
+            trace_client: NO_ID,
         }
+    }
+
+    /// Install a structured-trace sink; every span and command event
+    /// this VM produces is recorded there, attributed to `client`
+    /// (the scenario's client index, or [`NO_ID`] outside a
+    /// population). With no sink installed — the default — every
+    /// emission site is a single `Option` test: the tick path stays
+    /// allocation-free.
+    pub fn set_tracer(&mut self, sink: SharedSink, client: i64) {
+        self.tracer = Some(sink);
+        self.trace_client = client;
+    }
+
+    /// True when a trace sink is installed.
+    pub fn has_tracer(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Emit a structured trace record (no-op without a sink).
+    #[inline]
+    fn trace(&self, tid: TaskId, ev: TraceEv) {
+        simgrid::trace::emit(&self.tracer, self.now, self.trace_client, tid as i64, ev);
     }
 
     /// Override the backoff policy used by `try` blocks that do not
@@ -354,6 +381,20 @@ impl Vm {
                 task.env.set(name.clone(), value);
             }
             self.log.push(self.now, tid, LogKind::VarSet { name });
+        }
+        if self.tracer.is_some() {
+            // Field-level borrow (not the `trace` helper): `task`
+            // still mutably borrows `self.tasks` here.
+            simgrid::trace::emit(
+                &self.tracer,
+                self.now,
+                self.trace_client,
+                tid as i64,
+                TraceEv::CmdEnd {
+                    program: program.clone(),
+                    ok: result.success,
+                },
+            );
         }
         self.log.push(
             self.now,
@@ -439,6 +480,7 @@ impl Vm {
             }
             self.cancel_running_cmd(tid, &mut task);
             self.log.push(self.now, tid, LogKind::TryTimeout);
+            self.trace(tid, TraceEv::TryTimeout);
             self.fail_try_frame(tid, &mut task);
             self.tasks[tid] = Some(task);
         }
@@ -456,6 +498,7 @@ impl Vm {
         if let (Some(c), false) = (catch.clone(), *in_catch) {
             *in_catch = true;
             self.log.push(self.now, tid, LogKind::CatchEntered);
+            self.trace(tid, TraceEv::CatchEntered);
             task.frames.push(Frame::Seq { stmts: c, idx: 0 });
             task.state = TaskState::Ready(Ctl::Exec);
         } else {
@@ -468,6 +511,14 @@ impl Vm {
         if let TaskState::RunningCmd { token, program, .. } = &task.state {
             self.effects.push(Effect::Cancel { token: *token });
             self.token_task.remove(token);
+            if self.tracer.is_some() {
+                self.trace(
+                    tid,
+                    TraceEv::CmdKilled {
+                        program: program.clone(),
+                    },
+                );
+            }
             self.log.push(
                 self.now,
                 tid,
@@ -537,6 +588,7 @@ impl Vm {
                     self.outcome = Some(result);
                     self.log
                         .push(self.now, tid, LogKind::ScriptDone { success: result });
+                    self.trace(tid, TraceEv::UnitDone { ok: result });
                 }
             }
         }
@@ -596,23 +648,23 @@ impl Vm {
                     task.frames.pop();
                     Flow::Continue(Ctl::Return(res))
                 } else if res {
+                    let attempt = session.attempts();
                     task.frames.pop();
+                    self.trace(tid, TraceEv::AttemptOk { attempt });
                     Flow::Continue(Ctl::Return(true))
                 } else {
+                    let attempt = session.attempts();
                     match session.on_failure(self.now, &mut self.rng) {
                         NextAttempt::RetryAt(t) => {
-                            self.log.push(
-                                self.now,
-                                tid,
-                                LogKind::Backoff {
-                                    delay: t.saturating_since(self.now),
-                                },
-                            );
+                            let delay = t.saturating_since(self.now);
+                            self.log.push(self.now, tid, LogKind::Backoff { delay });
+                            self.trace(tid, TraceEv::Backoff { attempt, delay });
                             task.state = TaskState::Sleeping { until: t };
                             Flow::Blocked
                         }
                         NextAttempt::Exhausted => {
                             self.log.push(self.now, tid, LogKind::TryExhausted);
+                            self.trace(tid, TraceEv::TryExhausted);
                             self.fail_try_frame(tid, task);
                             match task.state {
                                 TaskState::Ready(c) => Flow::Continue(c),
@@ -677,7 +729,7 @@ impl Vm {
             Finished,
             GroupDone,
             Stmt(Block, usize),
-            EnterTryBody(Block, u32),
+            EnterTryBody(Block, u32, Option<Dur>),
             TrySpent,
             BindForAny(String, String, Block),
         }
@@ -695,7 +747,11 @@ impl Vm {
             }
             Some(Frame::Try { session, body, .. }) => {
                 if session.begin_attempt(self.now) {
-                    Act::EnterTryBody(body.clone(), session.attempts())
+                    // Budget remaining at admission: what the span
+                    // records as the headroom this attempt started
+                    // with (`None` = unbounded try).
+                    let budget = session.deadline().map(|d| d.saturating_since(self.now));
+                    Act::EnterTryBody(body.clone(), session.attempts(), budget)
                 } else {
                     Act::TrySpent
                 }
@@ -719,9 +775,10 @@ impl Vm {
                 Flow::Continue(Ctl::Return(true))
             }
             Act::Stmt(block, idx) => self.exec_stmt(tid, task, &block[idx]),
-            Act::EnterTryBody(body, attempt) => {
+            Act::EnterTryBody(body, attempt, budget) => {
                 self.log
                     .push(self.now, tid, LogKind::TryAttempt { attempt });
+                self.trace(tid, TraceEv::AttemptStart { attempt, budget });
                 task.frames.push(Frame::Seq {
                     stmts: body,
                     idx: 0,
@@ -730,6 +787,7 @@ impl Vm {
             }
             Act::TrySpent => {
                 self.log.push(self.now, tid, LogKind::TryExhausted);
+                self.trace(tid, TraceEv::TryExhausted);
                 self.fail_try_frame(tid, task);
                 match task.state {
                     TaskState::Ready(c) => Flow::Continue(c),
@@ -940,6 +998,14 @@ impl Vm {
                 argv: spec.argv.clone(),
             },
         );
+        if self.tracer.is_some() {
+            self.trace(
+                tid,
+                TraceEv::CmdStart {
+                    program: spec.program().to_string(),
+                },
+            );
+        }
         task.state = TaskState::RunningCmd {
             token,
             program: spec.program().to_string(),

@@ -95,12 +95,11 @@ impl Env {
     }
 }
 
-/// Trim the trailing newline (and a preceding carriage return) from
-/// captured command output, as command substitution does in every
-/// shell. Interior newlines are preserved.
+/// Trim *all* trailing newlines (including CRLF pairs) from captured
+/// command output, as Bourne command substitution does. Interior
+/// newlines are preserved.
 pub fn trim_capture(s: &str) -> &str {
-    let s = s.strip_suffix('\n').unwrap_or(s);
-    s.strip_suffix('\r').unwrap_or(s)
+    s.trim_end_matches(['\n', '\r'])
 }
 
 #[cfg(test)]
@@ -168,5 +167,13 @@ mod tests {
         assert_eq!(trim_capture("1234"), "1234");
         assert_eq!(trim_capture("a\nb\n"), "a\nb");
         assert_eq!(trim_capture(""), "");
+        // Bourne command substitution strips every trailing newline,
+        // not just the last one.
+        assert_eq!(trim_capture("1234\n\n\n"), "1234");
+        assert_eq!(trim_capture("a\r\n\r\n"), "a");
+        assert_eq!(trim_capture("a\nb\n\n"), "a\nb");
+        assert_eq!(trim_capture("\n\n"), "");
+        assert_eq!(trim_capture("abc\r"), "abc");
+        assert_eq!(trim_capture("a\r\nb"), "a\r\nb");
     }
 }

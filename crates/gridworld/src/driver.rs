@@ -11,6 +11,7 @@
 
 use ftsh::vm::{CmdResult, CmdToken, CommandSpec, Effect, Tick, Vm, VmStatus};
 use retry::Time;
+use simgrid::trace::SharedSink;
 use simgrid::EventQueue;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -164,6 +165,10 @@ pub struct SimDriver<W: CommandWorld> {
     /// Tokens currently live with the world or scheduled; used to
     /// suppress stale completions.
     live: HashSet<(ClientId, u64, CmdToken)>,
+    /// Structured-trace sink shared by every client VM (and installed
+    /// on replacement VMs as units complete). `None` ⇒ tracing off and
+    /// the tick path pays nothing.
+    tracer: Option<SharedSink>,
 }
 
 impl<W: CommandWorld> SimDriver<W> {
@@ -193,12 +198,39 @@ impl<W: CommandWorld> SimDriver<W> {
             epochs: vec![0; n],
             cancelled: HashSet::new(),
             live: HashSet::new(),
+            tracer: None,
         }
     }
 
     /// Schedule an initial scenario event (consumer ticks, samplers…).
     pub fn schedule_world(&mut self, at: Time, ev: W::Ev) {
         self.queue.schedule(at, SimEv::World(ev));
+    }
+
+    /// Install a structured-trace sink: every client VM (current and
+    /// future replacements) records attempt spans, backoffs, and
+    /// command boundaries into it, labelled by client index.
+    pub fn set_trace(&mut self, sink: SharedSink) {
+        for (c, vm) in self.vms.iter_mut().enumerate() {
+            if let Some(vm) = vm {
+                vm.set_tracer(sink.clone(), c as i64);
+            }
+        }
+        self.tracer = Some(sink);
+    }
+
+    /// The trace sink, if one is installed (for worlds that emit their
+    /// own records).
+    pub fn trace(&self) -> Option<&SharedSink> {
+        self.tracer.as_ref()
+    }
+
+    /// Events popped from this run's own queue — the per-run
+    /// engine-work metric (unlike the deprecated process-global
+    /// [`simgrid::events_popped_total`], concurrent sweep workers do
+    /// not contaminate each other here).
+    pub fn events_popped(&self) -> u64 {
+        self.queue.popped()
     }
 
     /// The current virtual instant.
@@ -336,7 +368,10 @@ impl<W: CommandWorld> SimDriver<W> {
                         self.world.unit_done(&mut ctx, client, success)
                     };
                     match next {
-                        Some((vm, at)) => {
+                        Some((mut vm, at)) => {
+                            if let Some(sink) = &self.tracer {
+                                vm.set_tracer(sink.clone(), client as i64);
+                            }
                             self.vms[client] = Some(vm);
                             if at <= now {
                                 continue; // start immediately

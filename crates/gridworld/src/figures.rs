@@ -7,12 +7,65 @@
 //! where the broadcast-jam spikes appear — are the reproduction
 //! target (see EXPERIMENTS.md).
 
-use crate::scenarios::blackhole::{run_blackhole, BlackHoleParams};
-use crate::scenarios::buffer::{run_buffer, BufferParams};
-use crate::scenarios::submit::{run_submission, SubmitParams};
+use crate::scenarios::blackhole::{run_blackhole_traced, BlackHoleParams};
+use crate::scenarios::buffer::{run_buffer_traced, BufferParams};
+use crate::scenarios::submit::{run_submission_traced, SubmitParams};
 use crate::sweep;
 use retry::{Discipline, Dur, Time};
+use simgrid::trace::{SharedSink, TraceRecord, VecSink};
 use simgrid::{Series, SeriesSet};
+use std::sync::{Arc, Mutex};
+
+/// One regenerated figure plus its engine-work count and (when
+/// requested) its structured trace.
+///
+/// Sweep figures run one independent simulation per (discipline,
+/// population) point, possibly on several threads; the trace is the
+/// concatenation of each point's records **in point order**, so the
+/// bytes are identical no matter how the sweep was scheduled.
+pub struct FigureRun {
+    /// The figure's series.
+    pub set: SeriesSet,
+    /// Events popped across every simulation run behind this figure
+    /// (aggregated per run — see [`crate::driver::SimDriver::events_popped`]).
+    pub events_popped: u64,
+    /// Structured-trace records, present only when tracing was
+    /// requested. Timestamps restart at `T+0` for each sweep point.
+    pub trace: Option<Vec<TraceRecord>>,
+}
+
+/// A per-point trace collector: `(sink to install, handle to drain)`,
+/// both `None` when tracing is off.
+#[allow(clippy::type_complexity)]
+fn point_sink(traced: bool) -> (Option<SharedSink>, Option<Arc<Mutex<VecSink>>>) {
+    if traced {
+        let h = Arc::new(Mutex::new(VecSink::new()));
+        (Some(h.clone() as SharedSink), Some(h))
+    } else {
+        (None, None)
+    }
+}
+
+/// Take the records out of a point's collector.
+fn drain(handle: Option<Arc<Mutex<VecSink>>>) -> Vec<TraceRecord> {
+    handle
+        .map(|h| h.lock().expect("trace sink lock").take())
+        .unwrap_or_default()
+}
+
+/// Split per-point `(value, events, records)` triples into the value
+/// vector, the event total, and the in-order concatenated trace.
+fn collect_points(results: Vec<(f64, u64, Vec<TraceRecord>)>) -> (Vec<f64>, u64, Vec<TraceRecord>) {
+    let mut values = Vec::with_capacity(results.len());
+    let mut events = 0u64;
+    let mut trace = Vec::new();
+    for (v, e, t) in results {
+        values.push(v);
+        events += e;
+        trace.extend(t);
+    }
+    (values, events, trace)
+}
 
 /// The cross product of disciplines and population sizes, in figure
 /// order: one independent simulation point each, ready for a parallel
@@ -60,6 +113,10 @@ impl Scale {
 /// five-minute window vs. number of submitters, for the three
 /// disciplines.
 pub fn fig1_submission_scalability(scale: Scale, seed: u64) -> SeriesSet {
+    fig1_run(scale, seed, false).set
+}
+
+fn fig1_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
     let ns: Vec<usize> = scale.pick(
         vec![
             5, 10, 25, 50, 100, 150, 200, 250, 300, 350, 400, 425, 450, 500,
@@ -73,20 +130,27 @@ pub fn fig1_submission_scalability(scale: Scale, seed: u64) -> SeriesSet {
         "Jobs Submitted",
     );
     let points = cross_points(&ns);
-    let jobs = sweep::map(&points, |&(d, n)| {
+    let results = sweep::map(&points, |&(d, n)| {
+        let (sink, handle) = point_sink(traced);
         let params = SubmitParams {
             n_clients: n,
             discipline: d,
             seed: seed ^ (n as u64),
             ..SubmitParams::default()
         };
-        run_submission(params, window).jobs_submitted as f64
+        let o = run_submission_traced(params, window, sink);
+        (o.jobs_submitted as f64, o.events_popped, drain(handle))
     });
+    let (jobs, events_popped, trace) = collect_points(results);
     series_per_discipline(&mut set, &ns, jobs);
-    set
+    FigureRun {
+        set,
+        events_popped,
+        trace: traced.then_some(trace),
+    }
 }
 
-fn submit_timeline(d: Discipline, scale: Scale, seed: u64, title: &str) -> SeriesSet {
+fn submit_timeline(d: Discipline, scale: Scale, seed: u64, traced: bool, title: &str) -> FigureRun {
     // The paper ran its timelines at 400 submitters, just past its
     // testbed's crash knee; our knee sits at ~405 attempts' worth of
     // descriptors, so 425 puts the timeline in the same regime.
@@ -97,7 +161,8 @@ fn submit_timeline(d: Discipline, scale: Scale, seed: u64, title: &str) -> Serie
         ..SubmitParams::default()
     };
     let window = scale.pick(Dur::from_secs(1800), Dur::from_secs(300));
-    let o = run_submission(params, window);
+    let (sink, handle) = point_sink(traced);
+    let o = run_submission_traced(params, window, sink);
     let mut set = SeriesSet::new(title, "Time (s)", "Available FDs / Jobs Submitted");
     let mut fd = o.fd_series;
     fd.name = "Available FDs".into();
@@ -105,17 +170,26 @@ fn submit_timeline(d: Discipline, scale: Scale, seed: u64, title: &str) -> Serie
     jobs.name = "Jobs Submitted".into();
     set.add(fd);
     set.add(jobs);
-    set
+    FigureRun {
+        set,
+        events_popped: o.events_popped,
+        trace: traced.then(|| drain(handle)),
+    }
 }
 
 /// Figure 2 — *Timeline of Aloha Submitter*: available FDs and
 /// cumulative jobs over 30 minutes with the submitter population just
 /// past the crash knee.
 pub fn fig2_aloha_timeline(scale: Scale, seed: u64) -> SeriesSet {
+    fig2_run(scale, seed, false).set
+}
+
+fn fig2_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
     submit_timeline(
         Discipline::Aloha,
         scale,
         seed,
+        traced,
         "Figure 2: Timeline of Aloha Submitter",
     )
 }
@@ -123,10 +197,15 @@ pub fn fig2_aloha_timeline(scale: Scale, seed: u64) -> SeriesSet {
 /// Figure 3 — *Timeline of Ethernet Submitter*: as Figure 2 for the
 /// Ethernet discipline.
 pub fn fig3_ethernet_timeline(scale: Scale, seed: u64) -> SeriesSet {
+    fig3_run(scale, seed, false).set
+}
+
+fn fig3_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
     submit_timeline(
         Discipline::Ethernet,
         scale,
         seed,
+        traced,
         "Figure 3: Timeline of Ethernet Submitter",
     )
 }
@@ -134,7 +213,13 @@ pub fn fig3_ethernet_timeline(scale: Scale, seed: u64) -> SeriesSet {
 /// The steady-state measurement window for the buffer figures: run
 /// until the buffer has been saturated, then count what the consumer
 /// drains in the last segment.
-fn buffer_run(d: Discipline, n: usize, scale: Scale, seed: u64) -> (f64, u64) {
+fn buffer_run(
+    d: Discipline,
+    n: usize,
+    scale: Scale,
+    seed: u64,
+    traced: bool,
+) -> (f64, u64, u64, Vec<TraceRecord>) {
     let total = scale.pick(Dur::from_secs(180), Dur::from_secs(120));
     let measure_from = scale.pick(Dur::from_secs(120), Dur::from_secs(80));
     let params = BufferParams {
@@ -143,14 +228,19 @@ fn buffer_run(d: Discipline, n: usize, scale: Scale, seed: u64) -> (f64, u64) {
         seed: seed ^ (n as u64),
         ..BufferParams::default()
     };
-    let o = run_buffer(params, total);
+    let (sink, handle) = point_sink(traced);
+    let o = run_buffer_traced(params, total, sink);
     let consumed = o.consumed_between(Time::ZERO + measure_from, Time::ZERO + total);
-    (consumed, o.collisions)
+    (consumed, o.collisions, o.events_popped, drain(handle))
 }
 
 /// Figure 4 — *Buffer Throughput*: files consumed in the steady-state
 /// window vs. number of producers.
 pub fn fig4_buffer_throughput(scale: Scale, seed: u64) -> SeriesSet {
+    fig4_run(scale, seed, false).set
+}
+
+fn fig4_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
     let ns: Vec<usize> = scale.pick(vec![5, 10, 15, 20, 25, 30, 35, 40, 45, 50], vec![10, 40]);
     let mut set = SeriesSet::new(
         "Figure 4: Buffer Throughput",
@@ -158,14 +248,26 @@ pub fn fig4_buffer_throughput(scale: Scale, seed: u64) -> SeriesSet {
         "Total Files Consumed",
     );
     let points = cross_points(&ns);
-    let consumed = sweep::map(&points, |&(d, n)| buffer_run(d, n, scale, seed).0);
+    let results = sweep::map(&points, |&(d, n)| {
+        let (consumed, _, events, recs) = buffer_run(d, n, scale, seed, traced);
+        (consumed, events, recs)
+    });
+    let (consumed, events_popped, trace) = collect_points(results);
     series_per_discipline(&mut set, &ns, consumed);
-    set
+    FigureRun {
+        set,
+        events_popped,
+        trace: traced.then_some(trace),
+    }
 }
 
 /// Figure 5 — *Buffer Collisions*: mid-write ENOSPC collisions over
 /// the whole run vs. number of producers.
 pub fn fig5_buffer_collisions(scale: Scale, seed: u64) -> SeriesSet {
+    fig5_run(scale, seed, false).set
+}
+
+fn fig5_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
     let ns: Vec<usize> = scale.pick(vec![5, 10, 15, 20, 25, 30, 35, 40, 45, 50], vec![10, 40]);
     let mut set = SeriesSet::new(
         "Figure 5: Buffer Collisions",
@@ -173,19 +275,28 @@ pub fn fig5_buffer_collisions(scale: Scale, seed: u64) -> SeriesSet {
         "Total Collisions",
     );
     let points = cross_points(&ns);
-    let collisions = sweep::map(&points, |&(d, n)| buffer_run(d, n, scale, seed).1 as f64);
+    let results = sweep::map(&points, |&(d, n)| {
+        let (_, collisions, events, recs) = buffer_run(d, n, scale, seed, traced);
+        (collisions as f64, events, recs)
+    });
+    let (collisions, events_popped, trace) = collect_points(results);
     series_per_discipline(&mut set, &ns, collisions);
-    set
+    FigureRun {
+        set,
+        events_popped,
+        trace: traced.then_some(trace),
+    }
 }
 
-fn reader_figure(d: Discipline, scale: Scale, seed: u64, title: &str) -> SeriesSet {
+fn reader_figure(d: Discipline, scale: Scale, seed: u64, traced: bool, title: &str) -> FigureRun {
     let params = BlackHoleParams {
         discipline: d,
         seed,
         ..BlackHoleParams::default()
     };
     let window = scale.pick(Dur::from_secs(900), Dur::from_secs(300));
-    let o = run_blackhole(params, window);
+    let (sink, handle) = point_sink(traced);
+    let o = run_blackhole_traced(params, window, sink);
     let mut set = SeriesSet::new(title, "Time (s)", "Number of Events");
     let mut t = o.transfer_series;
     t.name = "Transfers".into();
@@ -199,16 +310,25 @@ fn reader_figure(d: Discipline, scale: Scale, seed: u64, title: &str) -> SeriesS
         s.name = "Collisions".into();
         set.add(s);
     }
-    set
+    FigureRun {
+        set,
+        events_popped: o.events_popped,
+        trace: traced.then(|| drain(handle)),
+    }
 }
 
 /// Figure 6 — *Aloha File Reader*: cumulative transfers and collisions
 /// over 900 s with one black-hole server.
 pub fn fig6_aloha_reader(scale: Scale, seed: u64) -> SeriesSet {
+    fig6_run(scale, seed, false).set
+}
+
+fn fig6_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
     reader_figure(
         Discipline::Aloha,
         scale,
         seed,
+        traced,
         "Figure 6: Aloha File Reader",
     )
 }
@@ -216,10 +336,15 @@ pub fn fig6_aloha_reader(scale: Scale, seed: u64) -> SeriesSet {
 /// Figure 7 — *Ethernet File Reader*: cumulative transfers and
 /// deferrals over 900 s with one black-hole server.
 pub fn fig7_ethernet_reader(scale: Scale, seed: u64) -> SeriesSet {
+    fig7_run(scale, seed, false).set
+}
+
+fn fig7_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
     reader_figure(
         Discipline::Ethernet,
         scale,
         seed,
+        traced,
         "Figure 7: Ethernet File Reader",
     )
 }
@@ -229,6 +354,10 @@ pub fn fig7_ethernet_reader(scale: Scale, seed: u64) -> SeriesSet {
 /// overload regime. Shows the knob the paper fixes at 1000: too low
 /// reverts to Aloha behaviour, too high over-defers.
 pub fn ablation_threshold_sweep(scale: Scale, seed: u64) -> SeriesSet {
+    ablation_threshold_run(scale, seed, false).set
+}
+
+fn ablation_threshold_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
     let thresholds: Vec<u64> = scale.pick(
         vec![0, 100, 500, 1000, 2000, 4000, 6000, 7000, 7500, 7900],
         vec![0, 1000, 4000],
@@ -242,7 +371,8 @@ pub fn ablation_threshold_sweep(scale: Scale, seed: u64) -> SeriesSet {
     let mut jobs = Series::new("Jobs");
     let mut crashes = Series::new("Crashes");
     let outcomes = sweep::map(&thresholds, |&t| {
-        let o = run_submission(
+        let (sink, handle) = point_sink(traced);
+        let o = run_submission_traced(
             SubmitParams {
                 n_clients: 450,
                 discipline: Discipline::Ethernet,
@@ -251,16 +381,25 @@ pub fn ablation_threshold_sweep(scale: Scale, seed: u64) -> SeriesSet {
                 ..SubmitParams::default()
             },
             window,
+            sink,
         );
-        (o.jobs_submitted, o.crashes)
+        (o.jobs_submitted, o.crashes, o.events_popped, drain(handle))
     });
-    for (&t, &(j, c)) in thresholds.iter().zip(&outcomes) {
+    let mut events_popped = 0u64;
+    let mut trace = Vec::new();
+    for (&t, (j, c, e, recs)) in thresholds.iter().zip(outcomes) {
         jobs.push_xy(t as f64, j as f64);
         crashes.push_xy(t as f64, c as f64);
+        events_popped += e;
+        trace.extend(recs);
     }
     set.add(jobs);
     set.add(crashes);
-    set
+    FigureRun {
+        set,
+        events_popped,
+        trace: traced.then_some(trace),
+    }
 }
 
 /// Ablation B — the shared-channel story of §3: throughput S vs.
@@ -296,16 +435,30 @@ pub fn ablation_channel_saturation(scale: Scale, seed: u64) -> SeriesSet {
 /// All figures by id (`"fig1"` … `"fig7"`, plus the ablations
 /// `"ablation-threshold"` and `"ablation-channel"`).
 pub fn by_name(name: &str, scale: Scale, seed: u64) -> Option<SeriesSet> {
+    by_name_full(name, scale, seed, false).map(|r| r.set)
+}
+
+/// [`by_name`] with the engine-work count and (when `traced`) the
+/// figure's structured trace. The trace is bit-deterministic per seed:
+/// sweep points collect into private buffers that are concatenated in
+/// point order, so sequential and parallel sweeps produce identical
+/// bytes. `ablation-channel` has no VMs or event queue; it traces
+/// nothing and reports zero events.
+pub fn by_name_full(name: &str, scale: Scale, seed: u64, traced: bool) -> Option<FigureRun> {
     Some(match name {
-        "fig1" => fig1_submission_scalability(scale, seed),
-        "fig2" => fig2_aloha_timeline(scale, seed),
-        "fig3" => fig3_ethernet_timeline(scale, seed),
-        "fig4" => fig4_buffer_throughput(scale, seed),
-        "fig5" => fig5_buffer_collisions(scale, seed),
-        "fig6" => fig6_aloha_reader(scale, seed),
-        "fig7" => fig7_ethernet_reader(scale, seed),
-        "ablation-threshold" => ablation_threshold_sweep(scale, seed),
-        "ablation-channel" => ablation_channel_saturation(scale, seed),
+        "fig1" => fig1_run(scale, seed, traced),
+        "fig2" => fig2_run(scale, seed, traced),
+        "fig3" => fig3_run(scale, seed, traced),
+        "fig4" => fig4_run(scale, seed, traced),
+        "fig5" => fig5_run(scale, seed, traced),
+        "fig6" => fig6_run(scale, seed, traced),
+        "fig7" => fig7_run(scale, seed, traced),
+        "ablation-threshold" => ablation_threshold_run(scale, seed, traced),
+        "ablation-channel" => FigureRun {
+            set: ablation_channel_saturation(scale, seed),
+            events_popped: 0,
+            trace: traced.then(Vec::new),
+        },
         _ => return None,
     })
 }

@@ -15,7 +15,9 @@ pub mod scripts;
 pub mod sweep;
 
 pub use driver::{ClientId, CommandWorld, Completion, Ctx, ExecOutcome, SimDriver, SimEv};
-pub use figures::Scale;
-pub use scenarios::blackhole::{run_blackhole, BlackHoleOutcome, BlackHoleParams};
-pub use scenarios::buffer::{run_buffer, BufferOutcome, BufferParams};
-pub use scenarios::submit::{run_submission, SubmitOutcome, SubmitParams};
+pub use figures::{by_name_full, FigureRun, Scale};
+pub use scenarios::blackhole::{
+    run_blackhole, run_blackhole_traced, BlackHoleOutcome, BlackHoleParams,
+};
+pub use scenarios::buffer::{run_buffer, run_buffer_traced, BufferOutcome, BufferParams};
+pub use scenarios::submit::{run_submission, run_submission_traced, SubmitOutcome, SubmitParams};

@@ -13,6 +13,7 @@ use crate::scripts::{reader_script, unit_vm};
 use ftsh::vm::{CmdResult, CmdToken, CommandSpec, Vm};
 use ftsh::Script;
 use retry::{Discipline, Dur, Time};
+use simgrid::trace::{SharedSink, TraceEv, NO_ID};
 use simgrid::{Admission, FileServer, Series, ServerKind, SimRng};
 use std::collections::HashMap;
 
@@ -97,6 +98,9 @@ pub struct BlackHoleWorld {
     pub deferral_series: Series,
     /// Per-client instants of successful transfers.
     pub per_client_successes: Vec<Vec<Time>>,
+    /// Structured-trace sink for scenario-level events (deferrals and
+    /// collisions as attempts die); `None` ⇒ no records, no cost.
+    trace: Option<SharedSink>,
 }
 
 impl BlackHoleWorld {
@@ -126,6 +130,7 @@ impl BlackHoleWorld {
             collision_series: Series::new("collisions"),
             deferral_series: Series::new("deferrals"),
             per_client_successes: vec![Vec::new(); params.n_clients],
+            trace: None,
             params,
         }
     }
@@ -170,13 +175,15 @@ impl BlackHoleWorld {
     }
 
     /// A failed or killed attempt: classify by what was being fetched.
-    fn record_miss(&mut self, now: Time, was_flag: bool) {
+    fn record_miss(&mut self, now: Time, client: ClientId, was_flag: bool) {
         if was_flag {
             self.deferrals += 1;
             self.deferral_series.push(now, self.deferrals as f64);
+            simgrid::trace::emit(&self.trace, now, client as i64, NO_ID, TraceEv::Deferral);
         } else {
             self.collisions += 1;
             self.collision_series.push(now, self.collisions as f64);
+            simgrid::trace::emit(&self.trace, now, client as i64, NO_ID, TraceEv::Collision);
         }
     }
 }
@@ -240,7 +247,7 @@ impl CommandWorld for BlackHoleWorld {
         };
         let size = self.request_size.remove(&conn).unwrap_or(0);
         let was_flag = size == self.params.flag_size;
-        self.record_miss(ctx.now(), was_flag);
+        self.record_miss(ctx.now(), client, was_flag);
         if self.active_transfer[server] == Some(conn) {
             // The killed client was the one being served: invalidate
             // its completion and promote the next in line.
@@ -315,11 +322,25 @@ pub struct BlackHoleOutcome {
     /// transfers — the "hiccup" the Aloha reader suffers on the black
     /// hole.
     pub longest_stall: Dur,
+    /// Events popped from this run's own queue (per-run engine work).
+    pub events_popped: u64,
 }
 
 /// Run the scenario for `duration` of virtual time (paper: 900 s).
 pub fn run_blackhole(params: BlackHoleParams, duration: Dur) -> BlackHoleOutcome {
+    run_blackhole_traced(params, duration, None)
+}
+
+/// [`run_blackhole`] with an optional structured-trace sink: every
+/// reader VM plus the replica-server world record into it (attempt
+/// spans, backoffs, flag-probe deferrals, transfer collisions).
+pub fn run_blackhole_traced(
+    params: BlackHoleParams,
+    duration: Dur,
+    trace: Option<SharedSink>,
+) -> BlackHoleOutcome {
     let mut world = BlackHoleWorld::new(params.clone());
+    world.trace = trace.clone();
     let mut vms = Vec::with_capacity(params.n_clients);
     let mut rng = SimRng::new(params.seed ^ 0x5e1f);
     for _ in 0..params.n_clients {
@@ -332,7 +353,11 @@ pub fn run_blackhole(params: BlackHoleParams, duration: Dur) -> BlackHoleOutcome
         ));
     }
     let mut driver = SimDriver::new(world, vms);
+    if let Some(sink) = trace {
+        driver.set_trace(sink);
+    }
     driver.run_until(Time::ZERO + duration);
+    let events_popped = driver.events_popped();
     let w = &driver.world;
     let mut longest = Dur::ZERO;
     for times in &w.per_client_successes {
@@ -351,6 +376,7 @@ pub fn run_blackhole(params: BlackHoleParams, duration: Dur) -> BlackHoleOutcome
         collision_series: w.collision_series.clone(),
         deferral_series: w.deferral_series.clone(),
         longest_stall: longest,
+        events_popped,
     }
 }
 

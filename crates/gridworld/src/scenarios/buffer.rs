@@ -18,6 +18,7 @@ use crate::scripts::{buffer_script, unit_vm};
 use ftsh::vm::{CmdResult, CmdToken, CommandSpec, Vm};
 use ftsh::Script;
 use retry::{Discipline, Dur, Time};
+use simgrid::trace::{SharedSink, TraceEv, NO_ID};
 use simgrid::{DiskBuffer, FileId, Series, SimRng, WriteError};
 use std::collections::HashMap;
 
@@ -142,6 +143,9 @@ pub struct BufferWorld {
     pub collision_series: Series,
     /// Timeline of buffer occupancy (bytes).
     pub occupancy_series: Series,
+    /// Structured-trace sink for scenario-level events (probes,
+    /// deferrals, ENOSPC collisions); `None` ⇒ no records, no cost.
+    trace: Option<SharedSink>,
 }
 
 impl BufferWorld {
@@ -161,6 +165,7 @@ impl BufferWorld {
             consumed_series: Series::new("files consumed"),
             collision_series: Series::new("collisions"),
             occupancy_series: Series::new("occupancy"),
+            trace: None,
             params,
         }
     }
@@ -196,8 +201,24 @@ impl CommandWorld for BufferWorld {
             // The Ethernet estimator over the observable buffer state.
             "estimate-space" => {
                 let est = self.disk.ethernet_estimate_free();
+                simgrid::trace::emit(
+                    &self.trace,
+                    ctx.now(),
+                    client as i64,
+                    NO_ID,
+                    TraceEv::CarrierSense {
+                        free: est.max(0) as u64,
+                    },
+                );
                 if est <= 0 {
                     self.deferrals += 1;
+                    simgrid::trace::emit(
+                        &self.trace,
+                        ctx.now(),
+                        client as i64,
+                        NO_ID,
+                        TraceEv::Deferral,
+                    );
                 }
                 ExecOutcome::At(
                     ctx.now() + self.params.probe_cost,
@@ -270,6 +291,13 @@ impl CommandWorld for BufferWorld {
                         // only learns at close time (NFS semantics),
                         // so the failure lands when the write would
                         // have finished.
+                        simgrid::trace::emit(
+                            &self.trace,
+                            ctx.now(),
+                            client as i64,
+                            NO_ID,
+                            TraceEv::Enospc,
+                        );
                         self.active.remove(&(client, token));
                         let at = (started + self.params.write_time).max(ctx.now());
                         ctx.schedule_completion(at, client, token, CmdResult::fail());
@@ -389,6 +417,8 @@ pub struct BufferOutcome {
     pub collision_series: Series,
     /// Timeline of buffer occupancy.
     pub occupancy_series: Series,
+    /// Events popped from this run's own queue (per-run engine work).
+    pub events_popped: u64,
 }
 
 impl BufferOutcome {
@@ -409,7 +439,19 @@ impl BufferOutcome {
 
 /// Run the scenario for `duration` of virtual time.
 pub fn run_buffer(params: BufferParams, duration: Dur) -> BufferOutcome {
-    let world = BufferWorld::new(params.clone());
+    run_buffer_traced(params, duration, None)
+}
+
+/// [`run_buffer`] with an optional structured-trace sink: every
+/// producer VM plus the buffer world record into it (attempt spans,
+/// backoffs, space probes, deferrals, ENOSPC collisions).
+pub fn run_buffer_traced(
+    params: BufferParams,
+    duration: Dur,
+    trace: Option<SharedSink>,
+) -> BufferOutcome {
+    let mut world = BufferWorld::new(params.clone());
+    world.trace = trace.clone();
     let rng = SimRng::new(params.seed ^ 0xD15C);
     let vms: Vec<Vm> = (0..params.n_producers)
         .map(|c| {
@@ -422,9 +464,13 @@ pub fn run_buffer(params: BufferParams, duration: Dur) -> BufferOutcome {
         })
         .collect();
     let mut driver = SimDriver::new(world, vms);
+    if let Some(sink) = trace {
+        driver.set_trace(sink);
+    }
     driver.schedule_world(Time::ZERO, BufferEv::ConsumerTick);
     driver.schedule_world(Time::ZERO, BufferEv::Sample);
     driver.run_until(Time::ZERO + duration);
+    let events_popped = driver.events_popped();
     let w = &driver.world;
     BufferOutcome {
         files_consumed: w.files_consumed,
@@ -435,6 +481,7 @@ pub fn run_buffer(params: BufferParams, duration: Dur) -> BufferOutcome {
         consumed_series: w.consumed_series.clone(),
         collision_series: w.collision_series.clone(),
         occupancy_series: w.occupancy_series.clone(),
+        events_popped,
     }
 }
 

@@ -31,6 +31,7 @@ use crate::scripts::{submit_script, unit_vm};
 use ftsh::vm::{CmdResult, CmdToken, CommandSpec, Vm};
 use ftsh::Script;
 use retry::{Discipline, Dur, Time};
+use simgrid::trace::{SharedSink, TraceEv, NO_ID};
 use simgrid::{FdTable, Series, SimRng};
 use std::collections::{HashMap, VecDeque};
 
@@ -180,6 +181,9 @@ pub struct SubmitWorld {
     pub fd_series: Series,
     /// Timeline of cumulative jobs submitted.
     pub jobs_series: Series,
+    /// Structured-trace sink for scenario-level events (crashes,
+    /// probes, deferrals); `None` ⇒ no records, no cost.
+    trace: Option<SharedSink>,
 }
 
 impl SubmitWorld {
@@ -203,6 +207,7 @@ impl SubmitWorld {
             failed_connects: 0,
             fd_series: Series::new("available FDs"),
             jobs_series: Series::new("jobs submitted"),
+            trace: None,
             script,
             params,
         }
@@ -249,6 +254,7 @@ impl SubmitWorld {
     /// broadcast jam) and all of their descriptors return to the table.
     fn crash(&mut self, ctx: &mut Ctx<'_, SubmitEv>, out: &mut Vec<Completion>) {
         self.crashes += 1;
+        simgrid::trace::emit(&self.trace, ctx.now(), NO_ID, NO_ID, TraceEv::ScheddCrash);
         self.schedd_up = false;
         self.gap_pending = false;
         self.service_seq += 1; // invalidate any pending ServiceDone
@@ -296,8 +302,22 @@ impl CommandWorld for SubmitWorld {
             // The carrier-sense probe: report free descriptors.
             "cut" => {
                 let free = self.fds.free();
+                simgrid::trace::emit(
+                    &self.trace,
+                    ctx.now(),
+                    client as i64,
+                    NO_ID,
+                    TraceEv::CarrierSense { free },
+                );
                 if free < self.params.threshold {
                     self.deferrals += 1;
+                    simgrid::trace::emit(
+                        &self.trace,
+                        ctx.now(),
+                        client as i64,
+                        NO_ID,
+                        TraceEv::Deferral,
+                    );
                 }
                 ExecOutcome::At(
                     ctx.now() + self.params.probe_cost,
@@ -461,6 +481,8 @@ pub struct SubmitOutcome {
     pub sojourn_p50: Option<f64>,
     /// 95th-percentile connect-to-served latency in seconds.
     pub sojourn_p95: Option<f64>,
+    /// Events popped from this run's own queue (per-run engine work).
+    pub events_popped: u64,
 }
 
 /// Run the scenario for `duration` of virtual time.
@@ -481,7 +503,19 @@ pub struct SubmitOutcome {
 /// assert_eq!(o.crashes, 0);
 /// ```
 pub fn run_submission(params: SubmitParams, duration: Dur) -> SubmitOutcome {
-    let world = SubmitWorld::new(params.clone());
+    run_submission_traced(params, duration, None)
+}
+
+/// [`run_submission`] with an optional structured-trace sink: every
+/// client VM plus the schedd world record into it (attempt spans,
+/// backoffs, probes, deferrals, crashes).
+pub fn run_submission_traced(
+    params: SubmitParams,
+    duration: Dur,
+    trace: Option<SharedSink>,
+) -> SubmitOutcome {
+    let mut world = SubmitWorld::new(params.clone());
+    world.trace = trace.clone();
     let mut rng = SimRng::new(params.seed ^ 0xC11E);
     let vms: Vec<Vm> = (0..params.n_clients)
         .map(|c| {
@@ -504,8 +538,12 @@ pub fn run_submission(params: SubmitParams, duration: Dur) -> SubmitOutcome {
         })
         .collect();
     let mut driver = SimDriver::with_starts(world, vms, starts);
+    if let Some(sink) = trace {
+        driver.set_trace(sink);
+    }
     driver.schedule_world(Time::ZERO, SubmitEv::Sample);
     driver.run_until(Time::ZERO + duration);
+    let events_popped = driver.events_popped();
     let totals = driver.log_totals;
     let w = &driver.world;
     let mut sojourns = w.sojourns.clone();
@@ -522,6 +560,7 @@ pub fn run_submission(params: SubmitParams, duration: Dur) -> SubmitOutcome {
         client_totals: totals,
         sojourn_p50: p50,
         sojourn_p95: p95,
+        events_popped,
     }
 }
 

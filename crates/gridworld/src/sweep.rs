@@ -54,6 +54,7 @@ where
     }
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<O>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    let mut failed: Vec<(usize, String)> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads.min(items.len()))
             .map(|_| {
@@ -64,23 +65,64 @@ where
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
-                            return local;
+                            return Ok(local);
                         }
-                        local.push((i, f(&items[i])));
+                        // Catch a panicking point so we can report
+                        // *which* point died, not just that a worker
+                        // did.
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || f(&items[i]),
+                        )) {
+                            Ok(out) => local.push((i, out)),
+                            Err(payload) => return Err((i, panic_message(payload.as_ref()))),
+                        }
                     }
                 })
             })
             .collect();
         for h in handles {
-            for (i, out) in h.join().expect("sweep worker panicked") {
-                slots[i] = Some(out);
+            match h
+                .join()
+                .expect("sweep worker cannot panic: points are caught")
+            {
+                Ok(outs) => {
+                    for (i, out) in outs {
+                        slots[i] = Some(out);
+                    }
+                }
+                Err(fail) => failed.push(fail),
             }
         }
     });
+    if !failed.is_empty() {
+        failed.sort_by_key(|&(i, _)| i);
+        let (i, msg) = &failed[0];
+        panic!(
+            "sweep point {i} of {n} panicked: {msg}{more}",
+            n = items.len(),
+            more = if failed.len() > 1 {
+                format!(" ({} more point(s) also panicked)", failed.len() - 1)
+            } else {
+                String::new()
+            },
+        );
+    }
     slots
         .into_iter()
         .map(|o| o.expect("every index was claimed exactly once"))
         .collect()
+}
+
+/// Best-effort rendering of a panic payload (the `&str`/`String` cases
+/// `panic!` produces; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -123,5 +165,38 @@ mod tests {
     fn configured_threads_is_capped_by_items() {
         assert_eq!(configured_threads(1), 1);
         assert!(configured_threads(1000) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep point 3 of 8 panicked: point 3 exploded")]
+    fn panicking_point_is_identified() {
+        let items: Vec<usize> = (0..8).collect();
+        let _ = map_with_threads(4, &items, |&i| {
+            if i == 3 {
+                panic!("point {i} exploded");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn first_failing_point_wins_the_report() {
+        let items: Vec<usize> = (0..16).collect();
+        let res = std::panic::catch_unwind(|| {
+            map_with_threads(4, &items, |&i| {
+                if i % 2 == 1 {
+                    panic!("odd point {i}");
+                }
+                i
+            })
+        });
+        let payload = res.expect_err("sweep must propagate the panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("formatted panic message");
+        assert!(
+            msg.starts_with("sweep point 1 of 16 panicked: odd point 1"),
+            "unexpected message: {msg}"
+        );
     }
 }

@@ -7,6 +7,7 @@
 //! ftsh --pretty SCRIPT    parse and print the canonical form
 //! ftsh --log SCRIPT       run and dump the execution log afterwards
 //! ftsh --timeline SCRIPT  run and render per-task swimlanes
+//! ftsh --trace OUT.jsonl  run and stream a structured trace (JSONL)
 //! ftsh --repl             interactive session (variables persist)
 //! ```
 //!
@@ -24,7 +25,7 @@
 //! or parse errors.
 
 use ftsh::{parse, pretty, LogKind, Vm};
-use procman::{run_vm, RealOptions};
+use procman::{run_vm_traced, RealOptions};
 
 use retry::{BackoffPolicy, Dur};
 use std::process::ExitCode;
@@ -46,6 +47,7 @@ fn main() -> ExitCode {
     let mut backoff_cap: Option<u64> = None;
     let mut jitter = true;
     let mut seed: Option<u64> = None;
+    let mut trace_path: Option<String> = None;
 
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -67,6 +69,10 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--no-jitter" => jitter = false,
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p),
+                None => return usage(),
+            },
             "--repl" | "-i" => {
                 let mut repl = procman::Repl::new(RealOptions::default(), true);
                 let stdin = std::io::stdin();
@@ -142,7 +148,20 @@ fn main() -> ExitCode {
         }
         vm.set_default_backoff(policy);
     }
-    let report = run_vm(vm, &opts);
+    let trace_sink = match &trace_path {
+        Some(p) => match std::fs::File::create(p) {
+            Ok(f) => {
+                let w = std::io::BufWriter::new(f);
+                Some(ftsh::trace::shared(ftsh::trace::JsonlSink::new(w)))
+            }
+            Err(e) => {
+                eprintln!("ftsh: cannot create trace file {p}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let report = run_vm_traced(vm, &opts, trace_sink);
 
     if show_timeline {
         eprint!("{}", report.log.render_timeline());

@@ -107,6 +107,21 @@ pub fn run_script(script: &Script, opts: &RealOptions) -> RealReport {
     run_vm(vm, opts)
 }
 
+/// [`run_vm`] with an optional structured-trace sink installed on the
+/// VM (as client 0): attempt spans, backoffs, and command boundaries
+/// are recorded live while the real processes run — the same schema
+/// the simulator emits, so one post-mortem pipeline reads both.
+pub fn run_vm_traced(
+    mut vm: Vm,
+    opts: &RealOptions,
+    trace: Option<ftsh::trace::SharedSink>,
+) -> RealReport {
+    if let Some(sink) = trace {
+        vm.set_tracer(sink, 0);
+    }
+    run_vm(vm, opts)
+}
+
 /// Run a prepared VM (e.g. with a preloaded environment) against real
 /// processes.
 pub fn run_vm(mut vm: Vm, opts: &RealOptions) -> RealReport {
@@ -376,6 +391,37 @@ mod tests {
     fn missing_program_fails_cleanly() {
         let r = run("/definitely/not/a/program\n");
         assert!(!r.success);
+    }
+
+    #[test]
+    fn traced_real_run_records_attempts_and_commands() {
+        use ftsh::trace::{RingSink, TraceEv};
+        use std::sync::{Arc, Mutex};
+
+        let script = parse("try 2 times every 10 ms\n false\nend\n").unwrap();
+        let ring = Arc::new(Mutex::new(RingSink::new(64)));
+        let r = run_vm_traced(
+            ftsh::Vm::with_seed(&script, 3),
+            &RealOptions {
+                seed: Some(3),
+                ..RealOptions::default()
+            },
+            Some(ring.clone()),
+        );
+        assert!(!r.success);
+        let recs: Vec<_> = ring.lock().unwrap().records().cloned().collect();
+        assert!(recs.iter().all(|rec| rec.client == 0));
+        let starts = recs
+            .iter()
+            .filter(|r| matches!(r.ev, TraceEv::AttemptStart { .. }))
+            .count();
+        assert_eq!(starts, 2, "both real attempts recorded");
+        assert!(recs
+            .iter()
+            .any(|r| matches!(&r.ev, TraceEv::CmdStart { program } if program == "false")));
+        assert!(recs
+            .iter()
+            .any(|r| matches!(r.ev, TraceEv::UnitDone { ok: false })));
     }
 
     #[test]

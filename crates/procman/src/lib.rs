@@ -14,6 +14,8 @@ pub mod driver;
 pub mod repl;
 pub mod session;
 
-pub use driver::{install_sigterm_hook, run_script, run_vm, RealOptions, RealReport};
+pub use driver::{
+    install_sigterm_hook, run_script, run_vm, run_vm_traced, RealOptions, RealReport,
+};
 pub use repl::Repl;
-pub use session::{ProcessOutcome, SessionChild, SpawnError};
+pub use session::{EscalationOutcome, ProcessOutcome, SessionChild, SpawnError};

@@ -36,6 +36,16 @@ impl ProcessOutcome {
     }
 }
 
+/// How a kill escalation resolved: the polite path or the big hammer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EscalationOutcome {
+    /// The session honored SIGTERM (or was already gone) before the
+    /// grace period expired; no SIGKILL was sent.
+    ExitedWithinGrace,
+    /// The session outlived the grace period and was SIGKILLed.
+    ForceKilled,
+}
+
 /// A child process leading its own session.
 #[derive(Debug)]
 pub struct SessionChild {
@@ -168,14 +178,43 @@ impl SessionChild {
         }
     }
 
+    /// True when no process in the session can still receive a
+    /// signal. A reaped tree yields ESRCH from `kill(-pid, 0)`.
+    fn session_gone(pid: i32) -> bool {
+        // SAFETY: signal 0 only checks deliverability, nothing is sent.
+        let rc = unsafe { libc::kill(-pid, 0) };
+        rc == -1 && std::io::Error::last_os_error().raw_os_error() == Some(libc::ESRCH)
+    }
+
     /// Politely terminate the session, then force-kill after `grace`.
     /// Spawns a detached escalation thread so the caller never blocks.
     pub fn kill_escalate(pid: i32, grace: Duration) {
+        let _ = Self::escalate(pid, grace);
+    }
+
+    /// [`SessionChild::kill_escalate`] with an observable outcome:
+    /// SIGTERM is sent immediately, then a helper thread *polls* for
+    /// the session's exit and only fires SIGKILL if the grace period
+    /// truly expires. A SIGTERM-compliant child therefore ends the
+    /// escalation (and releases the helper thread) well under `grace`
+    /// instead of every kill holding a thread for the full period and
+    /// SIGKILLing an already-recycled session id.
+    pub fn escalate(pid: i32, grace: Duration) -> std::thread::JoinHandle<EscalationOutcome> {
         Self::signal_session(pid, libc::SIGTERM);
         std::thread::spawn(move || {
-            std::thread::sleep(grace);
-            Self::signal_session(pid, libc::SIGKILL);
-        });
+            let deadline = std::time::Instant::now() + grace;
+            loop {
+                if Self::session_gone(pid) {
+                    return EscalationOutcome::ExitedWithinGrace;
+                }
+                let left = deadline.saturating_duration_since(std::time::Instant::now());
+                if left.is_zero() {
+                    Self::signal_session(pid, libc::SIGKILL);
+                    return EscalationOutcome::ForceKilled;
+                }
+                std::thread::sleep(left.min(Duration::from_millis(10)));
+            }
+        })
     }
 
     /// Wait for the child to exit, collecting captured output. Blocks.
@@ -343,6 +382,37 @@ mod tests {
         let (ok, _) = c.wait();
         assert!(!ok);
         assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn sigterm_compliant_child_ends_escalation_early() {
+        // A 10 s grace must not cost 10 s when the child honors
+        // SIGTERM immediately: the escalation polls for exit.
+        let c = SessionChild::spawn(&spec(&["sleep", "30"])).unwrap();
+        let started = std::time::Instant::now();
+        let h = SessionChild::escalate(c.pid(), Duration::from_secs(10));
+        let (outcome, _) = c.wait_detailed();
+        assert_eq!(outcome, ProcessOutcome::Signaled(libc::SIGTERM));
+        let esc = h.join().unwrap();
+        assert_eq!(esc, EscalationOutcome::ExitedWithinGrace);
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "escalation stalled {:?} on a compliant child",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn stubborn_child_is_force_killed_at_grace() {
+        // Ignore SIGTERM and busy-loop; only SIGKILL can end this.
+        let c =
+            SessionChild::spawn(&spec(&["sh", "-c", "trap '' TERM; while :; do :; done"])).unwrap();
+        // Let the trap install before the SIGTERM arrives.
+        std::thread::sleep(Duration::from_millis(200));
+        let h = SessionChild::escalate(c.pid(), Duration::from_millis(300));
+        let (outcome, _) = c.wait_detailed();
+        assert_eq!(outcome, ProcessOutcome::Signaled(libc::SIGKILL));
+        assert_eq!(h.join().unwrap(), EscalationOutcome::ForceKilled);
     }
 
     #[test]

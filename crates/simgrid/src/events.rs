@@ -12,11 +12,17 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// Process-wide count of events popped from every [`EventQueue`], on
-/// any thread. The perf harness samples this around a run to compute
-/// events-processed/second; it never affects simulation behaviour.
+/// any thread. Kept only to back the deprecated
+/// [`events_popped_total`] shim; it never affects simulation
+/// behaviour.
 static EVENTS_POPPED: AtomicU64 = AtomicU64::new(0);
 
 /// Total events popped process-wide since start (monotonic).
+#[deprecated(
+    since = "0.2.0",
+    note = "process-global, so concurrent sweep workers cross-contaminate the \
+            count; read `EventQueue::popped` per queue and aggregate per run"
+)]
 pub fn events_popped_total() -> u64 {
     EVENTS_POPPED.load(AtomicOrdering::Relaxed)
 }
@@ -64,6 +70,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: Time,
+    popped: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -79,7 +86,15 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: Time::ZERO,
+            popped: 0,
         }
+    }
+
+    /// Events popped from *this* queue since construction. Per-queue
+    /// so one run's throughput is attributable even while sweep
+    /// workers run other simulations concurrently.
+    pub fn popped(&self) -> u64 {
+        self.popped
     }
 
     /// The current virtual instant (the timestamp of the last popped
@@ -117,6 +132,7 @@ impl<E> EventQueue<E> {
         let e = self.heap.pop()?;
         debug_assert!(e.at >= self.now, "clock went backwards");
         self.now = e.at;
+        self.popped += 1;
         EVENTS_POPPED.fetch_add(1, AtomicOrdering::Relaxed);
         Some((e.at, e.event))
     }
@@ -195,6 +211,25 @@ mod tests {
         assert!(q.pop().is_none());
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn pop_counter_is_per_queue() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for i in 0..5 {
+            a.schedule(Time::from_secs(i), ());
+        }
+        b.schedule(Time::from_secs(1), ());
+        while a.pop().is_some() {}
+        assert_eq!(a.popped(), 5);
+        assert_eq!(b.popped(), 0);
+        b.pop();
+        assert_eq!(b.popped(), 1);
+        // The process-global shim still ticks for old callers.
+        #[allow(deprecated)]
+        let total = events_popped_total();
+        assert!(total >= 6);
     }
 
     #[test]

@@ -26,13 +26,19 @@
 pub mod channel;
 pub mod events;
 pub mod metrics;
+pub mod postmortem;
 pub mod resources;
 pub mod rng;
+pub mod trace;
 
 pub use channel::{simulate_channel, ChannelDiscipline, ChannelStats};
-pub use events::{events_popped_total, EventQueue};
-pub use metrics::{percentile, Series, SeriesSet};
+#[allow(deprecated)]
+pub use events::events_popped_total;
+pub use events::EventQueue;
+pub use metrics::{json_escape, percentile, Series, SeriesSet};
+pub use postmortem::TraceSummary;
 pub use resources::disk::{DiskBuffer, FileId, WriteError};
 pub use resources::fdtable::{FdExhausted, FdTable};
 pub use resources::server::{Admission, FileServer, ServerKind};
 pub use rng::SimRng;
+pub use trace::{SharedSink, TraceEv, TraceRecord, TraceSink};

@@ -4,8 +4,10 @@
 
 use retry::Time;
 
-/// Escape a string for inclusion in a JSON document.
-fn json_escape(s: &str) -> String {
+/// Escape a string for inclusion in a JSON document. Shared by the
+/// figure serializers here and the structured-trace JSONL sink
+/// ([`crate::trace::JsonlSink`]).
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

@@ -1,0 +1,377 @@
+//! Post-mortem analysis of structured traces (§4's "the log is the
+//! artifact" workflow): reconstruct per-client timelines and aggregate
+//! retry/backoff distributions from a trace file, with no access to
+//! the run that produced it.
+
+use crate::metrics::percentile;
+use crate::trace::{TraceEv, TraceRecord, NO_ID};
+use retry::Time;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregates over one trace: span outcomes, backoff-delay samples,
+/// command results and the scenario contention counters.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Total records consumed.
+    pub records: u64,
+    /// Distinct client ids seen (excluding [`NO_ID`]), ascending.
+    pub clients: Vec<i64>,
+    /// Earliest and latest instants in the trace.
+    pub window: Option<(Time, Time)>,
+    /// `try` attempts admitted.
+    pub attempts: u64,
+    /// `try` spans that closed successfully; the attempt number each
+    /// one succeeded on (the paper's attempts-per-success metric).
+    pub success_attempts: Vec<u64>,
+    /// Backoff delays drawn, in microseconds.
+    pub backoff_us: Vec<u64>,
+    /// `try` frames that spent their whole budget between attempts.
+    pub exhausted: u64,
+    /// `try` deadlines that fired mid-attempt.
+    pub timeouts: u64,
+    /// Failed `try` frames that entered a `catch` block.
+    pub catches: u64,
+    /// Commands started.
+    pub cmd_starts: u64,
+    /// Commands that completed successfully.
+    pub cmd_ok: u64,
+    /// Commands that completed with failure.
+    pub cmd_failed: u64,
+    /// Commands cancelled in flight.
+    pub cmd_killed: u64,
+    /// Whole script units completed.
+    pub units_done: u64,
+    /// Units that completed successfully.
+    pub units_ok: u64,
+    /// Carrier-sense probes of the contended resource.
+    pub carrier_reads: u64,
+    /// Clients that deferred after sensing a busy medium.
+    pub deferrals: u64,
+    /// Collisions on the contended resource.
+    pub collisions: u64,
+    /// Schedd crashes (the paper's broadcast jam).
+    pub crashes: u64,
+    /// Mid-write ENOSPC hits.
+    pub enospc: u64,
+    /// Attempts admitted per client.
+    pub attempts_by_client: BTreeMap<i64, u64>,
+}
+
+impl TraceSummary {
+    /// Aggregate a record stream.
+    pub fn from_records<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        let mut clients = std::collections::BTreeSet::new();
+        for r in records {
+            s.records += 1;
+            if r.client != NO_ID {
+                clients.insert(r.client);
+            }
+            s.window = Some(match s.window {
+                None => (r.t, r.t),
+                Some((lo, hi)) => (lo.min(r.t), hi.max(r.t)),
+            });
+            match &r.ev {
+                TraceEv::AttemptStart { .. } => {
+                    s.attempts += 1;
+                    *s.attempts_by_client.entry(r.client).or_insert(0) += 1;
+                }
+                TraceEv::AttemptOk { attempt } => s.success_attempts.push(u64::from(*attempt)),
+                TraceEv::Backoff { delay, .. } => s.backoff_us.push(delay.as_micros()),
+                TraceEv::TryExhausted => s.exhausted += 1,
+                TraceEv::TryTimeout => s.timeouts += 1,
+                TraceEv::CatchEntered => s.catches += 1,
+                TraceEv::CmdStart { .. } => s.cmd_starts += 1,
+                TraceEv::CmdEnd { ok, .. } => {
+                    if *ok {
+                        s.cmd_ok += 1;
+                    } else {
+                        s.cmd_failed += 1;
+                    }
+                }
+                TraceEv::CmdKilled { .. } => s.cmd_killed += 1,
+                TraceEv::UnitDone { ok } => {
+                    s.units_done += 1;
+                    if *ok {
+                        s.units_ok += 1;
+                    }
+                }
+                TraceEv::CarrierSense { .. } => s.carrier_reads += 1,
+                TraceEv::Deferral => s.deferrals += 1,
+                TraceEv::Collision => s.collisions += 1,
+                TraceEv::ScheddCrash => s.crashes += 1,
+                TraceEv::Enospc => s.enospc += 1,
+            }
+        }
+        s.clients = clients.into_iter().collect();
+        s
+    }
+
+    /// `(min, p50, p95, max)` of the backoff delays drawn, in seconds.
+    pub fn backoff_stats_s(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut v: Vec<f64> = self.backoff_us.iter().map(|&us| us as f64 / 1e6).collect();
+        Some((
+            percentile(&mut v, 0.0)?,
+            percentile(&mut v, 0.5)?,
+            percentile(&mut v, 0.95)?,
+            percentile(&mut v, 1.0)?,
+        ))
+    }
+
+    /// `(p50, p95, max)` of attempts needed per successful `try` span.
+    pub fn attempts_per_success(&self) -> Option<(f64, f64, f64)> {
+        let mut v: Vec<f64> = self.success_attempts.iter().map(|&a| a as f64).collect();
+        Some((
+            percentile(&mut v, 0.5)?,
+            percentile(&mut v, 0.95)?,
+            percentile(&mut v, 1.0)?,
+        ))
+    }
+
+    /// The aligned text report the `figures postmortem` subcommand
+    /// prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== trace post-mortem ==");
+        let _ = writeln!(out, "{:<22} {}", "records", self.records);
+        let _ = writeln!(out, "{:<22} {}", "clients", self.clients.len());
+        if let Some((lo, hi)) = self.window {
+            let _ = writeln!(
+                out,
+                "{:<22} {:.1}s .. {:.1}s",
+                "window",
+                lo.as_secs_f64(),
+                hi.as_secs_f64()
+            );
+        }
+        match self.attempts_per_success() {
+            Some((p50, p95, max)) => {
+                let _ = writeln!(
+                    out,
+                    "{:<22} {} ({} spans succeeded; attempts/success p50 {p50:.0}, p95 {p95:.0}, max {max:.0})",
+                    "try attempts",
+                    self.attempts,
+                    self.success_attempts.len(),
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{:<22} {}", "try attempts", self.attempts);
+            }
+        }
+        match self.backoff_stats_s() {
+            Some((min, p50, p95, max)) => {
+                let _ = writeln!(
+                    out,
+                    "{:<22} {} (delay s: min {min:.2}, p50 {p50:.2}, p95 {p95:.2}, max {max:.2})",
+                    "backoffs drawn",
+                    self.backoff_us.len(),
+                );
+            }
+            None => {
+                let _ = writeln!(out, "{:<22} 0", "backoffs drawn");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:<22} {} exhausted, {} timed out, {} entered catch",
+            "failed tries", self.exhausted, self.timeouts, self.catches
+        );
+        let _ = writeln!(
+            out,
+            "{:<22} {} started, {} ok, {} failed, {} killed",
+            "commands", self.cmd_starts, self.cmd_ok, self.cmd_failed, self.cmd_killed
+        );
+        let _ = writeln!(
+            out,
+            "{:<22} {} ({} ok)",
+            "units completed", self.units_done, self.units_ok
+        );
+        let _ = writeln!(out, "{:<22} {}", "carrier-sense reads", self.carrier_reads);
+        let _ = writeln!(out, "{:<22} {}", "deferrals", self.deferrals);
+        let _ = writeln!(out, "{:<22} {}", "collisions", self.collisions);
+        let _ = writeln!(out, "{:<22} {}", "schedd crashes", self.crashes);
+        let _ = writeln!(out, "{:<22} {}", "enospc hits", self.enospc);
+        out
+    }
+}
+
+/// One human-readable line body for a trace event.
+fn describe(ev: &TraceEv) -> String {
+    match ev {
+        TraceEv::AttemptStart { attempt, budget } => match budget {
+            Some(d) => format!("try attempt #{attempt} (budget {:.1}s)", d.as_secs_f64()),
+            None => format!("try attempt #{attempt} (unbounded)"),
+        },
+        TraceEv::AttemptOk { attempt } => format!("try succeeded on attempt #{attempt}"),
+        TraceEv::Backoff { attempt, delay } => format!(
+            "attempt #{attempt} failed, backing off {:.2}s",
+            delay.as_secs_f64()
+        ),
+        TraceEv::TryExhausted => "try budget exhausted".into(),
+        TraceEv::TryTimeout => "try deadline fired mid-attempt".into(),
+        TraceEv::CatchEntered => "entered catch block".into(),
+        TraceEv::CmdStart { program } => format!("exec {program}"),
+        TraceEv::CmdEnd { program, ok } => {
+            format!("{program} {}", if *ok { "ok" } else { "failed" })
+        }
+        TraceEv::CmdKilled { program } => format!("{program} killed"),
+        TraceEv::UnitDone { ok } => {
+            format!("unit done ({})", if *ok { "success" } else { "failure" })
+        }
+        TraceEv::CarrierSense { free } => format!("carrier sense: free={free}"),
+        TraceEv::Deferral => "medium busy, deferring".into(),
+        TraceEv::Collision => "collision".into(),
+        TraceEv::ScheddCrash => "schedd crashed".into(),
+        TraceEv::Enospc => "ENOSPC mid-write".into(),
+    }
+}
+
+/// Reconstruct per-client timelines: one block per client (emission
+/// order preserved within a client), world-scope events under their
+/// own heading. Pass `only` to restrict to a single client.
+pub fn render_timeline(records: &[TraceRecord], only: Option<i64>) -> String {
+    let mut by_client: BTreeMap<i64, Vec<&TraceRecord>> = BTreeMap::new();
+    for r in records {
+        if only.is_some_and(|c| c != r.client) {
+            continue;
+        }
+        by_client.entry(r.client).or_default().push(r);
+    }
+    let mut out = String::new();
+    for (client, recs) in &by_client {
+        if *client == NO_ID {
+            let _ = writeln!(out, "== world ==");
+        } else {
+            let _ = writeln!(out, "== client {client} ==");
+        }
+        for r in recs {
+            let task = if r.task == NO_ID {
+                "      ".to_string()
+            } else {
+                format!("task {}", r.task)
+            };
+            let _ = writeln!(
+                out,
+                "  [{:>10.3}s] {task}  {}",
+                r.t.as_secs_f64(),
+                describe(&r.ev)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retry::Dur;
+
+    fn rec(t_s: u64, client: i64, ev: TraceEv) -> TraceRecord {
+        TraceRecord {
+            t: Time::from_secs(t_s),
+            client,
+            task: if client == NO_ID { NO_ID } else { 1 },
+            ev,
+        }
+    }
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            rec(
+                1,
+                0,
+                TraceEv::AttemptStart {
+                    attempt: 1,
+                    budget: Some(Dur::from_secs(60)),
+                },
+            ),
+            rec(
+                1,
+                0,
+                TraceEv::CmdStart {
+                    program: "wget".into(),
+                },
+            ),
+            rec(
+                3,
+                0,
+                TraceEv::CmdEnd {
+                    program: "wget".into(),
+                    ok: false,
+                },
+            ),
+            rec(
+                3,
+                0,
+                TraceEv::Backoff {
+                    attempt: 1,
+                    delay: Dur::from_secs(2),
+                },
+            ),
+            rec(
+                5,
+                0,
+                TraceEv::AttemptStart {
+                    attempt: 2,
+                    budget: Some(Dur::from_secs(56)),
+                },
+            ),
+            rec(6, 0, TraceEv::AttemptOk { attempt: 2 }),
+            rec(6, 0, TraceEv::UnitDone { ok: true }),
+            rec(2, 1, TraceEv::CarrierSense { free: 3 }),
+            rec(2, 1, TraceEv::Deferral),
+            rec(4, NO_ID, TraceEv::ScheddCrash),
+        ]
+    }
+
+    #[test]
+    fn summary_counts_everything() {
+        let s = TraceSummary::from_records(&sample());
+        assert_eq!(s.records, 10);
+        assert_eq!(s.clients, vec![0, 1]);
+        assert_eq!(s.attempts, 2);
+        assert_eq!(s.success_attempts, vec![2]);
+        assert_eq!(s.backoff_us, vec![2_000_000]);
+        assert_eq!(s.cmd_starts, 1);
+        assert_eq!(s.cmd_failed, 1);
+        assert_eq!(s.units_done, 1);
+        assert_eq!(s.units_ok, 1);
+        assert_eq!(s.carrier_reads, 1);
+        assert_eq!(s.deferrals, 1);
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.window, Some((Time::from_secs(1), Time::from_secs(6))));
+        assert_eq!(s.attempts_by_client.get(&0), Some(&2));
+        let (min, p50, _, max) = s.backoff_stats_s().unwrap();
+        assert_eq!((min, p50, max), (2.0, 2.0, 2.0));
+        let report = s.render();
+        assert!(report.contains("try attempts"));
+        assert!(report.contains("deferrals"));
+        assert!(report.contains("schedd crashes"));
+        assert!(report
+            .lines()
+            .any(|l| l.starts_with("schedd crashes") && l.ends_with('1')));
+    }
+
+    #[test]
+    fn timeline_groups_by_client() {
+        let t = render_timeline(&sample(), None);
+        assert!(t.contains("== client 0 =="));
+        assert!(t.contains("== client 1 =="));
+        assert!(t.contains("== world =="));
+        assert!(t.contains("try attempt #1 (budget 60.0s)"));
+        assert!(t.contains("medium busy, deferring"));
+        let only1 = render_timeline(&sample(), Some(1));
+        assert!(!only1.contains("client 0"));
+        assert!(only1.contains("carrier sense: free=3"));
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let s = TraceSummary::from_records(&[]);
+        assert_eq!(s.records, 0);
+        assert!(s.backoff_stats_s().is_none());
+        assert!(s.render().contains("records"));
+        assert_eq!(render_timeline(&[], None), "");
+    }
+}

@@ -1,0 +1,694 @@
+//! The unified structured-trace pipeline (paper §4's event log, grown
+//! into a cross-layer artifact).
+//!
+//! Section 4 treats the ftsh log as a first-class object: attempt
+//! counts, failure-branch frequency, post-mortem timelines. This
+//! module is the shared vocabulary for that data across every
+//! execution mode: the ftsh VM emits one span per `try` attempt
+//! (attempt number, budget remaining, backoff delay drawn, outcome),
+//! the scenario worlds emit the contention counters the figures plot
+//! (deferrals, collisions, carrier-sense reads, schedd crashes, ENOSPC
+//! hits), and both the sim driver (`gridworld::driver`) and the real
+//! driver (`procman::driver`) route them through one [`TraceSink`].
+//!
+//! Two properties are load-bearing:
+//!
+//! * **Traces off ⇒ zero cost.** Emission sites are guarded by a
+//!   single `Option` test; no allocation, no formatting, no lock when
+//!   no sink is installed. The `engine` bench and `figures --stats`
+//!   hold this at ≤ 2% of the committed baseline.
+//! * **Bit-determinism per seed.** Records carry integer microsecond
+//!   timestamps and serialize with a fixed field order, so two runs at
+//!   the same seed produce byte-identical JSONL — traces are
+//!   regression-testable artifacts, and a parallel sweep concatenates
+//!   per-point buffers in point order to match the sequential run
+//!   exactly.
+
+use crate::metrics::json_escape;
+use retry::{Dur, Time};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// `client` / `task` value for records not attributable to one client
+/// task (world-level counters such as a schedd crash).
+pub const NO_ID: i64 = -1;
+
+/// What happened at one traced instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEv {
+    /// A `try` frame admitted attempt `attempt` (1-based). `budget` is
+    /// the time remaining until the frame's deadline, or `None` for an
+    /// unbounded `try`.
+    AttemptStart {
+        /// 1-based attempt number within the `try` frame.
+        attempt: u32,
+        /// Time left before the `try` deadline (`None` = unbounded).
+        budget: Option<Dur>,
+    },
+    /// The `try` body succeeded on attempt `attempt`; the span closes.
+    AttemptOk {
+        /// The attempt that succeeded.
+        attempt: u32,
+    },
+    /// Attempt `attempt` failed and the exponential-backoff policy drew
+    /// `delay` before the next admission.
+    Backoff {
+        /// The attempt that failed.
+        attempt: u32,
+        /// The randomized delay drawn before the next attempt.
+        delay: Dur,
+    },
+    /// The `try` budget was spent between attempts; the frame failed.
+    TryExhausted,
+    /// The `try` deadline fired mid-attempt; the body was cancelled.
+    TryTimeout,
+    /// A failed `try` transferred control to its `catch` block.
+    CatchEntered,
+    /// An external command was handed to the executor.
+    CmdStart {
+        /// Program name (argv\[0\]).
+        program: String,
+    },
+    /// An external command completed.
+    CmdEnd {
+        /// Program name (argv\[0\]).
+        program: String,
+        /// True when the command exited successfully.
+        ok: bool,
+    },
+    /// An in-flight command was cancelled (deadline or branch loss).
+    CmdKilled {
+        /// Program name (argv\[0\]).
+        program: String,
+    },
+    /// The client's whole script finished one unit of work.
+    UnitDone {
+        /// True when the script succeeded.
+        ok: bool,
+    },
+    /// A carrier-sense probe read the contended resource's free level.
+    CarrierSense {
+        /// The observed free level (FDs, buffer bytes ÷ chunk, …).
+        free: u64,
+    },
+    /// Carrier sense reported the medium busy; the client deferred.
+    Deferral,
+    /// Two transfers collided on the contended resource.
+    Collision,
+    /// The overloaded schedd crashed (the paper's broadcast jam).
+    ScheddCrash,
+    /// A write hit mid-file ENOSPC.
+    Enospc,
+}
+
+impl TraceEv {
+    /// The `ev` tag this variant serializes under.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEv::AttemptStart { .. } => "attempt-start",
+            TraceEv::AttemptOk { .. } => "attempt-ok",
+            TraceEv::Backoff { .. } => "backoff",
+            TraceEv::TryExhausted => "try-exhausted",
+            TraceEv::TryTimeout => "try-timeout",
+            TraceEv::CatchEntered => "catch",
+            TraceEv::CmdStart { .. } => "cmd-start",
+            TraceEv::CmdEnd { .. } => "cmd-end",
+            TraceEv::CmdKilled { .. } => "cmd-killed",
+            TraceEv::UnitDone { .. } => "unit-done",
+            TraceEv::CarrierSense { .. } => "carrier-sense",
+            TraceEv::Deferral => "deferral",
+            TraceEv::Collision => "collision",
+            TraceEv::ScheddCrash => "schedd-crash",
+            TraceEv::Enospc => "enospc",
+        }
+    }
+}
+
+/// One structured trace record: an event at a virtual instant,
+/// attributed to a client (and task within that client's VM) where one
+/// is known, or [`NO_ID`] for world-scope events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual instant of the event.
+    pub t: Time,
+    /// Client index within the scenario, or [`NO_ID`].
+    pub client: i64,
+    /// Task id within the client's VM, or [`NO_ID`].
+    pub task: i64,
+    /// What happened.
+    pub ev: TraceEv,
+}
+
+impl TraceRecord {
+    /// Serialize as one JSONL line (no trailing newline). Field order
+    /// is fixed and timestamps are integer microseconds, so equal
+    /// records always produce equal bytes.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64);
+        let _ = write!(
+            out,
+            "{{\"t\":{},\"client\":{},\"task\":{},\"ev\":\"{}\"",
+            self.t.as_micros(),
+            self.client,
+            self.task,
+            self.ev.tag()
+        );
+        match &self.ev {
+            TraceEv::AttemptStart { attempt, budget } => {
+                let _ = write!(out, ",\"attempt\":{attempt},\"budget_us\":");
+                match budget {
+                    Some(d) => {
+                        let _ = write!(out, "{}", d.as_micros());
+                    }
+                    None => out.push_str("null"),
+                }
+            }
+            TraceEv::AttemptOk { attempt } => {
+                let _ = write!(out, ",\"attempt\":{attempt}");
+            }
+            TraceEv::Backoff { attempt, delay } => {
+                let _ = write!(
+                    out,
+                    ",\"attempt\":{attempt},\"delay_us\":{}",
+                    delay.as_micros()
+                );
+            }
+            TraceEv::CmdStart { program } | TraceEv::CmdKilled { program } => {
+                let _ = write!(out, ",\"program\":\"{}\"", json_escape(program));
+            }
+            TraceEv::CmdEnd { program, ok } => {
+                let _ = write!(out, ",\"program\":\"{}\",\"ok\":{ok}", json_escape(program));
+            }
+            TraceEv::UnitDone { ok } => {
+                let _ = write!(out, ",\"ok\":{ok}");
+            }
+            TraceEv::CarrierSense { free } => {
+                let _ = write!(out, ",\"free\":{free}");
+            }
+            TraceEv::TryExhausted
+            | TraceEv::TryTimeout
+            | TraceEv::CatchEntered
+            | TraceEv::Deferral
+            | TraceEv::Collision
+            | TraceEv::ScheddCrash
+            | TraceEv::Enospc => {}
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse one JSONL line produced by [`to_json_line`]. Returns an
+    /// error message naming the missing or malformed field.
+    ///
+    /// [`to_json_line`]: TraceRecord::to_json_line
+    pub fn parse_json_line(line: &str) -> Result<TraceRecord, String> {
+        let fields = parse_flat_object(line)?;
+        let num = |k: &str| -> Result<i64, String> {
+            match fields.iter().find(|(key, _)| key == k) {
+                Some((_, JVal::Num(n))) => Ok(*n),
+                Some(_) => Err(format!("field {k:?} is not a number")),
+                None => Err(format!("missing field {k:?}")),
+            }
+        };
+        let opt_num = |k: &str| -> Result<Option<i64>, String> {
+            match fields.iter().find(|(key, _)| key == k) {
+                Some((_, JVal::Num(n))) => Ok(Some(*n)),
+                Some((_, JVal::Null)) => Ok(None),
+                Some(_) => Err(format!("field {k:?} is not a number or null")),
+                None => Err(format!("missing field {k:?}")),
+            }
+        };
+        let text = |k: &str| -> Result<String, String> {
+            match fields.iter().find(|(key, _)| key == k) {
+                Some((_, JVal::Str(s))) => Ok(s.clone()),
+                Some(_) => Err(format!("field {k:?} is not a string")),
+                None => Err(format!("missing field {k:?}")),
+            }
+        };
+        let flag = |k: &str| -> Result<bool, String> {
+            match fields.iter().find(|(key, _)| key == k) {
+                Some((_, JVal::Bool(b))) => Ok(*b),
+                Some(_) => Err(format!("field {k:?} is not a bool")),
+                None => Err(format!("missing field {k:?}")),
+            }
+        };
+        let tag = text("ev")?;
+        let ev = match tag.as_str() {
+            "attempt-start" => TraceEv::AttemptStart {
+                attempt: num("attempt")? as u32,
+                budget: opt_num("budget_us")?.map(|us| Dur::from_micros(us as u64)),
+            },
+            "attempt-ok" => TraceEv::AttemptOk {
+                attempt: num("attempt")? as u32,
+            },
+            "backoff" => TraceEv::Backoff {
+                attempt: num("attempt")? as u32,
+                delay: Dur::from_micros(num("delay_us")? as u64),
+            },
+            "try-exhausted" => TraceEv::TryExhausted,
+            "try-timeout" => TraceEv::TryTimeout,
+            "catch" => TraceEv::CatchEntered,
+            "cmd-start" => TraceEv::CmdStart {
+                program: text("program")?,
+            },
+            "cmd-end" => TraceEv::CmdEnd {
+                program: text("program")?,
+                ok: flag("ok")?,
+            },
+            "cmd-killed" => TraceEv::CmdKilled {
+                program: text("program")?,
+            },
+            "unit-done" => TraceEv::UnitDone { ok: flag("ok")? },
+            "carrier-sense" => TraceEv::CarrierSense {
+                free: num("free")? as u64,
+            },
+            "deferral" => TraceEv::Deferral,
+            "collision" => TraceEv::Collision,
+            "schedd-crash" => TraceEv::ScheddCrash,
+            "enospc" => TraceEv::Enospc,
+            other => return Err(format!("unknown ev tag {other:?}")),
+        };
+        Ok(TraceRecord {
+            t: Time::from_micros(num("t")? as u64),
+            client: num("client")?,
+            task: num("task")?,
+            ev,
+        })
+    }
+}
+
+/// A scalar value inside one flat JSON object.
+enum JVal {
+    Num(i64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+/// Minimal scanner for the flat (non-nested) JSON objects this module
+/// emits; the workspace deliberately carries no serde dependency.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JVal)>, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut fields = Vec::new();
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    loop {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some(',') => {
+                chars.next();
+                continue;
+            }
+            Some('"') => {}
+            _ => return Err("expected key".into()),
+        }
+        let key = parse_string(&mut chars)?;
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.next() != Some(':') {
+            return Err(format!("missing ':' after {key:?}"));
+        }
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+        let val = match chars.peek() {
+            Some('"') => JVal::Str(parse_string(&mut chars)?),
+            Some('t') => {
+                expect_word(&mut chars, "true")?;
+                JVal::Bool(true)
+            }
+            Some('f') => {
+                expect_word(&mut chars, "false")?;
+                JVal::Bool(false)
+            }
+            Some('n') => {
+                expect_word(&mut chars, "null")?;
+                JVal::Null
+            }
+            Some(c) if *c == '-' || c.is_ascii_digit() => {
+                let mut s = String::new();
+                while chars
+                    .peek()
+                    .is_some_and(|c| *c == '-' || c.is_ascii_digit())
+                {
+                    s.push(chars.next().expect("peeked"));
+                }
+                JVal::Num(s.parse().map_err(|e| format!("bad number {s:?}: {e}"))?)
+            }
+            _ => return Err(format!("bad value for {key:?}")),
+        };
+        fields.push((key, val));
+    }
+    Ok(fields)
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".into());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".into()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                    out.push(char::from_u32(code).ok_or("bad codepoint")?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+fn expect_word(chars: &mut std::iter::Peekable<std::str::Chars>, word: &str) -> Result<(), String> {
+    for want in word.chars() {
+        if chars.next() != Some(want) {
+            return Err(format!("expected {word:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Receives trace records. Implementations must be cheap: emission
+/// sites hold a lock only for the duration of one `record` call.
+pub trait TraceSink: Send {
+    /// Accept one record.
+    fn record(&mut self, rec: &TraceRecord);
+}
+
+/// A sink handle shareable across a VM population and its world.
+/// Cloning is an `Arc` bump; a `None` sink is the traces-off fast
+/// path.
+pub type SharedSink = Arc<Mutex<dyn TraceSink>>;
+
+/// Wrap a sink for sharing.
+pub fn shared<S: TraceSink + 'static>(sink: S) -> SharedSink {
+    Arc::new(Mutex::new(sink))
+}
+
+/// Record `ev` into `sink` if one is installed; the traces-off path is
+/// a single `Option` test.
+#[inline]
+pub fn emit(sink: &Option<SharedSink>, t: Time, client: i64, task: i64, ev: TraceEv) {
+    if let Some(s) = sink {
+        s.lock().expect("trace sink poisoned").record(&TraceRecord {
+            t,
+            client,
+            task,
+            ev,
+        });
+    }
+}
+
+/// A bounded in-memory ring keeping the most recent `cap` records —
+/// the "flight recorder" for long real-driver runs where a full trace
+/// would be unbounded.
+pub struct RingSink {
+    cap: usize,
+    buf: VecDeque<TraceRecord>,
+    /// Total records offered, including those the ring has dropped.
+    seen: u64,
+}
+
+impl RingSink {
+    /// A ring keeping the last `cap` records (`cap` ≥ 1).
+    pub fn new(cap: usize) -> RingSink {
+        RingSink {
+            cap: cap.max(1),
+            buf: VecDeque::with_capacity(cap.clamp(1, 4096)),
+            seen: 0,
+        }
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total records offered over the ring's lifetime (≥ [`len`]).
+    ///
+    /// [`len`]: RingSink::len
+    pub fn total_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Drain the ring into a `Vec`, oldest first.
+    pub fn into_vec(self) -> Vec<TraceRecord> {
+        self.buf.into_iter().collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(rec.clone());
+        self.seen += 1;
+    }
+}
+
+/// An unbounded collector, the building block for per-point trace
+/// buffers in parallel sweeps.
+#[derive(Default)]
+pub struct VecSink {
+    recs: Vec<TraceRecord>,
+}
+
+impl VecSink {
+    /// An empty collector.
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+
+    /// The collected records in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.recs
+    }
+
+    /// Take the collected records, leaving the sink empty.
+    pub fn take(&mut self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.recs)
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.recs.push(rec.clone());
+    }
+}
+
+/// A JSONL file sink: one record per line, written as it arrives.
+pub struct JsonlSink<W: std::io::Write + Send> {
+    w: W,
+    /// First write error, if any (later records are dropped).
+    error: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write + Send> JsonlSink<W> {
+    /// Wrap a writer. Consider `std::io::BufWriter` for files.
+    pub fn new(w: W) -> JsonlSink<W> {
+        JsonlSink { w, error: None }
+    }
+
+    /// The first write error encountered, if any.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+impl<W: std::io::Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&mut self, rec: &TraceRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = rec.to_json_line();
+        if let Err(e) = self
+            .w
+            .write_all(line.as_bytes())
+            .and_then(|()| self.w.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Serialize records as a JSONL document (one line each, trailing
+/// newline included when non-empty).
+pub fn to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL document into records, reporting the first bad line.
+pub fn from_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| TraceRecord::parse_json_line(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_us: u64, client: i64, ev: TraceEv) -> TraceRecord {
+        TraceRecord {
+            t: Time::from_micros(t_us),
+            client,
+            task: 1,
+            ev,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_every_variant() {
+        let evs = vec![
+            TraceEv::AttemptStart {
+                attempt: 3,
+                budget: Some(Dur::from_secs(40)),
+            },
+            TraceEv::AttemptStart {
+                attempt: 1,
+                budget: None,
+            },
+            TraceEv::AttemptOk { attempt: 2 },
+            TraceEv::Backoff {
+                attempt: 1,
+                delay: Dur::from_millis(1500),
+            },
+            TraceEv::TryExhausted,
+            TraceEv::TryTimeout,
+            TraceEv::CatchEntered,
+            TraceEv::CmdStart {
+                program: "wget".into(),
+            },
+            TraceEv::CmdEnd {
+                program: "cut -d\" \" -f2".into(),
+                ok: false,
+            },
+            TraceEv::CmdKilled {
+                program: "line\nbreak".into(),
+            },
+            TraceEv::UnitDone { ok: true },
+            TraceEv::CarrierSense { free: 42 },
+            TraceEv::Deferral,
+            TraceEv::Collision,
+            TraceEv::ScheddCrash,
+            TraceEv::Enospc,
+        ];
+        for (i, ev) in evs.into_iter().enumerate() {
+            let r = rec(i as u64 * 1_000_000, i as i64, ev);
+            let line = r.to_json_line();
+            let back = TraceRecord::parse_json_line(&line).expect("parses");
+            assert_eq!(back, r, "roundtrip failed for {line}");
+        }
+    }
+
+    #[test]
+    fn world_scope_record_uses_no_id() {
+        let r = TraceRecord {
+            t: Time::from_secs(9),
+            client: NO_ID,
+            task: NO_ID,
+            ev: TraceEv::ScheddCrash,
+        };
+        let line = r.to_json_line();
+        assert_eq!(
+            line,
+            "{\"t\":9000000,\"client\":-1,\"task\":-1,\"ev\":\"schedd-crash\"}"
+        );
+        assert_eq!(TraceRecord::parse_json_line(&line).unwrap(), r);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_and_blank_lines() {
+        let recs = vec![
+            rec(1, 0, TraceEv::Deferral),
+            rec(2, 1, TraceEv::UnitDone { ok: false }),
+        ];
+        let doc = to_jsonl(&recs);
+        assert_eq!(doc.lines().count(), 2);
+        let back = from_jsonl(&format!("\n{doc}\n")).expect("parses");
+        assert_eq!(back, recs);
+        assert!(from_jsonl("{\"t\":bogus}").is_err());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let mut ring = RingSink::new(3);
+        for i in 0..10u64 {
+            ring.record(&rec(i, 0, TraceEv::Deferral));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total_seen(), 10);
+        let kept: Vec<u64> = ring.records().map(|r| r.t.as_micros()).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+        assert_eq!(ring.into_vec().len(), 3);
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let buf = Arc::new(Mutex::new(VecSink::new()));
+        let sink: SharedSink = buf.clone();
+        let none: Option<SharedSink> = None;
+        emit(&none, Time::ZERO, 0, 0, TraceEv::Deferral); // no-op
+        emit(&Some(sink), Time::from_secs(1), 2, 3, TraceEv::Collision);
+        let recs = buf.lock().unwrap().take();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].client, 2);
+        assert_eq!(recs[0].ev, TraceEv::Collision);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&rec(5, 0, TraceEv::Enospc));
+        sink.record(&rec(6, 1, TraceEv::CarrierSense { free: 7 }));
+        let bytes = sink.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let parsed = from_jsonl(&text).unwrap();
+        assert_eq!(parsed[1].ev, TraceEv::CarrierSense { free: 7 });
+    }
+}

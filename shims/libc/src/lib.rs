@@ -23,6 +23,9 @@ pub const SIGINT: c_int = 2;
 /// Hangup.
 pub const SIGHUP: c_int = 1;
 
+/// `errno` value: no such process (Linux).
+pub const ESRCH: c_int = 3;
+
 extern "C" {
     /// Send `sig` to `pid` (negative: the whole process group).
     pub fn kill(pid: pid_t, sig: c_int) -> c_int;
