@@ -3,6 +3,7 @@
 //! ```text
 //! figures [--quick] [--seed N] [fig1 fig2 ... | all]
 //! figures --trace OUT.jsonl [--seed N] [figs...]
+//! figures --faults PLAN.json [figs...]
 //! figures --stats [--quick] [--seed N] [figs...]
 //! figures postmortem TRACE.jsonl [--timeline] [--client N]
 //! ```
@@ -20,6 +21,14 @@
 //! `PATH-<fig>.jsonl`. Traces are bit-deterministic per seed, however
 //! many sweep threads run.
 //!
+//! `--faults` arms a deterministic fault-injection plan (see
+//! `simgrid::faults::FaultPlan::parse_json` for the JSON schema) on
+//! top of each figure's built-in scenario physics: schedd kills,
+//! ENOSPC windows, free-space lies, server black-hole toggles,
+//! message loss, latency spikes, clock skew. Every injection appears
+//! in the structured trace as a `fault` record, so `--trace` plus
+//! `postmortem` counts them per kind.
+//!
 //! `postmortem` reads such a file back and reconstructs the run: event
 //! counts, retry/backoff distributions, attempts-per-success, and
 //! (with `--timeline`) per-client swimlanes, filtered by `--client`.
@@ -31,7 +40,7 @@
 //! for both passes, plus the parallel speedup, to
 //! `BENCH_engine.json` at the workspace root.
 
-use gridworld::figures::{by_name_full, Scale, ALL_ABLATIONS, ALL_FIGURES};
+use gridworld::figures::{by_name_full, by_name_with_plan, Scale, ALL_ABLATIONS, ALL_FIGURES};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -280,6 +289,7 @@ fn main() -> ExitCode {
     let mut chart = false;
     let mut stats = false;
     let mut trace_base: Option<String> = None;
+    let mut plan: Option<simgrid::FaultPlan> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -308,6 +318,26 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--faults" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--faults needs a PLAN.json path");
+                    return ExitCode::from(2);
+                };
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                match simgrid::FaultPlan::parse_json(&text) {
+                    Ok(p) => plan = Some(p),
+                    Err(e) => {
+                        eprintln!("bad fault plan {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "all" => wanted.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
             "ablations" => wanted.extend(ALL_ABLATIONS.iter().map(|s| s.to_string())),
             other if other.starts_with("fig") || other.starts_with("ablation-") => {
@@ -316,7 +346,7 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: figures [--quick] [--seed N] [--stats] [--trace OUT.jsonl] [fig1..fig7 | all | ablations | ablation-threshold | ablation-channel]\n       figures postmortem TRACE.jsonl [--timeline] [--client N]"
+                    "usage: figures [--quick] [--seed N] [--stats] [--trace OUT.jsonl] [--faults PLAN.json] [fig1..fig7 | all | ablations | ablation-threshold | ablation-channel]\n       figures postmortem TRACE.jsonl [--timeline] [--client N]"
                 );
                 return ExitCode::from(2);
             }
@@ -332,7 +362,7 @@ fn main() -> ExitCode {
     let single = wanted.len() == 1;
     for name in wanted {
         eprintln!("== running {name} ({scale:?}, seed {seed}) ==");
-        match by_name_full(&name, scale, seed, trace_base.is_some()) {
+        match by_name_with_plan(&name, scale, seed, trace_base.is_some(), plan.as_ref()) {
             Some(run) => {
                 match egbench::emit(&name, &run.set) {
                     Ok(path) => {

@@ -3,6 +3,8 @@
 
 #![warn(missing_docs)]
 
+pub mod conformance;
+
 use simgrid::SeriesSet;
 use std::path::{Path, PathBuf};
 

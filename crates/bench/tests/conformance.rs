@@ -1,0 +1,24 @@
+//! Tier-1 gate: the conformance corpus runs through both interpreters
+//! with zero unexplained divergences.
+
+use egbench::conformance::{corpus_dir, report, run_corpus};
+
+#[test]
+fn corpus_is_conformant_across_substrates() {
+    let verdicts = run_corpus(&corpus_dir()).expect("conformance harness");
+    assert!(
+        verdicts.len() >= 10,
+        "corpus must hold at least 10 scripts, found {}",
+        verdicts.len()
+    );
+    let diverged: Vec<&str> = verdicts
+        .iter()
+        .filter(|v| !v.ok())
+        .map(|v| v.name.as_str())
+        .collect();
+    assert!(
+        diverged.is_empty(),
+        "sim and real disagree on {diverged:?}\n{}",
+        report(&verdicts)
+    );
+}

@@ -1,0 +1,193 @@
+//! Property: `parse(pretty(ast)) == ast` for generated scripts.
+//!
+//! `parser_robustness.rs` checks the source-level fixpoint
+//! (pretty∘parse is idempotent on corpus text); this test attacks the
+//! other direction with *synthesized* ASTs — nested try/catch with
+//! time and attempt budgets, forany/forall, if/else, functions,
+//! captures and input redirections — so the printer's quoting and
+//! duration rendering are exercised on shapes no corpus script has.
+
+use ftsh::ast::{Block, Command, Cond, CondOp, Redir, RedirTarget, Script, Stmt, TrySpec, Word};
+use ftsh::{parse, pretty};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use retry::Dur;
+
+const PROGRAMS: &[&str] = &["wget", "fetch", "probe", "run0", "tool"];
+const NAMES: &[&str] = &["out", "status", "host", "n", "payload"];
+const LITS: &[&str] = &["alpha", "b-2", "path/to.file", "10", "a,b+c@d"];
+
+fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.random_range(0..pool.len())]
+}
+
+fn gen_word(rng: &mut StdRng) -> Word {
+    match rng.random_range(0..4u32) {
+        0 => Word::var(pick(rng, NAMES)),
+        1 => Word::from_segs(vec![
+            ftsh::Seg::Lit(pick(rng, LITS).to_string()),
+            ftsh::Seg::Var(pick(rng, NAMES).to_string()),
+        ]),
+        _ => Word::lit(pick(rng, LITS)),
+    }
+}
+
+fn gen_dur(rng: &mut StdRng) -> Dur {
+    match rng.random_range(0..3u32) {
+        0 => Dur::from_millis(rng.random_range(1..5000u64)),
+        1 => Dur::from_secs(rng.random_range(1..300u64)),
+        _ => Dur::from_mins(rng.random_range(1..90u64)),
+    }
+}
+
+fn gen_try_spec(rng: &mut StdRng) -> TrySpec {
+    // At least one budget: a bare `try` has no source spelling.
+    let time = rng.random::<bool>().then(|| gen_dur(rng));
+    let attempts = if time.is_none() || rng.random::<bool>() {
+        Some(rng.random_range(1..10u64) as u32)
+    } else {
+        None
+    };
+    let every = rng.random::<bool>().then(|| gen_dur(rng));
+    TrySpec {
+        time,
+        attempts,
+        every,
+    }
+}
+
+fn gen_command(rng: &mut StdRng) -> Stmt {
+    let mut words = vec![Word::lit(pick(rng, PROGRAMS))];
+    for _ in 0..rng.random_range(0..3usize) {
+        words.push(gen_word(rng));
+    }
+    let mut redirs = Vec::new();
+    if rng.random_range(0..3u32) == 0 {
+        let (from, source) = if rng.random::<bool>() {
+            (RedirTarget::Variable, Word::lit(pick(rng, NAMES)))
+        } else {
+            (RedirTarget::File, gen_word(rng))
+        };
+        redirs.push(Redir::In { from, source });
+    }
+    if rng.random_range(0..2u32) == 0 {
+        let to_var = rng.random::<bool>();
+        redirs.push(Redir::Out {
+            to: if to_var {
+                RedirTarget::Variable
+            } else {
+                RedirTarget::File
+            },
+            append: rng.random_range(0..3u32) == 0,
+            // `>&`/`->&` capture stderr too; printed append+both is
+            // exercised only for variables (`->>&` has no file form).
+            both: to_var && rng.random_range(0..3u32) == 0,
+            target: if to_var {
+                Word::lit(pick(rng, NAMES))
+            } else {
+                gen_word(rng)
+            },
+        });
+    }
+    Stmt::Command(Command { words, redirs })
+}
+
+fn gen_block(rng: &mut StdRng, depth: u32) -> Block {
+    let n = rng.random_range(1..4usize);
+    (0..n).map(|_| gen_stmt(rng, depth)).collect()
+}
+
+fn gen_stmt(rng: &mut StdRng, depth: u32) -> Stmt {
+    let structured = depth < 3 && rng.random_range(0..2u32) == 0;
+    if !structured {
+        return match rng.random_range(0..5u32) {
+            0 => Stmt::Assign {
+                var: pick(rng, NAMES).to_string(),
+                value: gen_word(rng),
+            },
+            1 => Stmt::Failure,
+            2 => Stmt::Success,
+            _ => gen_command(rng),
+        };
+    }
+    match rng.random_range(0..4u32) {
+        0 => Stmt::Try {
+            spec: gen_try_spec(rng),
+            body: gen_block(rng, depth + 1),
+            catch: rng.random::<bool>().then(|| gen_block(rng, depth + 1)),
+        },
+        1 => {
+            let var = pick(rng, NAMES).to_string();
+            let values = (0..rng.random_range(1..4usize))
+                .map(|_| gen_word(rng))
+                .collect();
+            let body = gen_block(rng, depth + 1);
+            if rng.random::<bool>() {
+                Stmt::ForAny { var, values, body }
+            } else {
+                Stmt::ForAll { var, values, body }
+            }
+        }
+        2 => Stmt::If {
+            cond: Cond {
+                lhs: gen_word(rng),
+                op: [
+                    CondOp::NumLt,
+                    CondOp::NumLe,
+                    CondOp::NumGt,
+                    CondOp::NumGe,
+                    CondOp::NumEq,
+                    CondOp::NumNe,
+                    CondOp::StrEq,
+                    CondOp::StrNe,
+                ][rng.random_range(0..8usize)],
+                rhs: gen_word(rng),
+            },
+            then: gen_block(rng, depth + 1),
+            els: rng.random::<bool>().then(|| gen_block(rng, depth + 1)),
+        },
+        _ => Stmt::Try {
+            // A deadline-only nested try around a single command — the
+            // paper's innermost idiom, generated often on purpose.
+            spec: TrySpec {
+                time: Some(gen_dur(rng)),
+                attempts: None,
+                every: None,
+            },
+            body: gen_block(rng, depth + 1),
+            catch: None,
+        },
+    }
+}
+
+fn gen_script(rng: &mut StdRng) -> Script {
+    let mut stmts: Vec<Stmt> = Vec::new();
+    if rng.random_range(0..3u32) == 0 {
+        stmts.push(Stmt::Function {
+            name: format!("fn{}", rng.random_range(0..5u32)),
+            body: gen_block(rng, 1),
+        });
+    }
+    for _ in 0..rng.random_range(1..5usize) {
+        stmts.push(gen_stmt(rng, 0));
+    }
+    Script {
+        stmts: stmts.into(),
+    }
+}
+
+proptest! {
+    /// The printer is a right inverse of the parser on generated ASTs.
+    #[test]
+    fn pretty_then_parse_is_identity(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let script = gen_script(&mut rng);
+        let text = pretty(&script);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("pretty output must parse: {e}\n---\n{text}"));
+        prop_assert_eq!(&reparsed, &script, "not a fixpoint:\n---\n{}", text);
+        // And the fixpoint is stable: printing again changes nothing.
+        prop_assert_eq!(pretty(&reparsed), text);
+    }
+}

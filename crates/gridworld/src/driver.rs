@@ -11,9 +11,10 @@
 
 use ftsh::vm::{CmdResult, CmdToken, CommandSpec, Effect, Tick, Vm, VmStatus};
 use retry::Time;
-use simgrid::trace::SharedSink;
-use simgrid::EventQueue;
-use std::collections::HashSet;
+use simgrid::faults::{FaultKind, FaultPlan};
+use simgrid::trace::{emit, SharedSink, TraceEv, NO_ID};
+use simgrid::{EventQueue, SimRng};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process-wide count of VM ticks across every driver on any thread.
@@ -49,6 +50,8 @@ pub enum SimEv<W> {
     },
     /// A scenario-specific event.
     World(W),
+    /// An armed [`FaultPlan`] spec (by index) triggers now.
+    Fault(usize),
 }
 
 /// What the world decides about a just-started command.
@@ -149,6 +152,90 @@ pub trait CommandWorld: Sized {
         client: ClientId,
         success: bool,
     ) -> Option<(Vm, Time)>;
+
+    /// An armed fault plan injected a world-physical fault (schedd
+    /// kill/restart, ENOSPC window, free-space lie, black-hole toggle).
+    /// Return any held-command completions the fault releases. The
+    /// default ignores the fault — worlds opt in to the kinds they
+    /// model.
+    fn inject_fault(&mut self, ctx: &mut Ctx<'_, Self::Ev>, kind: &FaultKind) -> Vec<Completion> {
+        let _ = (ctx, kind);
+        Vec::new()
+    }
+}
+
+/// Driver-side state for an armed [`FaultPlan`]; absent (one `Option`
+/// test) when no plan is armed, so the default path stays
+/// allocation-free.
+struct FaultState {
+    plan: FaultPlan,
+    /// The plan's private RNG stream (loss draws only).
+    rng: SimRng,
+    /// Triggers fired so far, per spec index.
+    fired: Vec<u32>,
+    /// Active message-loss windows: `(channel, probability, until)`.
+    loss: Vec<(String, f64, Time)>,
+    /// Active latency-spike windows: `(channel, extra, until)`.
+    latency: Vec<(String, retry::Dur, Time)>,
+    /// Per-client VM clock offsets in microseconds.
+    skew_us: Vec<i64>,
+    /// Monotonicity clamp for each client's skewed clock (a VM must
+    /// never observe time running backwards when skew changes mid-run).
+    last_vm_now: Vec<Time>,
+    /// Program name per live asynchronous command, kept only when the
+    /// plan contains channel faults.
+    programs: HashMap<(ClientId, u64, CmdToken), String>,
+    track_programs: bool,
+    /// Completions already delayed once by a latency spike (so a spike
+    /// adds its extra exactly once per message).
+    delayed: HashSet<(ClientId, u64, CmdToken)>,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan, n_clients: usize) -> FaultState {
+        let track_programs = plan.specs.iter().any(|s| {
+            matches!(
+                s.kind,
+                FaultKind::MsgLoss { .. } | FaultKind::LatencySpike { .. }
+            )
+        });
+        let rng = plan.rng();
+        let fired = vec![0; plan.specs.len()];
+        FaultState {
+            plan,
+            rng,
+            fired,
+            loss: Vec::new(),
+            latency: Vec::new(),
+            skew_us: vec![0; n_clients],
+            last_vm_now: vec![Time::ZERO; n_clients],
+            programs: HashMap::new(),
+            track_programs,
+            delayed: HashSet::new(),
+        }
+    }
+
+    /// The extra delay an active latency spike adds to a completion of
+    /// `program` arriving at `now`, if any.
+    fn latency_extra(&self, program: &str, now: Time) -> Option<retry::Dur> {
+        self.latency
+            .iter()
+            .filter(|(ch, _, until)| ch == program && now < *until)
+            .map(|(_, extra, _)| *extra)
+            .max()
+    }
+
+    /// Whether an active loss window swallows a completion of
+    /// `program` arriving at `now` (draws from the plan RNG stream).
+    fn lose(&mut self, program: &str, now: Time) -> bool {
+        let p: f64 = self
+            .loss
+            .iter()
+            .filter(|(ch, _, until)| ch == program && now < *until)
+            .map(|(_, p, _)| *p)
+            .fold(0.0, f64::max);
+        p > 0.0 && self.rng.chance(p)
+    }
 }
 
 /// The generic scenario engine.
@@ -169,6 +256,9 @@ pub struct SimDriver<W: CommandWorld> {
     /// on replacement VMs as units complete). `None` ⇒ tracing off and
     /// the tick path pays nothing.
     tracer: Option<SharedSink>,
+    /// Armed fault plan, if any. `None` ⇒ faults off and the event
+    /// loop pays one `Option` test.
+    faults: Option<FaultState>,
 }
 
 impl<W: CommandWorld> SimDriver<W> {
@@ -199,7 +289,23 @@ impl<W: CommandWorld> SimDriver<W> {
             cancelled: HashSet::new(),
             live: HashSet::new(),
             tracer: None,
+            faults: None,
         }
+    }
+
+    /// Arm a fault plan: every time-triggered injection spec is
+    /// scheduled on the event queue and will fire deterministically
+    /// from the sim clock plus the plan's private RNG stream, emitting
+    /// a `fault` trace record at each trigger. Physics specs
+    /// (consumed by worlds at construction) are not scheduled. Arming
+    /// an empty plan schedules nothing and draws nothing, so the
+    /// default path is unchanged.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        for (i, spec) in plan.injections() {
+            self.queue.schedule(spec.at, SimEv::Fault(i));
+        }
+        let n = self.vms.len();
+        self.faults = Some(FaultState::new(plan, n));
     }
 
     /// Schedule an initial scenario event (consumer ticks, samplers…).
@@ -268,6 +374,100 @@ impl<W: CommandWorld> SimDriver<W> {
                         self.deliver(c.client, epoch, c.token, c.result, now);
                     }
                 }
+                SimEv::Fault(i) => self.trigger_fault(i, now),
+            }
+        }
+    }
+
+    /// Fire spec `i` of the armed plan at `now`: emit the trace
+    /// record, apply (or forward) the fault, and reschedule the next
+    /// trigger of a repeating spec.
+    fn trigger_fault(&mut self, i: usize, now: Time) {
+        let Some(fs) = &mut self.faults else {
+            return; // plan disarmed after scheduling; nothing to do
+        };
+        let spec = fs.plan.specs[i].clone();
+        fs.fired[i] += 1;
+        if fs.fired[i] < spec.count {
+            if let Some(every) = spec.every {
+                self.queue.schedule(now + every, SimEv::Fault(i));
+            }
+        }
+        emit(
+            &self.tracer,
+            now,
+            NO_ID,
+            NO_ID,
+            TraceEv::FaultInjected {
+                kind: spec.kind.tag().to_string(),
+                detail: spec.kind.detail(),
+            },
+        );
+        match &spec.kind {
+            FaultKind::MsgLoss {
+                channel,
+                probability,
+                duration,
+            } => fs
+                .loss
+                .push((channel.clone(), *probability, now + *duration)),
+            FaultKind::LatencySpike {
+                channel,
+                extra,
+                duration,
+            } => fs.latency.push((channel.clone(), *extra, now + *duration)),
+            FaultKind::ClockSkew { client, skew_us } => {
+                if let Some(s) = fs.skew_us.get_mut(*client) {
+                    *s = *skew_us;
+                }
+            }
+            kind => {
+                let completions = {
+                    let mut ctx = Ctx {
+                        queue: &mut self.queue,
+                        epochs: &self.epochs,
+                    };
+                    self.world.inject_fault(&mut ctx, kind)
+                };
+                for c in completions {
+                    let epoch = self.epochs[c.client];
+                    self.deliver(c.client, epoch, c.token, c.result, now);
+                }
+            }
+        }
+    }
+
+    /// The instant client `client`'s VM observes when ticked at `now`:
+    /// the sim clock plus any armed clock skew, clamped monotonic.
+    fn vm_now(&mut self, client: ClientId, now: Time) -> Time {
+        match &mut self.faults {
+            None => now,
+            Some(fs) => {
+                let skew = fs.skew_us.get(client).copied().unwrap_or(0);
+                let skewed = if skew >= 0 {
+                    now + retry::Dur::from_micros(skew as u64)
+                } else {
+                    Time::from_micros(now.as_micros().saturating_sub(skew.unsigned_abs()))
+                };
+                let clamped = skewed.max(fs.last_vm_now[client]);
+                fs.last_vm_now[client] = clamped;
+                clamped
+            }
+        }
+    }
+
+    /// Map a wake instant from client `client`'s (possibly skewed) VM
+    /// timeline back onto the sim clock.
+    fn unskew(&self, client: ClientId, t: Time) -> Time {
+        match &self.faults {
+            None => t,
+            Some(fs) => {
+                let skew = fs.skew_us.get(client).copied().unwrap_or(0);
+                if skew >= 0 {
+                    Time::from_micros(t.as_micros().saturating_sub(skew as u64))
+                } else {
+                    t + retry::Dur::from_micros(skew.unsigned_abs())
+                }
             }
         }
     }
@@ -280,12 +480,48 @@ impl<W: CommandWorld> SimDriver<W> {
         result: CmdResult,
         now: Time,
     ) {
-        if self.cancelled.remove(&(client, epoch, token)) {
+        let key = (client, epoch, token);
+        if self.cancelled.remove(&key) {
+            if let Some(fs) = &mut self.faults {
+                fs.programs.remove(&key);
+                fs.delayed.remove(&key);
+            }
             return; // the try deadline beat the completion
         }
-        if epoch != self.epochs[client] || !self.live.remove(&(client, epoch, token)) {
+        if epoch != self.epochs[client] || !self.live.contains(&key) {
             return; // unit already retired
         }
+        let mut result = result;
+        if let Some(fs) = &mut self.faults {
+            if fs.track_programs {
+                if let Some(program) = fs.programs.get(&key) {
+                    // A latency spike holds the message once; on its
+                    // delayed arrival it is subject to loss as usual.
+                    if !fs.delayed.contains(&key) {
+                        if let Some(extra) = fs.latency_extra(program, now) {
+                            fs.delayed.insert(key);
+                            self.queue.schedule(
+                                now + extra,
+                                SimEv::CmdDone {
+                                    client,
+                                    epoch,
+                                    token,
+                                    result,
+                                },
+                            );
+                            return;
+                        }
+                    }
+                    let program = program.clone();
+                    if fs.lose(&program, now) {
+                        result = CmdResult::fail();
+                    }
+                }
+                fs.programs.remove(&key);
+                fs.delayed.remove(&key);
+            }
+        }
+        self.live.remove(&key);
         if let Some(vm) = self.vms[client].as_mut() {
             vm.complete(token, result);
         }
@@ -294,11 +530,12 @@ impl<W: CommandWorld> SimDriver<W> {
 
     fn tick_client(&mut self, client: ClientId, now: Time) {
         loop {
+            let vm_now = self.vm_now(client, now);
             let Some(vm) = self.vms[client].as_mut() else {
                 return;
             };
             VM_TICKS.fetch_add(1, Ordering::Relaxed);
-            let Tick { effects, status } = vm.tick(now);
+            let Tick { effects, status } = vm.tick(vm_now);
             let mut completed_inline = false;
             for eff in effects {
                 match eff {
@@ -319,6 +556,14 @@ impl<W: CommandWorld> SimDriver<W> {
                             ExecOutcome::At(at, result) => {
                                 let epoch = self.epochs[client];
                                 self.live.insert((client, epoch, token));
+                                if let Some(fs) = &mut self.faults {
+                                    if fs.track_programs {
+                                        fs.programs.insert(
+                                            (client, epoch, token),
+                                            spec.program().to_string(),
+                                        );
+                                    }
+                                }
                                 self.queue.schedule(
                                     at,
                                     SimEv::CmdDone {
@@ -332,6 +577,14 @@ impl<W: CommandWorld> SimDriver<W> {
                             ExecOutcome::Held => {
                                 let epoch = self.epochs[client];
                                 self.live.insert((client, epoch, token));
+                                if let Some(fs) = &mut self.faults {
+                                    if fs.track_programs {
+                                        fs.programs.insert(
+                                            (client, epoch, token),
+                                            spec.program().to_string(),
+                                        );
+                                    }
+                                }
                             }
                         }
                     }
@@ -339,6 +592,9 @@ impl<W: CommandWorld> SimDriver<W> {
                         let epoch = self.epochs[client];
                         if self.live.remove(&(client, epoch, token)) {
                             self.cancelled.insert((client, epoch, token));
+                            if let Some(fs) = &mut self.faults {
+                                fs.programs.remove(&(client, epoch, token));
+                            }
                             let mut ctx = Ctx {
                                 queue: &mut self.queue,
                                 epochs: &self.epochs,
@@ -383,6 +639,7 @@ impl<W: CommandWorld> SimDriver<W> {
                     }
                 }
                 VmStatus::Running { next_wake: Some(t) } => {
+                    let t = self.unskew(client, t);
                     self.queue.schedule(t.max(now), SimEv::Wake(client));
                     return;
                 }
@@ -648,5 +905,218 @@ mod epoch_tests {
             d.world.delivered, 0,
             "no stale completion may succeed a later unit"
         );
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use ftsh::parse;
+    use retry::Dur;
+    use simgrid::faults::{FaultKind, FaultPlan, FaultSpec};
+    use simgrid::trace::VecSink;
+    use std::sync::{Arc, Mutex};
+
+    /// `work` completes asynchronously after 2 s; units restart 1 s
+    /// after finishing until `max_units` have run.
+    struct WorkWorld {
+        successes: u32,
+        units: u32,
+        max_units: u32,
+        cancel_count: u32,
+        injected: Vec<String>,
+    }
+
+    impl WorkWorld {
+        fn new(max_units: u32) -> WorkWorld {
+            WorkWorld {
+                successes: 0,
+                units: 0,
+                max_units,
+                cancel_count: 0,
+                injected: Vec::new(),
+            }
+        }
+
+        fn vm(script: &str, seed: u64) -> Vm {
+            Vm::with_seed(&parse(script).unwrap(), seed)
+        }
+    }
+
+    impl CommandWorld for WorkWorld {
+        type Ev = ();
+
+        fn exec(
+            &mut self,
+            ctx: &mut Ctx<'_, ()>,
+            _client: ClientId,
+            _token: CmdToken,
+            spec: &CommandSpec,
+        ) -> ExecOutcome {
+            match spec.program() {
+                "work" => ExecOutcome::At(ctx.now() + Dur::from_secs(2), CmdResult::ok("")),
+                "hang" => ExecOutcome::Held,
+                _ => ExecOutcome::Now(CmdResult::fail()),
+            }
+        }
+
+        fn cancelled(&mut self, _ctx: &mut Ctx<'_, ()>, _client: ClientId, _token: CmdToken) {
+            self.cancel_count += 1;
+        }
+
+        fn on_event(&mut self, _ctx: &mut Ctx<'_, ()>, _ev: ()) -> Vec<Completion> {
+            Vec::new()
+        }
+
+        fn inject_fault(&mut self, _ctx: &mut Ctx<'_, ()>, kind: &FaultKind) -> Vec<Completion> {
+            self.injected.push(kind.tag().to_string());
+            Vec::new()
+        }
+
+        fn unit_done(
+            &mut self,
+            ctx: &mut Ctx<'_, ()>,
+            _client: ClientId,
+            success: bool,
+        ) -> Option<(Vm, Time)> {
+            self.units += 1;
+            if success {
+                self.successes += 1;
+            }
+            if self.units >= self.max_units {
+                return None;
+            }
+            Some((
+                Self::vm("work\n", self.units as u64),
+                ctx.now() + Dur::from_secs(1),
+            ))
+        }
+    }
+
+    #[test]
+    fn msg_loss_fails_in_window_then_clears() {
+        // Certain loss over [0, 3 s): the first `work` completion
+        // (t = 2 s) is dropped on the wire and surfaces as a failure;
+        // the second unit's completion (t = 5 s) is past the window.
+        let mut d = SimDriver::new(WorkWorld::new(2), vec![WorkWorld::vm("work\n", 0)]);
+        d.arm_faults(FaultPlan::new(1).with(FaultSpec::once(
+            Time::ZERO,
+            FaultKind::MsgLoss {
+                channel: "work".into(),
+                probability: 1.0,
+                duration: Dur::from_secs(3),
+            },
+        )));
+        d.run_until(Time::from_secs(100));
+        assert_eq!(d.world.units, 2);
+        assert_eq!(d.world.successes, 1, "lost in window, delivered after");
+    }
+
+    #[test]
+    fn latency_spike_delays_completion_once() {
+        // +5 s on the `work` channel: the t = 2 s completion lands at
+        // t = 7 s instead. The message is delayed exactly once, not
+        // re-delayed on its deferred arrival.
+        let mut d = SimDriver::new(WorkWorld::new(1), vec![WorkWorld::vm("work\n", 0)]);
+        d.arm_faults(FaultPlan::new(1).with(FaultSpec::once(
+            Time::ZERO,
+            FaultKind::LatencySpike {
+                channel: "work".into(),
+                extra: Dur::from_secs(5),
+                duration: Dur::from_secs(60),
+            },
+        )));
+        d.run_until(Time::from_secs(100));
+        assert_eq!(d.world.successes, 1, "delayed is not lost");
+        assert_eq!(d.now(), Time::from_secs(7));
+    }
+
+    #[test]
+    fn clock_skew_stretches_vm_deadlines() {
+        // A VM running 5 s behind the sim clock reaches its 10 s `try`
+        // deadline 5 s of sim time late: the hang is cancelled at
+        // t = 15 s, not t = 10 s.
+        let script = "try for 10 seconds or 1 times\n hang\nend\n";
+        let mut d = SimDriver::new(WorkWorld::new(1), vec![WorkWorld::vm(script, 0)]);
+        d.arm_faults(FaultPlan::new(1).with(FaultSpec::once(
+            Time::from_secs(1),
+            FaultKind::ClockSkew {
+                client: 0,
+                skew_us: -5_000_000,
+            },
+        )));
+        d.run_until(Time::from_secs(100));
+        assert_eq!(d.world.cancel_count, 1);
+        assert_eq!(d.now(), Time::from_secs(15));
+    }
+
+    #[test]
+    fn unhandled_kinds_are_forwarded_to_the_world() {
+        let mut d = SimDriver::new(WorkWorld::new(4), vec![WorkWorld::vm("work\n", 0)]);
+        d.arm_faults(
+            FaultPlan::new(1)
+                .with(FaultSpec::repeating(
+                    Time::from_secs(1),
+                    Dur::from_secs(2),
+                    3,
+                    FaultKind::ScheddKill { downtime: None },
+                ))
+                .with(FaultSpec::once(
+                    Time::from_secs(4),
+                    FaultKind::ScheddRestart,
+                )),
+        );
+        d.run_until(Time::from_secs(100));
+        assert_eq!(
+            d.world.injected,
+            vec![
+                "schedd-kill",
+                "schedd-kill",
+                "schedd-restart",
+                "schedd-kill"
+            ],
+            "repeats fire every 2 s from t = 1 s, interleaved with the restart"
+        );
+    }
+
+    #[test]
+    fn every_injection_lands_in_the_trace() {
+        let buf = Arc::new(Mutex::new(VecSink::new()));
+        let sink: SharedSink = buf.clone();
+        let mut d = SimDriver::new(WorkWorld::new(2), vec![WorkWorld::vm("work\n", 0)]);
+        d.set_trace(sink);
+        d.arm_faults(
+            FaultPlan::new(1)
+                .with(FaultSpec::repeating(
+                    Time::ZERO,
+                    Dur::from_secs(1),
+                    2,
+                    FaultKind::ScheddKill { downtime: None },
+                ))
+                .with(FaultSpec::once(
+                    Time::from_secs(2),
+                    FaultKind::MsgLoss {
+                        channel: "work".into(),
+                        probability: 0.5,
+                        duration: Dur::from_secs(1),
+                    },
+                )),
+        );
+        d.run_until(Time::from_secs(100));
+        let records = buf.lock().unwrap().take();
+        let faults: Vec<_> = records
+            .iter()
+            .filter_map(|r| match &r.ev {
+                TraceEv::FaultInjected { kind, detail } => {
+                    Some((r.t, kind.clone(), detail.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(faults.len(), 3, "two kills + one loss window");
+        assert_eq!(faults[0].1, "schedd-kill");
+        assert_eq!(faults[2].0, Time::from_secs(2));
+        assert_eq!(faults[2].1, "msg-loss");
+        assert!(faults[2].2.contains("channel=work"), "{}", faults[2].2);
     }
 }

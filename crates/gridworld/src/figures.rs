@@ -12,6 +12,7 @@ use crate::scenarios::buffer::{run_buffer_traced, BufferParams};
 use crate::scenarios::submit::{run_submission_traced, SubmitParams};
 use crate::sweep;
 use retry::{Discipline, Dur, Time};
+use simgrid::faults::FaultPlan;
 use simgrid::trace::{SharedSink, TraceRecord, VecSink};
 use simgrid::{Series, SeriesSet};
 use std::sync::{Arc, Mutex};
@@ -44,6 +45,22 @@ fn point_sink(traced: bool) -> (Option<SharedSink>, Option<Arc<Mutex<VecSink>>>)
     } else {
         (None, None)
     }
+}
+
+/// Combine a scenario's built-in physics with a custom injection
+/// plan: the custom specs are appended after the built-ins, so a
+/// custom physics spec overrides (physics accessors are last-wins)
+/// while the stock physics otherwise survive, and every custom
+/// injection is armed. The custom plan's seed drives the merged
+/// plan's RNG stream. `None` ⇒ `None`: the scenario runs its built-in
+/// plan untouched.
+fn merge_plan(base: FaultPlan, custom: Option<&FaultPlan>) -> Option<FaultPlan> {
+    custom.map(|c| {
+        let mut p = FaultPlan::new(c.seed);
+        p.extend_from(&base);
+        p.extend_from(c);
+        p
+    })
 }
 
 /// Take the records out of a point's collector.
@@ -113,10 +130,10 @@ impl Scale {
 /// five-minute window vs. number of submitters, for the three
 /// disciplines.
 pub fn fig1_submission_scalability(scale: Scale, seed: u64) -> SeriesSet {
-    fig1_run(scale, seed, false).set
+    fig1_run(scale, seed, false, None).set
 }
 
-fn fig1_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
+fn fig1_run(scale: Scale, seed: u64, traced: bool, plan: Option<&FaultPlan>) -> FigureRun {
     let ns: Vec<usize> = scale.pick(
         vec![
             5, 10, 25, 50, 100, 150, 200, 250, 300, 350, 400, 425, 450, 500,
@@ -132,12 +149,13 @@ fn fig1_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
     let points = cross_points(&ns);
     let results = sweep::map(&points, |&(d, n)| {
         let (sink, handle) = point_sink(traced);
-        let params = SubmitParams {
+        let mut params = SubmitParams {
             n_clients: n,
             discipline: d,
             seed: seed ^ (n as u64),
             ..SubmitParams::default()
         };
+        params.fault_plan = merge_plan(params.builtin_fault_plan(), plan);
         let o = run_submission_traced(params, window, sink);
         (o.jobs_submitted as f64, o.events_popped, drain(handle))
     });
@@ -150,16 +168,24 @@ fn fig1_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
     }
 }
 
-fn submit_timeline(d: Discipline, scale: Scale, seed: u64, traced: bool, title: &str) -> FigureRun {
+fn submit_timeline(
+    d: Discipline,
+    scale: Scale,
+    seed: u64,
+    traced: bool,
+    plan: Option<&FaultPlan>,
+    title: &str,
+) -> FigureRun {
     // The paper ran its timelines at 400 submitters, just past its
     // testbed's crash knee; our knee sits at ~405 attempts' worth of
     // descriptors, so 425 puts the timeline in the same regime.
-    let params = SubmitParams {
+    let mut params = SubmitParams {
         n_clients: scale.pick(425, 120),
         discipline: d,
         seed,
         ..SubmitParams::default()
     };
+    params.fault_plan = merge_plan(params.builtin_fault_plan(), plan);
     let window = scale.pick(Dur::from_secs(1800), Dur::from_secs(300));
     let (sink, handle) = point_sink(traced);
     let o = run_submission_traced(params, window, sink);
@@ -181,15 +207,16 @@ fn submit_timeline(d: Discipline, scale: Scale, seed: u64, traced: bool, title: 
 /// cumulative jobs over 30 minutes with the submitter population just
 /// past the crash knee.
 pub fn fig2_aloha_timeline(scale: Scale, seed: u64) -> SeriesSet {
-    fig2_run(scale, seed, false).set
+    fig2_run(scale, seed, false, None).set
 }
 
-fn fig2_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
+fn fig2_run(scale: Scale, seed: u64, traced: bool, plan: Option<&FaultPlan>) -> FigureRun {
     submit_timeline(
         Discipline::Aloha,
         scale,
         seed,
         traced,
+        plan,
         "Figure 2: Timeline of Aloha Submitter",
     )
 }
@@ -197,15 +224,16 @@ fn fig2_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
 /// Figure 3 — *Timeline of Ethernet Submitter*: as Figure 2 for the
 /// Ethernet discipline.
 pub fn fig3_ethernet_timeline(scale: Scale, seed: u64) -> SeriesSet {
-    fig3_run(scale, seed, false).set
+    fig3_run(scale, seed, false, None).set
 }
 
-fn fig3_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
+fn fig3_run(scale: Scale, seed: u64, traced: bool, plan: Option<&FaultPlan>) -> FigureRun {
     submit_timeline(
         Discipline::Ethernet,
         scale,
         seed,
         traced,
+        plan,
         "Figure 3: Timeline of Ethernet Submitter",
     )
 }
@@ -219,15 +247,17 @@ fn buffer_run(
     scale: Scale,
     seed: u64,
     traced: bool,
+    plan: Option<&FaultPlan>,
 ) -> (f64, u64, u64, Vec<TraceRecord>) {
     let total = scale.pick(Dur::from_secs(180), Dur::from_secs(120));
     let measure_from = scale.pick(Dur::from_secs(120), Dur::from_secs(80));
-    let params = BufferParams {
+    let mut params = BufferParams {
         n_producers: n,
         discipline: d,
         seed: seed ^ (n as u64),
         ..BufferParams::default()
     };
+    params.fault_plan = merge_plan(params.builtin_fault_plan(), plan);
     let (sink, handle) = point_sink(traced);
     let o = run_buffer_traced(params, total, sink);
     let consumed = o.consumed_between(Time::ZERO + measure_from, Time::ZERO + total);
@@ -237,10 +267,10 @@ fn buffer_run(
 /// Figure 4 — *Buffer Throughput*: files consumed in the steady-state
 /// window vs. number of producers.
 pub fn fig4_buffer_throughput(scale: Scale, seed: u64) -> SeriesSet {
-    fig4_run(scale, seed, false).set
+    fig4_run(scale, seed, false, None).set
 }
 
-fn fig4_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
+fn fig4_run(scale: Scale, seed: u64, traced: bool, plan: Option<&FaultPlan>) -> FigureRun {
     let ns: Vec<usize> = scale.pick(vec![5, 10, 15, 20, 25, 30, 35, 40, 45, 50], vec![10, 40]);
     let mut set = SeriesSet::new(
         "Figure 4: Buffer Throughput",
@@ -249,7 +279,7 @@ fn fig4_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
     );
     let points = cross_points(&ns);
     let results = sweep::map(&points, |&(d, n)| {
-        let (consumed, _, events, recs) = buffer_run(d, n, scale, seed, traced);
+        let (consumed, _, events, recs) = buffer_run(d, n, scale, seed, traced, plan);
         (consumed, events, recs)
     });
     let (consumed, events_popped, trace) = collect_points(results);
@@ -264,10 +294,10 @@ fn fig4_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
 /// Figure 5 — *Buffer Collisions*: mid-write ENOSPC collisions over
 /// the whole run vs. number of producers.
 pub fn fig5_buffer_collisions(scale: Scale, seed: u64) -> SeriesSet {
-    fig5_run(scale, seed, false).set
+    fig5_run(scale, seed, false, None).set
 }
 
-fn fig5_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
+fn fig5_run(scale: Scale, seed: u64, traced: bool, plan: Option<&FaultPlan>) -> FigureRun {
     let ns: Vec<usize> = scale.pick(vec![5, 10, 15, 20, 25, 30, 35, 40, 45, 50], vec![10, 40]);
     let mut set = SeriesSet::new(
         "Figure 5: Buffer Collisions",
@@ -276,7 +306,7 @@ fn fig5_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
     );
     let points = cross_points(&ns);
     let results = sweep::map(&points, |&(d, n)| {
-        let (_, collisions, events, recs) = buffer_run(d, n, scale, seed, traced);
+        let (_, collisions, events, recs) = buffer_run(d, n, scale, seed, traced, plan);
         (collisions as f64, events, recs)
     });
     let (collisions, events_popped, trace) = collect_points(results);
@@ -288,12 +318,20 @@ fn fig5_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
     }
 }
 
-fn reader_figure(d: Discipline, scale: Scale, seed: u64, traced: bool, title: &str) -> FigureRun {
-    let params = BlackHoleParams {
+fn reader_figure(
+    d: Discipline,
+    scale: Scale,
+    seed: u64,
+    traced: bool,
+    plan: Option<&FaultPlan>,
+    title: &str,
+) -> FigureRun {
+    let mut params = BlackHoleParams {
         discipline: d,
         seed,
         ..BlackHoleParams::default()
     };
+    params.fault_plan = merge_plan(params.builtin_fault_plan(), plan);
     let window = scale.pick(Dur::from_secs(900), Dur::from_secs(300));
     let (sink, handle) = point_sink(traced);
     let o = run_blackhole_traced(params, window, sink);
@@ -320,15 +358,16 @@ fn reader_figure(d: Discipline, scale: Scale, seed: u64, traced: bool, title: &s
 /// Figure 6 — *Aloha File Reader*: cumulative transfers and collisions
 /// over 900 s with one black-hole server.
 pub fn fig6_aloha_reader(scale: Scale, seed: u64) -> SeriesSet {
-    fig6_run(scale, seed, false).set
+    fig6_run(scale, seed, false, None).set
 }
 
-fn fig6_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
+fn fig6_run(scale: Scale, seed: u64, traced: bool, plan: Option<&FaultPlan>) -> FigureRun {
     reader_figure(
         Discipline::Aloha,
         scale,
         seed,
         traced,
+        plan,
         "Figure 6: Aloha File Reader",
     )
 }
@@ -336,15 +375,16 @@ fn fig6_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
 /// Figure 7 — *Ethernet File Reader*: cumulative transfers and
 /// deferrals over 900 s with one black-hole server.
 pub fn fig7_ethernet_reader(scale: Scale, seed: u64) -> SeriesSet {
-    fig7_run(scale, seed, false).set
+    fig7_run(scale, seed, false, None).set
 }
 
-fn fig7_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
+fn fig7_run(scale: Scale, seed: u64, traced: bool, plan: Option<&FaultPlan>) -> FigureRun {
     reader_figure(
         Discipline::Ethernet,
         scale,
         seed,
         traced,
+        plan,
         "Figure 7: Ethernet File Reader",
     )
 }
@@ -354,10 +394,15 @@ fn fig7_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
 /// overload regime. Shows the knob the paper fixes at 1000: too low
 /// reverts to Aloha behaviour, too high over-defers.
 pub fn ablation_threshold_sweep(scale: Scale, seed: u64) -> SeriesSet {
-    ablation_threshold_run(scale, seed, false).set
+    ablation_threshold_run(scale, seed, false, None).set
 }
 
-fn ablation_threshold_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
+fn ablation_threshold_run(
+    scale: Scale,
+    seed: u64,
+    traced: bool,
+    plan: Option<&FaultPlan>,
+) -> FigureRun {
     let thresholds: Vec<u64> = scale.pick(
         vec![0, 100, 500, 1000, 2000, 4000, 6000, 7000, 7500, 7900],
         vec![0, 1000, 4000],
@@ -372,17 +417,15 @@ fn ablation_threshold_run(scale: Scale, seed: u64, traced: bool) -> FigureRun {
     let mut crashes = Series::new("Crashes");
     let outcomes = sweep::map(&thresholds, |&t| {
         let (sink, handle) = point_sink(traced);
-        let o = run_submission_traced(
-            SubmitParams {
-                n_clients: 450,
-                discipline: Discipline::Ethernet,
-                threshold: t,
-                seed,
-                ..SubmitParams::default()
-            },
-            window,
-            sink,
-        );
+        let mut params = SubmitParams {
+            n_clients: 450,
+            discipline: Discipline::Ethernet,
+            threshold: t,
+            seed,
+            ..SubmitParams::default()
+        };
+        params.fault_plan = merge_plan(params.builtin_fault_plan(), plan);
+        let o = run_submission_traced(params, window, sink);
         (o.jobs_submitted, o.crashes, o.events_popped, drain(handle))
     });
     let mut events_popped = 0u64;
@@ -445,15 +488,29 @@ pub fn by_name(name: &str, scale: Scale, seed: u64) -> Option<SeriesSet> {
 /// bytes. `ablation-channel` has no VMs or event queue; it traces
 /// nothing and reports zero events.
 pub fn by_name_full(name: &str, scale: Scale, seed: u64, traced: bool) -> Option<FigureRun> {
+    by_name_with_plan(name, scale, seed, traced, None)
+}
+
+/// [`by_name_full`] with an optional custom fault plan: the plan's
+/// specs are injected on top of the figure's built-in scenario physics
+/// (see [`merge_plan`] for the override rule). `ablation-channel` has
+/// no event queue; it ignores the plan.
+pub fn by_name_with_plan(
+    name: &str,
+    scale: Scale,
+    seed: u64,
+    traced: bool,
+    plan: Option<&FaultPlan>,
+) -> Option<FigureRun> {
     Some(match name {
-        "fig1" => fig1_run(scale, seed, traced),
-        "fig2" => fig2_run(scale, seed, traced),
-        "fig3" => fig3_run(scale, seed, traced),
-        "fig4" => fig4_run(scale, seed, traced),
-        "fig5" => fig5_run(scale, seed, traced),
-        "fig6" => fig6_run(scale, seed, traced),
-        "fig7" => fig7_run(scale, seed, traced),
-        "ablation-threshold" => ablation_threshold_run(scale, seed, traced),
+        "fig1" => fig1_run(scale, seed, traced, plan),
+        "fig2" => fig2_run(scale, seed, traced, plan),
+        "fig3" => fig3_run(scale, seed, traced, plan),
+        "fig4" => fig4_run(scale, seed, traced, plan),
+        "fig5" => fig5_run(scale, seed, traced, plan),
+        "fig6" => fig6_run(scale, seed, traced, plan),
+        "fig7" => fig7_run(scale, seed, traced, plan),
+        "ablation-threshold" => ablation_threshold_run(scale, seed, traced, plan),
         "ablation-channel" => FigureRun {
             set: ablation_channel_saturation(scale, seed),
             events_popped: 0,

@@ -13,6 +13,7 @@ use crate::scripts::{reader_script, unit_vm};
 use ftsh::vm::{CmdResult, CmdToken, CommandSpec, Vm};
 use ftsh::Script;
 use retry::{Discipline, Dur, Time};
+use simgrid::faults::{FaultKind, FaultPlan, FaultSpec};
 use simgrid::trace::{SharedSink, TraceEv, NO_ID};
 use simgrid::{Admission, FileServer, Series, ServerKind, SimRng};
 use std::collections::HashMap;
@@ -40,6 +41,27 @@ pub struct BlackHoleParams {
     pub unit_think: Dur,
     /// Master seed.
     pub seed: u64,
+    /// Fault plan for this run. `None` ⇒ [`builtin_fault_plan`]: the
+    /// scenario's stock failure physics, nothing injected.
+    ///
+    /// [`builtin_fault_plan`]: BlackHoleParams::builtin_fault_plan
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl BlackHoleParams {
+    /// The scenario's built-in failure physics as a fault plan: the
+    /// servers named by `black_holes` are black holes from t=0 for the
+    /// whole run. Custom plans replace this wholesale and may instead
+    /// flap servers with timed [`FaultKind::ServerBlackHole`] toggles.
+    pub fn builtin_fault_plan(&self) -> FaultPlan {
+        FaultPlan::new(self.seed).with(FaultSpec::physics(FaultKind::BlackHoleServers {
+            servers: self
+                .black_holes
+                .iter()
+                .filter_map(|&i| self.servers.get(i).cloned())
+                .collect(),
+        }))
+    }
 }
 
 impl Default for BlackHoleParams {
@@ -55,6 +77,7 @@ impl Default for BlackHoleParams {
             connect_latency: Dur::from_millis(100),
             unit_think: Dur::from_millis(100),
             seed: 0xb1ac_401e,
+            fault_plan: None,
         }
     }
 }
@@ -74,6 +97,11 @@ pub enum BlackHoleEv {
 /// The replica-servers world.
 pub struct BlackHoleWorld {
     params: BlackHoleParams,
+    /// The effective fault plan (custom or built-in physics).
+    fault_plan: FaultPlan,
+    /// Which servers are currently black holes (toggled by injected
+    /// [`FaultKind::ServerBlackHole`] faults).
+    black_hole: Vec<bool>,
     script: Script,
     rng: SimRng,
     servers: Vec<FileServer<(ClientId, CmdToken)>>,
@@ -105,9 +133,23 @@ pub struct BlackHoleWorld {
 
 impl BlackHoleWorld {
     fn new(params: BlackHoleParams) -> BlackHoleWorld {
-        let servers = (0..params.servers.len())
-            .map(|i| {
-                let kind = if params.black_holes.contains(&i) {
+        let fault_plan = params
+            .fault_plan
+            .clone()
+            .unwrap_or_else(|| params.builtin_fault_plan());
+        let black_hole: Vec<bool> = params
+            .servers
+            .iter()
+            .map(|name| {
+                fault_plan
+                    .black_hole_physics()
+                    .is_some_and(|traps| traps.iter().any(|t| t == name))
+            })
+            .collect();
+        let servers = black_hole
+            .iter()
+            .map(|&trap| {
+                let kind = if trap {
                     ServerKind::BlackHole
                 } else {
                     ServerKind::Normal
@@ -117,6 +159,8 @@ impl BlackHoleWorld {
             .collect();
         BlackHoleWorld {
             script: reader_script(params.discipline),
+            fault_plan,
+            black_hole,
             rng: SimRng::new(params.seed),
             server_seq: vec![0; params.servers.len()],
             active_transfer: vec![None; params.servers.len()],
@@ -220,7 +264,7 @@ impl CommandWorld for BlackHoleWorld {
         } else {
             self.params.data_size
         };
-        if path == "flag" && !self.params.black_holes.contains(&server) {
+        if path == "flag" && !self.black_hole[server] {
             // A live server answers the one-byte liveness probe promptly
             // even while a bulk transfer occupies its data channel —
             // carrier sensing distinguishes dead from busy (§5). Only a
@@ -258,6 +302,33 @@ impl CommandWorld for BlackHoleWorld {
         if let Some(next) = d.promoted {
             self.start_transfer(ctx, server, next);
         }
+    }
+
+    fn inject_fault(
+        &mut self,
+        ctx: &mut Ctx<'_, BlackHoleEv>,
+        kind: &FaultKind,
+    ) -> Vec<Completion> {
+        if let FaultKind::ServerBlackHole { server, enable } = kind {
+            if let Some(idx) = self.host_index(server) {
+                if *enable && self.active_transfer[idx].take().is_some() {
+                    // The in-flight transfer falls silent: invalidate
+                    // its scheduled completion. The client stays
+                    // connected (Held) until its own deadline fires.
+                    self.server_seq[idx] += 1;
+                }
+                self.black_hole[idx] = *enable;
+                let new_kind = if *enable {
+                    ServerKind::BlackHole
+                } else {
+                    ServerKind::Normal
+                };
+                if let Some(next) = self.servers[idx].set_kind(new_kind) {
+                    self.start_transfer(ctx, idx, next);
+                }
+            }
+        }
+        Vec::new()
     }
 
     fn on_event(&mut self, ctx: &mut Ctx<'_, BlackHoleEv>, ev: BlackHoleEv) -> Vec<Completion> {
@@ -352,9 +423,13 @@ pub fn run_blackhole_traced(
             rng.next_u64(),
         ));
     }
+    let plan = world.fault_plan.clone();
     let mut driver = SimDriver::new(world, vms);
     if let Some(sink) = trace {
         driver.set_trace(sink);
+    }
+    if plan.injections().next().is_some() {
+        driver.arm_faults(plan);
     }
     driver.run_until(Time::ZERO + duration);
     let events_popped = driver.events_popped();

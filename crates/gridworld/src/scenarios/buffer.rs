@@ -18,6 +18,7 @@ use crate::scripts::{buffer_script, unit_vm};
 use ftsh::vm::{CmdResult, CmdToken, CommandSpec, Vm};
 use ftsh::Script;
 use retry::{Discipline, Dur, Time};
+use simgrid::faults::{FaultKind, FaultPlan, FaultSpec};
 use simgrid::trace::{SharedSink, TraceEv, NO_ID};
 use simgrid::{DiskBuffer, FileId, Series, SimRng, WriteError};
 use std::collections::HashMap;
@@ -59,6 +60,23 @@ pub struct BufferParams {
     pub sample_every: Dur,
     /// Master seed.
     pub seed: u64,
+    /// Fault plan for this run. `None` ⇒ [`builtin_fault_plan`]: the
+    /// scenario's stock failure physics, nothing injected.
+    ///
+    /// [`builtin_fault_plan`]: BufferParams::builtin_fault_plan
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl BufferParams {
+    /// The scenario's built-in failure physics as a fault plan: writes
+    /// collide with ENOSPC once the shared buffer holds `capacity`
+    /// bytes. Custom plans replace this wholesale, so the capacity is
+    /// itself a [`FaultSpec`] parameter.
+    pub fn builtin_fault_plan(&self) -> FaultPlan {
+        FaultPlan::new(self.seed).with(FaultSpec::physics(FaultKind::EnospcAtCapacity {
+            capacity_bytes: self.capacity,
+        }))
+    }
 }
 
 impl Default for BufferParams {
@@ -77,6 +95,7 @@ impl Default for BufferParams {
             failure_think: Dur::from_millis(100),
             sample_every: Dur::from_secs(5),
             seed: 0xbfed,
+            fault_plan: None,
         }
     }
 }
@@ -116,6 +135,15 @@ struct ActiveWrite {
 /// The shared-buffer world.
 pub struct BufferWorld {
     params: BufferParams,
+    /// The effective fault plan (custom or built-in physics).
+    fault_plan: FaultPlan,
+    /// Injected [`FaultKind::EnospcWindow`]: every write chunk landing
+    /// before this instant fails with ENOSPC regardless of occupancy.
+    enospc_until: Time,
+    /// Injected [`FaultKind::FreeSpaceLie`]: `(delta_bytes, until)` —
+    /// the carrier-sense estimate is skewed by `delta_bytes` while the
+    /// window is open.
+    space_lie: (i64, Time),
     script: Script,
     rng: SimRng,
     /// The shared buffer.
@@ -150,10 +178,18 @@ pub struct BufferWorld {
 
 impl BufferWorld {
     fn new(params: BufferParams) -> BufferWorld {
+        let fault_plan = params
+            .fault_plan
+            .clone()
+            .unwrap_or_else(|| params.builtin_fault_plan());
+        let capacity = fault_plan.capacity_physics().unwrap_or(params.capacity);
         BufferWorld {
             script: buffer_script(params.discipline),
+            fault_plan,
+            enospc_until: Time::ZERO,
+            space_lie: (0, Time::ZERO),
             rng: SimRng::new(params.seed),
-            disk: DiskBuffer::new(params.capacity),
+            disk: DiskBuffer::new(capacity),
             active: HashMap::new(),
             consumer_busy: false,
             bytes_attempted: 0,
@@ -200,7 +236,11 @@ impl CommandWorld for BufferWorld {
             }
             // The Ethernet estimator over the observable buffer state.
             "estimate-space" => {
-                let est = self.disk.ethernet_estimate_free();
+                let mut est = self.disk.ethernet_estimate_free();
+                let (delta, until) = self.space_lie;
+                if ctx.now() < until {
+                    est = est.saturating_add(delta);
+                }
                 simgrid::trace::emit(
                     &self.trace,
                     ctx.now(),
@@ -265,6 +305,22 @@ impl CommandWorld for BufferWorld {
         }
     }
 
+    fn inject_fault(&mut self, ctx: &mut Ctx<'_, BufferEv>, kind: &FaultKind) -> Vec<Completion> {
+        match kind {
+            FaultKind::EnospcWindow { duration } => {
+                self.enospc_until = self.enospc_until.max(ctx.now() + *duration);
+            }
+            FaultKind::FreeSpaceLie {
+                delta_bytes,
+                duration,
+            } => {
+                self.space_lie = (*delta_bytes, ctx.now() + *duration);
+            }
+            _ => {}
+        }
+        Vec::new()
+    }
+
     fn on_event(&mut self, ctx: &mut Ctx<'_, BufferEv>, ev: BufferEv) -> Vec<Completion> {
         let mut out = Vec::new();
         match ev {
@@ -284,7 +340,14 @@ impl CommandWorld for BufferWorld {
                 let file = w.file;
                 let started = w.started;
                 self.bytes_attempted += bytes;
-                match self.disk.write(file, bytes) {
+                // An injected ENOSPC window fails every write landing
+                // inside it, occupancy notwithstanding.
+                let res = if ctx.now() < self.enospc_until {
+                    self.disk.force_enospc(file).and(Err(WriteError::NoSpace))
+                } else {
+                    self.disk.write(file, bytes)
+                };
+                match res {
                     Err(WriteError::NoSpace) => {
                         // Collision: DiskBuffer already deleted the
                         // partial file and counted it. The producer
@@ -463,9 +526,13 @@ pub fn run_buffer_traced(
             )
         })
         .collect();
+    let plan = world.fault_plan.clone();
     let mut driver = SimDriver::new(world, vms);
     if let Some(sink) = trace {
         driver.set_trace(sink);
+    }
+    if plan.injections().next().is_some() {
+        driver.arm_faults(plan);
     }
     driver.schedule_world(Time::ZERO, BufferEv::ConsumerTick);
     driver.schedule_world(Time::ZERO, BufferEv::Sample);

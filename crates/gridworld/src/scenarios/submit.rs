@@ -31,6 +31,7 @@ use crate::scripts::{submit_script, unit_vm};
 use ftsh::vm::{CmdResult, CmdToken, CommandSpec, Vm};
 use ftsh::Script;
 use retry::{Discipline, Dur, Time};
+use simgrid::faults::{FaultKind, FaultPlan, FaultSpec};
 use simgrid::trace::{SharedSink, TraceEv, NO_ID};
 use simgrid::{FdTable, Series, SimRng};
 use std::collections::{HashMap, VecDeque};
@@ -84,6 +85,25 @@ pub struct SubmitParams {
     /// Override the discipline's backoff policy (for ablations such as
     /// removing the random spreading factor).
     pub backoff_override: Option<retry::BackoffPolicy>,
+    /// Fault plan for this run. `None` ⇒ [`builtin_fault_plan`]: the
+    /// scenario's stock failure physics, nothing injected.
+    ///
+    /// [`builtin_fault_plan`]: SubmitParams::builtin_fault_plan
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl SubmitParams {
+    /// The scenario's built-in failure physics expressed as a fault
+    /// plan: the schedd crashes on transient-FD starvation
+    /// (`schedd_service_fds`) and refuses submissions beyond `backlog`.
+    /// Custom plans replace this wholesale, so every built-in knob is
+    /// a [`FaultSpec`] parameter.
+    pub fn builtin_fault_plan(&self) -> FaultPlan {
+        FaultPlan::new(self.seed).with(FaultSpec::physics(FaultKind::ScheddCrashOnStarvation {
+            service_fds: self.schedd_service_fds as u32,
+            backlog: self.backlog,
+        }))
+    }
 }
 
 impl Default for SubmitParams {
@@ -109,6 +129,7 @@ impl Default for SubmitParams {
             sample_every: Dur::from_secs(5),
             seed: 0x5eed,
             backoff_override: None,
+            fault_plan: None,
         }
     }
 }
@@ -151,6 +172,12 @@ enum SubState {
 /// The schedd + FD-table world.
 pub struct SubmitWorld {
     params: SubmitParams,
+    /// The effective fault plan (custom or built-in physics).
+    fault_plan: FaultPlan,
+    /// Transient FDs per service, read from the plan's crash physics.
+    service_fds: u64,
+    /// Accept backlog, read from the plan's crash physics.
+    backlog: usize,
     script: Script,
     rng: SimRng,
     fds: FdTable,
@@ -189,7 +216,18 @@ pub struct SubmitWorld {
 impl SubmitWorld {
     fn new(params: SubmitParams) -> SubmitWorld {
         let script = submit_script(params.discipline, params.threshold);
+        let fault_plan = params
+            .fault_plan
+            .clone()
+            .unwrap_or_else(|| params.builtin_fault_plan());
+        let (service_fds, backlog) = fault_plan
+            .crash_physics()
+            .map(|(f, b)| (u64::from(f), b))
+            .unwrap_or((params.schedd_service_fds, params.backlog));
         SubmitWorld {
+            fault_plan,
+            service_fds,
+            backlog,
             rng: SimRng::new(params.seed),
             fds: FdTable::new(params.fd_capacity),
             schedd_up: true,
@@ -236,7 +274,7 @@ impl SubmitWorld {
         };
         self.serving = Some(head);
         self.subs.insert(head, SubState::Serving);
-        if self.fds.alloc(self.params.schedd_service_fds).is_err() {
+        if self.fds.alloc(self.service_fds).is_err() {
             self.crash(ctx, out);
             return;
         }
@@ -253,13 +291,19 @@ impl SubmitWorld {
     /// The schedd dies: every connected client fails at once (the
     /// broadcast jam) and all of their descriptors return to the table.
     fn crash(&mut self, ctx: &mut Ctx<'_, SubmitEv>, out: &mut Vec<Completion>) {
+        self.crash_after(ctx, out, self.params.restart_downtime);
+    }
+
+    /// [`crash`](Self::crash) with an explicit downtime — injected
+    /// [`FaultKind::ScheddKill`] faults may override the default.
+    fn crash_after(&mut self, ctx: &mut Ctx<'_, SubmitEv>, out: &mut Vec<Completion>, down: Dur) {
         self.crashes += 1;
         simgrid::trace::emit(&self.trace, ctx.now(), NO_ID, NO_ID, TraceEv::ScheddCrash);
         self.schedd_up = false;
         self.gap_pending = false;
         self.service_seq += 1; // invalidate any pending ServiceDone
         if self.transient_held {
-            self.fds.release(self.params.schedd_service_fds);
+            self.fds.release(self.service_fds);
             self.transient_held = false;
         }
         if let Some(conn) = self.serving.take() {
@@ -279,7 +323,7 @@ impl SubmitWorld {
                 result: CmdResult::fail(),
             });
         }
-        ctx.schedule(ctx.now() + self.params.restart_downtime, SubmitEv::Restart);
+        ctx.schedule(ctx.now() + down, SubmitEv::Restart);
     }
 
     fn sample(&mut self, now: Time) {
@@ -358,7 +402,7 @@ impl CommandWorld for SubmitWorld {
                 self.serving = None;
                 self.service_seq += 1;
                 if self.transient_held {
-                    self.fds.release(self.params.schedd_service_fds);
+                    self.fds.release(self.service_fds);
                     self.transient_held = false;
                 }
                 self.release_sub(conn);
@@ -370,6 +414,24 @@ impl CommandWorld for SubmitWorld {
         }
     }
 
+    fn inject_fault(&mut self, ctx: &mut Ctx<'_, SubmitEv>, kind: &FaultKind) -> Vec<Completion> {
+        let mut out = Vec::new();
+        match kind {
+            FaultKind::ScheddKill { downtime } if self.schedd_up => {
+                let down = downtime.unwrap_or(self.params.restart_downtime);
+                self.crash_after(ctx, &mut out, down);
+            }
+            FaultKind::ScheddRestart => {
+                self.schedd_up = true;
+                if self.serving.is_none() && !self.gap_pending {
+                    self.start_service(ctx, &mut out);
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
     fn on_event(&mut self, ctx: &mut Ctx<'_, SubmitEv>, ev: SubmitEv) -> Vec<Completion> {
         let mut out = Vec::new();
         match ev {
@@ -378,7 +440,7 @@ impl CommandWorld for SubmitWorld {
                 if self.subs.get(&conn) != Some(&SubState::Starting) {
                     return out; // cancelled while starting up
                 }
-                if !self.schedd_up || self.queue.len() >= self.params.backlog {
+                if !self.schedd_up || self.queue.len() >= self.backlog {
                     // Connection refused.
                     self.failed_connects += 1;
                     self.release_sub(conn);
@@ -402,7 +464,7 @@ impl CommandWorld for SubmitWorld {
                 }
                 let conn = self.serving.take().expect("checked");
                 if self.transient_held {
-                    self.fds.release(self.params.schedd_service_fds);
+                    self.fds.release(self.service_fds);
                     self.transient_held = false;
                 }
                 if let Some(&t0) = self.enqueued_at.get(&conn) {
@@ -537,9 +599,13 @@ pub fn run_submission_traced(
                 + Dur::from_secs_f64(rng.uniform(0.0, params.start_stagger.as_secs_f64().max(1e-9)))
         })
         .collect();
+    let plan = world.fault_plan.clone();
     let mut driver = SimDriver::with_starts(world, vms, starts);
     if let Some(sink) = trace {
         driver.set_trace(sink);
+    }
+    if plan.injections().next().is_some() {
+        driver.arm_faults(plan);
     }
     driver.schedule_world(Time::ZERO, SubmitEv::Sample);
     driver.run_until(Time::ZERO + duration);

@@ -7,7 +7,9 @@
 //! A single `#[test]` owns the `EG_SWEEP_THREADS` environment variable
 //! for its whole run, so no other test can race it.
 
-use gridworld::figures::{by_name_full, Scale};
+use gridworld::figures::{by_name_full, by_name_with_plan, Scale};
+use retry::{Dur, Time};
+use simgrid::faults::{FaultKind, FaultPlan, FaultSpec};
 use simgrid::trace::to_jsonl;
 use simgrid::TraceSummary;
 
@@ -45,6 +47,54 @@ fn figures_are_bit_identical_across_sweep_schedules() {
             "{name}: a traced figure must actually record something"
         );
     }
+
+    // The gate holds with a non-trivial fault plan armed: timed kills
+    // and seeded message loss must land on identical virtual instants
+    // regardless of the sweep schedule, and every injection must leave
+    // a structured record behind.
+    let mut plan = FaultPlan::new(0xFA);
+    // Quick-scale fig1 simulates a 90 s window: everything lands early.
+    plan.specs.push(FaultSpec::repeating(
+        Time::from_secs(15),
+        Dur::from_secs(25),
+        3,
+        FaultKind::ScheddKill {
+            downtime: Some(Dur::from_secs(8)),
+        },
+    ));
+    plan.specs.push(FaultSpec::once(
+        Time::from_secs(10),
+        FaultKind::MsgLoss {
+            channel: "condor_submit".into(),
+            probability: 0.4,
+            duration: Dur::from_secs(30),
+        },
+    ));
+    let regen_faulted = |threads: &str| {
+        std::env::set_var("EG_SWEEP_THREADS", threads);
+        let run = by_name_with_plan("fig1", Scale::Quick, 0xDE7E_0007, true, Some(&plan))
+            .expect("known figure");
+        (run.set.to_json(), to_jsonl(&run.trace.expect("traced")))
+    };
+    let (fseries_seq, ftrace_seq) = regen_faulted("1");
+    let (fseries_par, ftrace_par) = regen_faulted("4");
+    assert_eq!(
+        fseries_seq, fseries_par,
+        "fig1+faults: series JSON must not depend on the sweep schedule"
+    );
+    assert_eq!(
+        ftrace_seq, ftrace_par,
+        "fig1+faults: trace JSONL must not depend on the sweep schedule"
+    );
+    assert!(
+        ftrace_seq.contains("\"ev\":\"fault\""),
+        "armed injections must appear in the structured trace"
+    );
+    assert_ne!(
+        fseries_seq,
+        regenerate("fig1", "1").0,
+        "the aggressive plan must actually perturb the figure"
+    );
 
     // The analyzer reproduces Figure 7's deferral count from the trace
     // alone: the last value of the figure's "Deferrals" series equals

@@ -1,0 +1,23 @@
+//! Regression gate for the physics-as-plan refactor: moving the
+//! submit scenario's crash threshold (and the other scenario physics)
+//! into built-in `FaultPlan`s must not move a single job. These are
+//! the paper-scale headline numbers EXPERIMENTS.md quotes.
+
+use gridworld::figures::{fig2_aloha_timeline, fig3_ethernet_timeline, Scale};
+use simgrid::SeriesSet;
+
+fn jobs_submitted(set: &SeriesSet) -> f64 {
+    set.series
+        .iter()
+        .find(|s| s.name == "Jobs Submitted")
+        .and_then(|s| s.last())
+        .expect("timeline has a Jobs Submitted series")
+}
+
+#[test]
+fn fig2_fig3_job_counts_survive_default_plan() {
+    let fig2 = fig2_aloha_timeline(Scale::Full, 2003);
+    assert_eq!(jobs_submitted(&fig2), 2524.0, "Aloha jobs by t=1800");
+    let fig3 = fig3_ethernet_timeline(Scale::Full, 2003);
+    assert_eq!(jobs_submitted(&fig3), 2690.0, "Ethernet jobs by t=1800");
+}

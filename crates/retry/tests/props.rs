@@ -69,6 +69,29 @@ proptest! {
         prop_assert!(b >= a);
     }
 
+    /// §4's backoff window: after the k-th consecutive failure the
+    /// jittered delay lies in [c, 2c) with c = min(base·2^(k-1), cap)
+    /// — the random factor spreads within one octave, and the one-hour
+    /// cap binds *before* jitter, so no delay ever reaches 2·cap.
+    /// (+2 µs tolerance for f64 rounding in mul_f64.)
+    #[test]
+    fn ethernet_backoff_window_and_cap(k in 1u32..200, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = BackoffPolicy::ethernet();
+        let base = Dur::from_secs(1);
+        let cap = Dur::from_hours(1);
+        let c = base.mul_f64(2f64.powi((k - 1).min(63) as i32)).min(cap);
+        let d = p.delay_after(k, &mut rng);
+        prop_assert!(d >= c, "k={} delay {} under floor {}", k, d, c);
+        prop_assert!(
+            d.as_micros() < c.as_micros().saturating_mul(2) + 2,
+            "k={} delay {} above ceiling 2*{}", k, d, c
+        );
+        prop_assert!(d.as_micros() < cap.as_micros() * 2 + 2);
+        // Without jitter the cap is exact at every attempt count.
+        prop_assert!(p.without_jitter().delay_after(k, &mut rng) <= cap);
+    }
+
     /// Display uses the largest exact unit: whole hours print as
     /// hours, whole non-hour minutes as minutes.
     #[test]

@@ -1,0 +1,985 @@
+//! Deterministic, seeded fault-injection plans.
+//!
+//! The paper's argument is that the Ethernet discipline survives
+//! *induced* failure — crashed schedds, full disks, black-holed
+//! servers — yet the seed repo hard-wired each failure mode into one
+//! scenario. A [`FaultPlan`] lifts that physics into data: a list of
+//! seeded, time-triggered [`FaultSpec`]s that the sim driver arms at
+//! startup and fires deterministically from the virtual clock plus a
+//! per-plan RNG stream. Every injection is emitted as a
+//! `TraceEv::FaultInjected` record through the structured-trace
+//! pipeline, so a post-mortem can always reconstruct *which* faults a
+//! run was subjected to.
+//!
+//! Two families of spec live in one plan:
+//!
+//! * **Injections** — time-triggered events the driver schedules
+//!   (schedd kill/restart, ENOSPC windows, free-space lies, black-hole
+//!   toggles, per-channel message loss and latency spikes, VM clock
+//!   skew, deterministic first-N command failures).
+//! * **Physics** — constants a scenario world reads at construction
+//!   ([`FaultKind::ScheddCrashOnStarvation`],
+//!   [`FaultKind::EnospcAtCapacity`], [`FaultKind::BlackHoleServers`]).
+//!   The three stock scenarios express their built-in failure modes as
+//!   exactly these specs, so the default plans reproduce the seed
+//!   behaviour bit-for-bit while custom plans can move every knob.
+//!
+//! Plans serialize to a small JSON document (`PLAN.json`) consumed by
+//! `figures --faults` and the conformance harness; see
+//! [`FaultPlan::to_json`] for the schema.
+
+use crate::rng::SimRng;
+use retry::{Dur, Time};
+use std::fmt::Write as _;
+
+/// What a single fault does when it fires (or, for the physics kinds,
+/// which constant it pins).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Kill the scenario's schedd (service process) immediately. The
+    /// schedd restarts after `downtime`, or after the scenario's own
+    /// default downtime when `None`.
+    ScheddKill {
+        /// Time until automatic restart (`None`: scenario default).
+        downtime: Option<Dur>,
+    },
+    /// Restart the schedd now if it is down (no-op otherwise).
+    ScheddRestart,
+    /// All disk writes report mid-file ENOSPC for `duration`,
+    /// regardless of actual free space.
+    EnospcWindow {
+        /// How long writes keep failing.
+        duration: Dur,
+    },
+    /// The free-space estimator lies by `delta_bytes` (positive:
+    /// reports more free than real; negative: less) for `duration` —
+    /// an attack on carrier sense itself.
+    FreeSpaceLie {
+        /// Bytes added to every estimate while active.
+        delta_bytes: i64,
+        /// How long the estimator keeps lying.
+        duration: Dur,
+    },
+    /// Turn a named server into a black hole (`enable`) or back into a
+    /// normal server (`!enable`). Repeating this spec flaps the server.
+    ServerBlackHole {
+        /// Server name as the scenario knows it (e.g. `yyy`).
+        server: String,
+        /// `true`: become a black hole; `false`: recover.
+        enable: bool,
+    },
+    /// While active, completions on `channel` (program name) are lost
+    /// with `probability` (drawn from the plan RNG stream): the command
+    /// appears to fail, as a dropped reply does.
+    MsgLoss {
+        /// Program name whose completions are lossy.
+        channel: String,
+        /// Per-message loss probability in `[0, 1]`.
+        probability: f64,
+        /// How long the channel stays lossy.
+        duration: Dur,
+    },
+    /// While active, completions on `channel` are delayed by `extra`.
+    LatencySpike {
+        /// Program name whose completions are delayed.
+        channel: String,
+        /// Added latency per completion.
+        extra: Dur,
+        /// How long the spike lasts.
+        duration: Dur,
+    },
+    /// Client `client`'s VM clock runs `skew_us` microseconds ahead
+    /// (positive) or behind (negative) the sim clock from the trigger
+    /// onward.
+    ClockSkew {
+        /// Client index within the scenario.
+        client: usize,
+        /// Offset applied to the VM's view of now, in microseconds.
+        skew_us: i64,
+    },
+    /// The first `n` invocations of `program` fail deterministically —
+    /// the injection the sim↔real conformance harness mirrors with
+    /// shim commands on the real side.
+    CmdFailFirst {
+        /// Program name (argv\[0\], basename-matched).
+        program: String,
+        /// How many leading invocations fail.
+        n: u32,
+    },
+    /// Physics: the schedd crashes when it cannot allocate
+    /// `service_fds` transient descriptors for a new service, and
+    /// rejects submissions once `backlog` jobs queue (the submit
+    /// scenario's built-in failure mode).
+    ScheddCrashOnStarvation {
+        /// Transient FDs each service slot needs.
+        service_fds: u32,
+        /// Queue length at which new submissions are refused.
+        backlog: usize,
+    },
+    /// Physics: the shared disk buffer holds `capacity_bytes`; writes
+    /// beyond it hit mid-file ENOSPC (the buffer scenario's built-in
+    /// failure mode).
+    EnospcAtCapacity {
+        /// Total buffer capacity in bytes.
+        capacity_bytes: u64,
+    },
+    /// Physics: these named servers start as black holes (the reader
+    /// scenario's built-in failure mode).
+    BlackHoleServers {
+        /// Server names that accept connections but never serve.
+        servers: Vec<String>,
+    },
+}
+
+impl FaultKind {
+    /// The tag this kind serializes under (also the `kind` field of
+    /// the `FaultInjected` trace event).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultKind::ScheddKill { .. } => "schedd-kill",
+            FaultKind::ScheddRestart => "schedd-restart",
+            FaultKind::EnospcWindow { .. } => "enospc-window",
+            FaultKind::FreeSpaceLie { .. } => "free-space-lie",
+            FaultKind::ServerBlackHole { .. } => "black-hole",
+            FaultKind::MsgLoss { .. } => "msg-loss",
+            FaultKind::LatencySpike { .. } => "latency-spike",
+            FaultKind::ClockSkew { .. } => "clock-skew",
+            FaultKind::CmdFailFirst { .. } => "cmd-fail-first",
+            FaultKind::ScheddCrashOnStarvation { .. } => "schedd-crash-on-starvation",
+            FaultKind::EnospcAtCapacity { .. } => "enospc-at-capacity",
+            FaultKind::BlackHoleServers { .. } => "black-hole-servers",
+        }
+    }
+
+    /// Physics kinds configure a world at construction; they are not
+    /// scheduled as time-triggered injections.
+    pub fn is_physics(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::ScheddCrashOnStarvation { .. }
+                | FaultKind::EnospcAtCapacity { .. }
+                | FaultKind::BlackHoleServers { .. }
+                | FaultKind::CmdFailFirst { .. }
+        )
+    }
+
+    /// Parameter summary in `key=value` form (the `detail` field of
+    /// the `FaultInjected` trace event).
+    pub fn detail(&self) -> String {
+        let mut s = String::new();
+        match self {
+            FaultKind::ScheddKill { downtime } => match downtime {
+                Some(d) => {
+                    let _ = write!(s, "downtime_us={}", d.as_micros());
+                }
+                None => s.push_str("downtime_us=default"),
+            },
+            FaultKind::ScheddRestart => {}
+            FaultKind::EnospcWindow { duration } => {
+                let _ = write!(s, "duration_us={}", duration.as_micros());
+            }
+            FaultKind::FreeSpaceLie {
+                delta_bytes,
+                duration,
+            } => {
+                let _ = write!(
+                    s,
+                    "delta_bytes={delta_bytes} duration_us={}",
+                    duration.as_micros()
+                );
+            }
+            FaultKind::ServerBlackHole { server, enable } => {
+                let _ = write!(s, "server={server} enable={enable}");
+            }
+            FaultKind::MsgLoss {
+                channel,
+                probability,
+                duration,
+            } => {
+                let _ = write!(
+                    s,
+                    "channel={channel} probability={probability} duration_us={}",
+                    duration.as_micros()
+                );
+            }
+            FaultKind::LatencySpike {
+                channel,
+                extra,
+                duration,
+            } => {
+                let _ = write!(
+                    s,
+                    "channel={channel} extra_us={} duration_us={}",
+                    extra.as_micros(),
+                    duration.as_micros()
+                );
+            }
+            FaultKind::ClockSkew { client, skew_us } => {
+                let _ = write!(s, "client={client} skew_us={skew_us}");
+            }
+            FaultKind::CmdFailFirst { program, n } => {
+                let _ = write!(s, "program={program} n={n}");
+            }
+            FaultKind::ScheddCrashOnStarvation {
+                service_fds,
+                backlog,
+            } => {
+                let _ = write!(s, "service_fds={service_fds} backlog={backlog}");
+            }
+            FaultKind::EnospcAtCapacity { capacity_bytes } => {
+                let _ = write!(s, "capacity_bytes={capacity_bytes}");
+            }
+            FaultKind::BlackHoleServers { servers } => {
+                let _ = write!(s, "servers={}", servers.join(","));
+            }
+        }
+        s
+    }
+}
+
+/// One fault in a plan: a kind, a first trigger instant, and an
+/// optional repeat schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Virtual instant of the first trigger.
+    pub at: Time,
+    /// Repeat period after the first trigger (`None`: fire once).
+    pub every: Option<Dur>,
+    /// Total number of triggers (≥ 1; ignored without `every`).
+    pub count: u32,
+    /// What happens at each trigger.
+    pub kind: FaultKind,
+}
+
+impl FaultSpec {
+    /// A spec firing once at `at`.
+    pub fn once(at: Time, kind: FaultKind) -> FaultSpec {
+        FaultSpec {
+            at,
+            every: None,
+            count: 1,
+            kind,
+        }
+    }
+
+    /// A spec firing `count` times, first at `at`, then every `every`.
+    pub fn repeating(at: Time, every: Dur, count: u32, kind: FaultKind) -> FaultSpec {
+        FaultSpec {
+            at,
+            every: Some(every),
+            count: count.max(1),
+            kind,
+        }
+    }
+
+    /// A physics spec (applies at construction; never scheduled).
+    pub fn physics(kind: FaultKind) -> FaultSpec {
+        debug_assert!(kind.is_physics(), "not a physics kind: {}", kind.tag());
+        FaultSpec::once(Time::ZERO, kind)
+    }
+}
+
+/// A seeded collection of [`FaultSpec`]s: the whole adversarial
+/// schedule for one run.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed of the plan's private RNG stream (used only by
+    /// probabilistic kinds such as [`FaultKind::MsgLoss`]); independent
+    /// of every scenario RNG, so arming a plan never perturbs the
+    /// workload's own draws.
+    pub seed: u64,
+    /// The faults, in declaration order.
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given RNG seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Builder: append a spec.
+    pub fn with(mut self, spec: FaultSpec) -> FaultPlan {
+        self.specs.push(spec);
+        self
+    }
+
+    /// The plan's private RNG stream (decorrelated from scenario
+    /// seeds by a fixed tweak).
+    pub fn rng(&self) -> SimRng {
+        SimRng::new(self.seed ^ 0xFA_17_FA_17)
+    }
+
+    /// Append another plan's specs (custom injections on top of a
+    /// scenario's built-in physics).
+    pub fn extend_from(&mut self, other: &FaultPlan) {
+        self.specs.extend(other.specs.iter().cloned());
+    }
+
+    /// The time-triggered injection specs, with their indices.
+    pub fn injections(&self) -> impl Iterator<Item = (usize, &FaultSpec)> {
+        self.specs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.kind.is_physics())
+    }
+
+    /// The last `ScheddCrashOnStarvation` physics spec, if any.
+    pub fn crash_physics(&self) -> Option<(u32, usize)> {
+        self.specs.iter().rev().find_map(|s| match s.kind {
+            FaultKind::ScheddCrashOnStarvation {
+                service_fds,
+                backlog,
+            } => Some((service_fds, backlog)),
+            _ => None,
+        })
+    }
+
+    /// The last `EnospcAtCapacity` physics spec, if any.
+    pub fn capacity_physics(&self) -> Option<u64> {
+        self.specs.iter().rev().find_map(|s| match s.kind {
+            FaultKind::EnospcAtCapacity { capacity_bytes } => Some(capacity_bytes),
+            _ => None,
+        })
+    }
+
+    /// The last `BlackHoleServers` physics spec, if any.
+    pub fn black_hole_physics(&self) -> Option<&[String]> {
+        self.specs.iter().rev().find_map(|s| match &s.kind {
+            FaultKind::BlackHoleServers { servers } => Some(servers.as_slice()),
+            _ => None,
+        })
+    }
+
+    /// Sum of `CmdFailFirst.n` over specs matching `program` — how
+    /// many leading invocations of `program` must fail.
+    pub fn fail_first(&self, program: &str) -> u32 {
+        self.specs
+            .iter()
+            .filter_map(|s| match &s.kind {
+                FaultKind::CmdFailFirst { program: p, n } if p == program => Some(*n),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Serialize as the `PLAN.json` document:
+    ///
+    /// ```json
+    /// {
+    ///   "seed": 42,
+    ///   "specs": [
+    ///     {"kind": "schedd-kill", "at_us": 60000000,
+    ///      "every_us": 120000000, "count": 5, "downtime_us": 30000000},
+    ///     {"kind": "black-hole", "at_us": 10000000,
+    ///      "server": "yyy", "enable": true}
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// Kind-specific fields: `downtime_us` (schedd-kill, null for the
+    /// scenario default); `duration_us` (enospc-window, free-space-lie,
+    /// msg-loss, latency-spike); `delta_bytes` (free-space-lie);
+    /// `server`, `enable` (black-hole); `channel`, `probability`
+    /// (msg-loss); `extra_us` (latency-spike); `client`, `skew_us`
+    /// (clock-skew); `program`, `n` (cmd-fail-first); `service_fds`,
+    /// `backlog` (schedd-crash-on-starvation); `capacity_bytes`
+    /// (enospc-at-capacity); `servers` (black-hole-servers).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\n  \"seed\": {},\n  \"specs\": [", self.seed);
+        for (i, spec) in self.specs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(
+                out,
+                "\"kind\": \"{}\", \"at_us\": {}",
+                spec.kind.tag(),
+                spec.at.as_micros()
+            );
+            if let Some(e) = spec.every {
+                let _ = write!(
+                    out,
+                    ", \"every_us\": {}, \"count\": {}",
+                    e.as_micros(),
+                    spec.count
+                );
+            }
+            match &spec.kind {
+                FaultKind::ScheddKill { downtime } => match downtime {
+                    Some(d) => {
+                        let _ = write!(out, ", \"downtime_us\": {}", d.as_micros());
+                    }
+                    None => out.push_str(", \"downtime_us\": null"),
+                },
+                FaultKind::ScheddRestart => {}
+                FaultKind::EnospcWindow { duration } => {
+                    let _ = write!(out, ", \"duration_us\": {}", duration.as_micros());
+                }
+                FaultKind::FreeSpaceLie {
+                    delta_bytes,
+                    duration,
+                } => {
+                    let _ = write!(
+                        out,
+                        ", \"delta_bytes\": {delta_bytes}, \"duration_us\": {}",
+                        duration.as_micros()
+                    );
+                }
+                FaultKind::ServerBlackHole { server, enable } => {
+                    let _ = write!(
+                        out,
+                        ", \"server\": \"{}\", \"enable\": {enable}",
+                        crate::metrics::json_escape(server)
+                    );
+                }
+                FaultKind::MsgLoss {
+                    channel,
+                    probability,
+                    duration,
+                } => {
+                    let _ = write!(
+                        out,
+                        ", \"channel\": \"{}\", \"probability\": {probability}, \"duration_us\": {}",
+                        crate::metrics::json_escape(channel),
+                        duration.as_micros()
+                    );
+                }
+                FaultKind::LatencySpike {
+                    channel,
+                    extra,
+                    duration,
+                } => {
+                    let _ = write!(
+                        out,
+                        ", \"channel\": \"{}\", \"extra_us\": {}, \"duration_us\": {}",
+                        crate::metrics::json_escape(channel),
+                        extra.as_micros(),
+                        duration.as_micros()
+                    );
+                }
+                FaultKind::ClockSkew { client, skew_us } => {
+                    let _ = write!(out, ", \"client\": {client}, \"skew_us\": {skew_us}");
+                }
+                FaultKind::CmdFailFirst { program, n } => {
+                    let _ = write!(
+                        out,
+                        ", \"program\": \"{}\", \"n\": {n}",
+                        crate::metrics::json_escape(program)
+                    );
+                }
+                FaultKind::ScheddCrashOnStarvation {
+                    service_fds,
+                    backlog,
+                } => {
+                    let _ = write!(
+                        out,
+                        ", \"service_fds\": {service_fds}, \"backlog\": {backlog}"
+                    );
+                }
+                FaultKind::EnospcAtCapacity { capacity_bytes } => {
+                    let _ = write!(out, ", \"capacity_bytes\": {capacity_bytes}");
+                }
+                FaultKind::BlackHoleServers { servers } => {
+                    out.push_str(", \"servers\": [");
+                    for (j, s) in servers.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "\"{}\"", crate::metrics::json_escape(s));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parse a `PLAN.json` document (the format [`to_json`] emits).
+    ///
+    /// [`to_json`]: FaultPlan::to_json
+    pub fn parse_json(text: &str) -> Result<FaultPlan, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_object().ok_or("plan must be a JSON object")?;
+        let seed = match json::get(obj, "seed") {
+            Some(v) => v.as_u64().ok_or("\"seed\" must be an integer")?,
+            None => 0,
+        };
+        let mut specs = Vec::new();
+        if let Some(sv) = json::get(obj, "specs") {
+            let arr = sv.as_array().ok_or("\"specs\" must be an array")?;
+            for (i, s) in arr.iter().enumerate() {
+                specs.push(parse_spec(s).map_err(|e| format!("specs[{i}]: {e}"))?);
+            }
+        }
+        Ok(FaultPlan { seed, specs })
+    }
+}
+
+fn parse_spec(v: &json::Value) -> Result<FaultSpec, String> {
+    let obj = v.as_object().ok_or("spec must be an object")?;
+    let text = |k: &str| -> Result<String, String> {
+        json::get(obj, k)
+            .and_then(|v| v.as_str().map(str::to_string))
+            .ok_or(format!("missing string field {k:?}"))
+    };
+    let int = |k: &str| -> Result<i64, String> {
+        json::get(obj, k)
+            .and_then(json::Value::as_i64)
+            .ok_or(format!("missing integer field {k:?}"))
+    };
+    let uint = |k: &str| -> Result<u64, String> {
+        json::get(obj, k)
+            .and_then(json::Value::as_u64)
+            .ok_or(format!("missing non-negative integer field {k:?}"))
+    };
+    let dur = |k: &str| -> Result<Dur, String> { Ok(Dur::from_micros(uint(k)?)) };
+
+    let kind = match text("kind")?.as_str() {
+        "schedd-kill" => FaultKind::ScheddKill {
+            downtime: match json::get(obj, "downtime_us") {
+                None | Some(json::Value::Null) => None,
+                Some(v) => Some(Dur::from_micros(
+                    v.as_u64()
+                        .ok_or("\"downtime_us\" must be an integer or null")?,
+                )),
+            },
+        },
+        "schedd-restart" => FaultKind::ScheddRestart,
+        "enospc-window" => FaultKind::EnospcWindow {
+            duration: dur("duration_us")?,
+        },
+        "free-space-lie" => FaultKind::FreeSpaceLie {
+            delta_bytes: int("delta_bytes")?,
+            duration: dur("duration_us")?,
+        },
+        "black-hole" => FaultKind::ServerBlackHole {
+            server: text("server")?,
+            enable: json::get(obj, "enable")
+                .and_then(json::Value::as_bool)
+                .ok_or("missing bool field \"enable\"")?,
+        },
+        "msg-loss" => FaultKind::MsgLoss {
+            channel: text("channel")?,
+            probability: json::get(obj, "probability")
+                .and_then(json::Value::as_f64)
+                .ok_or("missing number field \"probability\"")?,
+            duration: dur("duration_us")?,
+        },
+        "latency-spike" => FaultKind::LatencySpike {
+            channel: text("channel")?,
+            extra: dur("extra_us")?,
+            duration: dur("duration_us")?,
+        },
+        "clock-skew" => FaultKind::ClockSkew {
+            client: uint("client")? as usize,
+            skew_us: int("skew_us")?,
+        },
+        "cmd-fail-first" => FaultKind::CmdFailFirst {
+            program: text("program")?,
+            n: uint("n")? as u32,
+        },
+        "schedd-crash-on-starvation" => FaultKind::ScheddCrashOnStarvation {
+            service_fds: uint("service_fds")? as u32,
+            backlog: uint("backlog")? as usize,
+        },
+        "enospc-at-capacity" => FaultKind::EnospcAtCapacity {
+            capacity_bytes: uint("capacity_bytes")?,
+        },
+        "black-hole-servers" => {
+            let arr = json::get(obj, "servers")
+                .and_then(json::Value::as_array)
+                .ok_or("missing array field \"servers\"")?;
+            let servers = arr
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "\"servers\" entries must be strings".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            FaultKind::BlackHoleServers { servers }
+        }
+        other => return Err(format!("unknown fault kind {other:?}")),
+    };
+
+    Ok(FaultSpec {
+        at: Time::from_micros(uint("at_us").unwrap_or(0)),
+        every: match json::get(obj, "every_us") {
+            None | Some(json::Value::Null) => None,
+            Some(v) => Some(Dur::from_micros(
+                v.as_u64()
+                    .ok_or("\"every_us\" must be an integer or null")?,
+            )),
+        },
+        count: json::get(obj, "count")
+            .and_then(json::Value::as_u64)
+            .unwrap_or(1)
+            .max(1) as u32,
+        kind,
+    })
+}
+
+/// Minimal recursive JSON reader for `PLAN.json` (the trace module's
+/// scanner is flat-object-only and integer-only; plans nest one level
+/// and carry a float probability). The workspace deliberately carries
+/// no serde dependency.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number (integers survive exactly up to 2^53).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in declaration order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Num(n) if n.fract() == 0.0 && n.abs() <= 9e15 => Some(*n as i64),
+                _ => None,
+            }
+        }
+        pub fn as_u64(&self) -> Option<u64> {
+            self.as_i64().and_then(|n| u64::try_from(n).ok())
+        }
+    }
+
+    pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            chars: text.chars().peekable(),
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.chars.peek().is_some() {
+            return Err("trailing data after JSON value".into());
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self.chars.peek().is_some_and(|c| c.is_whitespace()) {
+                self.chars.next();
+            }
+        }
+
+        fn expect(&mut self, want: char) -> Result<(), String> {
+            match self.chars.next() {
+                Some(c) if c == want => Ok(()),
+                other => Err(format!("expected {want:?}, got {other:?}")),
+            }
+        }
+
+        fn word(&mut self, word: &str) -> Result<(), String> {
+            for want in word.chars() {
+                self.expect(want)
+                    .map_err(|_| format!("expected {word:?}"))?;
+            }
+            Ok(())
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            match self.chars.peek() {
+                Some('{') => self.object(),
+                Some('[') => self.array(),
+                Some('"') => Ok(Value::Str(self.string()?)),
+                Some('t') => self.word("true").map(|()| Value::Bool(true)),
+                Some('f') => self.word("false").map(|()| Value::Bool(false)),
+                Some('n') => self.word("null").map(|()| Value::Null),
+                Some(c) if *c == '-' || c.is_ascii_digit() => self.number(),
+                other => Err(format!("unexpected {other:?}")),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect('{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.chars.peek() == Some(&'}') {
+                self.chars.next();
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(':')?;
+                let val = self.value()?;
+                fields.push((key, val));
+                self.skip_ws();
+                match self.chars.next() {
+                    Some(',') => continue,
+                    Some('}') => return Ok(Value::Obj(fields)),
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect('[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.chars.peek() == Some(&']') {
+                self.chars.next();
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.chars.next() {
+                    Some(',') => continue,
+                    Some(']') => return Ok(Value::Arr(items)),
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect('"')?;
+            let mut out = String::new();
+            loop {
+                match self.chars.next() {
+                    None => return Err("unterminated string".into()),
+                    Some('"') => return Ok(out),
+                    Some('\\') => match self.chars.next() {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('/') => out.push('/'),
+                        Some('n') => out.push('\n'),
+                        Some('r') => out.push('\r'),
+                        Some('t') => out.push('\t'),
+                        Some('u') => {
+                            let hex: String = (0..4).filter_map(|_| self.chars.next()).collect();
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            out.push(char::from_u32(code).ok_or("bad codepoint")?);
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    },
+                    Some(c) => out.push(c),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let mut s = String::new();
+            while self
+                .chars
+                .peek()
+                .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+            {
+                s.push(self.chars.next().expect("peeked"));
+            }
+            s.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|e| format!("bad number {s:?}: {e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> FaultPlan {
+        FaultPlan::new(42)
+            .with(FaultSpec::repeating(
+                Time::from_secs(60),
+                Dur::from_secs(120),
+                5,
+                FaultKind::ScheddKill {
+                    downtime: Some(Dur::from_secs(30)),
+                },
+            ))
+            .with(FaultSpec::once(
+                Time::from_secs(10),
+                FaultKind::ServerBlackHole {
+                    server: "yyy".into(),
+                    enable: true,
+                },
+            ))
+            .with(FaultSpec::once(
+                Time::from_secs(5),
+                FaultKind::MsgLoss {
+                    channel: "wget".into(),
+                    probability: 0.25,
+                    duration: Dur::from_secs(40),
+                },
+            ))
+            .with(FaultSpec::once(
+                Time::from_secs(7),
+                FaultKind::LatencySpike {
+                    channel: "condor_submit".into(),
+                    extra: Dur::from_millis(750),
+                    duration: Dur::from_secs(20),
+                },
+            ))
+            .with(FaultSpec::once(
+                Time::from_secs(1),
+                FaultKind::ClockSkew {
+                    client: 3,
+                    skew_us: -2_000_000,
+                },
+            ))
+            .with(FaultSpec::once(
+                Time::from_secs(2),
+                FaultKind::EnospcWindow {
+                    duration: Dur::from_secs(15),
+                },
+            ))
+            .with(FaultSpec::once(
+                Time::from_secs(3),
+                FaultKind::FreeSpaceLie {
+                    delta_bytes: -1_000_000,
+                    duration: Dur::from_secs(9),
+                },
+            ))
+            .with(FaultSpec::once(
+                Time::from_secs(90),
+                FaultKind::ScheddRestart,
+            ))
+            .with(FaultSpec::physics(FaultKind::ScheddCrashOnStarvation {
+                service_fds: 50,
+                backlog: 1000,
+            }))
+            .with(FaultSpec::physics(FaultKind::EnospcAtCapacity {
+                capacity_bytes: 120 << 20,
+            }))
+            .with(FaultSpec::physics(FaultKind::BlackHoleServers {
+                servers: vec!["zzz".into()],
+            }))
+            .with(FaultSpec::physics(FaultKind::CmdFailFirst {
+                program: "unreliable".into(),
+                n: 2,
+            }))
+    }
+
+    #[test]
+    fn json_roundtrip_every_kind() {
+        let plan = sample_plan();
+        let text = plan.to_json();
+        let back = FaultPlan::parse_json(&text).expect("parses");
+        assert_eq!(back, plan, "JSON roundtrip must be exact:\n{text}");
+    }
+
+    #[test]
+    fn physics_specs_are_not_injections() {
+        let plan = sample_plan();
+        let injected: Vec<_> = plan.injections().map(|(i, _)| i).collect();
+        assert_eq!(injected, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(plan.crash_physics(), Some((50, 1000)));
+        assert_eq!(plan.capacity_physics(), Some(120 << 20));
+        assert_eq!(plan.black_hole_physics().unwrap(), ["zzz".to_string()]);
+        assert_eq!(plan.fail_first("unreliable"), 2);
+        assert_eq!(plan.fail_first("reliable"), 0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse_json("").is_err());
+        assert!(FaultPlan::parse_json("[]").is_err());
+        assert!(FaultPlan::parse_json("{\"specs\": [{\"kind\": \"nope\"}]}").is_err());
+        assert!(FaultPlan::parse_json("{\"specs\": [{\"at_us\": 5}]}").is_err());
+        // Missing seed defaults to 0; missing specs to empty.
+        let p = FaultPlan::parse_json("{}").unwrap();
+        assert_eq!(p, FaultPlan::new(0));
+    }
+
+    #[test]
+    fn plan_rng_is_decorrelated_from_scenario_seed() {
+        let mut a = FaultPlan::new(0x5eed).rng();
+        let mut b = SimRng::new(0x5eed);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn detail_strings_are_stable() {
+        assert_eq!(
+            FaultKind::ScheddKill {
+                downtime: Some(Dur::from_secs(30))
+            }
+            .detail(),
+            "downtime_us=30000000"
+        );
+        assert_eq!(
+            FaultKind::ServerBlackHole {
+                server: "yyy".into(),
+                enable: false
+            }
+            .detail(),
+            "server=yyy enable=false"
+        );
+        assert_eq!(FaultKind::ScheddRestart.detail(), "");
+    }
+
+    #[test]
+    fn extend_appends_custom_injections() {
+        let mut base = FaultPlan::new(1).with(FaultSpec::physics(FaultKind::EnospcAtCapacity {
+            capacity_bytes: 100,
+        }));
+        let custom = FaultPlan::new(9).with(FaultSpec::once(
+            Time::from_secs(1),
+            FaultKind::ScheddRestart,
+        ));
+        base.extend_from(&custom);
+        assert_eq!(base.specs.len(), 2);
+        assert_eq!(base.seed, 1, "base seed wins");
+    }
+}

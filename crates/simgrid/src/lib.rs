@@ -25,6 +25,7 @@
 
 pub mod channel;
 pub mod events;
+pub mod faults;
 pub mod metrics;
 pub mod postmortem;
 pub mod resources;
@@ -35,6 +36,7 @@ pub use channel::{simulate_channel, ChannelDiscipline, ChannelStats};
 #[allow(deprecated)]
 pub use events::events_popped_total;
 pub use events::EventQueue;
+pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use metrics::{json_escape, percentile, Series, SeriesSet};
 pub use postmortem::TraceSummary;
 pub use resources::disk::{DiskBuffer, FileId, WriteError};

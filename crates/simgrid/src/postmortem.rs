@@ -54,6 +54,9 @@ pub struct TraceSummary {
     pub crashes: u64,
     /// Mid-write ENOSPC hits.
     pub enospc: u64,
+    /// Faults injected by an armed fault plan, counted per kind tag
+    /// (`schedd-kill`, `msg-loss`, …) in first-seen order.
+    pub faults_injected: Vec<(String, u64)>,
     /// Attempts admitted per client.
     pub attempts_by_client: BTreeMap<i64, u64>,
 }
@@ -102,6 +105,12 @@ impl TraceSummary {
                 TraceEv::Collision => s.collisions += 1,
                 TraceEv::ScheddCrash => s.crashes += 1,
                 TraceEv::Enospc => s.enospc += 1,
+                TraceEv::FaultInjected { kind, .. } => {
+                    match s.faults_injected.iter_mut().find(|(k, _)| k == kind) {
+                        Some((_, n)) => *n += 1,
+                        None => s.faults_injected.push((kind.clone(), 1)),
+                    }
+                }
             }
         }
         s.clients = clients.into_iter().collect();
@@ -192,6 +201,11 @@ impl TraceSummary {
         let _ = writeln!(out, "{:<22} {}", "collisions", self.collisions);
         let _ = writeln!(out, "{:<22} {}", "schedd crashes", self.crashes);
         let _ = writeln!(out, "{:<22} {}", "enospc hits", self.enospc);
+        let total: u64 = self.faults_injected.iter().map(|(_, n)| n).sum();
+        let _ = writeln!(out, "{:<22} {}", "faults injected", total);
+        for (kind, n) in &self.faults_injected {
+            let _ = writeln!(out, "{:<22} {}", format!("  {kind}"), n);
+        }
         out
     }
 }
@@ -224,6 +238,13 @@ fn describe(ev: &TraceEv) -> String {
         TraceEv::Collision => "collision".into(),
         TraceEv::ScheddCrash => "schedd crashed".into(),
         TraceEv::Enospc => "ENOSPC mid-write".into(),
+        TraceEv::FaultInjected { kind, detail } => {
+            if detail.is_empty() {
+                format!("fault injected: {kind}")
+            } else {
+                format!("fault injected: {kind} ({detail})")
+            }
+        }
     }
 }
 
@@ -364,6 +385,48 @@ mod tests {
         let only1 = render_timeline(&sample(), Some(1));
         assert!(!only1.contains("client 0"));
         assert!(only1.contains("carrier sense: free=3"));
+    }
+
+    #[test]
+    fn faults_counted_per_kind() {
+        let recs = vec![
+            rec(
+                1,
+                NO_ID,
+                TraceEv::FaultInjected {
+                    kind: "schedd-kill".into(),
+                    detail: "downtime_us=default".into(),
+                },
+            ),
+            rec(
+                2,
+                NO_ID,
+                TraceEv::FaultInjected {
+                    kind: "schedd-kill".into(),
+                    detail: "downtime_us=default".into(),
+                },
+            ),
+            rec(
+                3,
+                NO_ID,
+                TraceEv::FaultInjected {
+                    kind: "msg-loss".into(),
+                    detail: "channel=wget probability=0.5 duration_us=1".into(),
+                },
+            ),
+        ];
+        let s = TraceSummary::from_records(&recs);
+        assert_eq!(
+            s.faults_injected,
+            vec![("schedd-kill".to_string(), 2), ("msg-loss".to_string(), 1)]
+        );
+        let report = s.render();
+        assert!(report
+            .lines()
+            .any(|l| l.starts_with("faults injected") && l.ends_with('3')));
+        assert!(report.contains("  schedd-kill"));
+        let t = render_timeline(&recs, None);
+        assert!(t.contains("fault injected: msg-loss (channel=wget"));
     }
 
     #[test]

@@ -135,6 +135,17 @@ impl DiskBuffer {
         Ok(())
     }
 
+    /// Forcibly fail an in-progress write with ENOSPC regardless of
+    /// actual occupancy (fault injection — a server lying about, or
+    /// suddenly losing, its space): the partial file is deleted and
+    /// the collision counted, exactly as a real mid-write ENOSPC.
+    pub fn force_enospc(&mut self, id: FileId) -> Result<(), WriteError> {
+        let state = self.files.remove(&id).ok_or(WriteError::NoSuchFile)?;
+        self.used -= state.size;
+        self.collisions += 1;
+        Ok(())
+    }
+
     /// Atomically rename to `.done`: the file becomes visible to the
     /// consumer and immutable.
     pub fn complete(&mut self, id: FileId) -> Result<(), WriteError> {

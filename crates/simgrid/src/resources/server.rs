@@ -109,6 +109,38 @@ impl<C: PartialEq + Copy> FileServer<C> {
         self.current
     }
 
+    /// Toggle the server's nature at runtime (fault injection — a
+    /// healthy replica collapsing into a black hole, or one recovering).
+    ///
+    /// Collapsing (`BlackHole`): the current transfer and the accept
+    /// queue fall silent — every connection moves to `hung`, still
+    /// open, never to receive a byte. Recovering (`Normal`): the hung
+    /// connections re-enter the accept queue in arrival order and, if
+    /// the server is idle, the head is promoted and returned so the
+    /// caller can start its transfer. Setting the same kind is a no-op.
+    pub fn set_kind(&mut self, kind: ServerKind) -> Option<C> {
+        if kind == self.kind {
+            return None;
+        }
+        self.kind = kind;
+        match kind {
+            ServerKind::BlackHole => {
+                self.hung.extend(self.current.take());
+                self.hung.extend(self.queue.drain(..));
+                None
+            }
+            ServerKind::Normal => {
+                self.queue.extend(self.hung.drain(..));
+                if self.current.is_none() {
+                    self.current = self.queue.pop_front();
+                    self.current
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// A client gives up (its `try` deadline fired): remove it wherever
     /// it is. If it was the one being served, the next queued client
     /// (returned in `promoted`) starts immediately.
@@ -222,6 +254,27 @@ mod tests {
         bh.connect(9);
         assert!(bh.disconnect(9).was_connected);
         assert_eq!(bh.hung_count(), 0);
+    }
+
+    #[test]
+    fn set_kind_collapses_and_recovers() {
+        let mut s = FileServer::new(ServerKind::Normal, 1);
+        s.connect(1);
+        s.connect(2);
+        s.connect(3);
+        assert_eq!(s.set_kind(ServerKind::BlackHole), None);
+        assert!(!s.is_busy());
+        assert_eq!(s.queue_len(), 0);
+        assert_eq!(s.hung_count(), 3, "everyone falls silent");
+        assert_eq!(s.connect(4), Admission::Hung);
+        assert_eq!(
+            s.set_kind(ServerKind::Normal),
+            Some(1),
+            "head of the line resumes in arrival order"
+        );
+        assert_eq!(s.queue_len(), 3);
+        assert_eq!(s.set_kind(ServerKind::Normal), None, "same kind is a no-op");
+        assert_eq!(s.finish_current(), Some(2));
     }
 
     #[test]

@@ -100,6 +100,17 @@ pub enum TraceEv {
     ScheddCrash,
     /// A write hit mid-file ENOSPC.
     Enospc,
+    /// A fault plan injected a fault (`simgrid::faults`): `kind` is
+    /// the [`FaultKind`] tag and `detail` its parameters, rendered in
+    /// `key=value` form.
+    ///
+    /// [`FaultKind`]: crate::faults::FaultKind
+    FaultInjected {
+        /// The fault-kind tag (e.g. `schedd-kill`, `enospc-window`).
+        kind: String,
+        /// Parameter summary (e.g. `server=yyy enable=true`).
+        detail: String,
+    },
 }
 
 impl TraceEv {
@@ -121,6 +132,7 @@ impl TraceEv {
             TraceEv::Collision => "collision",
             TraceEv::ScheddCrash => "schedd-crash",
             TraceEv::Enospc => "enospc",
+            TraceEv::FaultInjected { .. } => "fault",
         }
     }
 }
@@ -185,6 +197,14 @@ impl TraceRecord {
             }
             TraceEv::CarrierSense { free } => {
                 let _ = write!(out, ",\"free\":{free}");
+            }
+            TraceEv::FaultInjected { kind, detail } => {
+                let _ = write!(
+                    out,
+                    ",\"kind\":\"{}\",\"detail\":\"{}\"",
+                    json_escape(kind),
+                    json_escape(detail)
+                );
             }
             TraceEv::TryExhausted
             | TraceEv::TryTimeout
@@ -267,6 +287,10 @@ impl TraceRecord {
             "collision" => TraceEv::Collision,
             "schedd-crash" => TraceEv::ScheddCrash,
             "enospc" => TraceEv::Enospc,
+            "fault" => TraceEv::FaultInjected {
+                kind: text("kind")?,
+                detail: text("detail")?,
+            },
             other => return Err(format!("unknown ev tag {other:?}")),
         };
         Ok(TraceRecord {
@@ -616,6 +640,10 @@ mod tests {
             TraceEv::Collision,
             TraceEv::ScheddCrash,
             TraceEv::Enospc,
+            TraceEv::FaultInjected {
+                kind: "schedd-kill".into(),
+                detail: "downtime_us=5000000".into(),
+            },
         ];
         for (i, ev) in evs.into_iter().enumerate() {
             let r = rec(i as u64 * 1_000_000, i as i64, ev);
