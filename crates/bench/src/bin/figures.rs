@@ -33,6 +33,18 @@
 //! counts, retry/backoff distributions, attempts-per-success, and
 //! (with `--timeline`) per-client swimlanes, filtered by `--client`.
 //!
+//! `--live` is the arena mode: instead of simulating, it starts a real
+//! `gridd` daemon in-process and races N concurrent real ftsh clients
+//! (threads running real `gridctl` processes over TCP) per discipline
+//! against it — Aloha first, then Ethernet — under forced schedd
+//! crashes. Per-client JSONL traces (the usual schema), the merged
+//! trace, postmortems, and the live-vs-sim comparison land in
+//! `results/`; the exit code is nonzero unless the live daemon
+//! confirms the simulator's Ethernet > Aloha prediction. `--quick`
+//! shrinks it to the 3-client CI race; `--live-clients N` overrides
+//! the population. Requires the `gridctl` binary next to `figures`
+//! (same `cargo build` profile).
+//!
 //! `--stats` is the engine perf baseline: it runs the multi-point
 //! sweep figures twice — once pinned to one sweep thread (the
 //! sequential baseline) and once fanned across threads — and writes
@@ -271,6 +283,56 @@ fn run_postmortem(args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The live arena behind `--live`: real daemon, real clients, and a
+/// sim-vs-live verdict on the Ethernet > Aloha ordering.
+fn run_live(scale: Scale, seed: u64, clients: Option<usize>) -> ExitCode {
+    let mut opts = match scale {
+        Scale::Quick => egbench::live::LiveOptions::quick(seed, egbench::results_dir()),
+        Scale::Full => egbench::live::LiveOptions::full(seed, egbench::results_dir()),
+    };
+    if let Some(n) = clients {
+        opts.clients = n;
+    }
+    eprintln!(
+        "== live arena: {} real clients x {} jobs per discipline (seed {seed}) ==",
+        opts.clients, opts.jobs
+    );
+    let report = match egbench::live::run_arena(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("live arena failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for out in [&report.aloha, &report.ethernet] {
+        eprintln!(
+            "   {:<8} {} jobs done, {} failed submits, {} sense reads, {} crashes, {:.1}s wall",
+            out.discipline.label(),
+            out.jobs_done(),
+            out.failed_submits(),
+            out.df_calls(),
+            out.crashes,
+            out.wall_s,
+        );
+    }
+    eprintln!(
+        "   sim (full) predicts: Aloha {:.0} vs Ethernet {:.0}",
+        report.sim_jobs.0, report.sim_jobs.1
+    );
+    let table = opts.out_dir.join("live_arena.md");
+    if let Ok(md) = std::fs::read_to_string(&table) {
+        print!("{md}");
+    }
+    eprintln!("   wrote {}", table.display());
+    if report.confirms {
+        eprintln!("   live daemon CONFIRMS the sim's Ethernet > Aloha ordering");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("   live daemon DOES NOT CONFIRM Ethernet > Aloha");
+        ExitCode::FAILURE
+    }
+}
+
 /// Where one figure's trace goes: the exact `--trace` path when a
 /// single figure runs, `PATH-<fig>.jsonl` when several do.
 fn trace_path_for(base: &str, name: &str, single: bool) -> String {
@@ -288,6 +350,8 @@ fn main() -> ExitCode {
     let mut seed: u64 = 2003;
     let mut chart = false;
     let mut stats = false;
+    let mut live = false;
+    let mut live_clients: Option<usize> = None;
     let mut trace_base: Option<String> = None;
     let mut plan: Option<simgrid::FaultPlan> = None;
     let mut wanted: Vec<String> = Vec::new();
@@ -304,6 +368,14 @@ fn main() -> ExitCode {
             "--full" => scale = Scale::Full,
             "--chart" => chart = true,
             "--stats" => stats = true,
+            "--live" => live = true,
+            "--live-clients" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => live_clients = Some(n),
+                _ => {
+                    eprintln!("--live-clients needs a positive number");
+                    return ExitCode::from(2);
+                }
+            },
             "--trace" => match it.next() {
                 Some(p) => trace_base = Some(p),
                 None => {
@@ -346,11 +418,14 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: figures [--quick] [--seed N] [--stats] [--trace OUT.jsonl] [--faults PLAN.json] [fig1..fig7 | all | ablations | ablation-threshold | ablation-channel]\n       figures postmortem TRACE.jsonl [--timeline] [--client N]"
+                    "usage: figures [--quick] [--seed N] [--stats] [--live [--live-clients N]] [--trace OUT.jsonl] [--faults PLAN.json] [fig1..fig7 | all | ablations | ablation-threshold | ablation-channel]\n       figures postmortem TRACE.jsonl [--timeline] [--client N]"
                 );
                 return ExitCode::from(2);
             }
         }
+    }
+    if live {
+        return run_live(scale, seed, live_clients);
     }
     if stats {
         return run_stats(wanted, scale, seed);

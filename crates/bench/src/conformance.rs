@@ -10,11 +10,11 @@
 //!
 //! * **sim** — the [`ftsh::Vm`] driven by a virtual clock; command
 //!   behaviour comes from a small closed model (`true`, `false`,
-//!   `echo`, `cat`, and the `unreliable`/`slow` fault shims) with
-//!   failures drawn from the plan's `cmd-fail-first` specs;
+//!   `echo`, `cat`, and the `unreliable`/`slow`/`noisy` fault shims)
+//!   with failures drawn from the plan's `cmd-fail-first` specs;
 //! * **real** — the same VM driven by `procman` against real
-//!   processes, with `unreliable`/`slow` realised as generated shell
-//!   shims whose failure budgets are seeded from the *same* plan.
+//!   processes, with `unreliable`/`slow`/`noisy` realised as generated
+//!   shell shims whose failure budgets are seeded from the *same* plan.
 //!
 //! The two runs are then diffed on three axes: final script status,
 //! final bindings of every observable variable (assignments and `->`
@@ -223,6 +223,17 @@ fn model_command(
             let secs: f64 = spec.argv.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
             (Dur::from_secs_f64(secs), CmdResult::ok("done\n"))
         }
+        "noisy" => {
+            // One line to each stream; stderr reaches the capture only
+            // through a `->&` merge, mirroring the real shim where the
+            // session pipes stderr only when `both` is set.
+            let name = spec.argv.get(1).cloned().unwrap_or_default();
+            let mut out = format!("out {name}\n");
+            if spec.both {
+                out.push_str(&format!("err {name}\n"));
+            }
+            (tick, CmdResult::ok(out))
+        }
         other => panic!("conformance model: unknown program {other:?}"),
     }
 }
@@ -286,8 +297,8 @@ pub fn run_sim(script: &Script, plan: &FaultPlan, shimdir: &str) -> Observation 
 static SHIM_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// Generate the real-side shim directory for `plan`: executable
-/// `unreliable` and `slow` shell scripts, plus per-name `fail-NAME`
-/// budget files under `state/` seeded from the plan's
+/// `unreliable`, `slow`, and `noisy` shell scripts, plus per-name
+/// `fail-NAME` budget files under `state/` seeded from the plan's
 /// `cmd-fail-first` specs — the on-disk mirror of the sim model.
 pub fn write_shims(plan: &FaultPlan) -> std::io::Result<PathBuf> {
     let dir = std::env::temp_dir().join(format!(
@@ -313,7 +324,11 @@ echo "ok $1"
 sleep "$1"
 echo done
 "#;
-    for (name, body) in [("unreliable", unreliable), ("slow", slow)] {
+    let noisy = r#"#!/bin/sh
+echo "out $1"
+echo "err $1" >&2
+"#;
+    for (name, body) in [("unreliable", unreliable), ("slow", slow), ("noisy", noisy)] {
         let path = dir.join(name);
         std::fs::write(&path, body)?;
         #[cfg(unix)]

@@ -4,6 +4,7 @@
 #![warn(missing_docs)]
 
 pub mod conformance;
+pub mod live;
 
 use simgrid::SeriesSet;
 use std::path::{Path, PathBuf};

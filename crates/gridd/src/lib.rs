@@ -1,0 +1,189 @@
+//! # gridd — the paper's contended grid services on a real socket
+//!
+//! Everything before this crate reproduced "The Ethernet Approach to
+//! Grid Computing" against a virtual clock. `gridd` serves the same
+//! contended resources — an overloadable schedd, a file server that
+//! can black-hole or run out of space, a free-space estimator that can
+//! lie — from a real multi-threaded TCP daemon, so whole populations
+//! of real Ethernet/Aloha/Fixed ftsh clients can collide on real
+//! wall-clock.
+//!
+//! * [`proto`] — the length-prefixed wire protocol (`submit`, `put`,
+//!   `get`, `df`, `stats`);
+//! * [`server`] — the daemon: worker pool, bounded accept backlog,
+//!   per-connection deadlines, token-bucket service slots, crash
+//!   physics, and [`simgrid::faults::FaultPlan`]-driven misbehaviour;
+//! * [`client`] — a one-connection-per-operation client, the library
+//!   behind the `gridctl` binary that ftsh scripts drive.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{GridClient, GridError};
+pub use proto::{ErrCode, Request, Response};
+pub use server::{start, ClientSnapshot, GriddConfig, GriddHandle};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retry::{Dur, Time};
+    use simgrid::faults::{FaultKind, FaultPlan, FaultSpec};
+    use std::time::Duration;
+
+    fn quick_config() -> GriddConfig {
+        GriddConfig {
+            slots: 2,
+            service: Duration::from_millis(30),
+            crash_overloads: 3,
+            downtime: Duration::from_millis(300),
+            deadline: Duration::from_secs(2),
+            ..GriddConfig::default()
+        }
+    }
+
+    #[test]
+    fn submit_put_get_df_roundtrip() {
+        let h = start(quick_config()).unwrap();
+        let c = GridClient::new(h.addr().to_string(), 0);
+        let free = c.df().unwrap();
+        assert_eq!(free, 2);
+        let id = c.submit("job-a").unwrap();
+        assert!(id.starts_with("job-a@"), "{id}");
+        c.put("f.txt", b"payload").unwrap();
+        assert_eq!(c.get("f.txt").unwrap(), b"payload");
+        assert!(matches!(
+            c.get("missing"),
+            Err(GridError::Server(ErrCode::NotFound, _))
+        ));
+        h.shutdown();
+    }
+
+    #[test]
+    fn overload_crashes_the_schedd_and_df_sees_it() {
+        let mut cfg = quick_config();
+        cfg.slots = 1;
+        cfg.service = Duration::from_millis(500);
+        cfg.crash_overloads = 2;
+        let h = start(cfg).unwrap();
+        let addr = h.addr().to_string();
+        // Occupy the only slot from a second thread.
+        let bg = {
+            let addr = addr.clone();
+            std::thread::spawn(move || GridClient::new(addr, 1).submit("hog"))
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        let c = GridClient::new(addr.clone(), 0);
+        // First overloaded submit: busy. Second: crash.
+        assert!(matches!(
+            c.submit("j1"),
+            Err(GridError::Server(ErrCode::Busy, _))
+        ));
+        assert!(matches!(
+            c.submit("j2"),
+            Err(GridError::Server(ErrCode::Down, _))
+        ));
+        // Carrier sense reads zero while the schedd is down.
+        assert_eq!(c.df().unwrap(), 0);
+        // The in-flight job was lost in the crash.
+        assert!(matches!(
+            bg.join().unwrap(),
+            Err(GridError::Server(ErrCode::Down, _))
+        ));
+        // After downtime the schedd is back with a full pool.
+        std::thread::sleep(Duration::from_millis(400));
+        assert_eq!(c.df().unwrap(), 1);
+        assert!(c.submit("j3").is_ok());
+        h.shutdown();
+    }
+
+    #[test]
+    fn fault_plan_drives_enospc_and_lies() {
+        let mut cfg = quick_config();
+        cfg.plan = FaultPlan::new(11)
+            .with(FaultSpec::once(
+                Time::ZERO,
+                FaultKind::EnospcWindow {
+                    duration: Dur::from_secs(3600),
+                },
+            ))
+            .with(FaultSpec::once(
+                Time::ZERO,
+                FaultKind::FreeSpaceLie {
+                    delta_bytes: 40,
+                    duration: Dur::from_secs(3600),
+                },
+            ));
+        let h = start(cfg).unwrap();
+        let c = GridClient::new(h.addr().to_string(), 3);
+        assert!(matches!(
+            c.put("x", b"data"),
+            Err(GridError::Server(ErrCode::Enospc, _))
+        ));
+        // 2 real free slots + a 40-slot lie.
+        assert_eq!(c.df().unwrap(), 42);
+        h.shutdown();
+    }
+
+    #[test]
+    fn forced_schedd_kill_window_rejects_submits() {
+        let mut cfg = quick_config();
+        cfg.plan = FaultPlan::new(5).with(FaultSpec::once(
+            Time::ZERO,
+            FaultKind::ScheddKill {
+                downtime: Some(Dur::from_secs(3600)),
+            },
+        ));
+        let h = start(cfg).unwrap();
+        let c = GridClient::new(h.addr().to_string(), 0);
+        assert!(matches!(
+            c.submit("j"),
+            Err(GridError::Server(ErrCode::Down, _))
+        ));
+        assert_eq!(c.df().unwrap(), 0);
+        // The file server is a different service: still up.
+        c.put("f", b"ok").unwrap();
+        h.shutdown();
+    }
+
+    #[test]
+    fn stats_verb_emits_metrics_json() {
+        let h = start(quick_config()).unwrap();
+        let c = GridClient::new(h.addr().to_string(), 5);
+        c.submit("j").unwrap();
+        c.df().unwrap();
+        let json = c.stats().unwrap();
+        assert!(
+            json.contains("\"title\":\"gridd per-client counters\""),
+            "{json}"
+        );
+        assert!(json.contains("\"submit_ok\""));
+        assert!(json.contains("\"df_calls\""));
+        assert!(json.contains("[[5,1]]"), "client 5 counted once: {json}");
+        h.shutdown();
+    }
+
+    #[test]
+    fn black_hole_swallows_file_requests() {
+        let mut cfg = quick_config();
+        cfg.deadline = Duration::from_millis(300);
+        cfg.plan = FaultPlan::new(1).with(FaultSpec::once(
+            Time::ZERO,
+            FaultKind::ServerBlackHole {
+                server: "yyy".into(),
+                enable: true,
+            },
+        ));
+        let h = start(cfg).unwrap();
+        let c = GridClient::new(h.addr().to_string(), 0).with_timeout(Duration::from_millis(500));
+        let t0 = std::time::Instant::now();
+        let out = c.get("anything");
+        assert!(matches!(out, Err(GridError::Io(_))), "{out:?}");
+        assert!(t0.elapsed() >= Duration::from_millis(250));
+        // The schedd is a different service: still answering.
+        assert!(c.df().is_ok());
+        h.shutdown();
+    }
+}

@@ -1,0 +1,527 @@
+//! The gridd wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message — request or response — travels as one *frame*: a
+//! 4-byte big-endian payload length followed by that many payload
+//! bytes. The first payload byte is a verb/status tag; the rest is a
+//! fixed field sequence for that tag (strings and blobs are themselves
+//! u32-length-prefixed). One request frame yields exactly one response
+//! frame on the same connection; clients may then reuse or drop the
+//! connection.
+//!
+//! Frames are capped at [`MAX_FRAME`] so a hostile or confused peer
+//! cannot make the daemon allocate unboundedly — the length word is
+//! validated *before* any buffer is sized.
+//!
+//! ## Verbs
+//!
+//! | verb     | request fields            | success response       |
+//! |----------|---------------------------|------------------------|
+//! | `submit` | client id, job name       | `ok` (job id)          |
+//! | `put`    | client id, file name, data| `ok` (bytes stored)    |
+//! | `get`    | client id, file name      | `data` (file contents) |
+//! | `df`     | client id                 | `free` (free slots)    |
+//! | `stats`  | —                         | `stats` (metrics JSON) |
+//!
+//! Failures come back as `err` with an [`ErrCode`] and a message.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload, in bytes. Large enough for any
+/// corpus file transfer, small enough that a bad length word cannot
+/// balloon the daemon's memory.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// A request frame, decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Submit a job to the schedd.
+    Submit {
+        /// Caller's client index (labels per-client counters).
+        client: u32,
+        /// Job name (free-form; echoed in the job id).
+        job: String,
+    },
+    /// Store a file on the file server.
+    Put {
+        /// Caller's client index.
+        client: u32,
+        /// File name.
+        name: String,
+        /// File contents.
+        data: Vec<u8>,
+    },
+    /// Fetch a file from the file server.
+    Get {
+        /// Caller's client index.
+        client: u32,
+        /// File name.
+        name: String,
+    },
+    /// Free-capacity query — the carrier-sense channel.
+    Df {
+        /// Caller's client index.
+        client: u32,
+    },
+    /// Dump per-client counters as `simgrid::metrics` JSON.
+    Stats,
+}
+
+/// A response frame, decoded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The verb succeeded; `info` is verb-specific (job id, byte count).
+    Ok {
+        /// Verb-specific detail.
+        info: String,
+    },
+    /// File contents (for `get`).
+    Data {
+        /// The bytes stored under the requested name.
+        data: Vec<u8>,
+    },
+    /// Free capacity (for `df`).
+    Free {
+        /// Free schedd slots right now (possibly a lie under a
+        /// `free-space-lie` fault window).
+        slots: u64,
+    },
+    /// Per-client counters (for `stats`).
+    Stats {
+        /// A `simgrid::metrics::SeriesSet` JSON document.
+        json: String,
+    },
+    /// The verb failed.
+    Err {
+        /// Machine-readable failure class.
+        code: ErrCode,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+/// Failure classes a [`Response::Err`] can carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The schedd is down (crashed or under a `schedd-kill` window).
+    Down,
+    /// No free capacity right now; retrying later may succeed.
+    Busy,
+    /// Refused outright (backlog full, sense below threshold).
+    Refused,
+    /// The file server has no space (`enospc` window).
+    Enospc,
+    /// No such file.
+    NotFound,
+    /// Malformed request.
+    Bad,
+}
+
+impl ErrCode {
+    /// Stable wire tag / display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrCode::Down => "down",
+            ErrCode::Busy => "busy",
+            ErrCode::Refused => "refused",
+            ErrCode::Enospc => "enospc",
+            ErrCode::NotFound => "not-found",
+            ErrCode::Bad => "bad",
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrCode::Down => 0,
+            ErrCode::Busy => 1,
+            ErrCode::Refused => 2,
+            ErrCode::Enospc => 3,
+            ErrCode::NotFound => 4,
+            ErrCode::Bad => 5,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<ErrCode, ProtoError> {
+        Ok(match b {
+            0 => ErrCode::Down,
+            1 => ErrCode::Busy,
+            2 => ErrCode::Refused,
+            3 => ErrCode::Enospc,
+            4 => ErrCode::NotFound,
+            5 => ErrCode::Bad,
+            other => return Err(ProtoError::BadTag(other)),
+        })
+    }
+}
+
+impl std::fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Decoding failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Unknown verb/status/error tag byte.
+    BadTag(u8),
+    /// Payload ended before the declared fields.
+    Truncated,
+    /// Payload has bytes beyond the declared fields.
+    TrailingBytes,
+    /// A length word exceeds [`MAX_FRAME`].
+    TooLarge(usize),
+    /// A string field is not UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::BadTag(b) => write!(f, "unknown tag byte {b}"),
+            ProtoError::Truncated => write!(f, "payload truncated"),
+            ProtoError::TrailingBytes => write!(f, "payload has trailing bytes"),
+            ProtoError::TooLarge(n) => write!(f, "length {n} exceeds frame cap {MAX_FRAME}"),
+            ProtoError::BadUtf8 => write!(f, "string field is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ---------------------------------------------------------------- frames
+
+/// Write one frame: 4-byte big-endian length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload. Validates the length word against
+/// [`MAX_FRAME`] before allocating.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let n = u32::from_be_bytes(len) as usize;
+    if n > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            ProtoError::TooLarge(n),
+        ));
+    }
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+// ------------------------------------------------------------- encoding
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let n = self.u32()? as usize;
+        if n > MAX_FRAME {
+            return Err(ProtoError::TooLarge(n));
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        String::from_utf8(self.bytes()?).map_err(|_| ProtoError::BadUtf8)
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes)
+        }
+    }
+}
+
+const REQ_SUBMIT: u8 = 1;
+const REQ_PUT: u8 = 2;
+const REQ_GET: u8 = 3;
+const REQ_DF: u8 = 4;
+const REQ_STATS: u8 = 5;
+
+const RESP_OK: u8 = 0x80;
+const RESP_DATA: u8 = 0x81;
+const RESP_FREE: u8 = 0x82;
+const RESP_STATS: u8 = 0x83;
+const RESP_ERR: u8 = 0x84;
+
+impl Request {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            Request::Submit { client, job } => {
+                b.push(REQ_SUBMIT);
+                put_u32(&mut b, *client);
+                put_str(&mut b, job);
+            }
+            Request::Put { client, name, data } => {
+                b.push(REQ_PUT);
+                put_u32(&mut b, *client);
+                put_str(&mut b, name);
+                put_bytes(&mut b, data);
+            }
+            Request::Get { client, name } => {
+                b.push(REQ_GET);
+                put_u32(&mut b, *client);
+                put_str(&mut b, name);
+            }
+            Request::Df { client } => {
+                b.push(REQ_DF);
+                put_u32(&mut b, *client);
+            }
+            Request::Stats => b.push(REQ_STATS),
+        }
+        b
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(buf: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cursor::new(buf);
+        let req = match c.u8()? {
+            REQ_SUBMIT => Request::Submit {
+                client: c.u32()?,
+                job: c.string()?,
+            },
+            REQ_PUT => Request::Put {
+                client: c.u32()?,
+                name: c.string()?,
+                data: c.bytes()?,
+            },
+            REQ_GET => Request::Get {
+                client: c.u32()?,
+                name: c.string()?,
+            },
+            REQ_DF => Request::Df { client: c.u32()? },
+            REQ_STATS => Request::Stats,
+            other => return Err(ProtoError::BadTag(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+
+    /// The client index this request carries, if any.
+    pub fn client(&self) -> Option<u32> {
+        match self {
+            Request::Submit { client, .. }
+            | Request::Put { client, .. }
+            | Request::Get { client, .. }
+            | Request::Df { client } => Some(*client),
+            Request::Stats => None,
+        }
+    }
+}
+
+impl Response {
+    /// Encode into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            Response::Ok { info } => {
+                b.push(RESP_OK);
+                put_str(&mut b, info);
+            }
+            Response::Data { data } => {
+                b.push(RESP_DATA);
+                put_bytes(&mut b, data);
+            }
+            Response::Free { slots } => {
+                b.push(RESP_FREE);
+                put_u64(&mut b, *slots);
+            }
+            Response::Stats { json } => {
+                b.push(RESP_STATS);
+                put_str(&mut b, json);
+            }
+            Response::Err { code, msg } => {
+                b.push(RESP_ERR);
+                b.push(code.to_u8());
+                put_str(&mut b, msg);
+            }
+        }
+        b
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(buf: &[u8]) -> Result<Response, ProtoError> {
+        let mut c = Cursor::new(buf);
+        let resp = match c.u8()? {
+            RESP_OK => Response::Ok { info: c.string()? },
+            RESP_DATA => Response::Data { data: c.bytes()? },
+            RESP_FREE => Response::Free { slots: c.u64()? },
+            RESP_STATS => Response::Stats { json: c.string()? },
+            RESP_ERR => Response::Err {
+                code: ErrCode::from_u8(c.u8()?)?,
+                msg: c.string()?,
+            },
+            other => return Err(ProtoError::BadTag(other)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(r: Request) {
+        let enc = r.encode();
+        assert_eq!(Request::decode(&enc), Ok(r));
+    }
+
+    fn roundtrip_resp(r: Response) {
+        let enc = r.encode();
+        assert_eq!(Response::decode(&enc), Ok(r));
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Submit {
+            client: 3,
+            job: "job-3-17".into(),
+        });
+        roundtrip_req(Request::Put {
+            client: 0,
+            name: "out.txt".into(),
+            data: b"hello\nworld\n".to_vec(),
+        });
+        roundtrip_req(Request::Get {
+            client: 9,
+            name: "out.txt".into(),
+        });
+        roundtrip_req(Request::Df { client: 7 });
+        roundtrip_req(Request::Stats);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Ok {
+            info: "job-3-17@42".into(),
+        });
+        roundtrip_resp(Response::Data {
+            data: vec![0, 1, 2, 255],
+        });
+        roundtrip_resp(Response::Free { slots: 12 });
+        roundtrip_resp(Response::Stats {
+            json: "{\"title\":\"x\"}".into(),
+        });
+        roundtrip_resp(Response::Err {
+            code: ErrCode::Enospc,
+            msg: "buffer full".into(),
+        });
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_pipe() {
+        let req = Request::Put {
+            client: 1,
+            name: "n".into(),
+            data: vec![7; 1000],
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &req.encode()).unwrap();
+        let mut r = &wire[..];
+        let payload = read_frame(&mut r).unwrap();
+        assert_eq!(Request::decode(&payload), Ok(req));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn oversized_length_word_is_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let err = read_frame(&mut &wire[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_rejected() {
+        let enc = Request::Submit {
+            client: 1,
+            job: "j".into(),
+        }
+        .encode();
+        assert_eq!(
+            Request::decode(&enc[..enc.len() - 1]),
+            Err(ProtoError::Truncated)
+        );
+        let mut extra = enc.clone();
+        extra.push(0);
+        assert_eq!(Request::decode(&extra), Err(ProtoError::TrailingBytes));
+        assert_eq!(Request::decode(&[99]), Err(ProtoError::BadTag(99)));
+    }
+
+    #[test]
+    fn err_codes_roundtrip() {
+        for code in [
+            ErrCode::Down,
+            ErrCode::Busy,
+            ErrCode::Refused,
+            ErrCode::Enospc,
+            ErrCode::NotFound,
+            ErrCode::Bad,
+        ] {
+            assert_eq!(ErrCode::from_u8(code.to_u8()), Ok(code));
+            assert!(!code.as_str().is_empty());
+        }
+    }
+}

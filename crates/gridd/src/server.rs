@@ -1,0 +1,859 @@
+//! The daemon: a multi-threaded TCP server emulating the paper's
+//! contended grid services on a real socket.
+//!
+//! One listener thread accepts connections into a *bounded* backlog
+//! channel (a full backlog drops the connection on the floor, exactly
+//! the refusal an overloaded schedd hands real clients); a worker pool
+//! sized by [`GriddConfig::threads`] (or `EG_GRIDD_THREADS`) drains it.
+//! Every connection gets read/write deadlines, so a stalled peer can
+//! never pin a worker.
+//!
+//! ## Contention physics
+//!
+//! The schedd is a token bucket of [`GriddConfig::slots`] service
+//! slots. A `submit` takes a slot for [`GriddConfig::service`] of real
+//! wall-clock; with no slot free the submission is refused and the
+//! schedd's *overload pressure* rises — enough consecutive overloaded
+//! submissions ([`GriddConfig::crash_overloads`]) crash it, losing
+//! every in-flight job and taking the service down for
+//! [`GriddConfig::downtime`]. `df` reports the free-slot count (zero
+//! while down) and never blocks: it is the carrier-sense channel, so
+//! an Ethernet client can defer instead of becoming part of the
+//! stampede that crashes the schedd. Aloha clients discover the
+//! contention by failing.
+//!
+//! ## Fault plans
+//!
+//! The same [`simgrid::faults::FaultPlan`] JSON that drives the
+//! simulator drives the daemon, mapped onto wall-clock windows
+//! relative to server start: `schedd-kill` forces downtime (closed
+//! early by `schedd-restart`), `enospc` fails `put`, `free-space-lie`
+//! skews `df`, `black-hole` makes the file server swallow `put`/`get`
+//! without answering, `msg-loss` resets connections before the reply,
+//! and `latency-spike` stalls responses. Physics kinds configure
+//! constants (`schedd-crash-on-starvation`'s backlog bounds the accept
+//! queue); `clock-skew`/`cmd-fail-first` are VM-side and ignored here.
+
+use crate::proto::{read_frame, write_frame, ErrCode, Request, Response};
+use simgrid::faults::{FaultKind, FaultPlan, FaultSpec};
+use simgrid::{Series, SeriesSet, SimRng};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration. `Default` gives a small, crashy schedd good
+/// for exercising the disciplines quickly.
+#[derive(Clone, Debug)]
+pub struct GriddConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub listen: String,
+    /// Worker pool size. `0`: use `EG_GRIDD_THREADS`, default 4.
+    pub threads: usize,
+    /// Bounded accept backlog; a full backlog drops new connections.
+    pub backlog: usize,
+    /// Schedd service-slot pool (token bucket capacity).
+    pub slots: u64,
+    /// How long one submission holds a slot.
+    pub service: Duration,
+    /// Consecutive no-slot submissions that crash the schedd.
+    pub crash_overloads: u32,
+    /// How long a crashed schedd stays down (also the default for
+    /// `schedd-kill` specs without an explicit downtime).
+    pub downtime: Duration,
+    /// Per-connection read/write deadline.
+    pub deadline: Duration,
+    /// File-server capacity in bytes; `put` beyond it reports ENOSPC.
+    pub disk_bytes: usize,
+    /// The adversarial schedule (and physics constants).
+    pub plan: FaultPlan,
+}
+
+impl Default for GriddConfig {
+    fn default() -> GriddConfig {
+        GriddConfig {
+            listen: "127.0.0.1:0".into(),
+            threads: 0,
+            backlog: 64,
+            slots: 4,
+            service: Duration::from_millis(150),
+            crash_overloads: 6,
+            downtime: Duration::from_millis(1500),
+            deadline: Duration::from_secs(10),
+            disk_bytes: 16 << 20,
+            plan: FaultPlan::default(),
+        }
+    }
+}
+
+impl GriddConfig {
+    /// Resolve the worker-pool size: explicit config, else
+    /// `EG_GRIDD_THREADS`, else 4.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        std::env::var("EG_GRIDD_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or(4)
+    }
+}
+
+/// One half-open wall-clock window (relative to server start).
+#[derive(Clone, Copy, Debug)]
+struct Window {
+    start: Duration,
+    end: Duration,
+}
+
+impl Window {
+    fn contains(&self, t: Duration) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// The plan compiled onto the wall clock.
+#[derive(Default)]
+struct Windows {
+    /// Forced schedd downtime (`schedd-kill`, truncated by restarts).
+    sched_down: Vec<Window>,
+    /// `put` fails with ENOSPC.
+    enospc: Vec<Window>,
+    /// `df` estimates are skewed by this many slots.
+    df_lie: Vec<(Window, i64)>,
+    /// File server swallows requests without answering.
+    black_hole: Vec<Window>,
+    /// Connections reset with this probability before the reply.
+    msg_loss: Vec<(Window, f64)>,
+    /// Responses delayed by this much.
+    latency: Vec<(Window, Duration)>,
+}
+
+const FOREVER: Duration = Duration::from_secs(u32::MAX as u64);
+
+/// Every wall-clock occurrence of a (possibly repeating) spec.
+fn occurrences(spec: &FaultSpec) -> Vec<Duration> {
+    let first = Duration::from_micros(spec.at.as_micros());
+    match spec.every {
+        None => vec![first],
+        Some(every) => {
+            let period = every.to_std();
+            (0..spec.count.max(1) as u64)
+                .map(|k| first + period * k as u32)
+                .collect()
+        }
+    }
+}
+
+impl Windows {
+    fn compile(plan: &FaultPlan, default_downtime: Duration) -> Windows {
+        let mut w = Windows::default();
+        // schedd-kill opens a downtime window; the next schedd-restart
+        // occurrence inside it closes it early. Collect all kill/
+        // restart instants first, then pair them up in time order.
+        let mut kills: Vec<(Duration, Duration)> = Vec::new(); // (at, downtime)
+        let mut restarts: Vec<Duration> = Vec::new();
+        // black-hole enables open a window closed by the next disable.
+        let mut bh_events: Vec<(Duration, bool)> = Vec::new();
+        for spec in &plan.specs {
+            match &spec.kind {
+                FaultKind::ScheddKill { downtime } => {
+                    let d = downtime.map(|d| d.to_std()).unwrap_or(default_downtime);
+                    for at in occurrences(spec) {
+                        kills.push((at, d));
+                    }
+                }
+                FaultKind::ScheddRestart => restarts.extend(occurrences(spec)),
+                FaultKind::EnospcWindow { duration } => {
+                    for at in occurrences(spec) {
+                        w.enospc.push(Window {
+                            start: at,
+                            end: at + duration.to_std(),
+                        });
+                    }
+                }
+                FaultKind::FreeSpaceLie {
+                    delta_bytes,
+                    duration,
+                } => {
+                    for at in occurrences(spec) {
+                        w.df_lie.push((
+                            Window {
+                                start: at,
+                                end: at + duration.to_std(),
+                            },
+                            *delta_bytes,
+                        ));
+                    }
+                }
+                FaultKind::ServerBlackHole { enable, .. } => {
+                    for at in occurrences(spec) {
+                        bh_events.push((at, *enable));
+                    }
+                }
+                FaultKind::MsgLoss {
+                    probability,
+                    duration,
+                    ..
+                } => {
+                    for at in occurrences(spec) {
+                        w.msg_loss.push((
+                            Window {
+                                start: at,
+                                end: at + duration.to_std(),
+                            },
+                            *probability,
+                        ));
+                    }
+                }
+                FaultKind::LatencySpike {
+                    extra, duration, ..
+                } => {
+                    for at in occurrences(spec) {
+                        w.latency.push((
+                            Window {
+                                start: at,
+                                end: at + duration.to_std(),
+                            },
+                            extra.to_std(),
+                        ));
+                    }
+                }
+                // VM-side or construction-time physics — not windows.
+                FaultKind::ClockSkew { .. }
+                | FaultKind::CmdFailFirst { .. }
+                | FaultKind::ScheddCrashOnStarvation { .. }
+                | FaultKind::EnospcAtCapacity { .. }
+                | FaultKind::BlackHoleServers { .. } => {}
+            }
+        }
+        restarts.sort();
+        for (at, downtime) in kills {
+            let natural_end = at + downtime;
+            let end = restarts
+                .iter()
+                .copied()
+                .find(|&r| r > at && r < natural_end)
+                .unwrap_or(natural_end);
+            w.sched_down.push(Window { start: at, end });
+        }
+        bh_events.sort_by_key(|(at, _)| *at);
+        let mut open: Option<Duration> = None;
+        for (at, enable) in bh_events {
+            match (enable, open) {
+                (true, None) => open = Some(at),
+                (false, Some(start)) => {
+                    w.black_hole.push(Window { start, end: at });
+                    open = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(start) = open {
+            w.black_hole.push(Window {
+                start,
+                end: FOREVER,
+            });
+        }
+        w
+    }
+
+    fn sched_forced_down(&self, t: Duration) -> bool {
+        self.sched_down.iter().any(|w| w.contains(t))
+    }
+
+    fn enospc_active(&self, t: Duration) -> bool {
+        self.enospc.iter().any(|w| w.contains(t))
+    }
+
+    fn df_delta(&self, t: Duration) -> i64 {
+        self.df_lie
+            .iter()
+            .filter(|(w, _)| w.contains(t))
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    fn black_hole_until(&self, t: Duration) -> Option<Duration> {
+        self.black_hole
+            .iter()
+            .find(|w| w.contains(t))
+            .map(|w| w.end)
+    }
+
+    fn loss_probability(&self, t: Duration) -> f64 {
+        self.msg_loss
+            .iter()
+            .filter(|(w, _)| w.contains(t))
+            .map(|(_, p)| *p)
+            .fold(0.0, f64::max)
+    }
+
+    fn extra_latency(&self, t: Duration) -> Duration {
+        self.latency
+            .iter()
+            .filter(|(w, _)| w.contains(t))
+            .map(|(_, d)| *d)
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+/// Per-client counters, dumped by the `stats` verb.
+#[derive(Clone, Default)]
+struct ClientCounters {
+    submit_ok: u64,
+    submit_busy: u64,
+    submit_down: u64,
+    submit_lost: u64,
+    put_ok: u64,
+    put_err: u64,
+    get_ok: u64,
+    get_err: u64,
+    df_calls: u64,
+    resets: u64,
+}
+
+/// Mutable daemon state shared by the workers.
+struct Shared {
+    free_slots: u64,
+    overload: u32,
+    crash_epoch: u64,
+    down_until: Option<Instant>,
+    crashes: u64,
+    jobs: u64,
+    files: HashMap<String, Vec<u8>>,
+    disk_used: usize,
+    clients: HashMap<u32, ClientCounters>,
+    rng: SimRng,
+}
+
+impl Shared {
+    fn client(&mut self, id: u32) -> &mut ClientCounters {
+        self.clients.entry(id).or_default()
+    }
+}
+
+struct Inner {
+    cfg: GriddConfig,
+    windows: Windows,
+    start: Instant,
+    state: Mutex<Shared>,
+    stop: AtomicBool,
+}
+
+/// A running daemon. Dropping the handle does *not* stop the server;
+/// call [`GriddHandle::shutdown`].
+pub struct GriddHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A point-in-time copy of one client's counters (see the `stats`
+/// verb for the JSON form).
+#[derive(Clone, Debug, Default)]
+pub struct ClientSnapshot {
+    /// Client index the counters belong to.
+    pub client: u32,
+    /// Jobs accepted and serviced to completion.
+    pub submit_ok: u64,
+    /// Submissions refused for lack of a free slot.
+    pub submit_busy: u64,
+    /// Submissions rejected while the schedd was down.
+    pub submit_down: u64,
+    /// Jobs accepted but lost to a mid-service crash.
+    pub submit_lost: u64,
+    /// Carrier-sense reads (`df`/`sense`).
+    pub df_calls: u64,
+    /// Connections reset by injected message loss.
+    pub resets: u64,
+    /// Successful file stores.
+    pub put_ok: u64,
+    /// Failed file stores (ENOSPC, windows included).
+    pub put_err: u64,
+    /// Successful file reads.
+    pub get_ok: u64,
+    /// Failed file reads.
+    pub get_err: u64,
+}
+
+impl GriddHandle {
+    /// The bound address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time per-client counters plus the global schedd crash
+    /// count — the structured twin of the `stats` verb.
+    pub fn snapshot(&self) -> (Vec<ClientSnapshot>, u64) {
+        let st = self.inner.state.lock().expect("state lock");
+        let mut clients: Vec<ClientSnapshot> = st
+            .clients
+            .iter()
+            .map(|(&client, c)| ClientSnapshot {
+                client,
+                submit_ok: c.submit_ok,
+                submit_busy: c.submit_busy,
+                submit_down: c.submit_down,
+                submit_lost: c.submit_lost,
+                df_calls: c.df_calls,
+                resets: c.resets,
+                put_ok: c.put_ok,
+                put_err: c.put_err,
+                get_ok: c.get_ok,
+                get_err: c.get_err,
+            })
+            .collect();
+        clients.sort_by_key(|c| c.client);
+        (clients, st.crashes)
+    }
+
+    /// Stop accepting, drain the workers, and join every thread.
+    pub fn shutdown(mut self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one last connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind, spawn the pool, and serve until [`GriddHandle::shutdown`].
+pub fn start(cfg: GriddConfig) -> io::Result<GriddHandle> {
+    let listener = TcpListener::bind(&cfg.listen)?;
+    let addr = listener.local_addr()?;
+    // The plan's starvation physics, when present, bounds the accept
+    // queue the way the sim's schedd backlog bounds submissions.
+    let backlog = cfg
+        .plan
+        .crash_physics()
+        .map(|(_, backlog)| backlog.max(1))
+        .unwrap_or(cfg.backlog);
+    let threads = cfg.resolved_threads();
+    let windows = Windows::compile(&cfg.plan, cfg.downtime);
+    let rng = cfg.plan.rng();
+    let inner = Arc::new(Inner {
+        state: Mutex::new(Shared {
+            free_slots: cfg.slots,
+            overload: 0,
+            crash_epoch: 0,
+            down_until: None,
+            crashes: 0,
+            jobs: 0,
+            files: HashMap::new(),
+            disk_used: 0,
+            clients: HashMap::new(),
+            rng,
+        }),
+        cfg,
+        windows,
+        start: Instant::now(),
+        stop: AtomicBool::new(false),
+    });
+
+    let (tx, rx) = sync_channel::<TcpStream>(backlog);
+    let rx: Arc<Mutex<Receiver<TcpStream>>> = Arc::new(Mutex::new(rx));
+
+    let mut workers = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let rx = rx.clone();
+        let inner = inner.clone();
+        workers.push(std::thread::spawn(move || loop {
+            let conn = {
+                let guard = rx.lock().expect("receiver lock");
+                guard.recv()
+            };
+            match conn {
+                Ok(stream) => serve_connection(&inner, stream),
+                Err(_) => return, // listener gone: drain complete
+            }
+        }));
+    }
+
+    let accept_inner = inner.clone();
+    let accept_thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if accept_inner.stop.load(Ordering::SeqCst) {
+                return; // tx drops here; workers drain and exit
+            }
+            let Ok(stream) = conn else { continue };
+            // Bounded backlog: beyond it the connection is dropped,
+            // which the client observes as a reset — the overloaded
+            // schedd refusing service.
+            if let Err(TrySendError::Full(stream)) = tx.try_send(stream) {
+                drop(stream);
+            }
+        }
+    });
+
+    Ok(GriddHandle {
+        addr,
+        inner,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+/// Serve one connection: request/response frames until EOF, error, or
+/// deadline. Deadlines bound every read and write.
+fn serve_connection(inner: &Inner, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(inner.cfg.deadline));
+    let _ = stream.set_write_timeout(Some(inner.cfg.deadline));
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(_) => return, // EOF, deadline, or reset: drop the conn
+        };
+        let req = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                let resp = Response::Err {
+                    code: ErrCode::Bad,
+                    msg: e.to_string(),
+                };
+                let _ = write_frame(&mut stream, &resp.encode());
+                return;
+            }
+        };
+        let elapsed = inner.start.elapsed();
+        // Injected stalls delay the reply; injected loss resets the
+        // connection *instead of* replying — a dropped message.
+        let extra = inner.windows.extra_latency(elapsed);
+        if !extra.is_zero() {
+            std::thread::sleep(extra.min(inner.cfg.deadline));
+        }
+        let p = inner.windows.loss_probability(elapsed);
+        if p > 0.0 {
+            let lost = {
+                let mut st = inner.state.lock().expect("state lock");
+                let lost = st.rng.chance(p);
+                if lost {
+                    if let Some(c) = req.client() {
+                        st.client(c).resets += 1;
+                    }
+                }
+                lost
+            };
+            if lost {
+                return; // reset: client sees a dead connection
+            }
+        }
+        match handle(inner, &req, elapsed) {
+            Some(resp) => {
+                if write_frame(&mut stream, &resp.encode()).is_err() {
+                    return;
+                }
+            }
+            None => return, // black-holed: swallow, never answer
+        }
+    }
+}
+
+/// Dispatch one request. `None` means "do not answer" (black hole).
+fn handle(inner: &Inner, req: &Request, elapsed: Duration) -> Option<Response> {
+    match req {
+        Request::Submit { client, job } => Some(submit(inner, *client, job, elapsed)),
+        Request::Put { client, name, data } => file_put(inner, *client, name, data, elapsed),
+        Request::Get { client, name } => file_get(inner, *client, name, elapsed),
+        Request::Df { client } => Some(df(inner, *client, elapsed)),
+        Request::Stats => Some(Response::Stats {
+            json: stats_json(inner),
+        }),
+    }
+}
+
+fn sched_down(inner: &Inner, st: &mut Shared, elapsed: Duration) -> bool {
+    if inner.windows.sched_forced_down(elapsed) {
+        return true;
+    }
+    match st.down_until {
+        Some(until) if Instant::now() < until => true,
+        Some(_) => {
+            // Downtime over: restart with a full slot pool.
+            st.down_until = None;
+            st.free_slots = inner.cfg.slots;
+            st.overload = 0;
+            false
+        }
+        None => false,
+    }
+}
+
+fn submit(inner: &Inner, client: u32, job: &str, elapsed: Duration) -> Response {
+    let (epoch, job_id) = {
+        let mut st = inner.state.lock().expect("state lock");
+        if sched_down(inner, &mut st, elapsed) {
+            st.client(client).submit_down += 1;
+            return Response::Err {
+                code: ErrCode::Down,
+                msg: "schedd is down".into(),
+            };
+        }
+        if st.free_slots == 0 {
+            st.overload += 1;
+            if st.overload >= inner.cfg.crash_overloads {
+                // The stampede starved the schedd: it crashes, every
+                // in-flight job is lost, and the service goes dark.
+                st.overload = 0;
+                st.crash_epoch += 1;
+                st.crashes += 1;
+                st.down_until = Some(Instant::now() + inner.cfg.downtime);
+                st.client(client).submit_down += 1;
+                return Response::Err {
+                    code: ErrCode::Down,
+                    msg: "schedd crashed under load".into(),
+                };
+            }
+            st.client(client).submit_busy += 1;
+            return Response::Err {
+                code: ErrCode::Busy,
+                msg: "no free service slots".into(),
+            };
+        }
+        st.free_slots -= 1;
+        // A grant relieves pressure but does not erase it: sustained
+        // overload still accumulates toward a crash even while slots
+        // churn.
+        st.overload = st.overload.saturating_sub(1);
+        st.jobs += 1;
+        (st.crash_epoch, format!("{job}@{}", st.jobs))
+    };
+    // Hold the slot for the service time — this is where concurrent
+    // aggressive clients actually collide on a real clock.
+    std::thread::sleep(inner.cfg.service);
+    let mut st = inner.state.lock().expect("state lock");
+    st.free_slots = (st.free_slots + 1).min(inner.cfg.slots);
+    if st.crash_epoch != epoch {
+        // A crash happened while this job was in service: it is gone.
+        st.client(client).submit_lost += 1;
+        return Response::Err {
+            code: ErrCode::Down,
+            msg: "job lost in schedd crash".into(),
+        };
+    }
+    st.client(client).submit_ok += 1;
+    Response::Ok { info: job_id }
+}
+
+fn df(inner: &Inner, client: u32, elapsed: Duration) -> Response {
+    let mut st = inner.state.lock().expect("state lock");
+    st.client(client).df_calls += 1;
+    let free = if sched_down(inner, &mut st, elapsed) {
+        0
+    } else {
+        st.free_slots
+    };
+    // An active free-space lie skews the estimate — the attack on
+    // carrier sense itself.
+    let delta = inner.windows.df_delta(elapsed);
+    let lied = (free as i64).saturating_add(delta).max(0) as u64;
+    Response::Free { slots: lied }
+}
+
+/// Stall through a black-hole window (bounded by the connection
+/// deadline so a worker is never pinned past it), then swallow.
+fn black_hole_stall(inner: &Inner, elapsed: Duration) -> bool {
+    if let Some(end) = inner.windows.black_hole_until(elapsed) {
+        let remaining = end.saturating_sub(elapsed);
+        std::thread::sleep(remaining.min(inner.cfg.deadline));
+        return true;
+    }
+    false
+}
+
+fn file_put(
+    inner: &Inner,
+    client: u32,
+    name: &str,
+    data: &[u8],
+    elapsed: Duration,
+) -> Option<Response> {
+    if black_hole_stall(inner, elapsed) {
+        return None;
+    }
+    let mut st = inner.state.lock().expect("state lock");
+    if inner.windows.enospc_active(elapsed) {
+        st.client(client).put_err += 1;
+        return Some(Response::Err {
+            code: ErrCode::Enospc,
+            msg: "no space left on device (fault window)".into(),
+        });
+    }
+    let old = st.files.get(name).map(|d| d.len()).unwrap_or(0);
+    let used_after = st.disk_used - old + data.len();
+    if used_after > inner.cfg.disk_bytes {
+        st.client(client).put_err += 1;
+        return Some(Response::Err {
+            code: ErrCode::Enospc,
+            msg: "no space left on device".into(),
+        });
+    }
+    st.disk_used = used_after;
+    st.files.insert(name.to_string(), data.to_vec());
+    st.client(client).put_ok += 1;
+    Some(Response::Ok {
+        info: format!("{} bytes", data.len()),
+    })
+}
+
+fn file_get(inner: &Inner, client: u32, name: &str, elapsed: Duration) -> Option<Response> {
+    if black_hole_stall(inner, elapsed) {
+        return None;
+    }
+    let mut st = inner.state.lock().expect("state lock");
+    match st.files.get(name).cloned() {
+        Some(data) => {
+            st.client(client).get_ok += 1;
+            Some(Response::Data { data })
+        }
+        None => {
+            st.client(client).get_err += 1;
+            Some(Response::Err {
+                code: ErrCode::NotFound,
+                msg: format!("no such file: {name}"),
+            })
+        }
+    }
+}
+
+/// Render the counters as a `simgrid::metrics::SeriesSet` — the same
+/// JSON shape every figure emits, so downstream tooling needs nothing
+/// new. One series per counter, one point per client `(client, count)`;
+/// the `schedd_crashes` series carries the global crash count at x=0.
+fn stats_json(inner: &Inner) -> String {
+    let st = inner.state.lock().expect("state lock");
+    let mut set = SeriesSet::new("gridd per-client counters", "client", "count");
+    let mut ids: Vec<u32> = st.clients.keys().copied().collect();
+    ids.sort_unstable();
+    type Getter = fn(&ClientCounters) -> u64;
+    let counters: [(&str, Getter); 10] = [
+        ("submit_ok", |c| c.submit_ok),
+        ("submit_busy", |c| c.submit_busy),
+        ("submit_down", |c| c.submit_down),
+        ("submit_lost", |c| c.submit_lost),
+        ("put_ok", |c| c.put_ok),
+        ("put_err", |c| c.put_err),
+        ("get_ok", |c| c.get_ok),
+        ("get_err", |c| c.get_err),
+        ("df_calls", |c| c.df_calls),
+        ("resets", |c| c.resets),
+    ];
+    for (name, get) in counters {
+        let mut s = Series::new(name);
+        for &id in &ids {
+            s.push_xy(id as f64, get(&st.clients[&id]) as f64);
+        }
+        set.add(s);
+    }
+    let mut crashes = Series::new("schedd_crashes");
+    crashes.push_xy(0.0, st.crashes as f64);
+    set.add(crashes);
+    set.to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retry::{Dur, Time};
+
+    fn plan_with(specs: Vec<FaultSpec>) -> FaultPlan {
+        let mut p = FaultPlan::new(7);
+        p.specs = specs;
+        p
+    }
+
+    #[test]
+    fn windows_expand_repeats_and_pair_black_holes() {
+        let plan = plan_with(vec![
+            FaultSpec::repeating(
+                Time::from_secs(1),
+                Dur::from_secs(10),
+                3,
+                FaultKind::ScheddKill {
+                    downtime: Some(Dur::from_secs(2)),
+                },
+            ),
+            FaultSpec::once(
+                Time::from_secs(5),
+                FaultKind::ServerBlackHole {
+                    server: "yyy".into(),
+                    enable: true,
+                },
+            ),
+            FaultSpec::once(
+                Time::from_secs(8),
+                FaultKind::ServerBlackHole {
+                    server: "yyy".into(),
+                    enable: false,
+                },
+            ),
+        ]);
+        let w = Windows::compile(&plan, Duration::from_secs(1));
+        assert_eq!(w.sched_down.len(), 3);
+        assert!(w.sched_forced_down(Duration::from_secs(12)));
+        assert!(!w.sched_forced_down(Duration::from_secs(4)));
+        assert_eq!(w.black_hole.len(), 1);
+        assert_eq!(
+            w.black_hole_until(Duration::from_secs(6)),
+            Some(Duration::from_secs(8))
+        );
+        assert_eq!(w.black_hole_until(Duration::from_secs(9)), None);
+    }
+
+    #[test]
+    fn restart_truncates_kill_window() {
+        let plan = plan_with(vec![
+            FaultSpec::once(
+                Time::from_secs(1),
+                FaultKind::ScheddKill {
+                    downtime: Some(Dur::from_secs(10)),
+                },
+            ),
+            FaultSpec::once(Time::from_secs(3), FaultKind::ScheddRestart),
+        ]);
+        let w = Windows::compile(&plan, Duration::from_secs(1));
+        assert!(w.sched_forced_down(Duration::from_secs(2)));
+        assert!(!w.sched_forced_down(Duration::from_secs(4)));
+    }
+
+    #[test]
+    fn unterminated_black_hole_stays_open() {
+        let plan = plan_with(vec![FaultSpec::once(
+            Time::from_secs(2),
+            FaultKind::ServerBlackHole {
+                server: "yyy".into(),
+                enable: true,
+            },
+        )]);
+        let w = Windows::compile(&plan, Duration::from_secs(1));
+        assert!(w.black_hole_until(Duration::from_secs(1)).is_none());
+        assert!(w.black_hole_until(Duration::from_secs(1000)).is_some());
+    }
+
+    #[test]
+    fn lie_windows_sum_and_clamp() {
+        let plan = plan_with(vec![FaultSpec::once(
+            Time::from_secs(0),
+            FaultKind::FreeSpaceLie {
+                delta_bytes: -100,
+                duration: Dur::from_secs(5),
+            },
+        )]);
+        let w = Windows::compile(&plan, Duration::from_secs(1));
+        assert_eq!(w.df_delta(Duration::from_secs(1)), -100);
+        assert_eq!(w.df_delta(Duration::from_secs(6)), 0);
+    }
+}

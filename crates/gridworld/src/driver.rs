@@ -332,9 +332,8 @@ impl<W: CommandWorld> SimDriver<W> {
     }
 
     /// Events popped from this run's own queue — the per-run
-    /// engine-work metric (unlike the deprecated process-global
-    /// [`simgrid::events_popped_total`], concurrent sweep workers do
-    /// not contaminate each other here).
+    /// engine-work metric. Per-queue, so concurrent sweep workers do
+    /// not contaminate each other's counts.
     pub fn events_popped(&self) -> u64 {
         self.queue.popped()
     }

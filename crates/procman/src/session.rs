@@ -421,4 +421,62 @@ mod tests {
         let r = CmdResult::ok("x");
         assert!(r.success);
     }
+
+    #[test]
+    fn concurrent_escalation_reaps_every_session() {
+        // Eight live sessions at once — half SIGTERM-compliant, half
+        // trapping TERM, every one holding a sleeping grandchild —
+        // and the SIGTERM→SIGKILL escalation must reap all of them:
+        // no session may survive, no process group may be orphaned.
+        const N: usize = 8;
+        let mut kids = Vec::with_capacity(N);
+        for i in 0..N {
+            let script = if i % 2 == 0 {
+                // Compliant: TERM kills the shell and its grandchild.
+                "sleep 30 & wait"
+            } else {
+                // Stubborn: ignores TERM; only the KILL at grace end
+                // can take the group down.
+                "trap '' TERM; sleep 30 & while :; do sleep 1; done"
+            };
+            kids.push(SessionChild::spawn(&spec(&["sh", "-c", script])).unwrap());
+        }
+        // Let the traps install and the grandchildren fork.
+        std::thread::sleep(Duration::from_millis(300));
+
+        let pids: Vec<i32> = kids.iter().map(|c| c.pid()).collect();
+        let handles: Vec<_> = pids
+            .iter()
+            .map(|&pid| SessionChild::escalate(pid, Duration::from_millis(400)))
+            .collect();
+
+        let mut compliant = 0;
+        let mut forced = 0;
+        for h in handles {
+            match h.join().unwrap() {
+                EscalationOutcome::ExitedWithinGrace => compliant += 1,
+                EscalationOutcome::ForceKilled => forced += 1,
+            }
+        }
+        assert_eq!(compliant + forced, N);
+        assert!(forced >= 1, "trap-TERM sessions require the SIGKILL leg");
+
+        for c in kids {
+            let (outcome, _) = c.wait_detailed();
+            assert!(!outcome.success(), "killed session must report failure");
+        }
+        // Conservation: every session id must answer ESRCH — a live
+        // group member (orphaned grandchild included) would still
+        // accept signal 0.
+        for pid in pids {
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while !SessionChild::session_gone(pid) {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "session {pid} leaked an orphaned process group"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
 }

@@ -9,23 +9,6 @@
 use retry::Time;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-
-/// Process-wide count of events popped from every [`EventQueue`], on
-/// any thread. Kept only to back the deprecated
-/// [`events_popped_total`] shim; it never affects simulation
-/// behaviour.
-static EVENTS_POPPED: AtomicU64 = AtomicU64::new(0);
-
-/// Total events popped process-wide since start (monotonic).
-#[deprecated(
-    since = "0.2.0",
-    note = "process-global, so concurrent sweep workers cross-contaminate the \
-            count; read `EventQueue::popped` per queue and aggregate per run"
-)]
-pub fn events_popped_total() -> u64 {
-    EVENTS_POPPED.load(AtomicOrdering::Relaxed)
-}
 
 struct Entry<E> {
     at: Time,
@@ -133,7 +116,6 @@ impl<E> EventQueue<E> {
         debug_assert!(e.at >= self.now, "clock went backwards");
         self.now = e.at;
         self.popped += 1;
-        EVENTS_POPPED.fetch_add(1, AtomicOrdering::Relaxed);
         Some((e.at, e.event))
     }
 
@@ -226,10 +208,6 @@ mod tests {
         assert_eq!(b.popped(), 0);
         b.pop();
         assert_eq!(b.popped(), 1);
-        // The process-global shim still ticks for old callers.
-        #[allow(deprecated)]
-        let total = events_popped_total();
-        assert!(total >= 6);
     }
 
     #[test]

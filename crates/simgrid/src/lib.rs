@@ -33,8 +33,6 @@ pub mod rng;
 pub mod trace;
 
 pub use channel::{simulate_channel, ChannelDiscipline, ChannelStats};
-#[allow(deprecated)]
-pub use events::events_popped_total;
 pub use events::EventQueue;
 pub use faults::{FaultKind, FaultPlan, FaultSpec};
 pub use metrics::{json_escape, percentile, Series, SeriesSet};

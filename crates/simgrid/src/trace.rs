@@ -532,8 +532,14 @@ impl TraceSink for VecSink {
 }
 
 /// A JSONL file sink: one record per line, written as it arrives.
+///
+/// Flushes the underlying writer on drop, so a sink abandoned without
+/// [`JsonlSink::into_inner`] — a deadline kill unwinding the driver, a
+/// daemon worker dropping its connection state — still lands its final
+/// complete line on disk rather than leaving it truncated in a buffer.
 pub struct JsonlSink<W: std::io::Write + Send> {
-    w: W,
+    /// `None` only after `into_inner` has taken the writer.
+    w: Option<W>,
     /// First write error, if any (later records are dropped).
     error: Option<std::io::Error>,
 }
@@ -541,7 +547,10 @@ pub struct JsonlSink<W: std::io::Write + Send> {
 impl<W: std::io::Write + Send> JsonlSink<W> {
     /// Wrap a writer. Consider `std::io::BufWriter` for files.
     pub fn new(w: W) -> JsonlSink<W> {
-        JsonlSink { w, error: None }
+        JsonlSink {
+            w: Some(w),
+            error: None,
+        }
     }
 
     /// The first write error encountered, if any.
@@ -551,8 +560,9 @@ impl<W: std::io::Write + Send> JsonlSink<W> {
 
     /// Flush and return the underlying writer.
     pub fn into_inner(mut self) -> std::io::Result<W> {
-        self.w.flush()?;
-        Ok(self.w)
+        let mut w = self.w.take().expect("writer taken once");
+        w.flush()?;
+        Ok(w)
     }
 }
 
@@ -561,13 +571,23 @@ impl<W: std::io::Write + Send> TraceSink for JsonlSink<W> {
         if self.error.is_some() {
             return;
         }
+        let Some(w) = self.w.as_mut() else { return };
         let line = rec.to_json_line();
-        if let Err(e) = self
-            .w
+        if let Err(e) = w
             .write_all(line.as_bytes())
-            .and_then(|()| self.w.write_all(b"\n"))
+            .and_then(|()| w.write_all(b"\n"))
         {
             self.error = Some(e);
+        }
+    }
+}
+
+impl<W: std::io::Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        if let Some(w) = self.w.as_mut() {
+            // Best effort: drop runs on kill/unwind paths where an
+            // error has nowhere to go.
+            let _ = w.flush();
         }
     }
 }
@@ -718,5 +738,49 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         let parsed = from_jsonl(&text).unwrap();
         assert_eq!(parsed[1].ev, TraceEv::CarrierSense { free: 7 });
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        // Regression: a sink abandoned without `into_inner` (deadline
+        // kill, daemon disconnect) must not leave the final record
+        // stuck in a buffer as a truncated line on disk.
+        let dir = std::env::temp_dir().join(format!("eg_trace_drop_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("drop.jsonl");
+        {
+            let f = std::fs::File::create(&path).unwrap();
+            let mut sink = JsonlSink::new(std::io::BufWriter::new(f));
+            sink.record(&rec(1, 0, TraceEv::Deferral));
+            sink.record(&rec(2, 1, TraceEv::CarrierSense { free: 3 }));
+            // Dropped here — no into_inner.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'), "final line truncated: {text:?}");
+        let parsed = from_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].ev, TraceEv::CarrierSense { free: 3 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop_behind_shared_sink() {
+        // The `ftsh --trace` path holds the sink as
+        // Arc<Mutex<dyn TraceSink>> and relies on the drop at end of
+        // main — the flush must fire through the trait object too.
+        let dir = std::env::temp_dir().join(format!("eg_trace_drop_dyn_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("drop_dyn.jsonl");
+        {
+            let f = std::fs::File::create(&path).unwrap();
+            let sink: SharedSink = Arc::new(Mutex::new(JsonlSink::new(std::io::BufWriter::new(f))));
+            emit(&Some(sink), Time::from_secs(9), 4, 2, TraceEv::Enospc);
+            // Arc dropped here; last strong ref runs JsonlSink::drop.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = from_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].client, 4);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
