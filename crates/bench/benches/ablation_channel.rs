@@ -30,7 +30,7 @@ fn bench(c: &mut Criterion) {
         ChannelDiscipline::Ethernet,
     ] {
         g.bench_function(format!("{d:?}_50x50k"), |b| {
-            b.iter(|| std::hint::black_box(simulate_channel(d, 50, 0.05, 50_000, 1)))
+            b.iter(|| std::hint::black_box(simulate_channel(d, 50, 0.05, 50_000, 1)));
         });
     }
     g.finish();

@@ -33,7 +33,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for t in [0u64, 1000, 4000] {
         g.bench_function(format!("threshold_{t}"), |b| {
-            b.iter(|| std::hint::black_box(run(t)))
+            b.iter(|| std::hint::black_box(run(t)));
         });
     }
     g.finish();

@@ -50,7 +50,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let vms: Vec<Vm> = (0..500).map(|i| Vm::with_seed(&script, i)).collect();
             std::hint::black_box(vms.len())
-        })
+        });
     });
 
     g.bench_function("vm_population_tick_200", |b| {
@@ -61,7 +61,7 @@ fn bench(c: &mut Criterion) {
                 .map(|vm| vm.tick(Time::ZERO).effects.len())
                 .sum();
             std::hint::black_box(effects)
-        })
+        });
     });
 
     g.bench_function("vm_population_tick_200_traced", |b| {
@@ -80,7 +80,7 @@ fn bench(c: &mut Criterion) {
                 .map(|vm| vm.tick(Time::ZERO).effects.len())
                 .sum();
             std::hint::black_box(effects)
-        })
+        });
     });
 
     let points: Vec<(Discipline, usize)> = Discipline::ALL
@@ -91,13 +91,13 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let out = sweep::map_with_threads(1, &points, |&(d, n)| submission_point(d, n));
             std::hint::black_box(out)
-        })
+        });
     });
     g.bench_function("sweep_par", |b| {
         b.iter(|| {
             let out = sweep::map_with_threads(4, &points, |&(d, n)| submission_point(d, n));
             std::hint::black_box(out)
-        })
+        });
     });
 
     g.finish();

@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
                     Dur::from_secs(90),
                 );
                 std::hint::black_box(o.jobs_submitted)
-            })
+            });
         });
     }
     g.finish();

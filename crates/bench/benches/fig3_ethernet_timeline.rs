@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3_ethernet_timeline");
     g.sample_size(10);
     g.bench_function("quick", |b| {
-        b.iter(|| std::hint::black_box(fig3_ethernet_timeline(Scale::Quick, 1)))
+        b.iter(|| std::hint::black_box(fig3_ethernet_timeline(Scale::Quick, 1)));
     });
     g.finish();
 }

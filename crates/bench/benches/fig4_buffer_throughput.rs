@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
                     Dur::from_secs(120),
                 );
                 std::hint::black_box(o.files_consumed)
-            })
+            });
         });
     }
     g.finish();

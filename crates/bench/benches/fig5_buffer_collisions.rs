@@ -19,7 +19,7 @@ fn bench(c: &mut Criterion) {
                     Dur::from_secs(120),
                 );
                 std::hint::black_box(o.collisions)
-            })
+            });
         });
     }
     g.finish();

@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
                 Dur::from_secs(900),
             );
             std::hint::black_box((o.transfers, o.collisions))
-        })
+        });
     });
     g.finish();
 }

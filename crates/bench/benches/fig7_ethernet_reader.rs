@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
                 Dur::from_secs(900),
             );
             std::hint::black_box((o.transfers, o.deferrals))
-        })
+        });
     });
     g.finish();
 }

@@ -3,11 +3,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ftsh::{parse, pretty, SimClock, Vm, VmDriver};
+use std::fmt::Write as _;
 
 fn big_script(n: usize) -> String {
     let mut s = String::new();
     for i in 0..n {
-        s.push_str(&format!(
+        let _ = write!(
+            s,
             "try for 5 minutes or 3 times\n\
                forany host in a{i} b{i} c{i}\n\
                  fetch http://${{host}}/file{i} -> out{i}\n\
@@ -18,7 +20,7 @@ fn big_script(n: usize) -> String {
                  end\n\
                end\n\
              end\n"
-        ));
+        );
     }
     s
 }
@@ -28,11 +30,11 @@ fn bench(c: &mut Criterion) {
     let script = parse(&src).unwrap();
 
     c.bench_function("parse_100_blocks", |b| {
-        b.iter(|| std::hint::black_box(parse(&src).unwrap()))
+        b.iter(|| std::hint::black_box(parse(&src).unwrap()));
     });
 
     c.bench_function("pretty_100_blocks", |b| {
-        b.iter(|| std::hint::black_box(pretty(&script)))
+        b.iter(|| std::hint::black_box(pretty(&script)));
     });
 
     let run_src = "try for 1 hour\n forany h in a b c\n  get ${h}\n end\nend\n";
@@ -48,7 +50,7 @@ fn bench(c: &mut Criterion) {
                 }
             });
             std::hint::black_box(out.success())
-        })
+        });
     });
 
     let retry_script = parse("try 100 times\n flaky\nend\n").unwrap();
@@ -65,7 +67,7 @@ fn bench(c: &mut Criterion) {
                 }
             });
             std::hint::black_box(out.success())
-        })
+        });
     });
 }
 

@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
                 acc = acc.wrapping_add(e);
             }
             std::hint::black_box(acc)
-        })
+        });
     });
 
     c.bench_function("fd_table_1m_alloc_release", |b| {
@@ -30,7 +30,7 @@ fn bench(c: &mut Criterion) {
                 }
             }
             std::hint::black_box(t.in_use())
-        })
+        });
     });
 
     c.bench_function("disk_buffer_100k_file_cycle", |b| {
@@ -43,7 +43,7 @@ fn bench(c: &mut Criterion) {
                 let _ = d.delete(f);
             }
             std::hint::black_box(d.collisions())
-        })
+        });
     });
 }
 

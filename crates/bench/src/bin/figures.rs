@@ -71,7 +71,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.alloc(layout)
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        System.dealloc(ptr, layout);
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -413,7 +413,7 @@ fn main() -> ExitCode {
             "all" => wanted.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
             "ablations" => wanted.extend(ALL_ABLATIONS.iter().map(|s| s.to_string())),
             other if other.starts_with("fig") || other.starts_with("ablation-") => {
-                wanted.push(other.to_string())
+                wanted.push(other.to_string());
             }
             other => {
                 eprintln!("unknown argument: {other}");

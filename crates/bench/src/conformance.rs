@@ -230,7 +230,7 @@ fn model_command(
             let name = spec.argv.get(1).cloned().unwrap_or_default();
             let mut out = format!("out {name}\n");
             if spec.both {
-                out.push_str(&format!("err {name}\n"));
+                let _ = writeln!(out, "err {name}");
             }
             (tick, CmdResult::ok(out))
         }

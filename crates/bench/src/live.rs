@@ -167,7 +167,7 @@ pub fn arena_config(opts: &LiveOptions) -> GriddConfig {
         slots: (opts.clients / 4).max(1) as u64,
         service: opts.service,
         crash_overloads: opts.crash_overloads,
-        downtime: Duration::from_millis(3000),
+        downtime: Duration::from_secs(3),
         deadline: Duration::from_secs(8),
         plan: arena_plan(opts.seed),
         ..GriddConfig::default()

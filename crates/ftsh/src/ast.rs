@@ -12,6 +12,55 @@ use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
 
+/// A half-open byte range `[start, end)` into the source text a node
+/// was parsed from.
+///
+/// Spans are *diagnostic metadata*: they never participate in AST
+/// equality or hashing, so `parse(pretty(ast)) == ast` holds even
+/// though the reprinted source has different offsets. Nodes built
+/// programmatically (tests, generated scripts) carry the default
+/// zero span, which [`Span::is_known`] reports as absent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first byte of the node.
+    pub start: u32,
+    /// Byte offset one past the last byte of the node.
+    pub end: u32,
+}
+
+impl Span {
+    /// A span from byte offsets.
+    pub fn new(start: u32, end: u32) -> Span {
+        Span { start, end }
+    }
+
+    /// A zero-length span at one offset (used for end-of-input
+    /// diagnostics).
+    pub fn point(at: u32) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// True unless this is the default "no location" span.
+    pub fn is_known(self) -> bool {
+        self != Span::default()
+    }
+
+    /// The smallest span covering both `self` and `other`; a default
+    /// span on either side yields the other.
+    pub fn merge(self, other: Span) -> Span {
+        if !self.is_known() {
+            other
+        } else if !other.is_known() {
+            self
+        } else {
+            Span {
+                start: self.start.min(other.start),
+                end: self.end.max(other.end),
+            }
+        }
+    }
+}
+
 /// One segment of a [`Word`]: literal text or a `${var}` substitution.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Seg {
@@ -23,9 +72,25 @@ pub enum Seg {
 
 /// A shell word: a run of literal and substitution segments that
 /// expands to a single string at evaluation time.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+///
+/// Equality and hashing compare segments only — the source [`Span`] is
+/// diagnostic metadata.
+#[derive(Clone, Eq, Default)]
 pub struct Word {
     segs: Vec<Seg>,
+    span: Span,
+}
+
+impl PartialEq for Word {
+    fn eq(&self, other: &Word) -> bool {
+        self.segs == other.segs
+    }
+}
+
+impl std::hash::Hash for Word {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.segs.hash(state);
+    }
 }
 
 impl Word {
@@ -38,17 +103,21 @@ impl Word {
                 (_, s) => merged.push(s),
             }
         }
-        Word { segs: merged }
+        Word {
+            segs: merged,
+            span: Span::default(),
+        }
     }
 
     /// A purely literal word.
     pub fn lit(s: impl Into<String>) -> Word {
         let s = s.into();
         if s.is_empty() {
-            Word { segs: vec![] }
+            Word::default()
         } else {
             Word {
                 segs: vec![Seg::Lit(s)],
+                span: Span::default(),
             }
         }
     }
@@ -57,7 +126,20 @@ impl Word {
     pub fn var(name: impl Into<String>) -> Word {
         Word {
             segs: vec![Seg::Var(name.into())],
+            span: Span::default(),
         }
+    }
+
+    /// The same word carrying a source span.
+    pub fn with_span(mut self, span: Span) -> Word {
+        self.span = span;
+        self
+    }
+
+    /// Where this word sits in the source (default span when the word
+    /// was built programmatically).
+    pub fn span(&self) -> Span {
+        self.span
     }
 
     /// The segments of this word.
@@ -139,7 +221,10 @@ pub struct Command {
 /// The limits of a `try`: time, attempts, both, or neither, plus an
 /// optional fixed retry interval (`every`) overriding exponential
 /// backoff.
-#[derive(Clone, Debug, PartialEq, Default)]
+///
+/// Equality compares the limits only — `span` (covering the `try ...`
+/// header in the source) is diagnostic metadata.
+#[derive(Clone, Debug, Default)]
 pub struct TrySpec {
     /// `for <n> <unit>` total time limit.
     pub time: Option<Dur>,
@@ -148,6 +233,14 @@ pub struct TrySpec {
     /// `every <n> <unit>`: constant delay instead of exponential
     /// backoff (extension documented in the ftsh cookbook).
     pub every: Option<Dur>,
+    /// Source span of the `try` header line.
+    pub span: Span,
+}
+
+impl PartialEq for TrySpec {
+    fn eq(&self, other: &TrySpec) -> bool {
+        self.time == other.time && self.attempts == other.attempts && self.every == other.every
+    }
 }
 
 /// Comparison operators for `if` conditions. The dotted numeric forms
@@ -224,23 +317,56 @@ pub struct Cond {
 /// without duplicating them per attempt. Backed by `Arc`, so scripts
 /// and VMs can cross threads.
 #[derive(Clone, Default)]
-pub struct Block(Arc<[Stmt]>);
+pub struct Block {
+    stmts: Arc<[Stmt]>,
+    /// Per-statement source spans; either empty (programmatically
+    /// built) or exactly as long as `stmts`. Never part of equality.
+    spans: Arc<[Span]>,
+}
 
 impl Block {
-    /// A group from its statements.
+    /// A group from its statements (no source spans).
     pub fn new(stmts: Vec<Stmt>) -> Block {
-        Block(stmts.into())
+        Block {
+            stmts: stmts.into(),
+            spans: Arc::from([]),
+        }
+    }
+
+    /// A group from statements plus the source span of each.
+    ///
+    /// # Panics
+    /// Panics if the two vectors disagree in length.
+    pub fn with_spans(stmts: Vec<Stmt>, spans: Vec<Span>) -> Block {
+        assert_eq!(stmts.len(), spans.len(), "one span per statement");
+        Block {
+            stmts: stmts.into(),
+            spans: spans.into(),
+        }
+    }
+
+    /// The source span of statement `i` (default span when unknown).
+    pub fn span_of(&self, i: usize) -> Span {
+        self.spans.get(i).copied().unwrap_or_default()
+    }
+
+    /// Iterate statements together with their source spans.
+    pub fn iter_spanned(&self) -> impl Iterator<Item = (&Stmt, Span)> {
+        self.stmts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s, self.span_of(i)))
     }
 
     /// True when two blocks share one allocation (O(1), no deep
     /// comparison) — the regression-test hook for AST sharing.
     pub fn ptr_eq(a: &Block, b: &Block) -> bool {
-        Arc::ptr_eq(&a.0, &b.0)
+        Arc::ptr_eq(&a.stmts, &b.stmts)
     }
 
     /// How many handles share this group's allocation.
     pub fn ref_count(&self) -> usize {
-        Arc::strong_count(&self.0)
+        Arc::strong_count(&self.stmts)
     }
 }
 
@@ -248,7 +374,7 @@ impl Deref for Block {
     type Target = [Stmt];
 
     fn deref(&self) -> &[Stmt] {
-        &self.0
+        &self.stmts
     }
 }
 
@@ -260,7 +386,10 @@ impl From<Vec<Stmt>> for Block {
 
 impl FromIterator<Stmt> for Block {
     fn from_iter<I: IntoIterator<Item = Stmt>>(iter: I) -> Block {
-        Block(iter.into_iter().collect())
+        Block {
+            stmts: iter.into_iter().collect(),
+            spans: Arc::from([]),
+        }
     }
 }
 
@@ -269,19 +398,19 @@ impl<'a> IntoIterator for &'a Block {
     type IntoIter = std::slice::Iter<'a, Stmt>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter()
+        self.stmts.iter()
     }
 }
 
 impl PartialEq for Block {
     fn eq(&self, other: &Block) -> bool {
-        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+        Arc::ptr_eq(&self.stmts, &other.stmts) || *self.stmts == *other.stmts
     }
 }
 
 impl fmt::Debug for Block {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt::Debug::fmt(&self.0, f)
+        fmt::Debug::fmt(&self.stmts, f)
     }
 }
 
@@ -405,6 +534,38 @@ mod tests {
     fn word_has_vars() {
         assert!(!Word::lit("abc").has_vars());
         assert!(Word::var("x").has_vars());
+    }
+
+    #[test]
+    fn spans_do_not_affect_equality() {
+        let a = Word::lit("abc");
+        let b = Word::lit("abc").with_span(Span::new(3, 6));
+        assert_eq!(a, b);
+        let mut s1 = TrySpec::default();
+        let mut s2 = TrySpec {
+            span: Span::new(0, 9),
+            ..TrySpec::default()
+        };
+        assert_eq!(s1, s2);
+        s1.attempts = Some(3);
+        s2.attempts = Some(3);
+        assert_eq!(s1, s2);
+        let b1 = Block::new(vec![Stmt::Success]);
+        let b2 = Block::with_spans(vec![Stmt::Success], vec![Span::new(1, 8)]);
+        assert_eq!(b1, b2);
+        assert_eq!(b1.span_of(0), Span::default());
+        assert_eq!(b2.span_of(0), Span::new(1, 8));
+        assert_eq!(b2.span_of(7), Span::default());
+    }
+
+    #[test]
+    fn span_merge_and_known() {
+        assert!(!Span::default().is_known());
+        assert!(Span::new(0, 1).is_known());
+        assert_eq!(Span::new(2, 5).merge(Span::new(4, 9)), Span::new(2, 9));
+        assert_eq!(Span::default().merge(Span::new(4, 9)), Span::new(4, 9));
+        assert_eq!(Span::new(4, 9).merge(Span::default()), Span::new(4, 9));
+        assert_eq!(Span::point(7), Span::new(7, 7));
     }
 
     #[test]

@@ -1,14 +1,19 @@
 //! Parse-time diagnostics.
 
+use crate::ast::Span;
 use std::fmt;
 
-/// A lexical or syntactic error with its source line.
+/// A lexical or syntactic error with its source line and, when known,
+/// the exact byte span of the offending text.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line where the problem was detected.
     pub line: u32,
     /// Human-readable description.
     pub msg: String,
+    /// Byte span of the offending token, when the lexer/parser knows
+    /// it.
+    pub span: Option<Span>,
 }
 
 impl ParseError {
@@ -17,8 +22,55 @@ impl ParseError {
         ParseError {
             line,
             msg: msg.into(),
+            span: None,
         }
     }
+
+    /// Attach the byte span of the offending text.
+    pub fn with_span(mut self, span: Span) -> ParseError {
+        self.span = Some(span);
+        self
+    }
+
+    /// Render against the original source as `line:col: msg` plus a
+    /// caret excerpt pointing at the offending span:
+    ///
+    /// ```text
+    /// parse error at 2:8: expected a time unit
+    ///   2 | try for 5
+    ///     |        ^
+    /// ```
+    ///
+    /// Falls back to the plain `line N: msg` form when the span is
+    /// unknown or out of bounds.
+    pub fn render(&self, src: &str) -> String {
+        let Some(span) = self.span else {
+            return format!("line {}: {}", self.line, self.msg);
+        };
+        let (line_no, col) = line_col(src, span.start);
+        let line_text = src.lines().nth(line_no as usize - 1).unwrap_or("");
+        let width = (span.end.saturating_sub(span.start) as usize)
+            .min(line_text.len().saturating_sub(col as usize - 1))
+            .max(1);
+        let gutter = line_no.to_string();
+        let pad = " ".repeat(gutter.len());
+        let caret = format!("{}{}", " ".repeat(col as usize - 1), "^".repeat(width));
+        format!(
+            "parse error at {line_no}:{col}: {msg}\n  {gutter} | {line_text}\n  {pad} | {caret}",
+            msg = self.msg,
+        )
+    }
+}
+
+/// 1-based `(line, column)` of a byte offset in `src`. Columns count
+/// bytes, which matches the caret rendering of ASCII-oriented scripts;
+/// offsets past the end resolve to one past the last line's text.
+pub fn line_col(src: &str, offset: u32) -> (u32, u32) {
+    let offset = (offset as usize).min(src.len());
+    let before = &src[..offset];
+    let line = before.bytes().filter(|&b| b == b'\n').count() as u32 + 1;
+    let col = (offset - before.rfind('\n').map(|i| i + 1).unwrap_or(0)) as u32 + 1;
+    (line, col)
 }
 
 impl fmt::Display for ParseError {
@@ -37,5 +89,44 @@ mod tests {
     fn display_includes_line() {
         let e = ParseError::new(3, "unexpected end");
         assert_eq!(e.to_string(), "line 3: unexpected end");
+    }
+
+    #[test]
+    fn line_col_basics() {
+        let src = "abc\ndef\n";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 2), (1, 3));
+        assert_eq!(line_col(src, 4), (2, 1));
+        assert_eq!(line_col(src, 6), (2, 3));
+        // Past the end clamps to one past the final newline.
+        assert_eq!(line_col(src, 99), (3, 1));
+        assert_eq!(line_col("", 0), (1, 1));
+    }
+
+    #[test]
+    fn render_points_a_caret() {
+        let src = "try for 5 minutes\nwget url\n";
+        let e = ParseError::new(2, "expected 'end'").with_span(Span::new(18, 22));
+        let r = e.render(src);
+        assert!(r.contains("parse error at 2:1: expected 'end'"), "{r}");
+        assert!(r.contains("2 | wget url"), "{r}");
+        assert!(r.contains("| ^^^^"), "{r}");
+    }
+
+    #[test]
+    fn render_without_span_falls_back() {
+        let e = ParseError::new(3, "oops");
+        assert_eq!(e.render("a\nb\nc\n"), "line 3: oops");
+    }
+
+    #[test]
+    fn render_clamps_width_to_line() {
+        let src = "ab\n";
+        let e = ParseError::new(1, "x").with_span(Span::new(1, 40));
+        let r = e.render(src);
+        // Caret starts at col 2 and cannot run past the line text.
+        assert!(r.contains("1 | ab"), "{r}");
+        assert_eq!(r.matches('^').count(), 1, "{r}");
+        assert!(r.ends_with('^'), "{r}");
     }
 }

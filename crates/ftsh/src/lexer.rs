@@ -6,18 +6,23 @@
 //! (`"..."` groups spaces and still substitutes, `'...'` is fully
 //! literal), strips `#` comments, honours `\` line continuations, and
 //! emits redirection operators (`>`, `>>`, `<`, `>&`, `->`, `->>`,
-//! `->&`, `-<`) as distinct tokens when they stand alone.
+//! `->&`, `-<`) as distinct tokens when they stand alone. Every token
+//! carries the byte [`Span`] of its source text, which the parser
+//! threads into the AST for diagnostics.
 
-use crate::ast::{Seg, Word};
+use crate::ast::{Seg, Span, Word};
 use crate::errors::ParseError;
 
-/// A lexical token with its source line (1-based) for diagnostics.
+/// A lexical token with its source line (1-based) and byte span for
+/// diagnostics.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Token {
     /// What was read.
     pub kind: TokenKind,
     /// Source line the token started on.
     pub line: u32,
+    /// Byte range of the token's source text.
+    pub span: Span,
 }
 
 /// The kinds of token ftsh understands.
@@ -50,67 +55,110 @@ pub enum TokenKind {
     Eof,
 }
 
+type Chars<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+/// Lexer state for the word currently under construction.
+#[derive(Default)]
+struct WordBuf {
+    segs: Vec<Seg>,
+    lit: String,
+    /// Byte offset where the word began.
+    start: Option<usize>,
+    /// True if quotes made an (possibly empty) word.
+    open: bool,
+}
+
+impl WordBuf {
+    fn mark(&mut self, at: usize) {
+        self.start.get_or_insert(at);
+    }
+
+    fn flush_lit(&mut self) {
+        if !self.lit.is_empty() {
+            self.segs.push(Seg::Lit(std::mem::take(&mut self.lit)));
+        }
+    }
+
+    /// Emit the pending word (if any) ending at byte offset `end`.
+    fn flush(&mut self, out: &mut Vec<Token>, line: u32, end: usize) {
+        self.flush_lit();
+        if !self.segs.is_empty() || self.open {
+            let start = self.start.take().unwrap_or(end);
+            let span = Span::new(start as u32, end as u32);
+            out.push(Token {
+                kind: TokenKind::Word(
+                    Word::from_segs(std::mem::take(&mut self.segs)).with_span(span),
+                ),
+                line,
+                span,
+            });
+        }
+        self.open = false;
+        self.start = None;
+    }
+}
+
 /// Lex a whole script into tokens. Returns a token stream always
 /// terminated by [`TokenKind::Eof`].
 pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
     let mut out = Vec::new();
-    let mut chars = src.chars().peekable();
+    let mut chars: Chars<'_> = src.char_indices().peekable();
     let mut line: u32 = 1;
-    // Current word under construction.
-    let mut segs: Vec<Seg> = Vec::new();
-    let mut lit = String::new();
-    let mut word_open = false; // true if quotes made an (possibly empty) word
+    let mut w = WordBuf::default();
+    let len = src.len();
 
-    fn flush_lit(segs: &mut Vec<Seg>, lit: &mut String) {
-        if !lit.is_empty() {
-            segs.push(Seg::Lit(std::mem::take(lit)));
-        }
+    // Next byte offset the cursor will read (== len at end of input).
+    fn cursor(chars: &mut Chars<'_>, len: usize) -> usize {
+        chars.peek().map_or(len, |&(i, _)| i)
     }
 
-    fn flush_word(
-        out: &mut Vec<Token>,
-        segs: &mut Vec<Seg>,
-        lit: &mut String,
-        word_open: &mut bool,
-        line: u32,
-    ) {
-        flush_lit(segs, lit);
-        if !segs.is_empty() || *word_open {
+    fn peek_ch(chars: &mut Chars<'_>) -> Option<char> {
+        chars.peek().map(|&(_, c)| c)
+    }
+
+    fn push_newline(out: &mut Vec<Token>, line: u32, at: usize) {
+        if !matches!(out.last().map(|t| &t.kind), Some(TokenKind::Newline) | None) {
+            let span = Span::new(at as u32, at as u32 + 1);
             out.push(Token {
-                kind: TokenKind::Word(Word::from_segs(std::mem::take(segs))),
+                kind: TokenKind::Newline,
                 line,
+                span,
             });
         }
-        *word_open = false;
     }
 
-    // Read a ${name} or $name substitution; the leading '$' is consumed.
-    fn read_var(
-        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-        line: u32,
-    ) -> Result<String, ParseError> {
-        match chars.peek() {
+    // Read a ${name} or $name substitution; the leading '$' (at byte
+    // offset `dollar`) is consumed.
+    fn read_var(chars: &mut Chars<'_>, line: u32, dollar: usize) -> Result<String, ParseError> {
+        let at = |end: usize| Span::new(dollar as u32, end as u32);
+        match peek_ch(chars) {
             Some('{') => {
                 chars.next();
                 let mut name = String::new();
                 loop {
                     match chars.next() {
-                        Some('}') => break,
-                        Some('\n') => {
-                            return Err(ParseError::new(line, "unterminated ${...}"));
+                        Some((_, '}')) => break,
+                        Some((i, '\n')) => {
+                            return Err(
+                                ParseError::new(line, "unterminated ${...}").with_span(at(i))
+                            );
                         }
-                        Some(c) => name.push(c),
-                        None => return Err(ParseError::new(line, "unterminated ${...}")),
+                        Some((_, c)) => name.push(c),
+                        None => {
+                            return Err(ParseError::new(line, "unterminated ${...}")
+                                .with_span(at(dollar + 2)));
+                        }
                     }
                 }
                 if name.is_empty() {
-                    return Err(ParseError::new(line, "empty variable name in ${}"));
+                    return Err(ParseError::new(line, "empty variable name in ${}")
+                        .with_span(at(dollar + 3)));
                 }
                 Ok(name)
             }
             _ => {
                 let mut name = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(&(_, c)) = chars.peek() {
                     if c.is_ascii_alphanumeric() || c == '_' {
                         name.push(c);
                         chars.next();
@@ -119,102 +167,114 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                     }
                 }
                 if name.is_empty() {
-                    return Err(ParseError::new(line, "lone '$' (use \\$ for a literal)"));
+                    return Err(ParseError::new(line, "lone '$' (use \\$ for a literal)")
+                        .with_span(at(dollar + 1)));
                 }
                 Ok(name)
             }
         }
     }
 
-    while let Some(c) = chars.next() {
+    while let Some((i, c)) = chars.next() {
         match c {
             '\n' => {
-                flush_word(&mut out, &mut segs, &mut lit, &mut word_open, line);
+                w.flush(&mut out, line, i);
                 // Collapse duplicate newlines.
-                if !matches!(out.last().map(|t| &t.kind), Some(TokenKind::Newline) | None) {
-                    out.push(Token {
-                        kind: TokenKind::Newline,
-                        line,
-                    });
-                }
+                push_newline(&mut out, line, i);
                 line += 1;
             }
             ' ' | '\t' | '\r' => {
-                flush_word(&mut out, &mut segs, &mut lit, &mut word_open, line);
+                w.flush(&mut out, line, i);
             }
             '#' => {
                 // Comment to end of line.
-                for c in chars.by_ref() {
+                w.flush(&mut out, line, i);
+                for (j, c) in chars.by_ref() {
                     if c == '\n' {
-                        flush_word(&mut out, &mut segs, &mut lit, &mut word_open, line);
-                        if !matches!(out.last().map(|t| &t.kind), Some(TokenKind::Newline) | None) {
-                            out.push(Token {
-                                kind: TokenKind::Newline,
-                                line,
-                            });
-                        }
+                        push_newline(&mut out, line, j);
                         line += 1;
                         break;
                     }
                 }
             }
-            '\\' => match chars.next() {
-                Some('\n') => {
-                    line += 1; // continuation: the newline is swallowed
+            '\\' => {
+                match chars.next() {
+                    Some((_, '\n')) => {
+                        line += 1; // continuation: the newline is swallowed
+                    }
+                    Some((_, e)) => {
+                        w.mark(i);
+                        w.lit.push(e);
+                    }
+                    None => {
+                        return Err(ParseError::new(line, "trailing backslash")
+                            .with_span(Span::new(i as u32, len as u32)))
+                    }
                 }
-                Some(e) => lit.push(e),
-                None => return Err(ParseError::new(line, "trailing backslash")),
-            },
+            }
             '"' => {
-                word_open = true;
+                w.mark(i);
+                w.open = true;
                 loop {
                     match chars.next() {
-                        Some('"') => break,
-                        Some('\\') => match chars.next() {
-                            Some('\n') => line += 1,
-                            Some(e) => lit.push(e),
-                            None => return Err(ParseError::new(line, "unterminated double quote")),
+                        Some((_, '"')) => break,
+                        Some((_, '\\')) => match chars.next() {
+                            Some((_, '\n')) => line += 1,
+                            Some((_, e)) => w.lit.push(e),
+                            None => {
+                                return Err(ParseError::new(line, "unterminated double quote")
+                                    .with_span(Span::new(i as u32, len as u32)))
+                            }
                         },
-                        Some('$') => {
-                            flush_lit(&mut segs, &mut lit);
-                            segs.push(Seg::Var(read_var(&mut chars, line)?));
+                        Some((j, '$')) => {
+                            w.flush_lit();
+                            w.segs.push(Seg::Var(read_var(&mut chars, line, j)?));
                         }
-                        Some('\n') => {
-                            lit.push('\n');
+                        Some((_, '\n')) => {
+                            w.lit.push('\n');
                             line += 1;
                         }
-                        Some(e) => lit.push(e),
-                        None => return Err(ParseError::new(line, "unterminated double quote")),
+                        Some((_, e)) => w.lit.push(e),
+                        None => {
+                            return Err(ParseError::new(line, "unterminated double quote")
+                                .with_span(Span::new(i as u32, len as u32)))
+                        }
                     }
                 }
             }
             '\'' => {
-                word_open = true;
+                w.mark(i);
+                w.open = true;
                 loop {
                     match chars.next() {
-                        Some('\'') => break,
-                        Some('\n') => {
-                            lit.push('\n');
+                        Some((_, '\'')) => break,
+                        Some((_, '\n')) => {
+                            w.lit.push('\n');
                             line += 1;
                         }
-                        Some(e) => lit.push(e),
-                        None => return Err(ParseError::new(line, "unterminated single quote")),
+                        Some((_, e)) => w.lit.push(e),
+                        None => {
+                            return Err(ParseError::new(line, "unterminated single quote")
+                                .with_span(Span::new(i as u32, len as u32)))
+                        }
                     }
                 }
             }
             '$' => {
-                flush_lit(&mut segs, &mut lit);
-                segs.push(Seg::Var(read_var(&mut chars, line)?));
+                w.mark(i);
+                w.flush_lit();
+                w.segs.push(Seg::Var(read_var(&mut chars, line, i)?));
             }
-            '>' if segs.is_empty() && lit.is_empty() && !word_open => {
-                let append = matches!(chars.peek(), Some('>'));
+            '>' if w.segs.is_empty() && w.lit.is_empty() && !w.open => {
+                let append = matches!(peek_ch(&mut chars), Some('>'));
                 if append {
                     chars.next();
                 }
-                let both = matches!(chars.peek(), Some('&'));
+                let both = matches!(peek_ch(&mut chars), Some('&'));
                 if both {
                     chars.next();
                 }
+                let span = Span::new(i as u32, cursor(&mut chars, len) as u32);
                 out.push(Token {
                     kind: TokenKind::RedirOut {
                         var: false,
@@ -222,29 +282,32 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                         both,
                     },
                     line,
+                    span,
                 });
             }
-            '<' if segs.is_empty() && lit.is_empty() && !word_open => {
+            '<' if w.segs.is_empty() && w.lit.is_empty() && !w.open => {
                 out.push(Token {
                     kind: TokenKind::RedirIn { var: false },
                     line,
+                    span: Span::new(i as u32, i as u32 + 1),
                 });
             }
-            '-' if segs.is_empty()
-                && lit.is_empty()
-                && !word_open
-                && matches!(chars.peek(), Some('>') | Some('<')) =>
+            '-' if w.segs.is_empty()
+                && w.lit.is_empty()
+                && !w.open
+                && matches!(peek_ch(&mut chars), Some('>' | '<')) =>
             {
                 match chars.next() {
-                    Some('>') => {
-                        let append = matches!(chars.peek(), Some('>'));
+                    Some((_, '>')) => {
+                        let append = matches!(peek_ch(&mut chars), Some('>'));
                         if append {
                             chars.next();
                         }
-                        let both = matches!(chars.peek(), Some('&'));
+                        let both = matches!(peek_ch(&mut chars), Some('&'));
                         if both {
                             chars.next();
                         }
+                        let span = Span::new(i as u32, cursor(&mut chars, len) as u32);
                         out.push(Token {
                             kind: TokenKind::RedirOut {
                                 var: true,
@@ -252,28 +315,35 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                                 both,
                             },
                             line,
+                            span,
                         });
                     }
-                    Some('<') => out.push(Token {
+                    Some((j, '<')) => out.push(Token {
                         kind: TokenKind::RedirIn { var: true },
                         line,
+                        span: Span::new(i as u32, j as u32 + 1),
                     }),
                     _ => unreachable!(),
                 }
             }
-            other => lit.push(other),
+            other => {
+                w.mark(i);
+                w.lit.push(other);
+            }
         }
     }
-    flush_word(&mut out, &mut segs, &mut lit, &mut word_open, line);
+    w.flush(&mut out, line, len);
     if !matches!(out.last().map(|t| &t.kind), Some(TokenKind::Newline) | None) {
         out.push(Token {
             kind: TokenKind::Newline,
             line,
+            span: Span::point(len as u32),
         });
     }
     out.push(Token {
         kind: TokenKind::Eof,
         line,
+        span: Span::point(len as u32),
     });
     Ok(out)
 }
@@ -491,5 +561,66 @@ mod tests {
     fn words_debug_smoke() {
         // Exercise the helper to keep it honest.
         assert_eq!(words("a b\n").len(), 2);
+    }
+
+    #[test]
+    fn word_spans_are_byte_ranges() {
+        let src = "wget http://server/f\n";
+        let toks = lex(src).unwrap();
+        let spans: Vec<Span> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Word(_)))
+            .map(|t| t.span)
+            .collect();
+        assert_eq!(spans, vec![Span::new(0, 4), Span::new(5, 20)]);
+        // The Word carries the same span as its token.
+        if let TokenKind::Word(w) = &toks[0].kind {
+            assert_eq!(w.span(), Span::new(0, 4));
+        }
+        assert_eq!(&src[0..4], "wget");
+        assert_eq!(&src[5..20], "http://server/f");
+    }
+
+    #[test]
+    fn quoted_and_var_word_spans_cover_source() {
+        let src = "echo \"a b\" ${x}y\n";
+        let toks = lex(src).unwrap();
+        let spans: Vec<Span> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Word(_)))
+            .map(|t| t.span)
+            .collect();
+        assert_eq!(spans[1], Span::new(5, 10)); // "a b" including quotes
+        assert_eq!(spans[2], Span::new(11, 16)); // ${x}y
+        assert_eq!(&src[11..16], "${x}y");
+    }
+
+    #[test]
+    fn redir_token_spans() {
+        let src = "cmd ->> v\n";
+        let toks = lex(src).unwrap();
+        assert_eq!(toks[1].span, Span::new(4, 7));
+        assert_eq!(&src[4..7], "->>");
+    }
+
+    #[test]
+    fn multiline_spans_advance() {
+        let src = "a\nbb\n";
+        let toks = lex(src).unwrap();
+        let words: Vec<&Token> = toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Word(_)))
+            .collect();
+        assert_eq!(words[0].span, Span::new(0, 1));
+        assert_eq!(words[1].span, Span::new(2, 4));
+        assert_eq!(words[1].line, 2);
+    }
+
+    #[test]
+    fn error_spans_point_at_offender() {
+        let e = lex("echo ${}\n").unwrap_err();
+        assert_eq!(e.span.map(|s| s.start), Some(5));
+        let e = lex("hello $ \n").unwrap_err();
+        assert_eq!(e.span.map(|s| s.start), Some(6));
     }
 }

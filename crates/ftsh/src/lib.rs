@@ -54,9 +54,11 @@ pub mod pretty;
 pub mod vm;
 pub mod words;
 
-pub use ast::{Command, Cond, CondOp, Redir, RedirTarget, Script, Seg, Stmt, TrySpec, Word};
+pub use ast::{
+    Block, Command, Cond, CondOp, Redir, RedirTarget, Script, Seg, Span, Stmt, TrySpec, Word,
+};
 pub use cond::eval_cond;
-pub use errors::ParseError;
+pub use errors::{line_col, ParseError};
 pub use interp::{Clock, DriveError, RunOutcome, SimClock, VmDriver, WallClock};
 pub use log::{EventLog, LogEvent, LogKind, LogSummary, ProgramStats};
 pub use parser::parse;

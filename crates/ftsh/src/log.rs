@@ -147,7 +147,7 @@ impl EventLog {
     /// cancellations), keyed by `argv[0]` — "the frequency of each
     /// failure branch" of §4's post-mortem analysis.
     pub fn per_program(&self) -> std::collections::BTreeMap<String, ProgramStats> {
-        let mut map: std::collections::BTreeMap<String, ProgramStats> = Default::default();
+        let mut map = std::collections::BTreeMap::<String, ProgramStats>::default();
         for e in &self.events {
             match &e.kind {
                 LogKind::CmdStart { argv } => {
@@ -175,7 +175,7 @@ impl EventLog {
     /// How often each `forany` alternative was tried, keyed by the
     /// bound value — which alternates actually carried the load.
     pub fn alternative_frequency(&self) -> std::collections::BTreeMap<String, u64> {
-        let mut map: std::collections::BTreeMap<String, u64> = Default::default();
+        let mut map = std::collections::BTreeMap::<String, u64>::default();
         for e in &self.events {
             if let LogKind::ForAnyNext { value } = &e.kind {
                 *map.entry(value.clone()).or_default() += 1;
@@ -198,7 +198,7 @@ impl EventLog {
     /// [`TraceRecord`]: simgrid::trace::TraceRecord
     pub fn replay_into(&self, sink: &mut dyn simgrid::trace::TraceSink, client: i64) {
         use simgrid::trace::{TraceEv, TraceRecord};
-        let mut last_attempt: std::collections::HashMap<usize, u32> = Default::default();
+        let mut last_attempt = std::collections::HashMap::<usize, u32>::default();
         for e in &self.events {
             let ev = match &e.kind {
                 LogKind::CmdStart { argv } => TraceEv::CmdStart {

@@ -5,7 +5,9 @@
 //! literal word at the start of a statement can open a construct, as in
 //! the Bourne shell family.
 
-use crate::ast::{Block, Command, Cond, CondOp, Redir, RedirTarget, Script, Stmt, TrySpec, Word};
+use crate::ast::{
+    Block, Command, Cond, CondOp, Redir, RedirTarget, Script, Span, Stmt, TrySpec, Word,
+};
 use crate::errors::ParseError;
 use crate::lexer::{lex, Token, TokenKind};
 use retry::time::parse_duration;
@@ -21,7 +23,11 @@ use retry::time::parse_duration;
 /// ```
 pub fn parse(src: &str) -> Result<Script, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        last_span: Span::default(),
+    };
     let stmts = p.stmt_list(&[])?;
     p.expect_eof()?;
     Ok(Script { stmts })
@@ -30,6 +36,9 @@ pub fn parse(src: &str) -> Result<Script, ParseError> {
 struct Parser {
     toks: Vec<Token>,
     pos: usize,
+    /// Span of the last consumed non-newline token; statement spans
+    /// run from their first token to this.
+    last_span: Span,
 }
 
 impl Parser {
@@ -42,11 +51,19 @@ impl Parser {
         if self.pos < self.toks.len() - 1 {
             self.pos += 1;
         }
+        if !matches!(t.kind, TokenKind::Newline | TokenKind::Eof) {
+            self.last_span = t.span;
+        }
         t
     }
 
     fn line(&self) -> u32 {
         self.peek().line
+    }
+
+    /// An error at the next token, carrying its span.
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.line(), msg).with_span(self.peek().span)
     }
 
     /// The literal spelling of the next token if it is a fully literal
@@ -71,10 +88,7 @@ impl Parser {
                 Ok(())
             }
             TokenKind::Eof => Ok(()),
-            _ => Err(ParseError::new(
-                self.line(),
-                format!("expected end of line after {what}"),
-            )),
+            _ => Err(self.err(format!("expected end of line after {what}"))),
         }
     }
 
@@ -82,10 +96,7 @@ impl Parser {
         self.eat_newlines();
         match self.peek().kind {
             TokenKind::Eof => Ok(()),
-            _ => Err(ParseError::new(
-                self.line(),
-                "unexpected text after script (stray 'end'?)".to_string(),
-            )),
+            _ => Err(self.err("unexpected text after script (stray 'end'?)")),
         }
     }
 
@@ -94,7 +105,7 @@ impl Parser {
             self.next();
             Ok(())
         } else {
-            Err(ParseError::new(self.line(), format!("expected '{kw}'")))
+            Err(self.err(format!("expected '{kw}'")))
         }
     }
 
@@ -104,46 +115,44 @@ impl Parser {
                 kind: TokenKind::Word(w),
                 ..
             } => Ok(w),
-            t => Err(ParseError::new(t.line, format!("expected {what}"))),
+            t => Err(ParseError::new(t.line, format!("expected {what}")).with_span(t.span)),
         }
     }
 
     fn next_number(&mut self, what: &str) -> Result<u64, ParseError> {
         let line = self.line();
+        let span = self.peek().span;
         let w = self.next_word(what)?;
         w.as_lit()
             .and_then(|s| s.parse::<u64>().ok())
-            .ok_or_else(|| ParseError::new(line, format!("expected a number for {what}")))
+            .ok_or_else(|| {
+                ParseError::new(line, format!("expected a number for {what}")).with_span(span)
+            })
     }
 
     /// Parse statements until one of `terminators` appears in command
     /// position (the terminator is not consumed).
     fn stmt_list(&mut self, terminators: &[&str]) -> Result<Block, ParseError> {
         let mut out = Vec::new();
+        let mut spans = Vec::new();
         loop {
             self.eat_newlines();
             match &self.peek().kind {
-                TokenKind::Eof => return Ok(out.into()),
+                TokenKind::Eof => return Ok(Block::with_spans(out, spans)),
                 TokenKind::Word(w) => {
                     if let Some(l) = w.as_lit() {
                         if terminators.contains(&l) {
-                            return Ok(out.into());
+                            return Ok(Block::with_spans(out, spans));
                         }
                         if l == "end" || l == "catch" || l == "else" {
-                            return Err(ParseError::new(
-                                self.line(),
-                                format!("'{l}' without a matching construct"),
-                            ));
+                            return Err(self.err(format!("'{l}' without a matching construct")));
                         }
                     }
+                    let start = self.peek().span.start;
                     out.push(self.stmt()?);
+                    spans.push(Span::new(start, self.last_span.end));
                 }
-                _ => {
-                    return Err(ParseError::new(
-                        self.line(),
-                        "statement cannot begin with a redirection",
-                    ))
-                }
+                _ => return Err(self.err("statement cannot begin with a redirection")),
             }
         }
     }
@@ -173,6 +182,7 @@ impl Parser {
     /// the `for`/`times` clauses are accepted.
     fn try_stmt(&mut self) -> Result<Stmt, ParseError> {
         let line = self.line();
+        let header_start = self.peek().span.start;
         self.expect_keyword("try")?;
         let mut spec = TrySpec::default();
         loop {
@@ -180,17 +190,10 @@ impl Parser {
                 Some("for") => {
                     self.next();
                     let n = self.next_number("a time limit")?;
-                    let unit_line = self.line();
-                    let unit = self.next_word("a time unit")?;
-                    let unit = unit
-                        .as_lit()
-                        .ok_or_else(|| ParseError::new(unit_line, "time unit must be literal"))?
-                        .to_string();
-                    let d = parse_duration(n, &unit).ok_or_else(|| {
-                        ParseError::new(unit_line, format!("unknown time unit '{unit}'"))
-                    })?;
+                    let d = self.time_unit(n)?;
                     if spec.time.replace(d).is_some() {
-                        return Err(ParseError::new(unit_line, "duplicate 'for' clause"));
+                        return Err(ParseError::new(self.line(), "duplicate 'for' clause")
+                            .with_span(self.last_span));
                     }
                 }
                 Some("or") => {
@@ -199,17 +202,10 @@ impl Parser {
                 Some("every") => {
                     self.next();
                     let n = self.next_number("an interval")?;
-                    let unit_line = self.line();
-                    let unit = self.next_word("a time unit")?;
-                    let unit = unit
-                        .as_lit()
-                        .ok_or_else(|| ParseError::new(unit_line, "time unit must be literal"))?
-                        .to_string();
-                    let d = parse_duration(n, &unit).ok_or_else(|| {
-                        ParseError::new(unit_line, format!("unknown time unit '{unit}'"))
-                    })?;
+                    let d = self.time_unit(n)?;
                     if spec.every.replace(d).is_some() {
-                        return Err(ParseError::new(unit_line, "duplicate 'every' clause"));
+                        return Err(ParseError::new(self.line(), "duplicate 'every' clause")
+                            .with_span(self.last_span));
                     }
                 }
                 Some(_) if self.looks_like_times() => {
@@ -219,12 +215,14 @@ impl Parser {
                     let n = u32::try_from(n)
                         .map_err(|_| ParseError::new(line, "attempt count too large"))?;
                     if spec.attempts.replace(n).is_some() {
-                        return Err(ParseError::new(line, "duplicate 'times' clause"));
+                        return Err(ParseError::new(line, "duplicate 'times' clause")
+                            .with_span(self.last_span));
                     }
                 }
                 _ => break,
             }
         }
+        spec.span = Span::new(header_start, self.last_span.end);
         self.expect_newline("'try' header")?;
         let body = self.stmt_list(&["catch", "end"])?;
         let catch = if self.peek_lit() == Some("catch") {
@@ -234,21 +232,42 @@ impl Parser {
         } else {
             None
         };
-        self.expect_keyword("end")
-            .map_err(|_| ParseError::new(line, "'try' without matching 'end'"))?;
+        self.expect_keyword("end").map_err(|_| {
+            ParseError::new(line, "'try' without matching 'end'").with_span(spec.span)
+        })?;
         self.expect_newline("'end'")?;
         Ok(Stmt::Try { spec, body, catch })
+    }
+
+    /// Parse the unit word of a `for`/`every` clause into a duration.
+    fn time_unit(&mut self, amount: u64) -> Result<retry::Dur, ParseError> {
+        let unit_line = self.line();
+        let unit_span = self.peek().span;
+        let unit = self.next_word("a time unit")?;
+        let unit = unit
+            .as_lit()
+            .ok_or_else(|| {
+                ParseError::new(unit_line, "time unit must be literal").with_span(unit_span)
+            })?
+            .to_string();
+        parse_duration(amount, &unit).ok_or_else(|| {
+            ParseError::new(unit_line, format!("unknown time unit '{unit}'")).with_span(unit_span)
+        })
     }
 
     fn function_stmt(&mut self) -> Result<Stmt, ParseError> {
         let line = self.line();
         self.expect_keyword("function")?;
         let name_line = self.line();
+        let name_span = self.peek().span;
         let name = self.next_word("a function name")?;
         let name = name
             .as_lit()
             .filter(|n| is_ident(n))
-            .ok_or_else(|| ParseError::new(name_line, "function name must be an identifier"))?
+            .ok_or_else(|| {
+                ParseError::new(name_line, "function name must be an identifier")
+                    .with_span(name_span)
+            })?
             .to_string();
         self.expect_newline("'function' header")?;
         let body = self.stmt_list(&["end"])?;
@@ -268,7 +287,7 @@ impl Parser {
             return false;
         }
         match &self.toks.get(self.pos + 1).map(|t| &t.kind) {
-            Some(TokenKind::Word(w)) => matches!(w.as_lit(), Some("times") | Some("time")),
+            Some(TokenKind::Word(w)) => matches!(w.as_lit(), Some("times" | "time")),
             _ => false,
         }
     }
@@ -278,11 +297,14 @@ impl Parser {
         let kw = if all { "forall" } else { "forany" };
         self.expect_keyword(kw)?;
         let var_line = self.line();
+        let var_span = self.peek().span;
         let var = self.next_word("a loop variable")?;
         let var = var
             .as_lit()
             .filter(|v| is_ident(v))
-            .ok_or_else(|| ParseError::new(var_line, "loop variable must be an identifier"))?
+            .ok_or_else(|| {
+                ParseError::new(var_line, "loop variable must be an identifier").with_span(var_span)
+            })?
             .to_string();
         self.expect_keyword("in")?;
         let mut values = Vec::new();
@@ -312,12 +334,14 @@ impl Parser {
         self.expect_keyword("if")?;
         let lhs = self.next_word("a comparison operand")?;
         let op_line = self.line();
+        let op_span = self.peek().span;
         let op = self.next_word("a comparison operator")?;
         let op = op.as_lit().and_then(CondOp::from_spelling).ok_or_else(|| {
             ParseError::new(
                 op_line,
                 "expected .lt. .le. .gt. .ge. .eq. .ne. .eql. or .neql.",
             )
+            .with_span(op_span)
         })?;
         let rhs = self.next_word("a comparison operand")?;
         self.expect_newline("'if' condition")?;
@@ -342,6 +366,7 @@ impl Parser {
     fn command_or_assign(&mut self) -> Result<Stmt, ParseError> {
         let line = self.line();
         let first = self.next_word("a command")?;
+        let first_span = first.span();
 
         // Assignment: a lone word of the shape name=value.
         if matches!(self.peek().kind, TokenKind::Newline | TokenKind::Eof) {
@@ -363,7 +388,8 @@ impl Parser {
                         return Err(ParseError::new(
                             line,
                             "command arguments must precede redirections",
-                        ));
+                        )
+                        .with_span(w.span()));
                     }
                     cmd.words.push(w);
                 }
@@ -397,7 +423,7 @@ impl Parser {
                 }
                 TokenKind::Newline | TokenKind::Eof => break,
                 TokenKind::Equals => {
-                    return Err(ParseError::new(line, "unexpected '='"));
+                    return Err(ParseError::new(line, "unexpected '='").with_span(first_span));
                 }
             }
         }
@@ -420,9 +446,8 @@ pub fn is_ident(s: &str) -> bool {
 fn split_assignment(w: &Word) -> Option<(String, Word)> {
     use crate::ast::Seg;
     let segs = w.segs();
-    let first = match segs.first() {
-        Some(Seg::Lit(l)) => l,
-        _ => return None,
+    let Some(Seg::Lit(first)) = segs.first() else {
+        return None;
     };
     let eq = first.find('=')?;
     let name = &first[..eq];
@@ -435,7 +460,10 @@ fn split_assignment(w: &Word) -> Option<(String, Word)> {
         value_segs.push(Seg::Lit(rest.to_string()));
     }
     value_segs.extend(segs[1..].iter().cloned());
-    Some((name.to_string(), Word::from_segs(value_segs)))
+    Some((
+        name.to_string(),
+        Word::from_segs(value_segs).with_span(w.span()),
+    ))
 }
 
 #[cfg(test)]
@@ -705,6 +733,66 @@ mod tests {
         assert!(s.is_empty());
         let s = parse("\n\n\n").unwrap();
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn statement_spans_resolve_to_source_lines() {
+        use crate::errors::line_col;
+        let src = "wget url\ntry for 5 minutes\n  gunzip f\nend\nx=1\n";
+        let s = parse(src).unwrap();
+        // Top-level statement spans point at their first token.
+        let (l0, c0) = line_col(src, s.stmts.span_of(0).start);
+        assert_eq!((l0, c0), (1, 1));
+        let (l1, _) = line_col(src, s.stmts.span_of(1).start);
+        assert_eq!(l1, 2);
+        // The try construct's span runs through its `end`.
+        let (lend, _) = line_col(src, s.stmts.span_of(1).end - 1);
+        assert_eq!(lend, 4);
+        let (l2, _) = line_col(src, s.stmts.span_of(2).start);
+        assert_eq!(l2, 5);
+        // Nested body statements carry their own spans.
+        match &s.stmts[1] {
+            Stmt::Try { spec, body, .. } => {
+                let (lb, cb) = line_col(src, body.span_of(0).start);
+                assert_eq!((lb, cb), (3, 3));
+                // The try header span covers `try for 5 minutes`.
+                assert_eq!(
+                    &src[spec.span.start as usize..spec.span.end as usize],
+                    "try for 5 minutes"
+                );
+            }
+            _ => panic!(),
+        }
+        // Word spans slice back to their source spelling.
+        match &s.stmts[0] {
+            Stmt::Command(c) => {
+                let sp = c.words[1].span();
+                assert_eq!(&src[sp.start as usize..sp.end as usize], "url");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_spans() {
+        let src = "try for 5 fortnights\nx\nend\n";
+        let e = parse(src).unwrap_err();
+        let sp = e.span.expect("span");
+        assert_eq!(&src[sp.start as usize..sp.end as usize], "fortnights");
+        let r = e.render(src);
+        assert!(r.contains("parse error at 1:11"), "{r}");
+        assert!(r.contains("^^^^^^^^^^"), "{r}");
+
+        // A construct left open points back at its header.
+        let e = parse("try for 5 minutes\nx\n").unwrap_err();
+        let sp = e.span.expect("span");
+        assert_eq!(sp.start, 0);
+
+        // Stray terminator points at itself.
+        let src = "wget u\nend\n";
+        let e = parse(src).unwrap_err();
+        let sp = e.span.expect("span");
+        assert_eq!(&src[sp.start as usize..sp.end as usize], "end");
     }
 
     #[test]

@@ -597,9 +597,8 @@ impl Vm {
     /// Run one task until it blocks or finishes. Returns `Some(result)`
     /// when the task's stack empties.
     fn run_task(&mut self, tid: TaskId, task: &mut Task) -> Option<bool> {
-        let mut ctl = match task.state {
-            TaskState::Ready(c) => c,
-            _ => return None,
+        let TaskState::Ready(mut ctl) = task.state else {
+            return None;
         };
         // Mark as consumed; we will set a new state before blocking.
         task.state = TaskState::WaitingChildren; // placeholder, always overwritten

@@ -54,6 +54,7 @@ fn gen_try_spec(rng: &mut StdRng) -> TrySpec {
         time,
         attempts,
         every,
+        ..TrySpec::default()
     }
 }
 
@@ -154,6 +155,7 @@ fn gen_stmt(rng: &mut StdRng, depth: u32) -> Stmt {
                 time: Some(gen_dur(rng)),
                 attempts: None,
                 every: None,
+                ..TrySpec::default()
             },
             body: gen_block(rng, depth + 1),
             catch: None,
@@ -177,6 +179,68 @@ fn gen_script(rng: &mut StdRng) -> Script {
     }
 }
 
+/// Check every statement span in `block` against the source `text` and
+/// the span of its enclosing construct: known, in bounds, ordered and
+/// disjoint within the block, nested inside the parent, and with word /
+/// try-header spans contained in their statement's span.
+fn check_spans(block: &Block, text: &str, enclosing: ftsh::Span) {
+    let mut prev_end = enclosing.start;
+    for (stmt, span) in block.iter_spanned() {
+        assert!(span.is_known(), "unspanned stmt {stmt:?} in:\n{text}");
+        assert!(
+            span.start < span.end && (span.end as usize) <= text.len(),
+            "span {span:?} out of bounds in:\n{text}"
+        );
+        assert!(
+            span.start >= prev_end,
+            "sibling spans overlap at {span:?} in:\n{text}"
+        );
+        assert!(
+            span.start >= enclosing.start && span.end <= enclosing.end,
+            "stmt span {span:?} escapes enclosing {enclosing:?} in:\n{text}"
+        );
+        prev_end = span.end;
+        let contains = |inner: ftsh::Span| inner.start >= span.start && inner.end <= span.end;
+        match stmt {
+            Stmt::Command(c) => {
+                for w in &c.words {
+                    assert!(
+                        w.span().is_known() && contains(w.span()),
+                        "word span {:?} outside stmt {span:?} in:\n{text}",
+                        w.span()
+                    );
+                }
+            }
+            Stmt::Try { spec, body, catch } => {
+                assert!(
+                    spec.span.is_known() && contains(spec.span),
+                    "try header span {:?} outside stmt {span:?} in:\n{text}",
+                    spec.span
+                );
+                assert!(
+                    text[spec.span.start as usize..].starts_with("try"),
+                    "header span must start at the keyword in:\n{text}"
+                );
+                check_spans(body, text, span);
+                if let Some(c) = catch {
+                    check_spans(c, text, span);
+                }
+            }
+            Stmt::ForAny { body, .. } | Stmt::ForAll { body, .. } => {
+                check_spans(body, text, span);
+            }
+            Stmt::If { then, els, .. } => {
+                check_spans(then, text, span);
+                if let Some(e) = els {
+                    check_spans(e, text, span);
+                }
+            }
+            Stmt::Function { body, .. } => check_spans(body, text, span),
+            Stmt::Assign { .. } | Stmt::Failure | Stmt::Success => {}
+        }
+    }
+}
+
 proptest! {
     /// The printer is a right inverse of the parser on generated ASTs.
     #[test]
@@ -189,5 +253,24 @@ proptest! {
         prop_assert_eq!(&reparsed, &script, "not a fixpoint:\n---\n{}", text);
         // And the fixpoint is stable: printing again changes nothing.
         prop_assert_eq!(pretty(&reparsed), text);
+    }
+
+    /// Reparsing pretty output attaches a well-formed span to every
+    /// node: spans exist, sit inside their parents, never overlap among
+    /// siblings, and the spanned AST still equals the original (spans
+    /// are metadata, not identity).
+    #[test]
+    fn reparse_of_pretty_output_is_fully_spanned(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let script = gen_script(&mut rng);
+        let text = pretty(&script);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("pretty output must parse: {e}\n---\n{text}"));
+        check_spans(
+            &reparsed.stmts,
+            &text,
+            ftsh::Span::new(0, text.len() as u32),
+        );
+        prop_assert_eq!(reparsed, script);
     }
 }

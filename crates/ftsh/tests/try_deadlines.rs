@@ -8,13 +8,14 @@ use ftsh::parse;
 use ftsh::vm::{Effect, Vm, VmStatus};
 use proptest::prelude::*;
 use retry::{Dur, Time};
+use std::fmt::Write as _;
 
 /// Build `try for <outer> s` wrapping `depth` nested inner tries (each
 /// `for <inner[i]> s`) around a single command.
 fn nested_try_script(outer_secs: u64, inner_secs: &[u64]) -> String {
     let mut src = format!("try for {outer_secs} seconds\n");
     for s in inner_secs {
-        src.push_str(&format!("try for {s} seconds\n"));
+        let _ = writeln!(src, "try for {s} seconds");
     }
     src.push_str("wget http://server/data\n");
     for _ in inner_secs {

@@ -45,6 +45,7 @@ fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
                     time: Some(Dur::from_secs(secs + 1)),
                     attempts: Some(attempts),
                     every: None,
+                    ..TrySpec::default()
                 },
                 body: b.into(),
                 catch: c.map(Into::into),

@@ -1,0 +1,291 @@
+//! Worst-case retry-budget envelopes.
+//!
+//! The envelope of a statement is a supremum on the wall-clock time the
+//! *control structure itself* can consume: backoff delays between
+//! attempts and deadline-bounded regions. External commands are charged
+//! zero — the analysis bounds the overhead a retry discipline adds, not
+//! the work being retried — so a time-limited `try` contributes its
+//! deadline (the VM kills at the deadline regardless of what the body
+//! does), while an attempt-limited `try` contributes its worst-case
+//! backoff total plus `n` bodies.
+//!
+//! The backoff arithmetic follows §4 of the paper: base delay 1 s,
+//! doubled per consecutive failure, capped at 1 h, then multiplied by a
+//! random spreading factor drawn from [1, 2). The supremum takes the
+//! jitter at its (open) upper edge, so the bound is tight but not
+//! attained. [`Dur::MAX`] is the "unbounded" sentinel and prints as
+//! `forever`.
+
+use ftsh::{Script, Stmt};
+use retry::Dur;
+use std::collections::HashMap;
+
+/// The paper's base delay (1 s).
+pub const BASE: Dur = Dur::from_secs(1);
+/// The paper's delay cap (1 h).
+pub const CAP: Dur = Dur::from_hours(1);
+/// Open upper edge of the paper's random spreading factor [1, 2).
+pub const JITTER_HI: f64 = 2.0;
+
+/// Supremum of the total exponential-backoff delay across `delays`
+/// consecutive failures under the paper's policy: the k-th delay is
+/// `min(base * 2^(k-1), cap) * jitter`, `jitter < 2`.
+///
+/// ```
+/// use ftshlint::budget::worst_backoff_total;
+/// use retry::Dur;
+///
+/// // try 5 times: four delays of sup 2,4,8,16 s.
+/// assert_eq!(worst_backoff_total(4), Dur::from_secs(30));
+/// ```
+pub fn worst_backoff_total(delays: u32) -> Dur {
+    worst_backoff_total_with(BASE, CAP, JITTER_HI, delays)
+}
+
+/// [`worst_backoff_total`] under an explicit doubling policy.
+pub fn worst_backoff_total_with(base: Dur, cap: Dur, jitter_hi: f64, delays: u32) -> Dur {
+    let cap_us = cap.as_micros() as u128;
+    let mut d = base.as_micros() as u128;
+    let mut sum: u128 = 0;
+    let mut k: u64 = 0;
+    let m = u64::from(delays);
+    // Doubling reaches the cap within ~64 iterations; the rest of the
+    // delays sit at the cap and are charged in closed form.
+    while k < m && d < cap_us {
+        sum += d;
+        d *= 2;
+        k += 1;
+    }
+    sum += u128::from(m - k) * cap_us;
+    let jittered = (sum as f64) * jitter_hi;
+    if jittered >= u64::MAX as f64 {
+        Dur::MAX
+    } else {
+        Dur::from_micros(jittered.round() as u64)
+    }
+}
+
+fn sat_mul(d: Dur, n: u64) -> Dur {
+    if d == Dur::MAX {
+        return Dur::MAX;
+    }
+    Dur::from_micros(d.as_micros().saturating_mul(n))
+}
+
+fn sat_add(a: Dur, b: Dur) -> Dur {
+    if a == Dur::MAX || b == Dur::MAX {
+        return Dur::MAX;
+    }
+    Dur::from_micros(a.as_micros().saturating_add(b.as_micros()))
+}
+
+/// Envelope analysis over one script. Function bodies are charged at
+/// their call sites (by literal argv0 lookup, definitions-in-order);
+/// unknown commands are external work and cost zero.
+pub struct Envelope {
+    funcs: HashMap<String, Dur>,
+}
+
+impl Envelope {
+    /// Worst-case retry envelope of a whole script.
+    pub fn of_script(script: &Script) -> Dur {
+        let mut e = Envelope {
+            funcs: HashMap::new(),
+        };
+        e.block(&script.stmts)
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Dur {
+        let mut total = Dur::ZERO;
+        for s in stmts {
+            total = sat_add(total, self.stmt(s));
+        }
+        total
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Dur {
+        match stmt {
+            Stmt::Command(c) => c
+                .words
+                .first()
+                .and_then(|w| w.as_lit())
+                .and_then(|name| self.funcs.get(name).copied())
+                .unwrap_or(Dur::ZERO),
+            Stmt::Assign { .. } | Stmt::Failure | Stmt::Success => Dur::ZERO,
+            Stmt::Function { name, body } => {
+                // Self/forward recursion resolves to zero: by the time
+                // the body is costed, the name is not yet in the map.
+                let cost = self.block(body);
+                self.funcs.insert(name.clone(), cost);
+                Dur::ZERO
+            }
+            Stmt::If { then, els, .. } => {
+                let t = self.block(then);
+                let e = els.as_ref().map(|b| self.block(b)).unwrap_or(Dur::ZERO);
+                t.max(e)
+            }
+            Stmt::ForAny { values, body, .. } => {
+                // Sequential worst case: every alternative is attempted.
+                sat_mul(self.block(body), values.len() as u64)
+            }
+            Stmt::ForAll { body, .. } => {
+                // Parallel branches share the same body; the slowest
+                // branch bounds the join.
+                self.block(body)
+            }
+            Stmt::Try { spec, body, catch } => {
+                let body_env = self.block(body);
+                let by_attempts = match spec.attempts {
+                    Some(n) if body_env != Dur::MAX => {
+                        let attempts = sat_mul(body_env, u64::from(n));
+                        let delays = n.saturating_sub(1);
+                        let waits = match spec.every {
+                            Some(e) => sat_mul(e, u64::from(delays)),
+                            None => worst_backoff_total(delays),
+                        };
+                        sat_add(attempts, waits)
+                    }
+                    _ => Dur::MAX,
+                };
+                let per_try = match spec.time {
+                    // The deadline kills whatever is left, so it bounds
+                    // the region even when the attempt bound does not.
+                    Some(t) => t.min(by_attempts),
+                    None => by_attempts,
+                };
+                let catch_env = catch.as_ref().map(|b| self.block(b)).unwrap_or(Dur::ZERO);
+                sat_add(per_try, catch_env)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsh::parse;
+
+    fn envelope(src: &str) -> Dur {
+        Envelope::of_script(&parse(src).unwrap())
+    }
+
+    /// The paper's policy: delays sup 2*min(2^(k-1), 3600) seconds.
+    #[test]
+    fn backoff_totals_match_paper_policy() {
+        assert_eq!(worst_backoff_total(0), Dur::ZERO);
+        // One delay: base 1 s, jitter sup 2.
+        assert_eq!(worst_backoff_total(1), Dur::from_secs(2));
+        // try 5 times: 2*(1+2+4+8) = 30 s.
+        assert_eq!(worst_backoff_total(4), Dur::from_secs(30));
+        // try 10 times: 2*(2^9 - 1) = 1022 s.
+        assert_eq!(worst_backoff_total(9), Dur::from_secs(1022));
+        // try 13 times: 2*(2^12 - 1) = 8190 s.
+        assert_eq!(worst_backoff_total(12), Dur::from_secs(8190));
+        // try 15 times: the 13th and 14th delays hit the 1 h cap:
+        // 2*4095 + 2*2*3600 = 22590 s.
+        assert_eq!(worst_backoff_total(14), Dur::from_secs(22_590));
+    }
+
+    #[test]
+    fn capped_tail_is_charged_in_closed_form() {
+        // 1000 delays: 12 uncapped (sum 4095 s), 988 at the cap.
+        let want = Dur::from_secs(2 * (4095 + 988 * 3600));
+        assert_eq!(worst_backoff_total(1000), want);
+        // Absurd counts saturate instead of overflowing.
+        assert_eq!(worst_backoff_total(u32::MAX), Dur::MAX);
+    }
+
+    #[test]
+    fn attempt_limited_try_sums_bodies_and_backoff() {
+        assert_eq!(envelope("try 5 times\n  work\nend\n"), Dur::from_secs(30));
+        assert_eq!(
+            envelope("try 10 times\n  work\nend\n"),
+            Dur::from_secs(1022)
+        );
+        assert_eq!(
+            envelope("try 15 times\n  work\nend\n"),
+            Dur::from_secs(22_590)
+        );
+    }
+
+    #[test]
+    fn every_overrides_backoff() {
+        assert_eq!(
+            envelope("try 4 times every 10 seconds\n  work\nend\n"),
+            Dur::from_secs(30)
+        );
+    }
+
+    #[test]
+    fn deadline_bounds_the_region() {
+        assert_eq!(
+            envelope("try for 5 minutes\n  work\nend\n"),
+            Dur::from_mins(5)
+        );
+        // The attempt bound is tighter than the deadline here.
+        assert_eq!(
+            envelope("try for 1 hour or 5 times\n  work\nend\n"),
+            Dur::from_secs(30)
+        );
+        // ... and the deadline is tighter than 10 attempts' backoff.
+        assert_eq!(
+            envelope("try for 2 minutes or 10 times\n  work\nend\n"),
+            Dur::from_mins(2)
+        );
+    }
+
+    #[test]
+    fn unbounded_try_is_forever() {
+        assert_eq!(envelope("try\n  work\nend\n"), Dur::MAX);
+        // An enclosing deadline restores the bound.
+        assert_eq!(
+            envelope("try for 10 minutes\n  try\n    work\n  end\nend\n"),
+            Dur::from_mins(10)
+        );
+    }
+
+    #[test]
+    fn structure_composes() {
+        // forany multiplies by alternatives; catch adds.
+        assert_eq!(
+            envelope("forany h in a b\n  try 5 times\n    f ${h}\n  end\nend\n"),
+            Dur::from_secs(60)
+        );
+        assert_eq!(
+            envelope("try 5 times\n  work\ncatch\n  try 5 times\n    cleanup\n  end\nend\n"),
+            Dur::from_secs(60)
+        );
+        // forall joins on the slowest branch, not the sum.
+        assert_eq!(
+            envelope("forall h in a b c\n  try 5 times\n    f ${h}\n  end\nend\n"),
+            Dur::from_secs(30)
+        );
+        // if takes the worse arm.
+        assert_eq!(
+            envelope(
+                "if ${x} .lt. 1\n  try 5 times\n    a\n  end\nelse\n  try 10 times\n    b\n  end\nend\n"
+            ),
+            Dur::from_secs(1022)
+        );
+    }
+
+    #[test]
+    fn function_bodies_charge_at_call_sites() {
+        let src = "function f\n  try 5 times\n    work\n  end\nend\nf\nf\n";
+        assert_eq!(envelope(src), Dur::from_secs(60));
+        // Never-called functions cost nothing.
+        let src = "function f\n  try 5 times\n    work\n  end\nend\ntrue\n";
+        assert_eq!(envelope(src), Dur::ZERO);
+    }
+
+    #[test]
+    fn nested_attempts_multiply() {
+        // Outer 3 attempts of (2 inner attempts + 2 s inner backoff) +
+        // outer backoff 2*(1+2) = 6: 3*2 + 6 = inner bodies are zero,
+        // so 3*(2 s) + 6 s = 12 s.
+        assert_eq!(
+            envelope("try 3 times\n  try 2 times\n    work\n  end\nend\n"),
+            Dur::from_secs(12)
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! The lint gate over the conformance corpus and the example scripts:
+//! every script must be lint-clean or carry exactly its expected
+//! diagnostics. CI runs this test in the `lint-corpus` job.
+
+use ftshlint::{lint, Discipline, Options};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../bench/conformance")
+}
+
+fn examples_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/ftsh")
+}
+
+fn scripts(dir: &Path) -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ftsh"))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Rules a script is *expected* to trip, by file name. Anything not
+/// listed here must lint clean (its annotations included).
+fn expected(name: &str) -> BTreeSet<&'static str> {
+    match name {
+        "aloha_submit.ftsh" => ["unbounded-try", "no-carrier-sense"].into(),
+        "fixed_hammer.ftsh" => ["retry-without-backoff-room"].into(),
+        _ => BTreeSet::new(),
+    }
+}
+
+#[test]
+fn conformance_corpus_is_lint_clean() {
+    let files = scripts(&corpus_dir());
+    assert_eq!(files.len(), 15, "corpus moved?");
+    for path in files {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let report = lint(&src, &Options::default())
+            .unwrap_or_else(|e| panic!("{}: {}", path.display(), e.render(&src)));
+        let got: BTreeSet<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+        assert!(
+            got.is_empty(),
+            "{} has unexpected findings: {:?}",
+            path.display(),
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn examples_carry_exactly_their_expected_diagnostics() {
+    let files = scripts(&examples_dir());
+    assert_eq!(files.len(), 3, "examples moved?");
+    for path in files {
+        let name = path.file_name().unwrap().to_str().unwrap().to_string();
+        let src = std::fs::read_to_string(&path).unwrap();
+        let report = lint(&src, &Options::default())
+            .unwrap_or_else(|e| panic!("{name}: {}", e.render(&src)));
+        let got: BTreeSet<&str> = report.diagnostics.iter().map(|d| d.rule).collect();
+        assert_eq!(
+            got,
+            expected(&name),
+            "{name}: findings {:?}",
+            report.diagnostics
+        );
+    }
+}
+
+/// The acceptance pair: the deliberately Aloha-shaped example is
+/// flagged as such, and the paper's nested-try corpus idiom passes.
+#[test]
+fn aloha_example_flags_and_nested_ethernet_passes() {
+    let aloha = std::fs::read_to_string(examples_dir().join("aloha_submit.ftsh")).unwrap();
+    let r = lint(&aloha, &Options::default()).unwrap();
+    let rules: Vec<&str> = r.diagnostics.iter().map(|d| d.rule).collect();
+    assert!(rules.contains(&"no-carrier-sense"), "{rules:?}");
+    assert!(rules.contains(&"unbounded-try"), "{rules:?}");
+    assert_eq!(r.discipline, Discipline::Aloha);
+    // Both findings point at the `try` header in the source.
+    for d in &r.diagnostics {
+        assert_eq!(&aloha[d.span.start as usize..d.span.end as usize], "try");
+    }
+
+    let nested = std::fs::read_to_string(corpus_dir().join("12_nested_ethernet.ftsh")).unwrap();
+    let r = lint(&nested, &Options::default()).unwrap();
+    assert!(r.is_clean(), "{:?}", r.diagnostics);
+    assert_eq!(r.discipline, Discipline::Ethernet);
+}
+
+/// Classification of the three example personalities matches §5.
+#[test]
+fn example_disciplines_match_their_names() {
+    for (file, want) in [
+        ("ethernet_submit.ftsh", Discipline::Ethernet),
+        ("aloha_submit.ftsh", Discipline::Aloha),
+        ("fixed_hammer.ftsh", Discipline::Fixed),
+    ] {
+        let src = std::fs::read_to_string(examples_dir().join(file)).unwrap();
+        let r = lint(&src, &Options::default()).unwrap();
+        assert_eq!(r.discipline, want, "{file}");
+    }
+}

@@ -52,9 +52,8 @@ fn main() -> ExitCode {
             "--downtime-ms" => cfg.downtime = Duration::from_millis(next_parse!(u64)),
             "--deadline-ms" => cfg.deadline = Duration::from_millis(next_parse!(u64)),
             "--faults" => {
-                let path = match it.next() {
-                    Some(p) => p,
-                    None => return usage(),
+                let Some(path) = it.next() else {
+                    return usage();
                 };
                 let text = match std::fs::read_to_string(&path) {
                     Ok(t) => t,

@@ -513,9 +513,8 @@ fn serve_connection(inner: &Inner, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(inner.cfg.deadline));
     let _ = stream.set_write_timeout(Some(inner.cfg.deadline));
     loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(p) => p,
-            Err(_) => return, // EOF, deadline, or reset: drop the conn
+        let Ok(payload) = read_frame(&mut stream) else {
+            return; // EOF, deadline, or reset: drop the conn
         };
         let req = match Request::decode(&payload) {
             Ok(r) => r,

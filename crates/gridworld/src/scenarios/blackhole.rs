@@ -411,7 +411,7 @@ pub fn run_blackhole_traced(
     trace: Option<SharedSink>,
 ) -> BlackHoleOutcome {
     let mut world = BlackHoleWorld::new(params.clone());
-    world.trace = trace.clone();
+    world.trace.clone_from(&trace);
     let mut vms = Vec::with_capacity(params.n_clients);
     let mut rng = SimRng::new(params.seed ^ 0x5e1f);
     for _ in 0..params.n_clients {

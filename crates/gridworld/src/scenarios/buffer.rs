@@ -514,7 +514,7 @@ pub fn run_buffer_traced(
     trace: Option<SharedSink>,
 ) -> BufferOutcome {
     let mut world = BufferWorld::new(params.clone());
-    world.trace = trace.clone();
+    world.trace.clone_from(&trace);
     let rng = SimRng::new(params.seed ^ 0xD15C);
     let vms: Vec<Vm> = (0..params.n_producers)
         .map(|c| {

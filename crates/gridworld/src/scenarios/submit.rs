@@ -577,7 +577,7 @@ pub fn run_submission_traced(
     trace: Option<SharedSink>,
 ) -> SubmitOutcome {
     let mut world = SubmitWorld::new(params.clone());
-    world.trace = trace.clone();
+    world.trace.clone_from(&trace);
     let mut rng = SimRng::new(params.seed ^ 0xC11E);
     let vms: Vec<Vm> = (0..params.n_clients)
         .map(|c| {

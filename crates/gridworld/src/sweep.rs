@@ -172,9 +172,7 @@ mod tests {
     fn panicking_point_is_identified() {
         let items: Vec<usize> = (0..8).collect();
         let _ = map_with_threads(4, &items, |&i| {
-            if i == 3 {
-                panic!("point {i} exploded");
-            }
+            assert!(i != 3, "point {i} exploded");
             i
         });
     }
@@ -184,9 +182,7 @@ mod tests {
         let items: Vec<usize> = (0..16).collect();
         let res = std::panic::catch_unwind(|| {
             map_with_threads(4, &items, |&i| {
-                if i % 2 == 1 {
-                    panic!("odd point {i}");
-                }
+                assert!(i % 2 != 1, "odd point {i}");
                 i
             })
         });

@@ -4,11 +4,20 @@
 //! ftsh SCRIPT.ftsh        run a script file
 //! ftsh -c 'try ... end'   run an inline script
 //! ftsh --check SCRIPT     parse only, report errors
+//! ftsh --lint SCRIPT      parse and statically analyze (ftshlint)
 //! ftsh --pretty SCRIPT    parse and print the canonical form
 //! ftsh --log SCRIPT       run and dump the execution log afterwards
 //! ftsh --timeline SCRIPT  run and render per-task swimlanes
 //! ftsh --trace OUT.jsonl  run and stream a structured trace (JSONL)
 //! ftsh --repl             interactive session (variables persist)
+//! ```
+//!
+//! Lint options (with `--lint`):
+//!
+//! ```text
+//! --max-budget DUR        reject scripts whose worst-case retry
+//!                         envelope exceeds DUR ('90s', '2 hours')
+//! --define NAME           pre-bind a variable for the dataflow rules
 //! ```
 //!
 //! Backoff tuning (the paper's defaults are 1 s base, 1 h cap, with a
@@ -21,8 +30,10 @@
 //! --seed N                fix the jitter RNG (reproducible runs)
 //! ```
 //!
-//! Exit status: 0 if the script succeeded, 1 if it failed, 2 on usage
-//! or parse errors.
+//! Exit status: **0** if the script succeeded (or `--check`/`--lint`
+//! found nothing), **1** if the script ran and failed, **2** on usage
+//! errors, parse errors, or lint findings — so callers can tell "the
+//! work failed" (retryable) from "the script is malformed" (not).
 
 use ftsh::{parse, pretty, LogKind, Vm};
 use procman::{run_vm_traced, RealOptions};
@@ -31,13 +42,23 @@ use retry::{BackoffPolicy, Dur};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: ftsh [--check|--pretty|--log] SCRIPT\n       ftsh -c 'script text'");
+    eprintln!("usage: ftsh [--check|--lint|--pretty|--log] SCRIPT\n       ftsh -c 'script text'");
     ExitCode::from(2)
+}
+
+/// Parse `'90s'`, `'10 m'`, `'2 hours'`: digits, then a unit word.
+fn parse_dur_arg(s: &str) -> Option<Dur> {
+    let s = s.trim();
+    let split = s.find(|c: char| !c.is_ascii_digit())?;
+    let amount: u64 = s[..split].parse().ok()?;
+    retry::parse_duration(amount, s[split..].trim())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut check = false;
+    let mut do_lint = false;
+    let mut lint_opts = ftshlint::Options::default();
     let mut show_pretty = false;
     let mut show_log = false;
     let mut show_timeline = false;
@@ -53,6 +74,15 @@ fn main() -> ExitCode {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--check" => check = true,
+            "--lint" => do_lint = true,
+            "--max-budget" => match it.next().as_deref().and_then(parse_dur_arg) {
+                Some(d) => lint_opts.max_budget = Some(d),
+                None => return usage(),
+            },
+            "--define" => match it.next() {
+                Some(name) => lint_opts.defines.push(name),
+                None => return usage(),
+            },
             "--pretty" => show_pretty = true,
             "--log" => show_log = true,
             "--timeline" => show_timeline = true,
@@ -97,9 +127,9 @@ fn main() -> ExitCode {
         }
     }
 
-    let source = match (inline, path) {
+    let source = match (inline, &path) {
         (Some(s), None) => s,
-        (None, Some(p)) => match std::fs::read_to_string(&p) {
+        (None, Some(p)) => match std::fs::read_to_string(p) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("ftsh: cannot read {p}: {e}");
@@ -112,7 +142,8 @@ fn main() -> ExitCode {
     let script = match parse(&source) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("ftsh: {e}");
+            // Line:col plus a caret excerpt pointing at the offender.
+            eprintln!("ftsh: {}", e.render(&source));
             return ExitCode::from(2);
         }
     };
@@ -120,6 +151,25 @@ fn main() -> ExitCode {
     if show_pretty {
         print!("{}", pretty(&script));
         return ExitCode::SUCCESS;
+    }
+    if do_lint {
+        let file = path.as_deref().unwrap_or("<inline>");
+        let report = ftshlint::lint_script(&script, &source, &lint_opts);
+        for d in &report.diagnostics {
+            eprintln!("{}\n", d.render(file, &source));
+        }
+        eprintln!(
+            "ftsh: lint: {} finding(s), {} suppressed; discipline {}, worst-case envelope {}",
+            report.diagnostics.len(),
+            report.suppressed,
+            report.discipline,
+            report.envelope,
+        );
+        return if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(2)
+        };
     }
     if check {
         return ExitCode::SUCCESS;

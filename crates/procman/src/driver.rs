@@ -163,7 +163,7 @@ pub fn run_vm(mut vm: Vm, opts: &RealOptions) -> RealReport {
                             ));
                         });
                     }
-                    Err(SpawnError::Spawn(_)) | Err(SpawnError::Redirect(_)) => {
+                    Err(SpawnError::Spawn(_) | SpawnError::Redirect(_)) => {
                         // "The program could not be loaded and run" is
                         // just another untyped failure.
                         vm.complete(token, CmdResult::fail());

@@ -109,7 +109,7 @@ impl Repl {
             if !snippet.trim().is_empty() {
                 match self.eval(&snippet) {
                     Ok(ok) => {
-                        last_status = if ok { 0 } else { 1 };
+                        last_status = i32::from(!ok);
                         let _ = writeln!(output, "{}", if ok { "ok" } else { "failed" });
                     }
                     Err(e) => {

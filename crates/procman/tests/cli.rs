@@ -23,7 +23,33 @@ fn parse_error_exits_2() {
         .unwrap();
     assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("line"), "diagnostic mentions the line: {err}");
+    assert!(
+        err.contains("parse error at 1:1"),
+        "diagnostic carries line:col: {err}"
+    );
+}
+
+#[test]
+fn parse_error_points_a_caret_at_the_offender() {
+    // Regression: a known-bad script must produce a line:col diagnostic
+    // with a caret excerpt under the offending token.
+    let dir = std::env::temp_dir().join(format!("ftsh-caret-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.ftsh");
+    std::fs::write(&path, "wget url\ntry for 9 fortnights\n  x\nend\n").unwrap();
+    let out = ftsh().arg(path.to_str().unwrap()).output().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("parse error at 2:11"),
+        "line:col of the bad unit: {err}"
+    );
+    assert!(
+        err.contains("2 | try for 9 fortnights"),
+        "source excerpt: {err}"
+    );
+    assert!(err.contains("^^^^^^^^^^"), "caret under the token: {err}");
 }
 
 #[test]
@@ -97,6 +123,91 @@ fn usage_error_on_bad_flags() {
     assert_eq!(st.code(), Some(2));
     let st = ftsh().args(["-c"]).status().unwrap();
     assert_eq!(st.code(), Some(2));
+}
+
+#[test]
+fn lint_findings_exit_2_and_script_failure_exits_1() {
+    // The exit-code contract: a script that *runs and fails* is 1
+    // (retryable work), a script the analyzer rejects is 2 (malformed).
+    let st = ftsh().args(["-c", "false\n"]).status().unwrap();
+    assert_eq!(st.code(), Some(1), "script failure is exit 1");
+
+    let out = ftsh()
+        .args(["--lint", "-c", "try\n  submit job\nend\n"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "lint findings are exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unbounded-try"), "{err}");
+    assert!(err.contains("no-carrier-sense"), "{err}");
+    assert!(err.contains("discipline Aloha"), "{err}");
+
+    // A clean script lints silently and never executes.
+    let st = ftsh()
+        .args(["--lint", "-c", "definitely-not-a-real-program\n"])
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(0), "--lint never executes");
+}
+
+#[test]
+fn lint_max_budget_rejects_wide_envelopes() {
+    // try 10 times: worst-case backoff envelope 2*(2^9 - 1) = 1022 s.
+    let out = ftsh()
+        .args([
+            "--lint",
+            "--max-budget",
+            "10m",
+            "-c",
+            "try for 1 hour or 10 times\n  x\nend\n",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("budget-exceeded"), "{err}");
+    assert!(err.contains("1022s"), "{err}");
+
+    // 5 attempts (30 s) fit the same bound.
+    let st = ftsh()
+        .args([
+            "--lint",
+            "--max-budget",
+            "10m",
+            "-c",
+            "try for 1 hour or 5 times\n  x\nend\n",
+        ])
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(0));
+
+    let st = ftsh()
+        .args(["--lint", "--max-budget", "nonsense"])
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(2), "bad duration is a usage error");
+}
+
+#[test]
+fn lint_define_silences_harness_variables() {
+    let out = ftsh()
+        .args(["--lint", "-c", "${shimdir}/tool arg\n"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("use-before-assign"));
+
+    let st = ftsh()
+        .args([
+            "--lint",
+            "--define",
+            "shimdir",
+            "-c",
+            "${shimdir}/tool arg\n",
+        ])
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(0));
 }
 
 #[test]

@@ -32,4 +32,4 @@ pub mod time;
 pub use backoff::{BackoffPolicy, BackoffState};
 pub use budget::{NextAttempt, TryBudget, TrySession};
 pub use discipline::{CarrierDecision, CarrierSense, Discipline, FreeCapacitySense};
-pub use time::{Dur, Time};
+pub use time::{parse_duration, Dur, Time};

@@ -8,6 +8,7 @@
 //! ```
 
 use simgrid::{simulate_channel, ChannelDiscipline};
+use std::fmt::Write as _;
 
 fn main() {
     println!(
@@ -22,7 +23,7 @@ fn main() {
             ChannelDiscipline::Ethernet,
         ] {
             let s = simulate_channel(d, 50, p, 50_000, 1);
-            row.push_str(&format!(" {:>10.3}", s.throughput()));
+            let _ = write!(row, " {:>10.3}", s.throughput());
         }
         println!("{row}");
     }

@@ -103,7 +103,7 @@ pub fn simulate_channel(
 
     for slot in 0..slots {
         // Arrivals.
-        for st in stations.iter_mut() {
+        for st in &mut stations {
             if st.pending.is_none() && rng.chance(p_new) {
                 st.pending = Some(slot);
                 st.collisions = 0;

@@ -765,7 +765,7 @@ mod json {
                 fields.push((key, val));
                 self.skip_ws();
                 match self.chars.next() {
-                    Some(',') => continue,
+                    Some(',') => {}
                     Some('}') => return Ok(Value::Obj(fields)),
                     other => return Err(format!("expected ',' or '}}', got {other:?}")),
                 }
@@ -784,7 +784,7 @@ mod json {
                 items.push(self.value()?);
                 self.skip_ws();
                 match self.chars.next() {
-                    Some(',') => continue,
+                    Some(',') => {}
                     Some(']') => return Ok(Value::Arr(items)),
                     other => return Err(format!("expected ',' or ']', got {other:?}")),
                 }

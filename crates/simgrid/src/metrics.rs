@@ -3,6 +3,7 @@
 //! collisions…). Serializable so the figure harness can emit JSON.
 
 use retry::Time;
+use std::fmt::Write;
 
 /// Escape a string for inclusion in a JSON document. Shared by the
 /// figure serializers here and the structured-trace JSONL sink
@@ -17,7 +18,7 @@ pub fn json_escape(s: &str) -> String {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }

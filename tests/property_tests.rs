@@ -138,7 +138,7 @@ proptest! {
     fn disk_buffer_accounting(ops in proptest::collection::vec((0u8..5, 0u64..4096), 1..300)) {
         let mut d = DiskBuffer::new(64 * 1024);
         let mut live: Vec<ethernet_grid::simgrid::FileId> = Vec::new();
-        let mut sizes: std::collections::HashMap<_, u64> = Default::default();
+        let mut sizes = std::collections::HashMap::<_, u64>::default();
         for (op, arg) in ops {
             match op {
                 0 => {
@@ -253,6 +253,7 @@ fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
                     time: mins.map(Dur::from_mins),
                     attempts: times,
                     every: None,
+                    ..TrySpec::default()
                 },
                 body: body.into(),
                 catch: catch.map(Into::into),
