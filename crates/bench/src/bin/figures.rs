@@ -52,7 +52,9 @@
 //! for both passes, plus the parallel speedup, to
 //! `BENCH_engine.json` at the workspace root.
 
-use gridworld::figures::{by_name_full, by_name_with_plan, Scale, ALL_ABLATIONS, ALL_FIGURES};
+use gridworld::figures::{
+    by_name_full, by_name_with_plan, Scale, ALL_ABLATIONS, ALL_FIGURES, EXTENDED_FIGURES,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -98,9 +100,15 @@ fn peak_rss_kb() -> u64 {
 
 /// One measured pass over the sweep figures at a fixed thread count.
 struct PassStats {
-    threads: usize,
+    /// Worker count this pass asked the sweep engine for.
+    threads_requested: usize,
+    /// Worker count the engine resolved the request to (the
+    /// `EG_SWEEP_THREADS` pipeline, before the per-figure point cap).
+    threads_effective: usize,
     wall_s: f64,
     events: u64,
+    /// Past-scheduled events clamped forward to `now` across the pass.
+    clamps: u64,
     vm_ticks: u64,
     allocs: u64,
 }
@@ -124,11 +132,13 @@ impl PassStats {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\n    \"threads\": {},\n    \"wall_s\": {:.6},\n    \"events\": {},\n    \"events_per_sec\": {:.1},\n    \"vm_ticks\": {},\n    \"allocations\": {},\n    \"allocs_per_tick\": {:.2}\n  }}",
-            self.threads,
+            "{{\n    \"threads_requested\": {},\n    \"threads_effective\": {},\n    \"wall_s\": {:.6},\n    \"events\": {},\n    \"events_per_sec\": {:.1},\n    \"queue_clamps\": {},\n    \"vm_ticks\": {},\n    \"allocations\": {},\n    \"allocs_per_tick\": {:.2}\n  }}",
+            self.threads_requested,
+            self.threads_effective,
             self.wall_s,
             self.events,
             self.events_per_sec(),
+            self.clamps,
             self.vm_ticks,
             self.allocs,
             self.allocs_per_tick(),
@@ -140,6 +150,9 @@ impl PassStats {
 /// workers, sampling the engine counters around the pass.
 fn run_pass(threads: usize, figs: &[String], scale: Scale, seed: u64) -> PassStats {
     std::env::set_var("EG_SWEEP_THREADS", threads.to_string());
+    // What the engine actually resolves the request to, before the
+    // per-figure point cap (usize::MAX points ⇒ cap never binds).
+    let threads_effective = gridworld::sweep::configured_threads(usize::MAX);
     let ticks0 = gridworld::driver::vm_ticks_total();
     let allocs0 = ALLOCS.load(Ordering::Relaxed);
     let start = Instant::now();
@@ -147,20 +160,35 @@ fn run_pass(threads: usize, figs: &[String], scale: Scale, seed: u64) -> PassSta
     // not read from the deprecated process-global counter, so another
     // thread's simulations can never contaminate the sample.
     let mut events = 0u64;
+    let mut clamps = 0u64;
     for name in figs {
         let run = by_name_full(name, scale, seed, false).expect("stats figure exists");
         events += run.events_popped;
+        clamps += run.clamps;
         std::hint::black_box(&run.set);
     }
     let wall_s = start.elapsed().as_secs_f64();
     std::env::remove_var("EG_SWEEP_THREADS");
     PassStats {
-        threads,
+        threads_requested: threads,
+        threads_effective,
         wall_s,
         events,
+        clamps,
         vm_ticks: gridworld::driver::vm_ticks_total() - ticks0,
         allocs: ALLOCS.load(Ordering::Relaxed) - allocs0,
     }
+}
+
+/// Parse `"max_allocs_per_tick": <float>` out of `BENCH_budget.json`
+/// (flat object, no serde in the workspace).
+fn parse_alloc_budget(text: &str) -> Option<f64> {
+    let tail = text.split("\"max_allocs_per_tick\"").nth(1)?;
+    let val = tail.split(':').nth(1)?;
+    val.trim()
+        .trim_end_matches(&[',', '}', '\n', ' '][..])
+        .parse()
+        .ok()
 }
 
 /// The perf baseline harness behind `--stats`.
@@ -170,19 +198,17 @@ fn run_stats(mut figs: Vec<String>, scale: Scale, seed: u64) -> ExitCode {
         // (discipline, population) point, the parallel runner's home turf.
         figs = vec!["fig1".into(), "fig4".into(), "fig5".into()];
     }
-    if let Some(bad) = figs
-        .iter()
-        .find(|f| !ALL_FIGURES.contains(&f.as_str()) && !ALL_ABLATIONS.contains(&f.as_str()))
-    {
+    if let Some(bad) = figs.iter().find(|f| {
+        !ALL_FIGURES.contains(&f.as_str())
+            && !ALL_ABLATIONS.contains(&f.as_str())
+            && !EXTENDED_FIGURES.contains(&f.as_str())
+    }) {
         eprintln!("unknown figure: {bad}");
         return ExitCode::from(2);
     }
     let host_cpus = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    // Exercise the fan-out path even on a single-core host (where the
-    // recorded speedup will honestly sit near 1.0).
-    let par_threads = host_cpus.max(2);
 
     eprintln!("== stats: sequential baseline (1 sweep thread) ==");
     let seq = run_pass(1, &figs, scale, seed);
@@ -194,32 +220,52 @@ fn run_stats(mut figs: Vec<String>, scale: Scale, seed: u64) -> ExitCode {
         seq.vm_ticks,
         seq.allocs_per_tick()
     );
-    eprintln!("== stats: parallel sweep ({par_threads} threads) ==");
-    let par = run_pass(par_threads, &figs, scale, seed);
-    eprintln!(
-        "   {:.3}s, {} events ({:.0}/s), {} ticks, {:.1} allocs/tick",
-        par.wall_s,
-        par.events,
-        par.events_per_sec(),
-        par.vm_ticks,
-        par.allocs_per_tick()
-    );
-
-    let speedup = if par.wall_s > 0.0 {
-        seq.wall_s / par.wall_s
+    // The parallel leg is sized to the host: benchmarking a 2-thread
+    // sweep on a 1-CPU box would measure contention, not speedup, so a
+    // single-CPU host skips the leg and records the speedup as N/A.
+    let par = if host_cpus > 1 {
+        eprintln!("== stats: parallel sweep ({host_cpus} threads) ==");
+        let par = run_pass(host_cpus, &figs, scale, seed);
+        eprintln!(
+            "   {:.3}s, {} events ({:.0}/s), {} ticks, {:.1} allocs/tick",
+            par.wall_s,
+            par.events,
+            par.events_per_sec(),
+            par.vm_ticks,
+            par.allocs_per_tick()
+        );
+        Some(par)
     } else {
-        0.0
+        eprintln!("== stats: single-CPU host, skipping the parallel leg (speedup N/A) ==");
+        None
     };
+
+    let total_clamps = seq.clamps + par.as_ref().map_or(0, |p| p.clamps);
+    if total_clamps > 0 {
+        eprintln!(
+            "   warning: {total_clamps} event(s) were scheduled into the past and clamped to now"
+        );
+    }
+    let speedup = par.as_ref().and_then(|p| {
+        if p.wall_s > 0.0 {
+            Some(seq.wall_s / p.wall_s)
+        } else {
+            None
+        }
+    });
     let rss = peak_rss_kb();
     let fig_list = figs
         .iter()
         .map(|f| format!("\"{f}\""))
         .collect::<Vec<_>>()
         .join(", ");
+    let par_json = par
+        .as_ref()
+        .map_or_else(|| "null".to_string(), PassStats::to_json);
+    let speedup_json = speedup.map_or_else(|| "null".to_string(), |s| format!("{s:.2}"));
     let json = format!(
-        "{{\n  \"harness\": \"figures --stats\",\n  \"scale\": \"{scale:?}\",\n  \"seed\": {seed},\n  \"figures\": [{fig_list}],\n  \"host_cpus\": {host_cpus},\n  \"peak_rss_kb\": {rss},\n  \"sequential\": {},\n  \"parallel\": {},\n  \"speedup\": {speedup:.2}\n}}\n",
+        "{{\n  \"harness\": \"figures --stats\",\n  \"scale\": \"{scale:?}\",\n  \"seed\": {seed},\n  \"figures\": [{fig_list}],\n  \"host_cpus\": {host_cpus},\n  \"peak_rss_kb\": {rss},\n  \"sequential\": {},\n  \"parallel\": {par_json},\n  \"speedup\": {speedup_json}\n}}\n",
         seq.to_json(),
-        par.to_json(),
     );
     let path = egbench::workspace_root().join("BENCH_engine.json");
     if let Err(e) = std::fs::write(&path, &json) {
@@ -228,7 +274,38 @@ fn run_stats(mut figs: Vec<String>, scale: Scale, seed: u64) -> ExitCode {
     }
     print!("{json}");
     eprintln!("   wrote {}", path.display());
-    eprintln!("   speedup: {speedup:.2}x over sequential on {host_cpus} CPU(s)");
+    match speedup {
+        Some(s) => eprintln!("   speedup: {s:.2}x over sequential on {host_cpus} CPU(s)"),
+        None => eprintln!("   speedup: N/A (single-CPU host)"),
+    }
+
+    // Perf-regression tripwire: `BENCH_budget.json` next to the
+    // recorded baseline caps allocations-per-tick; CI fails the build
+    // when the sequential pass exceeds it.
+    let budget_path = egbench::workspace_root().join("BENCH_budget.json");
+    if let Ok(text) = std::fs::read_to_string(&budget_path) {
+        match parse_alloc_budget(&text) {
+            Some(budget) => {
+                let apt = seq.allocs_per_tick();
+                if apt > budget {
+                    eprintln!(
+                        "   BUDGET EXCEEDED: {apt:.2} allocs/tick > budget {budget:.2} \
+                         (from {})",
+                        budget_path.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("   within alloc budget: {apt:.2} <= {budget:.2} allocs/tick");
+            }
+            None => {
+                eprintln!(
+                    "   cannot parse max_allocs_per_tick from {}",
+                    budget_path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -439,6 +516,12 @@ fn main() -> ExitCode {
         eprintln!("== running {name} ({scale:?}, seed {seed}) ==");
         match by_name_with_plan(&name, scale, seed, trace_base.is_some(), plan.as_ref()) {
             Some(run) => {
+                if run.clamps > 0 {
+                    eprintln!(
+                        "   warning: {} event(s) were scheduled into the past and clamped to now",
+                        run.clamps
+                    );
+                }
                 match egbench::emit(&name, &run.set) {
                     Ok(path) => {
                         if chart {

@@ -145,7 +145,7 @@ fn collect_vars(block: &ftsh::ast::Block, vars: &mut BTreeSet<String>) {
                     {
                         // Only statically-named captures are comparable.
                         if let [Seg::Lit(name)] = target.segs() {
-                            vars.insert(name.clone());
+                            vars.insert(name.to_string());
                         }
                     }
                 }
@@ -210,7 +210,7 @@ fn model_command(
         "unreliable" => {
             let name = spec.argv.get(1).cloned().unwrap_or_default();
             let left = fail_left
-                .entry(name.clone())
+                .entry(name.to_string())
                 .or_insert_with(|| plan.fail_first(&name));
             if *left > 0 {
                 *left -= 1;

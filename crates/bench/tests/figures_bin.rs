@@ -25,6 +25,25 @@ fn quick_fig6_emits_table_and_json() {
 }
 
 #[test]
+fn garbage_sweep_threads_warns_on_stderr() {
+    let out = figures()
+        .env("EG_SWEEP_THREADS", "two")
+        .args(["--quick", "--seed", "7", "fig1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("ignoring EG_SWEEP_THREADS=\"two\""),
+        "an unusable override must be called out, got:\n{stderr}"
+    );
+}
+
+#[test]
 fn unknown_figure_is_an_error() {
     let st = figures().arg("fig99").status().unwrap();
     assert!(!st.success());

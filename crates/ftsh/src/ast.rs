@@ -7,6 +7,7 @@
 //! optional redirections (to files or, dash-prefixed, to shell
 //! variables).
 
+use crate::intern::Istr;
 use retry::Dur;
 use std::fmt;
 use std::ops::Deref;
@@ -62,12 +63,17 @@ impl Span {
 }
 
 /// One segment of a [`Word`]: literal text or a `${var}` substitution.
+///
+/// Segments hold interned strings ([`Istr`]): a fully-literal word
+/// expands by cloning its segment's `Istr` — a refcount bump shared
+/// with every other expansion of the same word, across the whole VM
+/// population running the script.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Seg {
     /// Literal text.
-    Lit(String),
+    Lit(Istr),
     /// Substitution of the named variable at expansion time.
-    Var(String),
+    Var(Istr),
 }
 
 /// A shell word: a run of literal and substitution segments that
@@ -99,7 +105,12 @@ impl Word {
         let mut merged: Vec<Seg> = Vec::with_capacity(segs.len());
         for s in segs {
             match (merged.last_mut(), s) {
-                (Some(Seg::Lit(a)), Seg::Lit(b)) => a.push_str(&b),
+                (Some(Seg::Lit(a)), Seg::Lit(b)) => {
+                    let mut joined = String::with_capacity(a.len() + b.len());
+                    joined.push_str(a);
+                    joined.push_str(&b);
+                    *a = Istr::from(joined);
+                }
                 (_, s) => merged.push(s),
             }
         }
@@ -110,7 +121,7 @@ impl Word {
     }
 
     /// A purely literal word.
-    pub fn lit(s: impl Into<String>) -> Word {
+    pub fn lit(s: impl Into<Istr>) -> Word {
         let s = s.into();
         if s.is_empty() {
             Word::default()
@@ -123,7 +134,7 @@ impl Word {
     }
 
     /// A single-variable word (`${name}`).
-    pub fn var(name: impl Into<String>) -> Word {
+    pub fn var(name: impl Into<Istr>) -> Word {
         Word {
             segs: vec![Seg::Var(name.into())],
             span: Span::default(),
@@ -150,7 +161,7 @@ impl Word {
     /// If the word is a single literal, that literal.
     pub fn as_lit(&self) -> Option<&str> {
         match self.segs.as_slice() {
-            [Seg::Lit(s)] => Some(s),
+            [Seg::Lit(s)] => Some(s.as_str()),
             [] => Some(""),
             _ => None,
         }

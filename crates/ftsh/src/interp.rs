@@ -175,7 +175,7 @@ impl<C: Clock> VmDriver<C> {
                         let result = match exec(&spec) {
                             Ok(out) => CmdResult {
                                 success: true,
-                                stdout: out,
+                                stdout: out.into(),
                             },
                             Err(_) => CmdResult::fail(),
                         };

@@ -75,7 +75,8 @@ impl WordBuf {
 
     fn flush_lit(&mut self) {
         if !self.lit.is_empty() {
-            self.segs.push(Seg::Lit(std::mem::take(&mut self.lit)));
+            self.segs
+                .push(Seg::Lit(std::mem::take(&mut self.lit).into()));
         }
     }
 
@@ -228,7 +229,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
                         },
                         Some((j, '$')) => {
                             w.flush_lit();
-                            w.segs.push(Seg::Var(read_var(&mut chars, line, j)?));
+                            w.segs.push(Seg::Var(read_var(&mut chars, line, j)?.into()));
                         }
                         Some((_, '\n')) => {
                             w.lit.push('\n');
@@ -263,7 +264,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
             '$' => {
                 w.mark(i);
                 w.flush_lit();
-                w.segs.push(Seg::Var(read_var(&mut chars, line, i)?));
+                w.segs.push(Seg::Var(read_var(&mut chars, line, i)?.into()));
             }
             '>' if w.segs.is_empty() && w.lit.is_empty() && !w.open => {
                 let append = matches!(peek_ch(&mut chars), Some('>'));

@@ -46,6 +46,7 @@ pub mod ast;
 pub mod cond;
 pub mod errors;
 pub mod grammar;
+pub mod intern;
 pub mod interp;
 pub mod lexer;
 pub mod log;
@@ -59,6 +60,7 @@ pub use ast::{
 };
 pub use cond::eval_cond;
 pub use errors::{line_col, ParseError};
+pub use intern::Istr;
 pub use interp::{Clock, DriveError, RunOutcome, SimClock, VmDriver, WallClock};
 pub use log::{EventLog, LogEvent, LogKind, LogSummary, ProgramStats};
 pub use parser::parse;

@@ -6,7 +6,16 @@
 //! execute the program, the frequency of each failure branch, and so
 //! forth."* The VM records one [`LogEvent`] per interesting transition;
 //! [`LogSummary`] is the post-mortem analysis.
+//!
+//! The log has *varying detail* in a literal sense: counters (the
+//! [`LogSummary`]) are maintained incrementally on every push, while
+//! the per-event record is only stored when the log is in detailed
+//! mode. Large VM populations run counters-only
+//! ([`EventLog::set_detailed`]`(false)`), so a million ticks of
+//! simulation cost zero log allocations; interactive and post-mortem
+//! runs keep the full event stream.
 
+use crate::intern::Istr;
 use retry::{Dur, Time};
 
 /// Kinds of logged transitions.
@@ -15,19 +24,19 @@ pub enum LogKind {
     /// A command was dispatched to the executor.
     CmdStart {
         /// Expanded argv.
-        argv: Vec<String>,
+        argv: Vec<Istr>,
     },
     /// A command finished.
     CmdEnd {
         /// Expanded `argv[0]` for correlation.
-        program: String,
+        program: Istr,
         /// Whether it exited successfully.
         success: bool,
     },
     /// A command was cancelled by a deadline.
     CmdCancelled {
         /// Expanded `argv[0]`.
-        program: String,
+        program: Istr,
     },
     /// A `try` opened an attempt.
     TryAttempt {
@@ -49,7 +58,7 @@ pub enum LogKind {
     /// `forany` moved on to its next alternative.
     ForAnyNext {
         /// The value now bound to the loop variable.
-        value: String,
+        value: Istr,
     },
     /// `forall` spawned its parallel branches.
     ForAllSpawn {
@@ -59,7 +68,7 @@ pub enum LogKind {
     /// A variable was assigned (assignment or capture).
     VarSet {
         /// Variable name.
-        name: String,
+        name: Istr,
     },
     /// The whole script finished.
     ScriptDone {
@@ -80,65 +89,114 @@ pub struct LogEvent {
     pub kind: LogKind,
 }
 
-/// Append-only event log.
-#[derive(Clone, Debug, Default)]
+/// Append-only event log with an incrementally-maintained summary.
+///
+/// Counters are updated on every push regardless of detail mode; the
+/// per-event stream is only retained while `detailed` is true (the
+/// default). Counters-only mode makes pushing whose payloads are
+/// interned strings completely allocation-free.
+#[derive(Clone, Debug)]
 pub struct EventLog {
     events: Vec<LogEvent>,
+    summary: LogSummary,
+    detailed: bool,
+}
+
+impl Default for EventLog {
+    fn default() -> EventLog {
+        EventLog {
+            events: Vec::new(),
+            summary: LogSummary::default(),
+            detailed: true,
+        }
+    }
 }
 
 impl EventLog {
-    /// An empty log.
+    /// An empty log (detailed mode).
     pub fn new() -> EventLog {
         EventLog::default()
     }
 
-    /// Record an event.
-    pub fn push(&mut self, time: Time, task: usize, kind: LogKind) {
-        self.events.push(LogEvent { time, task, kind });
+    /// Switch event retention on or off. Counters keep accumulating in
+    /// either mode; events already stored are kept.
+    pub fn set_detailed(&mut self, detailed: bool) {
+        self.detailed = detailed;
     }
 
-    /// All events in order.
+    /// Whether the per-event stream is being retained.
+    pub fn is_detailed(&self) -> bool {
+        self.detailed
+    }
+
+    /// Record an event.
+    pub fn push(&mut self, time: Time, task: usize, kind: LogKind) {
+        self.count(&kind);
+        if self.detailed {
+            self.events.push(LogEvent { time, task, kind });
+        }
+    }
+
+    /// Record a command dispatch without materialising the argv vector
+    /// unless it will actually be stored — the hot-path variant of
+    /// pushing [`LogKind::CmdStart`].
+    pub fn cmd_start(&mut self, time: Time, task: usize, argv: &[Istr]) {
+        self.summary.commands_started += 1;
+        if self.detailed {
+            self.events.push(LogEvent {
+                time,
+                task,
+                kind: LogKind::CmdStart {
+                    argv: argv.to_vec(),
+                },
+            });
+        }
+    }
+
+    fn count(&mut self, kind: &LogKind) {
+        let s = &mut self.summary;
+        match kind {
+            LogKind::CmdStart { .. } => s.commands_started += 1,
+            LogKind::CmdEnd { success, .. } => {
+                if *success {
+                    s.commands_succeeded += 1;
+                } else {
+                    s.commands_failed += 1;
+                }
+            }
+            LogKind::CmdCancelled { .. } => s.commands_cancelled += 1,
+            LogKind::TryAttempt { .. } => s.attempts += 1,
+            LogKind::Backoff { delay } => {
+                s.backoffs += 1;
+                s.total_backoff += *delay;
+            }
+            LogKind::TryExhausted => s.exhausted_tries += 1,
+            LogKind::TryTimeout => s.timed_out_tries += 1,
+            LogKind::CatchEntered => s.catches += 1,
+            LogKind::ForAnyNext { .. } => s.alternatives_tried += 1,
+            _ => {}
+        }
+    }
+
+    /// All retained events in order (empty in counters-only mode).
     pub fn events(&self) -> &[LogEvent] {
         &self.events
     }
 
-    /// Number of events.
+    /// Number of retained events.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// True when nothing was logged.
+    /// True when nothing was retained.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
 
-    /// Post-mortem aggregate.
+    /// Post-mortem aggregate — an O(1) copy of the running counters,
+    /// valid in both detail modes.
     pub fn summary(&self) -> LogSummary {
-        let mut s = LogSummary::default();
-        for e in &self.events {
-            match &e.kind {
-                LogKind::CmdStart { .. } => s.commands_started += 1,
-                LogKind::CmdEnd { success, .. } => {
-                    if *success {
-                        s.commands_succeeded += 1;
-                    } else {
-                        s.commands_failed += 1;
-                    }
-                }
-                LogKind::CmdCancelled { .. } => s.commands_cancelled += 1,
-                LogKind::TryAttempt { .. } => s.attempts += 1,
-                LogKind::Backoff { delay } => {
-                    s.backoffs += 1;
-                    s.total_backoff += *delay;
-                }
-                LogKind::TryExhausted => s.exhausted_tries += 1,
-                LogKind::TryTimeout => s.timed_out_tries += 1,
-                LogKind::CatchEntered => s.catches += 1,
-                LogKind::ForAnyNext { .. } => s.alternatives_tried += 1,
-                _ => {}
-            }
-        }
-        s
+        self.summary
     }
 }
 
@@ -152,11 +210,11 @@ impl EventLog {
             match &e.kind {
                 LogKind::CmdStart { argv } => {
                     if let Some(p) = argv.first() {
-                        map.entry(p.clone()).or_default().started += 1;
+                        map.entry(p.to_string()).or_default().started += 1;
                     }
                 }
                 LogKind::CmdEnd { program, success } => {
-                    let st = map.entry(program.clone()).or_default();
+                    let st = map.entry(program.to_string()).or_default();
                     if *success {
                         st.succeeded += 1;
                     } else {
@@ -164,7 +222,7 @@ impl EventLog {
                     }
                 }
                 LogKind::CmdCancelled { program } => {
-                    map.entry(program.clone()).or_default().cancelled += 1;
+                    map.entry(program.to_string()).or_default().cancelled += 1;
                 }
                 _ => {}
             }
@@ -178,7 +236,7 @@ impl EventLog {
         let mut map = std::collections::BTreeMap::<String, u64>::default();
         for e in &self.events {
             if let LogKind::ForAnyNext { value } = &e.kind {
-                *map.entry(value.clone()).or_default() += 1;
+                *map.entry(value.to_string()).or_default() += 1;
             }
         }
         map
@@ -202,14 +260,14 @@ impl EventLog {
         for e in &self.events {
             let ev = match &e.kind {
                 LogKind::CmdStart { argv } => TraceEv::CmdStart {
-                    program: argv.first().cloned().unwrap_or_default(),
+                    program: argv.first().map(Istr::to_string).unwrap_or_default(),
                 },
                 LogKind::CmdEnd { program, success } => TraceEv::CmdEnd {
-                    program: program.clone(),
+                    program: program.to_string(),
                     ok: *success,
                 },
                 LogKind::CmdCancelled { program } => TraceEv::CmdKilled {
-                    program: program.clone(),
+                    program: program.to_string(),
                 },
                 LogKind::TryAttempt { attempt } => {
                     last_attempt.insert(e.task, *attempt);
@@ -567,6 +625,40 @@ mod tests {
         let log = EventLog::new();
         assert!(log.is_empty());
         assert_eq!(log.summary(), LogSummary::default());
+    }
+
+    #[test]
+    fn counters_only_mode_keeps_summary_but_no_events() {
+        let mut log = EventLog::new();
+        log.set_detailed(false);
+        assert!(!log.is_detailed());
+        let argv: Vec<Istr> = vec!["wget".into(), "u".into()];
+        log.cmd_start(Time::ZERO, 0, &argv);
+        log.push(
+            Time::ZERO,
+            0,
+            LogKind::CmdEnd {
+                program: "wget".into(),
+                success: true,
+            },
+        );
+        log.push(Time::ZERO, 0, LogKind::TryAttempt { attempt: 1 });
+        assert!(log.is_empty());
+        let s = log.summary();
+        assert_eq!(s.commands_started, 1);
+        assert_eq!(s.commands_succeeded, 1);
+        assert_eq!(s.attempts, 1);
+    }
+
+    #[test]
+    fn cmd_start_matches_pushed_variant() {
+        let mut a = EventLog::new();
+        let argv: Vec<Istr> = vec!["tar".into(), "xf".into()];
+        a.cmd_start(Time::ZERO, 3, &argv);
+        let mut b = EventLog::new();
+        b.push(Time::ZERO, 3, LogKind::CmdStart { argv: argv.clone() });
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.summary(), b.summary());
     }
 
     #[test]

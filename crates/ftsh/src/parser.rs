@@ -457,7 +457,7 @@ fn split_assignment(w: &Word) -> Option<(String, Word)> {
     let mut value_segs = Vec::new();
     let rest = &first[eq + 1..];
     if !rest.is_empty() {
-        value_segs.push(Seg::Lit(rest.to_string()));
+        value_segs.push(Seg::Lit(rest.into()));
     }
     value_segs.extend(segs[1..].iter().cloned());
     Some((

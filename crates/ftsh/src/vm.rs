@@ -22,6 +22,7 @@
 
 use crate::ast::{Block, Command, Redir, RedirTarget, Script, Stmt, TrySpec};
 use crate::cond::eval_cond;
+use crate::intern::Istr;
 use crate::log::{EventLog, LogKind};
 use crate::words::{trim_capture, Env};
 use rand::rngs::StdRng;
@@ -42,9 +43,9 @@ pub type TaskId = usize;
 #[derive(Clone, Debug, PartialEq)]
 pub enum CmdInput {
     /// Literal data (the `-<` variable form, already expanded).
-    Data(String),
+    Data(Istr),
     /// A file path (the `<` form); the executor opens it.
-    File(String),
+    File(Istr),
 }
 
 /// Where a command's standard output goes.
@@ -54,14 +55,14 @@ pub enum OutSink {
     /// in [`CmdResult::stdout`]; the VM assigns the variable.
     Var {
         /// Variable name.
-        name: String,
+        name: Istr,
         /// Append to the existing value (`->>`).
         append: bool,
     },
     /// Write to a file; the executor owns the filesystem.
     File {
         /// Target path (already expanded).
-        path: String,
+        path: Istr,
         /// Append (`>>`).
         append: bool,
     },
@@ -71,7 +72,7 @@ pub enum OutSink {
 #[derive(Clone, Debug, PartialEq)]
 pub struct CommandSpec {
     /// Expanded argv; `argv[0]` is the program.
-    pub argv: Vec<String>,
+    pub argv: Vec<Istr>,
     /// Standard input source, if redirected.
     pub input: Option<CmdInput>,
     /// Standard output sink, if redirected.
@@ -83,7 +84,7 @@ pub struct CommandSpec {
 impl CommandSpec {
     /// The program name (empty string if argv is empty).
     pub fn program(&self) -> &str {
-        self.argv.first().map(String::as_str).unwrap_or("")
+        self.argv.first().map(Istr::as_str).unwrap_or("")
     }
 }
 
@@ -93,12 +94,14 @@ pub struct CmdResult {
     /// Did the command exit normally with status zero?
     pub success: bool,
     /// Captured standard output (only consulted for `Var` sinks).
-    pub stdout: String,
+    /// Interned so a simulated world can hand the same output to
+    /// thousands of clients without copying it per completion.
+    pub stdout: Istr,
 }
 
 impl CmdResult {
     /// A successful result carrying output.
-    pub fn ok(stdout: impl Into<String>) -> CmdResult {
+    pub fn ok(stdout: impl Into<Istr>) -> CmdResult {
         CmdResult {
             success: true,
             stdout: stdout.into(),
@@ -109,7 +112,7 @@ impl CmdResult {
     pub fn fail() -> CmdResult {
         CmdResult {
             success: false,
-            stdout: String::new(),
+            stdout: Istr::empty(),
         }
     }
 }
@@ -180,21 +183,21 @@ enum Frame {
     },
     ForAny {
         var: String,
-        values: Vec<String>,
+        values: Vec<Istr>,
         idx: usize,
         body: Block,
     },
     ForAll {
         children: Vec<TaskId>,
         /// Branch bindings not yet spawned (throttled parallelism).
-        pending: Vec<String>,
+        pending: Vec<Istr>,
         var: String,
         body: Block,
     },
     /// A function invocation: restores the caller's positional
     /// parameters when the body returns.
     Call {
-        saved_positionals: Vec<(String, String)>,
+        saved_positionals: Vec<(Istr, Istr)>,
     },
 }
 
@@ -203,8 +206,8 @@ enum TaskState {
     Ready(Ctl),
     RunningCmd {
         token: CmdToken,
-        program: String,
-        out_var: Option<(String, bool)>,
+        program: Istr,
+        out_var: Option<(Istr, bool)>,
     },
     Sleeping {
         until: Time,
@@ -252,6 +255,9 @@ pub struct Vm {
     functions: HashMap<String, Block>,
     tracer: Option<SharedSink>,
     trace_client: i64,
+    /// Emptied argv vectors handed back via [`Vm::recycle_spec`];
+    /// command dispatch draws from here before allocating.
+    spare_argv: Vec<Vec<Istr>>,
 }
 
 impl Vm {
@@ -294,6 +300,29 @@ impl Vm {
             functions: HashMap::new(),
             tracer: None,
             trace_client: NO_ID,
+            spare_argv: Vec::new(),
+        }
+    }
+
+    /// Hand a finished command's spec back so its argv buffer can be
+    /// reused by the next dispatch. Purely an optimisation: a driver
+    /// that drops specs instead loses nothing but the recycling.
+    pub fn recycle_spec(&mut self, spec: CommandSpec) {
+        let mut argv = spec.argv;
+        argv.clear();
+        // A handful covers any realistic burst of parallel branches;
+        // beyond that, let excess buffers drop.
+        if self.spare_argv.len() < 8 {
+            self.spare_argv.push(argv);
+        }
+    }
+
+    /// Move the spare buffers of a retiring VM into this one. Drivers
+    /// that replace a client's VM per work unit call this so the
+    /// recycled argv pool survives the replacement.
+    pub fn adopt_spares(&mut self, prev: &mut Vm) {
+        if self.spare_argv.is_empty() {
+            std::mem::swap(&mut self.spare_argv, &mut prev.spare_argv);
         }
     }
 
@@ -340,6 +369,17 @@ impl Vm {
         &self.log
     }
 
+    /// Switch the execution log between full event retention (the
+    /// default) and counters-only mode — see [`EventLog::set_detailed`].
+    /// Population drivers run counters-only: the [`LogSummary`] still
+    /// aggregates exactly, but a million ticks retain no per-event
+    /// storage.
+    ///
+    /// [`LogSummary`]: crate::log::LogSummary
+    pub fn set_log_detail(&mut self, detailed: bool) {
+        self.log.set_detailed(detailed);
+    }
+
     /// The root environment (variables visible after completion).
     pub fn env(&self) -> &Env {
         // The root task may already be gone if the script finished; we
@@ -377,6 +417,10 @@ impl Vm {
             let value = trim_capture(&result.stdout);
             if append {
                 task.env.append(&name, value);
+            } else if value.len() == result.stdout.len() {
+                // No trailing newline to strip: bind the captured
+                // handle itself instead of copying the bytes.
+                task.env.set(name.clone(), result.stdout.clone());
             } else {
                 task.env.set(name.clone(), value);
             }
@@ -391,7 +435,7 @@ impl Vm {
                 self.trace_client,
                 tid as i64,
                 TraceEv::CmdEnd {
-                    program: program.clone(),
+                    program: program.to_string(),
                     ok: result.success,
                 },
             );
@@ -409,6 +453,17 @@ impl Vm {
 
     /// Advance every runnable strand at virtual instant `now`.
     pub fn tick(&mut self, now: Time) -> Tick {
+        let mut effects = Vec::new();
+        let status = self.tick_into(now, &mut effects);
+        Tick { effects, status }
+    }
+
+    /// [`Vm::tick`] into a caller-owned effects buffer: `out` is
+    /// cleared and refilled, and its capacity is recycled into the
+    /// VM's internal buffer — a driver ticking thousands of VMs in a
+    /// loop reuses one allocation instead of taking a fresh `Vec`
+    /// per tick.
+    pub fn tick_into(&mut self, now: Time, out: &mut Vec<Effect>) -> VmStatus {
         debug_assert!(now >= self.now, "tick time went backwards");
         self.now = now;
         self.effects.clear();
@@ -425,27 +480,20 @@ impl Vm {
                 next_wake: self.next_wake(),
             },
         };
-        Tick {
-            effects: std::mem::take(&mut self.effects),
-            status,
-        }
+        out.clear();
+        std::mem::swap(&mut self.effects, out);
+        status
     }
 
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
-    fn live_task_ids(&self) -> Vec<TaskId> {
-        (0..self.tasks.len())
-            .filter(|&i| self.tasks[i].is_some())
-            .collect()
-    }
-
     /// Kill work under any `try` whose deadline has passed.
     fn fire_deadlines(&mut self) {
-        for tid in self.live_task_ids() {
-            // The task may have been cancelled by an earlier task's
-            // unwind in this same loop.
+        for tid in 0..self.tasks.len() {
+            // The task may be dead already, or cancelled by an earlier
+            // task's unwind in this same loop.
             let Some(task) = &self.tasks[tid] else {
                 continue;
             };
@@ -515,7 +563,7 @@ impl Vm {
                 self.trace(
                     tid,
                     TraceEv::CmdKilled {
-                        program: program.clone(),
+                        program: program.to_string(),
                     },
                 );
             }
@@ -547,12 +595,10 @@ impl Vm {
     }
 
     fn wake_sleepers(&mut self) {
-        for tid in self.live_task_ids() {
-            if let Some(task) = &mut self.tasks[tid] {
-                if let TaskState::Sleeping { until } = task.state {
-                    if until <= self.now {
-                        task.state = TaskState::Ready(Ctl::Exec);
-                    }
+        for task in self.tasks.iter_mut().flatten() {
+            if let TaskState::Sleeping { until } = task.state {
+                if until <= self.now {
+                    task.state = TaskState::Ready(Ctl::Exec);
                 }
             }
         }
@@ -560,7 +606,10 @@ impl Vm {
 
     fn step_all(&mut self) {
         loop {
-            let ready = self.live_task_ids().into_iter().find(|&i| {
+            // Re-scan from the front each round: stepping a task can
+            // ready, spawn or kill others, and the lowest-id ready
+            // task always runs next (the determinism contract).
+            let ready = (0..self.tasks.len()).find(|&i| {
                 matches!(
                     self.tasks[i].as_ref().map(|t| &t.state),
                     Some(TaskState::Ready(_))
@@ -730,7 +779,7 @@ impl Vm {
             Stmt(Block, usize),
             EnterTryBody(Block, u32, Option<Dur>),
             TrySpent,
-            BindForAny(String, String, Block),
+            BindForAny(String, Istr, Block),
         }
 
         let act = match task.frames.last_mut() {
@@ -817,9 +866,9 @@ impl Vm {
             Stmt::Success => Flow::Continue(Ctl::Return(true)),
             Stmt::Assign { var, value } => {
                 let v = task.env.expand(value);
-                task.env.set(var.clone(), v);
-                self.log
-                    .push(self.now, tid, LogKind::VarSet { name: var.clone() });
+                let name = Istr::from(var.as_str());
+                task.env.set(name.clone(), v);
+                self.log.push(self.now, tid, LogKind::VarSet { name });
                 Flow::Continue(Ctl::Return(true))
             }
             Stmt::If { cond, then, els } => match eval_cond(cond, &task.env) {
@@ -904,7 +953,8 @@ impl Vm {
     }
 
     fn exec_command(&mut self, tid: TaskId, task: &mut Task, cmd: &Command) -> Flow {
-        let argv = task.env.expand_all(&cmd.words);
+        let mut argv = self.spare_argv.pop().unwrap_or_default();
+        task.env.expand_all_into(&cmd.words, &mut argv);
         if argv.first().map(|s| s.is_empty()).unwrap_or(true) {
             // A command whose name expanded to nothing cannot run.
             return Flow::Continue(Ctl::Return(false));
@@ -913,7 +963,7 @@ impl Vm {
         // Defined functions shadow external commands. Redirections on
         // a call are meaningless (a function has no byte streams of
         // its own) and are ignored.
-        if let Some(body) = self.functions.get(&argv[0]).cloned() {
+        if let Some(body) = self.functions.get(argv[0].as_str()).cloned() {
             let depth = task
                 .frames
                 .iter()
@@ -937,6 +987,10 @@ impl Vm {
                 stmts: body,
                 idx: 0,
             });
+            argv.clear();
+            if self.spare_argv.len() < 8 {
+                self.spare_argv.push(argv);
+            }
             return Flow::Continue(Ctl::Exec);
         }
 
@@ -949,7 +1003,9 @@ impl Vm {
                 Redir::In { from, source } => {
                     let name = task.env.expand(source);
                     input = Some(match from {
-                        RedirTarget::Variable => CmdInput::Data(task.env.get(&name).to_string()),
+                        RedirTarget::Variable => {
+                            CmdInput::Data(task.env.get_istr(&name).cloned().unwrap_or_default())
+                        }
                         RedirTarget::File => CmdInput::File(name),
                     });
                 }
@@ -990,13 +1046,7 @@ impl Vm {
             output,
             both,
         };
-        self.log.push(
-            self.now,
-            tid,
-            LogKind::CmdStart {
-                argv: spec.argv.clone(),
-            },
-        );
+        self.log.cmd_start(self.now, tid, &spec.argv);
         if self.tracer.is_some() {
             self.trace(
                 tid,
@@ -1007,7 +1057,8 @@ impl Vm {
         }
         task.state = TaskState::RunningCmd {
             token,
-            program: spec.program().to_string(),
+            // argv[0] is non-empty here (checked on entry); share it.
+            program: spec.argv.first().cloned().unwrap_or_default(),
             out_var,
         };
         self.effects.push(Effect::Start {
@@ -1023,11 +1074,11 @@ impl Vm {
         parent: TaskId,
         parent_env: &Env,
         var: &str,
-        value: String,
+        value: Istr,
         body: &Block,
     ) -> TaskId {
         let mut env = parent_env.clone();
-        env.set(var.to_string(), value);
+        env.set(var, value);
         let child = Task {
             frames: vec![Frame::Seq {
                 stmts: body.clone(),

@@ -5,16 +5,24 @@
 //! the binding of `forany`/`forall` loop variables, and the operands of
 //! `if` comparisons. Unset variables expand to the empty string, as in
 //! the Bourne shell.
+//!
+//! Names and values are interned ([`Istr`]), which makes the two hot
+//! expansion shapes allocation-free: a fully-literal word clones the
+//! `Istr` stored in the AST, and a bare `${var}` word clones the value
+//! stored in the environment. Only genuinely mixed words (literal text
+//! around a substitution) build a fresh string.
 
 use crate::ast::{Seg, Word};
+use crate::intern::Istr;
 use std::collections::HashMap;
 
 /// A variable scope. Cloned for `forall` branches so that branch-local
 /// mutations stay branch-local (branches are notionally separate
-/// processes).
+/// processes); the clone copies the table but shares every name and
+/// value.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Env {
-    vars: HashMap<String, String>,
+    vars: HashMap<Istr, Istr>,
 }
 
 impl Env {
@@ -25,7 +33,12 @@ impl Env {
 
     /// Look up a variable; unset variables read as `""`.
     pub fn get(&self, name: &str) -> &str {
-        self.vars.get(name).map(String::as_str).unwrap_or("")
+        self.vars.get(name).map(Istr::as_str).unwrap_or("")
+    }
+
+    /// Look up a variable as its shared handle (`None` when unset).
+    pub fn get_istr(&self, name: &str) -> Option<&Istr> {
+        self.vars.get(name)
     }
 
     /// Whether the variable has been set.
@@ -34,16 +47,23 @@ impl Env {
     }
 
     /// Bind a variable.
-    pub fn set(&mut self, name: impl Into<String>, value: impl Into<String>) {
+    pub fn set(&mut self, name: impl Into<Istr>, value: impl Into<Istr>) {
         self.vars.insert(name.into(), value.into());
     }
 
     /// Append to a variable (the `->>` capture form).
     pub fn append(&mut self, name: &str, value: &str) {
-        self.vars
-            .entry(name.to_string())
-            .or_default()
-            .push_str(value);
+        match self.vars.get_mut(name) {
+            Some(v) => {
+                let mut joined = String::with_capacity(v.len() + value.len());
+                joined.push_str(v);
+                joined.push_str(value);
+                *v = Istr::from(joined);
+            }
+            None => {
+                self.vars.insert(Istr::from(name), Istr::from(value));
+            }
+        }
     }
 
     /// Remove a binding.
@@ -63,7 +83,7 @@ impl Env {
 
     /// Snapshot the positional bindings (`0`–`99…`, `*`) for a
     /// function call.
-    pub fn snapshot_positionals(&self) -> Vec<(String, String)> {
+    pub fn snapshot_positionals(&self) -> Vec<(Istr, Istr)> {
         self.vars
             .iter()
             .filter(|(k, _)| k.as_str() == "*" || k.chars().all(|c| c.is_ascii_digit()))
@@ -74,24 +94,43 @@ impl Env {
     /// Remove every positional binding.
     pub fn clear_positionals(&mut self) {
         self.vars
-            .retain(|k, _| k != "*" && !k.chars().all(|c| c.is_ascii_digit()));
+            .retain(|k, _| k.as_str() != "*" && !k.chars().all(|c| c.is_ascii_digit()));
     }
 
-    /// Expand a word against this scope.
-    pub fn expand(&self, w: &Word) -> String {
-        let mut out = String::new();
-        for seg in w.segs() {
-            match seg {
-                Seg::Lit(l) => out.push_str(l),
-                Seg::Var(v) => out.push_str(self.get(v)),
+    /// Expand a word against this scope. Literal words and bare
+    /// `${var}` words are refcount bumps; only mixed words allocate.
+    pub fn expand(&self, w: &Word) -> Istr {
+        match w.segs() {
+            [] => Istr::empty(),
+            [Seg::Lit(s)] => s.clone(),
+            [Seg::Var(v)] => self.get_istr(v).cloned().unwrap_or_default(),
+            segs => {
+                let mut out = String::new();
+                for seg in segs {
+                    match seg {
+                        Seg::Lit(l) => out.push_str(l),
+                        Seg::Var(v) => out.push_str(self.get(v)),
+                    }
+                }
+                Istr::from(out)
             }
         }
-        out
     }
 
     /// Expand a slice of words.
-    pub fn expand_all(&self, ws: &[Word]) -> Vec<String> {
-        ws.iter().map(|w| self.expand(w)).collect()
+    pub fn expand_all(&self, ws: &[Word]) -> Vec<Istr> {
+        let mut out = Vec::with_capacity(ws.len());
+        self.expand_all_into(ws, &mut out);
+        out
+    }
+
+    /// [`expand_all`](Self::expand_all) into a caller-owned buffer:
+    /// `out` is cleared and refilled, reusing its capacity. The VM's
+    /// command dispatch recycles argv vectors through this so a
+    /// steady-state script execution allocates nothing per command.
+    pub fn expand_all_into(&self, ws: &[Word], out: &mut Vec<Istr>) {
+        out.clear();
+        out.extend(ws.iter().map(|w| self.expand(w)));
     }
 }
 
@@ -147,6 +186,18 @@ mod tests {
     fn expansion_of_unset_is_empty() {
         let env = Env::new();
         assert_eq!(env.expand(&Word::var("missing")), "");
+    }
+
+    #[test]
+    fn single_segment_expansions_share_storage() {
+        let mut env = Env::new();
+        env.set("n", "842");
+        // Bare-variable expansion returns the stored handle itself.
+        let stored = env.get_istr("n").cloned().unwrap();
+        assert_eq!(env.expand(&Word::var("n")), stored);
+        // Literal expansion returns the AST's handle.
+        let w = Word::lit("condor_submit");
+        assert_eq!(env.expand(&w), "condor_submit");
     }
 
     #[test]

@@ -26,8 +26,8 @@ fn gen_word(rng: &mut StdRng) -> Word {
     match rng.random_range(0..4u32) {
         0 => Word::var(pick(rng, NAMES)),
         1 => Word::from_segs(vec![
-            ftsh::Seg::Lit(pick(rng, LITS).to_string()),
-            ftsh::Seg::Var(pick(rng, NAMES).to_string()),
+            ftsh::Seg::Lit(pick(rng, LITS).into()),
+            ftsh::Seg::Var(pick(rng, NAMES).into()),
         ]),
         _ => Word::lit(pick(rng, LITS)),
     }

@@ -102,7 +102,7 @@ fn forany_takes_first_success_and_binds_var() {
                 CmdResult::fail()
             }
         } else {
-            echoed = spec.argv[1].clone();
+            echoed = spec.argv[1].to_string();
             CmdResult::ok("")
         }
     });
@@ -115,7 +115,7 @@ fn forany_fails_when_all_alternatives_fail() {
     let mut h = Harness::new("forany s in a b c\n get ${s}\nend\n");
     let mut tried = Vec::new();
     let ok = h.run(|spec| {
-        tried.push(spec.argv[1].clone());
+        tried.push(spec.argv[1].to_string());
         CmdResult::fail()
     });
     assert!(!ok);
@@ -163,7 +163,7 @@ fn forall_branch_envs_are_isolated() {
     let ok = h.run(|spec| match spec.program() {
         "probe" => CmdResult::ok("branch-value\n"),
         _ => {
-            echoed = spec.argv[1].clone();
+            echoed = spec.argv[1].to_string();
             CmdResult::ok("")
         }
     });
@@ -327,7 +327,7 @@ fn append_capture_accumulates() {
         "a" => CmdResult::ok("one\n"),
         "b" => CmdResult::ok("two\n"),
         _ => {
-            echoed = spec.argv[1].clone();
+            echoed = spec.argv[1].to_string();
             CmdResult::ok("")
         }
     });
@@ -418,7 +418,7 @@ fn assignment_expands_at_assignment_time() {
     let mut h = Harness::new("a=1\nb=${a}2\na=9\necho ${b}\n");
     let mut echoed = String::new();
     let ok = h.run(|spec| {
-        echoed = spec.argv[1].clone();
+        echoed = spec.argv[1].to_string();
         CmdResult::ok("")
     });
     assert!(ok);
@@ -613,7 +613,7 @@ fn function_definition_and_call() {
     );
     let mut url = String::new();
     let ok = h.run(|spec| {
-        url = spec.argv[1].clone();
+        url = spec.argv[1].to_string();
         CmdResult::ok("")
     });
     assert!(ok);
@@ -634,7 +634,7 @@ fn function_positionals_restored_after_call() {
     );
     let mut seen = Vec::new();
     let ok = h.run(|spec| {
-        seen.push(spec.argv[1].clone());
+        seen.push(spec.argv[1].to_string());
         CmdResult::ok("")
     });
     assert!(ok);
@@ -728,7 +728,7 @@ fn deadline_kill_restores_caller_positionals() {
         let status = h.tick();
         if let Some(idx) = h.pending.iter().position(|(_, s)| s.program() == "probe") {
             let (token, spec) = h.pending.remove(idx);
-            probed = Some(spec.argv[1].clone());
+            probed = Some(spec.argv[1].to_string());
             h.vm.complete(token, CmdResult::ok(""));
             continue;
         }

@@ -298,7 +298,7 @@ fn collect_uses(stmts: &Block, uses: &mut HashSet<String>) {
     fn word(w: &Word, uses: &mut HashSet<String>) {
         for s in w.segs() {
             if let Seg::Var(v) = s {
-                uses.insert(v.clone());
+                uses.insert(v.to_string());
             }
         }
     }
@@ -416,7 +416,7 @@ impl<'a> DataflowWalker<'a> {
         }
         for s in w.segs() {
             if let Seg::Var(v) = s {
-                if !self.defined.contains(v) && self.reported_undef.insert(v.clone()) {
+                if !self.defined.contains(v.as_str()) && self.reported_undef.insert(v.to_string()) {
                     self.diags.push(Diagnostic {
                         rule: "use-before-assign",
                         severity: Severity::Warning,

@@ -9,7 +9,7 @@
 //! completion routing, cancellation of in-flight work, and work-unit
 //! restarts.
 
-use ftsh::vm::{CmdResult, CmdToken, CommandSpec, Effect, Tick, Vm, VmStatus};
+use ftsh::vm::{CmdResult, CmdToken, CommandSpec, Effect, Vm, VmStatus};
 use retry::Time;
 use simgrid::faults::{FaultKind, FaultPlan};
 use simgrid::trace::{emit, SharedSink, TraceEv, NO_ID};
@@ -109,7 +109,8 @@ impl<W> Ctx<'_, W> {
         token: CmdToken,
         result: CmdResult,
     ) {
-        self.queue.schedule(
+        self.queue.schedule_keyed(
+            client,
             at,
             SimEv::CmdDone {
                 client,
@@ -259,6 +260,9 @@ pub struct SimDriver<W: CommandWorld> {
     /// Armed fault plan, if any. `None` ⇒ faults off and the event
     /// loop pays one `Option` test.
     faults: Option<FaultState>,
+    /// Reusable effects buffer swapped into each VM tick, so the hot
+    /// loop never allocates a fresh `Vec` per tick.
+    effects_buf: Vec<Effect>,
 }
 
 impl<W: CommandWorld> SimDriver<W> {
@@ -277,19 +281,30 @@ impl<W: CommandWorld> SimDriver<W> {
         assert_eq!(vms.len(), starts.len(), "one start time per client");
         let mut queue = EventQueue::new();
         for (c, &at) in starts.iter().enumerate() {
-            queue.schedule(at, SimEv::Wake(c));
+            queue.schedule_keyed(c, at, SimEv::Wake(c));
         }
         let n = vms.len();
+        let vms: Vec<Option<Vm>> = vms
+            .into_iter()
+            .map(|mut vm| {
+                // The driver only ever reads the O(1) log summary;
+                // retaining full event vectors across a large
+                // population is pure allocation churn.
+                vm.set_log_detail(false);
+                Some(vm)
+            })
+            .collect();
         SimDriver {
             world,
             log_totals: ftsh::LogSummary::default(),
             queue,
-            vms: vms.into_iter().map(Some).collect(),
+            vms,
             epochs: vec![0; n],
             cancelled: HashSet::new(),
             live: HashSet::new(),
             tracer: None,
             faults: None,
+            effects_buf: Vec::new(),
         }
     }
 
@@ -336,6 +351,13 @@ impl<W: CommandWorld> SimDriver<W> {
     /// not contaminate each other's counts.
     pub fn events_popped(&self) -> u64 {
         self.queue.popped()
+    }
+
+    /// Past-schedules clamped to `now` by this run's queue. Nonzero
+    /// means some event asked for an instant already in the past and
+    /// was silently moved forward — worth surfacing in run stats.
+    pub fn clamps(&self) -> u64 {
+        self.queue.clamped()
     }
 
     /// The current virtual instant.
@@ -499,7 +521,8 @@ impl<W: CommandWorld> SimDriver<W> {
                     if !fs.delayed.contains(&key) {
                         if let Some(extra) = fs.latency_extra(program, now) {
                             fs.delayed.insert(key);
-                            self.queue.schedule(
+                            self.queue.schedule_keyed(
+                                client,
                                 now + extra,
                                 SimEv::CmdDone {
                                     client,
@@ -528,15 +551,16 @@ impl<W: CommandWorld> SimDriver<W> {
     }
 
     fn tick_client(&mut self, client: ClientId, now: Time) {
-        loop {
+        let mut effects = std::mem::take(&mut self.effects_buf);
+        'driving: loop {
             let vm_now = self.vm_now(client, now);
             let Some(vm) = self.vms[client].as_mut() else {
-                return;
+                break 'driving;
             };
             VM_TICKS.fetch_add(1, Ordering::Relaxed);
-            let Tick { effects, status } = vm.tick(vm_now);
+            let status = vm.tick_into(vm_now, &mut effects);
             let mut completed_inline = false;
-            for eff in effects {
+            for eff in effects.drain(..) {
                 match eff {
                     Effect::Start { token, spec, .. } => {
                         let outcome = {
@@ -563,7 +587,8 @@ impl<W: CommandWorld> SimDriver<W> {
                                         );
                                     }
                                 }
-                                self.queue.schedule(
+                                self.queue.schedule_keyed(
+                                    client,
                                     at,
                                     SimEv::CmdDone {
                                         client,
@@ -585,6 +610,11 @@ impl<W: CommandWorld> SimDriver<W> {
                                     }
                                 }
                             }
+                        }
+                        // The spec has served its purpose; hand its
+                        // argv buffer back for the next dispatch.
+                        if let Some(vm) = self.vms[client].as_mut() {
+                            vm.recycle_spec(spec);
                         }
                     }
                     Effect::Cancel { token } => {
@@ -611,10 +641,10 @@ impl<W: CommandWorld> SimDriver<W> {
                     // Retire the unit; its epoch's stale completions
                     // will be dropped on arrival.
                     self.epochs[client] += 1;
-                    if let Some(vm) = &self.vms[client] {
+                    let mut retired = self.vms[client].take();
+                    if let Some(vm) = &retired {
                         self.log_totals += vm.log().summary();
                     }
-                    self.vms[client] = None;
                     let next = {
                         let mut ctx = Ctx {
                             queue: &mut self.queue,
@@ -624,6 +654,10 @@ impl<W: CommandWorld> SimDriver<W> {
                     };
                     match next {
                         Some((mut vm, at)) => {
+                            if let Some(old) = retired.as_mut() {
+                                vm.adopt_spares(old);
+                            }
+                            vm.set_log_detail(false);
                             if let Some(sink) = &self.tracer {
                                 vm.set_tracer(sink.clone(), client as i64);
                             }
@@ -631,20 +665,22 @@ impl<W: CommandWorld> SimDriver<W> {
                             if at <= now {
                                 continue; // start immediately
                             }
-                            self.queue.schedule(at, SimEv::Wake(client));
-                            return;
+                            self.queue.schedule_keyed(client, at, SimEv::Wake(client));
+                            break 'driving;
                         }
-                        None => return, // client retired
+                        None => break 'driving, // client retired
                     }
                 }
                 VmStatus::Running { next_wake: Some(t) } => {
                     let t = self.unskew(client, t);
-                    self.queue.schedule(t.max(now), SimEv::Wake(client));
-                    return;
+                    self.queue
+                        .schedule_keyed(client, t.max(now), SimEv::Wake(client));
+                    break 'driving;
                 }
-                VmStatus::Running { next_wake: None } => return,
+                VmStatus::Running { next_wake: None } => break 'driving,
             }
         }
+        self.effects_buf = effects;
     }
 }
 

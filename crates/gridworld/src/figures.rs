@@ -30,6 +30,10 @@ pub struct FigureRun {
     /// Events popped across every simulation run behind this figure
     /// (aggregated per run — see [`crate::driver::SimDriver::events_popped`]).
     pub events_popped: u64,
+    /// Past-scheduled events clamped forward to `now`, summed over
+    /// every run behind this figure. Always zero in a healthy run;
+    /// surfaced by `figures --stats` as a regression tripwire.
+    pub clamps: u64,
     /// Structured-trace records, present only when tracing was
     /// requested. Timestamps restart at `T+0` for each sweep point.
     pub trace: Option<Vec<TraceRecord>>,
@@ -70,18 +74,24 @@ fn drain(handle: Option<Arc<Mutex<VecSink>>>) -> Vec<TraceRecord> {
         .unwrap_or_default()
 }
 
-/// Split per-point `(value, events, records)` triples into the value
-/// vector, the event total, and the in-order concatenated trace.
-fn collect_points(results: Vec<(f64, u64, Vec<TraceRecord>)>) -> (Vec<f64>, u64, Vec<TraceRecord>) {
+/// Split per-point `(value, events, clamps, records)` tuples into the
+/// value vector, the event and clamp totals, and the in-order
+/// concatenated trace.
+#[allow(clippy::type_complexity)]
+fn collect_points(
+    results: Vec<(f64, u64, u64, Vec<TraceRecord>)>,
+) -> (Vec<f64>, u64, u64, Vec<TraceRecord>) {
     let mut values = Vec::with_capacity(results.len());
     let mut events = 0u64;
+    let mut clamps = 0u64;
     let mut trace = Vec::new();
-    for (v, e, t) in results {
+    for (v, e, c, t) in results {
         values.push(v);
         events += e;
+        clamps += c;
         trace.extend(t);
     }
-    (values, events, trace)
+    (values, events, clamps, trace)
 }
 
 /// The cross product of disciplines and population sizes, in figure
@@ -157,13 +167,92 @@ fn fig1_run(scale: Scale, seed: u64, traced: bool, plan: Option<&FaultPlan>) -> 
         };
         params.fault_plan = merge_plan(params.builtin_fault_plan(), plan);
         let o = run_submission_traced(params, window, sink);
-        (o.jobs_submitted as f64, o.events_popped, drain(handle))
+        (
+            o.jobs_submitted as f64,
+            o.events_popped,
+            o.queue_clamps,
+            drain(handle),
+        )
     });
-    let (jobs, events_popped, trace) = collect_points(results);
+    let (jobs, events_popped, clamps, trace) = collect_points(results);
     series_per_discipline(&mut set, &ns, jobs);
     FigureRun {
         set,
         events_popped,
+        clamps,
+        trace: traced.then_some(trace),
+    }
+}
+
+/// Figure 1x — *Submission at Population Extremes*: Figure 1's
+/// population axis pushed two to three orders of magnitude past the
+/// paper's 500 submitters, up to 100 000 concurrent ftsh clients
+/// against the same single schedd. Ethernet and Aloha only: both are
+/// self-limiting (carrier sense, exponential backoff), so their event
+/// volume stays proportional to the population. Fixed retries without
+/// delay, which makes its event count scale with the window instead of
+/// the population — its collapse is already established by Figure 1,
+/// so it is excluded rather than simulated at ruinous cost.
+pub fn fig1x_population_extremes(scale: Scale, seed: u64) -> SeriesSet {
+    fig1x_run(scale, seed, false, None).set
+}
+
+/// The disciplines fig1x sweeps (see [`fig1x_population_extremes`]).
+const FIG1X_DISCIPLINES: [Discipline; 2] = [Discipline::Ethernet, Discipline::Aloha];
+
+fn fig1x_run(scale: Scale, seed: u64, traced: bool, plan: Option<&FaultPlan>) -> FigureRun {
+    let ns: Vec<usize> = scale.pick(
+        vec![1_000, 3_000, 10_000, 30_000, 100_000],
+        vec![1_000, 10_000],
+    );
+    // A shorter window than fig1: at these populations the FD table
+    // saturates within seconds, so steady state arrives almost
+    // immediately and a two-minute window already averages over many
+    // backoff generations.
+    let window = scale.pick(Dur::from_secs(120), Dur::from_secs(45));
+    let mut set = SeriesSet::new(
+        "Figure 1x: Submission at Population Extremes",
+        "Number of Submitters",
+        "Jobs Submitted",
+    );
+    let points: Vec<(Discipline, usize)> = FIG1X_DISCIPLINES
+        .iter()
+        .flat_map(|&d| ns.iter().map(move |&n| (d, n)))
+        .collect();
+    let results = sweep::map(&points, |&(d, n)| {
+        let (sink, handle) = point_sink(traced);
+        let mut params = SubmitParams {
+            n_clients: n,
+            discipline: d,
+            seed: seed ^ (n as u64),
+            // Spread the start burst over a minute: 100k clients
+            // arriving within fig1's 10 s would all collide before
+            // carrier sense has anything to measure.
+            start_stagger: Dur::from_secs(60),
+            ..SubmitParams::default()
+        };
+        params.fault_plan = merge_plan(params.builtin_fault_plan(), plan);
+        let o = run_submission_traced(params, window, sink);
+        (
+            o.jobs_submitted as f64,
+            o.events_popped,
+            o.queue_clamps,
+            drain(handle),
+        )
+    });
+    let (jobs, events_popped, clamps, trace) = collect_points(results);
+    let mut it = jobs.into_iter();
+    for d in FIG1X_DISCIPLINES {
+        let mut series = Series::new(d.label());
+        for &n in &ns {
+            series.push_xy(n as f64, it.next().expect("one value per point"));
+        }
+        set.add(series);
+    }
+    FigureRun {
+        set,
+        events_popped,
+        clamps,
         trace: traced.then_some(trace),
     }
 }
@@ -199,6 +288,7 @@ fn submit_timeline(
     FigureRun {
         set,
         events_popped: o.events_popped,
+        clamps: o.queue_clamps,
         trace: traced.then(|| drain(handle)),
     }
 }
@@ -248,7 +338,7 @@ fn buffer_run(
     seed: u64,
     traced: bool,
     plan: Option<&FaultPlan>,
-) -> (f64, u64, u64, Vec<TraceRecord>) {
+) -> (f64, u64, u64, u64, Vec<TraceRecord>) {
     let total = scale.pick(Dur::from_secs(180), Dur::from_secs(120));
     let measure_from = scale.pick(Dur::from_secs(120), Dur::from_secs(80));
     let mut params = BufferParams {
@@ -261,7 +351,13 @@ fn buffer_run(
     let (sink, handle) = point_sink(traced);
     let o = run_buffer_traced(params, total, sink);
     let consumed = o.consumed_between(Time::ZERO + measure_from, Time::ZERO + total);
-    (consumed, o.collisions, o.events_popped, drain(handle))
+    (
+        consumed,
+        o.collisions,
+        o.events_popped,
+        o.queue_clamps,
+        drain(handle),
+    )
 }
 
 /// Figure 4 — *Buffer Throughput*: files consumed in the steady-state
@@ -279,14 +375,15 @@ fn fig4_run(scale: Scale, seed: u64, traced: bool, plan: Option<&FaultPlan>) -> 
     );
     let points = cross_points(&ns);
     let results = sweep::map(&points, |&(d, n)| {
-        let (consumed, _, events, recs) = buffer_run(d, n, scale, seed, traced, plan);
-        (consumed, events, recs)
+        let (consumed, _, events, clamps, recs) = buffer_run(d, n, scale, seed, traced, plan);
+        (consumed, events, clamps, recs)
     });
-    let (consumed, events_popped, trace) = collect_points(results);
+    let (consumed, events_popped, clamps, trace) = collect_points(results);
     series_per_discipline(&mut set, &ns, consumed);
     FigureRun {
         set,
         events_popped,
+        clamps,
         trace: traced.then_some(trace),
     }
 }
@@ -306,14 +403,15 @@ fn fig5_run(scale: Scale, seed: u64, traced: bool, plan: Option<&FaultPlan>) -> 
     );
     let points = cross_points(&ns);
     let results = sweep::map(&points, |&(d, n)| {
-        let (_, collisions, events, recs) = buffer_run(d, n, scale, seed, traced, plan);
-        (collisions as f64, events, recs)
+        let (_, collisions, events, clamps, recs) = buffer_run(d, n, scale, seed, traced, plan);
+        (collisions as f64, events, clamps, recs)
     });
-    let (collisions, events_popped, trace) = collect_points(results);
+    let (collisions, events_popped, clamps, trace) = collect_points(results);
     series_per_discipline(&mut set, &ns, collisions);
     FigureRun {
         set,
         events_popped,
+        clamps,
         trace: traced.then_some(trace),
     }
 }
@@ -351,6 +449,7 @@ fn reader_figure(
     FigureRun {
         set,
         events_popped: o.events_popped,
+        clamps: o.queue_clamps,
         trace: traced.then(|| drain(handle)),
     }
 }
@@ -426,14 +525,22 @@ fn ablation_threshold_run(
         };
         params.fault_plan = merge_plan(params.builtin_fault_plan(), plan);
         let o = run_submission_traced(params, window, sink);
-        (o.jobs_submitted, o.crashes, o.events_popped, drain(handle))
+        (
+            o.jobs_submitted,
+            o.crashes,
+            o.events_popped,
+            o.queue_clamps,
+            drain(handle),
+        )
     });
     let mut events_popped = 0u64;
+    let mut clamps = 0u64;
     let mut trace = Vec::new();
-    for (&t, (j, c, e, recs)) in thresholds.iter().zip(outcomes) {
+    for (&t, (j, c, e, cl, recs)) in thresholds.iter().zip(outcomes) {
         jobs.push_xy(t as f64, j as f64);
         crashes.push_xy(t as f64, c as f64);
         events_popped += e;
+        clamps += cl;
         trace.extend(recs);
     }
     set.add(jobs);
@@ -441,6 +548,7 @@ fn ablation_threshold_run(
     FigureRun {
         set,
         events_popped,
+        clamps,
         trace: traced.then_some(trace),
     }
 }
@@ -504,6 +612,7 @@ pub fn by_name_with_plan(
 ) -> Option<FigureRun> {
     Some(match name {
         "fig1" => fig1_run(scale, seed, traced, plan),
+        "fig1x" => fig1x_run(scale, seed, traced, plan),
         "fig2" => fig2_run(scale, seed, traced, plan),
         "fig3" => fig3_run(scale, seed, traced, plan),
         "fig4" => fig4_run(scale, seed, traced, plan),
@@ -514,6 +623,7 @@ pub fn by_name_with_plan(
         "ablation-channel" => FigureRun {
             set: ablation_channel_saturation(scale, seed),
             events_popped: 0,
+            clamps: 0,
             trace: traced.then(Vec::new),
         },
         _ => return None,
@@ -522,6 +632,11 @@ pub fn by_name_with_plan(
 
 /// The ids of the extra ablation figures.
 pub const ALL_ABLATIONS: [&str; 2] = ["ablation-threshold", "ablation-channel"];
+
+/// The ids of the extended (beyond-paper) figures. Kept out of
+/// [`ALL_FIGURES`] so `figures all` and the determinism gate stay at
+/// paper scale; regenerate explicitly with `figures fig1x`.
+pub const EXTENDED_FIGURES: [&str; 1] = ["fig1x"];
 
 /// The ids of all figures.
 pub const ALL_FIGURES: [&str; 7] = ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"];

@@ -395,6 +395,8 @@ pub struct BlackHoleOutcome {
     pub longest_stall: Dur,
     /// Events popped from this run's own queue (per-run engine work).
     pub events_popped: u64,
+    /// Past-scheduled events the queue clamped forward to `now`.
+    pub queue_clamps: u64,
 }
 
 /// Run the scenario for `duration` of virtual time (paper: 900 s).
@@ -433,6 +435,18 @@ pub fn run_blackhole_traced(
     }
     driver.run_until(Time::ZERO + duration);
     let events_popped = driver.events_popped();
+    let queue_clamps = driver.clamps();
+    if queue_clamps > 0 {
+        simgrid::trace::emit(
+            &driver.trace().cloned(),
+            driver.now(),
+            simgrid::trace::NO_ID,
+            simgrid::trace::NO_ID,
+            simgrid::trace::TraceEv::QueueClamps {
+                count: queue_clamps,
+            },
+        );
+    }
     let w = &driver.world;
     let mut longest = Dur::ZERO;
     for times in &w.per_client_successes {
@@ -452,6 +466,7 @@ pub fn run_blackhole_traced(
         deferral_series: w.deferral_series.clone(),
         longest_stall: longest,
         events_popped,
+        queue_clamps,
     }
 }
 

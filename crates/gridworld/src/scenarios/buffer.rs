@@ -482,6 +482,8 @@ pub struct BufferOutcome {
     pub occupancy_series: Series,
     /// Events popped from this run's own queue (per-run engine work).
     pub events_popped: u64,
+    /// Past-scheduled events the queue clamped forward to `now`.
+    pub queue_clamps: u64,
 }
 
 impl BufferOutcome {
@@ -538,6 +540,18 @@ pub fn run_buffer_traced(
     driver.schedule_world(Time::ZERO, BufferEv::Sample);
     driver.run_until(Time::ZERO + duration);
     let events_popped = driver.events_popped();
+    let queue_clamps = driver.clamps();
+    if queue_clamps > 0 {
+        simgrid::trace::emit(
+            &driver.trace().cloned(),
+            driver.now(),
+            simgrid::trace::NO_ID,
+            simgrid::trace::NO_ID,
+            simgrid::trace::TraceEv::QueueClamps {
+                count: queue_clamps,
+            },
+        );
+    }
     let w = &driver.world;
     BufferOutcome {
         files_consumed: w.files_consumed,
@@ -549,6 +563,7 @@ pub fn run_buffer_traced(
         collision_series: w.collision_series.clone(),
         occupancy_series: w.occupancy_series.clone(),
         events_popped,
+        queue_clamps,
     }
 }
 

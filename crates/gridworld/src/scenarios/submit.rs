@@ -211,6 +211,11 @@ pub struct SubmitWorld {
     /// Structured-trace sink for scenario-level events (crashes,
     /// probes, deferrals); `None` ⇒ no records, no cost.
     trace: Option<SharedSink>,
+    /// Interned probe outputs keyed by the free-FD count: the same
+    /// handful of counts is reported millions of times, so the probe
+    /// path reuses one `Istr` per distinct value instead of formatting
+    /// a fresh `String` each time.
+    probe_out: HashMap<u64, ftsh::Istr>,
 }
 
 impl SubmitWorld {
@@ -246,6 +251,7 @@ impl SubmitWorld {
             fd_series: Series::new("available FDs"),
             jobs_series: Series::new("jobs submitted"),
             trace: None,
+            probe_out: HashMap::new(),
             script,
             params,
         }
@@ -363,10 +369,15 @@ impl CommandWorld for SubmitWorld {
                         TraceEv::Deferral,
                     );
                 }
-                ExecOutcome::At(
-                    ctx.now() + self.params.probe_cost,
-                    CmdResult::ok(format!("{free}\n")),
-                )
+                // Interned per distinct count, with no trailing
+                // newline so the VM's capture fast path can bind the
+                // handle itself instead of re-trimming into a copy.
+                let out = self
+                    .probe_out
+                    .entry(free)
+                    .or_insert_with(|| ftsh::Istr::from(free.to_string()))
+                    .clone();
+                ExecOutcome::At(ctx.now() + self.params.probe_cost, CmdResult::ok(out))
             }
             "condor_submit" => {
                 // The attempt's own descriptors: without them the
@@ -545,6 +556,10 @@ pub struct SubmitOutcome {
     pub sojourn_p95: Option<f64>,
     /// Events popped from this run's own queue (per-run engine work).
     pub events_popped: u64,
+    /// Past-scheduled events the queue clamped forward to `now`
+    /// (nonzero means scenario or driver code asked for an instant
+    /// already in the past).
+    pub queue_clamps: u64,
 }
 
 /// Run the scenario for `duration` of virtual time.
@@ -610,6 +625,18 @@ pub fn run_submission_traced(
     driver.schedule_world(Time::ZERO, SubmitEv::Sample);
     driver.run_until(Time::ZERO + duration);
     let events_popped = driver.events_popped();
+    let queue_clamps = driver.clamps();
+    if queue_clamps > 0 {
+        simgrid::trace::emit(
+            &driver.trace().cloned(),
+            driver.now(),
+            NO_ID,
+            NO_ID,
+            TraceEv::QueueClamps {
+                count: queue_clamps,
+            },
+        );
+    }
     let totals = driver.log_totals;
     let w = &driver.world;
     let mut sojourns = w.sojourns.clone();
@@ -627,6 +654,7 @@ pub fn run_submission_traced(
         sojourn_p50: p50,
         sojourn_p95: p95,
         events_popped,
+        queue_clamps,
     }
 }
 

@@ -15,20 +15,46 @@
 //! forces the sequential baseline the perf harness compares against.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
 
 /// The worker count [`map`] would use for `n_items` points: available
 /// parallelism capped by the item count, overridden by
 /// `EG_SWEEP_THREADS` when set.
+///
+/// An unusable override (not a number, or zero) falls back to the
+/// default — but warns once on stderr naming the rejected value, so a
+/// typo like `EG_SWEEP_THREADS=two` cannot silently benchmark the
+/// wrong configuration.
 pub fn configured_threads(n_items: usize) -> usize {
     let default = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    let n = std::env::var("EG_SWEEP_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&t| t > 0)
-        .unwrap_or(default);
+    let n = match std::env::var("EG_SWEEP_THREADS") {
+        Ok(v) => match parse_thread_override(&v) {
+            Some(t) => t,
+            None => {
+                static WARN: Once = Once::new();
+                WARN.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring EG_SWEEP_THREADS={v:?}: \
+                         expected a positive integer, using default ({default})"
+                    );
+                });
+                default
+            }
+        },
+        Err(_) => default,
+    };
     n.min(n_items).max(1)
+}
+
+/// Parse an `EG_SWEEP_THREADS` value: a positive integer, or `None`
+/// for anything unusable (non-numeric, zero).
+pub fn parse_thread_override(v: &str) -> Option<usize> {
+    match v.trim().parse::<usize>() {
+        Ok(t) if t > 0 => Some(t),
+        _ => None,
+    }
 }
 
 /// Apply `f` to every item, fanning across [`configured_threads`]
@@ -165,6 +191,16 @@ mod tests {
     fn configured_threads_is_capped_by_items() {
         assert_eq!(configured_threads(1), 1);
         assert!(configured_threads(1000) >= 1);
+    }
+
+    #[test]
+    fn thread_override_rejects_garbage() {
+        assert_eq!(parse_thread_override("4"), Some(4));
+        assert_eq!(parse_thread_override(" 2 "), Some(2));
+        assert_eq!(parse_thread_override("two"), None);
+        assert_eq!(parse_thread_override("0"), None);
+        assert_eq!(parse_thread_override(""), None);
+        assert_eq!(parse_thread_override("-1"), None);
     }
 
     #[test]

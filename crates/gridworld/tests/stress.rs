@@ -171,6 +171,25 @@ fn submit_zero_clients_is_a_noop() {
 }
 
 #[test]
+fn submit_ten_thousand_clients_smoke() {
+    // fig1x territory: two orders of magnitude past the paper's 100s
+    // axis. Carrier sense must keep the schedd alive, work must still
+    // land, and nothing may schedule into the past at this scale.
+    let o = run_submission(
+        SubmitParams {
+            n_clients: 10_000,
+            discipline: Discipline::Ethernet,
+            start_stagger: Dur::from_secs(60),
+            ..SubmitParams::default()
+        },
+        Dur::from_secs(90),
+    );
+    assert!(o.jobs_submitted > 0, "work lands at 10k clients");
+    assert_eq!(o.crashes, 0, "carrier sense holds at 10k clients");
+    assert_eq!(o.queue_clamps, 0, "no past-scheduling at scale");
+}
+
+#[test]
 fn all_scenarios_deterministic_under_stress() {
     let run = || {
         run_submission(

@@ -157,7 +157,7 @@ pub fn run_vm(mut vm: Vm, opts: &RealOptions) -> RealReport {
                                 token,
                                 CmdResult {
                                     success: outcome.success(),
-                                    stdout: out,
+                                    stdout: out.into(),
                                 },
                                 outcome,
                             ));

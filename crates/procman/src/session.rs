@@ -257,7 +257,7 @@ mod tests {
 
     fn spec(argv: &[&str]) -> CommandSpec {
         CommandSpec {
-            argv: argv.iter().map(|s| s.to_string()).collect(),
+            argv: argv.iter().map(|s| ftsh::Istr::from(*s)).collect(),
             input: None,
             output: None,
             both: false,
@@ -328,14 +328,14 @@ mod tests {
 
         let mut s = spec(&["echo", "one"]);
         s.output = Some(OutSink::File {
-            path: p.clone(),
+            path: p.as_str().into(),
             append: false,
         });
         SessionChild::spawn(&s).unwrap().wait();
 
         let mut s = spec(&["echo", "two"]);
         s.output = Some(OutSink::File {
-            path: p.clone(),
+            path: p.as_str().into(),
             append: true,
         });
         SessionChild::spawn(&s).unwrap().wait();

@@ -1,10 +1,32 @@
-//! The discrete-event kernel: a virtual clock driven by a priority
-//! queue of timestamped events.
+//! The discrete-event kernel: a virtual clock driven by a sharded
+//! future-event list.
 //!
 //! Determinism is load-bearing for the reproduction: given the same
 //! seed, a scenario must produce bit-identical figure data. Events at
 //! equal instants therefore break ties by insertion order (a strictly
 //! increasing sequence number), never by heap internals.
+//!
+//! # Sharding
+//!
+//! Internally the queue is split into [`EventQueue::shards`] shards so
+//! one large world does not funnel every operation through a single
+//! comparison-heavy `BinaryHeap`: a population of 100k clients keyed by
+//! client id spreads across shards whose heaps are each a fraction of
+//! the total, shrinking both the `O(log n)` factor and the working set
+//! each push/pop touches. Each shard is a two-level calendar: a *near*
+//! heap holding events below the shard's current window and a *far*
+//! heap for everything later; when the near heap drains, the window
+//! advances to just past the earliest far event and the events that
+//! fall inside are migrated over.
+//!
+//! The cross-shard merge is deterministic by construction: every event
+//! is stamped with one **queue-global** sequence number at schedule
+//! time, and `pop` takes the minimum `(timestamp, seq)` across shard
+//! heads. That is exactly the order the old single-heap kernel
+//! produced, so pop order — and therefore every figure byte — is
+//! invariant under the shard count and under how events are routed to
+//! shards. Routing (`schedule_keyed`) affects locality only, never
+//! order.
 
 use retry::Time;
 use std::cmp::Ordering;
@@ -37,6 +59,82 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Width of a shard's near window. One virtual second: coarse enough
+/// that a drained window refills with a batch of events, fine enough
+/// that the near heap stays a fraction of the shard.
+const WINDOW_US: u64 = 1_000_000;
+
+/// One calendar shard: `near` holds events strictly below
+/// `window_end`, `far` everything at or beyond it. Invariant
+/// (maintained by every `&mut` entry point): `near` is non-empty
+/// whenever the shard is non-empty, so peeking is pure.
+struct Shard<E> {
+    near: BinaryHeap<Entry<E>>,
+    far: BinaryHeap<Entry<E>>,
+    window_end: Time,
+}
+
+impl<E> Shard<E> {
+    fn new() -> Shard<E> {
+        Shard {
+            near: BinaryHeap::new(),
+            far: BinaryHeap::new(),
+            window_end: Time::ZERO,
+        }
+    }
+
+    fn push(&mut self, e: Entry<E>) {
+        if e.at < self.window_end {
+            self.near.push(e);
+        } else {
+            self.far.push(e);
+            self.refill();
+        }
+    }
+
+    /// Restore the invariant after the near heap may have drained:
+    /// advance the window to one span past the earliest far event and
+    /// migrate everything that now falls inside.
+    fn refill(&mut self) {
+        if !self.near.is_empty() {
+            return;
+        }
+        let Some(head) = self.far.peek() else { return };
+        self.window_end = Time::from_micros(head.at.as_micros().saturating_add(WINDOW_US));
+        while self.far.peek().is_some_and(|e| e.at < self.window_end) {
+            let e = self.far.pop().expect("peeked");
+            self.near.push(e);
+        }
+    }
+
+    /// The shard's earliest `(timestamp, seq)`, if any.
+    fn head(&self) -> Option<(Time, u64)> {
+        self.near.peek().map(|e| (e.at, e.seq))
+    }
+
+    fn pop(&mut self) -> Option<Entry<E>> {
+        let e = self.near.pop();
+        self.refill();
+        e
+    }
+
+    fn len(&self) -> usize {
+        self.near.len() + self.far.len()
+    }
+}
+
+/// How many shards a queue built with [`EventQueue::new`] gets:
+/// `EG_SIM_SHARDS` when set to a positive integer, else 4. The shard
+/// count never affects pop order — only locality — so this is a pure
+/// tuning knob.
+fn configured_shards() -> usize {
+    std::env::var("EG_SIM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4)
+}
+
 /// A deterministic future-event list with its own clock.
 ///
 /// ```
@@ -50,10 +148,11 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.now(), Time::from_secs(1));
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    shards: Vec<Shard<E>>,
     seq: u64,
     now: Time,
     popped: u64,
+    clamped: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -63,14 +162,29 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue at `T+0`.
+    /// An empty queue at `T+0` with the configured shard count
+    /// (`EG_SIM_SHARDS`, default 4).
     pub fn new() -> EventQueue<E> {
+        EventQueue::with_shards(configured_shards())
+    }
+
+    /// An empty queue at `T+0` with exactly `nshards` shards
+    /// (`nshards` ≥ 1 enforced). Pop order is identical for every
+    /// shard count.
+    pub fn with_shards(nshards: usize) -> EventQueue<E> {
+        let nshards = nshards.max(1);
         EventQueue {
-            heap: BinaryHeap::new(),
+            shards: (0..nshards).map(|_| Shard::new()).collect(),
             seq: 0,
             now: Time::ZERO,
             popped: 0,
+            clamped: 0,
         }
+    }
+
+    /// Number of shards this queue spreads events across.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// Events popped from *this* queue since construction. Per-queue
@@ -78,6 +192,14 @@ impl<E> EventQueue<E> {
     /// workers run other simulations concurrently.
     pub fn popped(&self) -> u64 {
         self.popped
+    }
+
+    /// How many schedules targeted an instant already in the past and
+    /// were clamped to `now`. A nonzero count is a latent ordering bug
+    /// in the scenario; `figures --stats` and the postmortem surface
+    /// it rather than letting the clamp silently "fix" it.
+    pub fn clamped(&self) -> u64 {
+        self.clamped
     }
 
     /// The current virtual instant (the timestamp of the last popped
@@ -88,11 +210,28 @@ impl<E> EventQueue<E> {
 
     /// Schedule `event` at absolute instant `at`. Scheduling in the
     /// past is a logic error in debug builds; in release it clamps to
-    /// `now` (the event fires immediately, preserving progress).
+    /// `now` (the event fires immediately, preserving progress) and
+    /// increments [`clamped`].
+    ///
+    /// [`clamped`]: EventQueue::clamped
     pub fn schedule(&mut self, at: Time, event: E) {
+        self.schedule_keyed(0, at, event);
+    }
+
+    /// Schedule `event` at `at`, routed to the shard `key` maps to
+    /// (`key % shards`). Keying by client/resource id keeps one
+    /// client's events on one small heap; the choice of key can never
+    /// change pop order, only locality.
+    pub fn schedule_keyed(&mut self, key: usize, at: Time, event: E) {
         debug_assert!(at >= self.now, "scheduling into the past");
-        let at = at.max(self.now);
-        self.heap.push(Entry {
+        let at = if at < self.now {
+            self.clamped += 1;
+            self.now
+        } else {
+            at
+        };
+        let shard = key % self.shards.len();
+        self.shards[shard].push(Entry {
             at,
             seq: self.seq,
             event,
@@ -105,14 +244,39 @@ impl<E> EventQueue<E> {
         self.schedule(self.now.saturating_add(delay), event);
     }
 
+    /// Schedule `event` after a delay from now, routed by `key` as in
+    /// [`schedule_keyed`].
+    ///
+    /// [`schedule_keyed`]: EventQueue::schedule_keyed
+    pub fn schedule_in_keyed(&mut self, key: usize, delay: retry::Dur, event: E) {
+        self.schedule_keyed(key, self.now.saturating_add(delay), event);
+    }
+
+    /// The index of the shard holding the global minimum
+    /// `(timestamp, seq)`, if any event is pending.
+    fn min_shard(&self) -> Option<usize> {
+        let mut best: Option<(Time, u64, usize)> = None;
+        for (i, s) in self.shards.iter().enumerate() {
+            if let Some((at, seq)) = s.head() {
+                if best.is_none_or(|(bt, bs, _)| (at, seq) < (bt, bs)) {
+                    best = Some((at, seq, i));
+                }
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.at)
+        self.min_shard()
+            .and_then(|i| self.shards[i].head())
+            .map(|(at, _)| at)
     }
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        let e = self.heap.pop()?;
+        let i = self.min_shard()?;
+        let e = self.shards[i].pop().expect("shard head exists");
         debug_assert!(e.at >= self.now, "clock went backwards");
         self.now = e.at;
         self.popped += 1;
@@ -121,12 +285,12 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.shards.iter().map(Shard::len).sum()
     }
 
     /// True when nothing is scheduled.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.shards.iter().all(|s| s.near.is_empty())
     }
 }
 
@@ -153,6 +317,39 @@ mod tests {
         }
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order_across_shards() {
+        // Same instant, every event on a different shard: the global
+        // seq stamp still decides, not shard index or routing.
+        let mut q = EventQueue::with_shards(4);
+        for i in 0..100usize {
+            q.schedule_keyed(103 - i, Time::from_secs(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_order_is_invariant_under_shard_count() {
+        let schedule_all = |q: &mut EventQueue<usize>| {
+            for i in 0..200usize {
+                let t = Time::from_micros(((i * 37) % 50) as u64 * 700_000);
+                q.schedule_keyed(i % 7, t, i);
+            }
+        };
+        let drain = |q: &mut EventQueue<usize>| -> Vec<(Time, usize)> {
+            std::iter::from_fn(|| q.pop()).collect()
+        };
+        let mut reference = EventQueue::with_shards(1);
+        schedule_all(&mut reference);
+        let want = drain(&mut reference);
+        for n in [2, 3, 4, 8, 64] {
+            let mut q = EventQueue::with_shards(n);
+            schedule_all(&mut q);
+            assert_eq!(drain(&mut q), want, "shard count {n} changed pop order");
+        }
     }
 
     #[test]
@@ -223,5 +420,34 @@ mod tests {
         assert_eq!(e, 5);
         let (_, e) = q.pop().unwrap();
         assert_eq!(e, 10);
+    }
+
+    #[test]
+    fn far_window_migration_preserves_order() {
+        // Spread events far beyond one near window on a single shard
+        // so every pop path (drain, refill, migrate) is exercised.
+        let mut q = EventQueue::with_shards(1);
+        for i in (0..50u64).rev() {
+            q.schedule(Time::from_secs(i * 3), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_schedule_clamps_and_counts() {
+        let mut q = EventQueue::with_shards(2);
+        q.schedule(Time::from_secs(10), "a");
+        q.pop();
+        assert_eq!(q.clamped(), 0);
+        // Only compiled-away debug_assert guards this in release; the
+        // runtime contract is clamp-to-now plus an observable count.
+        if cfg!(debug_assertions) {
+            return;
+        }
+        q.schedule(Time::from_secs(3), "late");
+        assert_eq!(q.clamped(), 1);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (Time::from_secs(10), "late"));
     }
 }

@@ -57,6 +57,10 @@ pub struct TraceSummary {
     /// Faults injected by an armed fault plan, counted per kind tag
     /// (`schedd-kill`, `msg-loss`, …) in first-seen order.
     pub faults_injected: Vec<(String, u64)>,
+    /// Past-scheduled events the engine clamped forward to `now`
+    /// (summed over the trace's `queue-clamps` records; nonzero means
+    /// something asked for an instant already in the past).
+    pub queue_clamps: u64,
     /// Attempts admitted per client.
     pub attempts_by_client: BTreeMap<i64, u64>,
 }
@@ -111,6 +115,7 @@ impl TraceSummary {
                         None => s.faults_injected.push((kind.clone(), 1)),
                     }
                 }
+                TraceEv::QueueClamps { count } => s.queue_clamps += count,
             }
         }
         s.clients = clients.into_iter().collect();
@@ -206,6 +211,13 @@ impl TraceSummary {
         for (kind, n) in &self.faults_injected {
             let _ = writeln!(out, "{:<22} {}", format!("  {kind}"), n);
         }
+        if self.queue_clamps > 0 {
+            let _ = writeln!(
+                out,
+                "{:<22} {} (events scheduled into the past, moved to now)",
+                "queue clamps", self.queue_clamps
+            );
+        }
         out
     }
 }
@@ -244,6 +256,9 @@ fn describe(ev: &TraceEv) -> String {
             } else {
                 format!("fault injected: {kind} ({detail})")
             }
+        }
+        TraceEv::QueueClamps { count } => {
+            format!("{count} past-scheduled events clamped to now")
         }
     }
 }

@@ -111,6 +111,14 @@ pub enum TraceEv {
         /// Parameter summary (e.g. `server=yyy enable=true`).
         detail: String,
     },
+    /// The run's event queue clamped past-scheduled events forward to
+    /// `now` this many times. Emitted once at the end of a traced run,
+    /// and only when the count is nonzero — a healthy run never
+    /// schedules into the past.
+    QueueClamps {
+        /// Past-schedules silently moved to `now`.
+        count: u64,
+    },
 }
 
 impl TraceEv {
@@ -133,6 +141,7 @@ impl TraceEv {
             TraceEv::ScheddCrash => "schedd-crash",
             TraceEv::Enospc => "enospc",
             TraceEv::FaultInjected { .. } => "fault",
+            TraceEv::QueueClamps { .. } => "queue-clamps",
         }
     }
 }
@@ -205,6 +214,9 @@ impl TraceRecord {
                     json_escape(kind),
                     json_escape(detail)
                 );
+            }
+            TraceEv::QueueClamps { count } => {
+                let _ = write!(out, ",\"count\":{count}");
             }
             TraceEv::TryExhausted
             | TraceEv::TryTimeout
@@ -290,6 +302,9 @@ impl TraceRecord {
             "fault" => TraceEv::FaultInjected {
                 kind: text("kind")?,
                 detail: text("detail")?,
+            },
+            "queue-clamps" => TraceEv::QueueClamps {
+                count: num("count")? as u64,
             },
             other => return Err(format!("unknown ev tag {other:?}")),
         };

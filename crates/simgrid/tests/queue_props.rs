@@ -1,0 +1,93 @@
+//! Differential property test for the sharded event kernel: for
+//! arbitrary interleavings of schedules and pops, every shard count
+//! must yield the identical `(time, event)` sequence as a reference
+//! single-heap queue — the legacy kernel the shards replaced.
+
+use proptest::prelude::*;
+use retry::Time;
+use simgrid::EventQueue;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The legacy kernel, restated: one global max-heap, inverted on
+/// `(timestamp, insertion seq)`.
+#[derive(Default)]
+struct LegacyQueue {
+    heap: BinaryHeap<Reverse<(Time, u64, u32)>>,
+    seq: u64,
+    now: Time,
+}
+
+impl LegacyQueue {
+    fn schedule(&mut self, at: Time, event: u32) {
+        let at = at.max(self.now);
+        self.heap.push(Reverse((at, self.seq, event)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(Time, u32)> {
+        let Reverse((at, _, ev)) = self.heap.pop()?;
+        self.now = at;
+        Some((at, ev))
+    }
+}
+
+/// One step of an interleaving: schedule an event some microseconds
+/// past the current clock (routed by `key`), or pop the head.
+#[derive(Clone, Debug)]
+enum Op {
+    Schedule { delta_us: u64, key: usize },
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..3_000_000, 0usize..64).prop_map(|(delta_us, key)| Op::Schedule {
+            delta_us,
+            key
+        }),
+        2 => Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    /// The sharded kernel is observationally identical to the legacy
+    /// single heap under any schedule/pop interleaving and any shard
+    /// count, including the final drain.
+    #[test]
+    fn sharded_matches_legacy_queue(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        nshards in 1usize..9,
+    ) {
+        let mut legacy = LegacyQueue::default();
+        let mut sharded = EventQueue::with_shards(nshards);
+        let mut next_event = 0u32;
+        for op in &ops {
+            match *op {
+                Op::Schedule { delta_us, key } => {
+                    // Both clocks advance identically, so `at` is never
+                    // in the past for either queue.
+                    let at = Time::from_micros(
+                        legacy.now.as_micros().saturating_add(delta_us),
+                    );
+                    legacy.schedule(at, next_event);
+                    sharded.schedule_keyed(key, at, next_event);
+                    next_event += 1;
+                }
+                Op::Pop => {
+                    prop_assert_eq!(sharded.pop(), legacy.pop());
+                    prop_assert_eq!(sharded.now(), legacy.now);
+                }
+            }
+        }
+        loop {
+            let (s, l) = (sharded.pop(), legacy.pop());
+            prop_assert_eq!(&s, &l);
+            if s.is_none() {
+                break;
+            }
+        }
+        prop_assert!(sharded.is_empty());
+        prop_assert_eq!(sharded.len(), 0);
+    }
+}

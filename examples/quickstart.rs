@@ -32,7 +32,7 @@ end
     let mut driver = VmDriver::new(Vm::with_seed(&script, 7), SimClock::new());
     let outcome = driver.run_to_completion(|spec| {
         println!("  [sim] {}", spec.argv.join(" "));
-        if spec.argv.get(1).map(String::as_str) == Some("yyy") {
+        if spec.argv.get(1).map(|s| s.as_str()) == Some("yyy") {
             Ok(String::new())
         } else {
             Err("connection refused".into())

@@ -188,9 +188,9 @@ proptest! {
 /// Words that survive the trip bare or quoted: avoid keywords in
 /// command position by construction.
 fn arb_word() -> impl Strategy<Value = Word> {
-    let lit = "[a-z][a-z0-9._/:-]{0,8}".prop_map(Seg::Lit);
-    let var = "[a-z][a-z0-9_]{0,5}".prop_map(Seg::Var);
-    let spaced = "[a-z][a-z ]{0,8}[a-z]".prop_map(Seg::Lit);
+    let lit = "[a-z][a-z0-9._/:-]{0,8}".prop_map(|s| Seg::Lit(s.into()));
+    let var = "[a-z][a-z0-9_]{0,5}".prop_map(|s| Seg::Var(s.into()));
+    let spaced = "[a-z][a-z ]{0,8}[a-z]".prop_map(|s| Seg::Lit(s.into()));
     proptest::collection::vec(prop_oneof![3 => lit, 2 => var, 1 => spaced], 1..3)
         .prop_map(Word::from_segs)
 }
