@@ -34,16 +34,18 @@
 //! (with `--timeline`) per-client swimlanes, filtered by `--client`.
 //!
 //! `--live` is the arena mode: instead of simulating, it starts a real
-//! `gridd` daemon in-process and races N concurrent real ftsh clients
-//! (threads running real `gridctl` processes over TCP) per discipline
-//! against it — Aloha first, then Ethernet — under forced schedd
-//! crashes. Per-client JSONL traces (the usual schema), the merged
-//! trace, postmortems, and the live-vs-sim comparison land in
+//! `gridd` daemon in-process and races N concurrent real clients per
+//! discipline against it — Aloha first, then Ethernet — under forced
+//! schedd crashes. The population is one epoll swarm of lightweight
+//! client tasks batching verbs over persistent TCP connections, so N
+//! scales to 1000+ on one core. The merged JSONL trace (the usual
+//! schema), postmortems, and the live-vs-sim comparison land in
 //! `results/`; the exit code is nonzero unless the live daemon
-//! confirms the simulator's Ethernet > Aloha prediction. `--quick`
-//! shrinks it to the 3-client CI race; `--live-clients N` overrides
-//! the population. Requires the `gridctl` binary next to `figures`
-//! (same `cargo build` profile).
+//! confirms the simulator's Ethernet > Aloha prediction — and, with
+//! `--min-dispatch V`, unless the better discipline sustains at least
+//! V decoded responses per second. `--quick` shrinks it to the
+//! 3-client CI race; `--live-clients N` overrides the population with
+//! physics scaled to N.
 //!
 //! `--stats` is the engine perf baseline: it runs the multi-point
 //! sweep figures twice — once pinned to one sweep thread (the
@@ -362,14 +364,21 @@ fn run_postmortem(args: Vec<String>) -> ExitCode {
 
 /// The live arena behind `--live`: real daemon, real clients, and a
 /// sim-vs-live verdict on the Ethernet > Aloha ordering.
-fn run_live(scale: Scale, seed: u64, clients: Option<usize>) -> ExitCode {
-    let mut opts = match scale {
-        Scale::Quick => egbench::live::LiveOptions::quick(seed, egbench::results_dir()),
-        Scale::Full => egbench::live::LiveOptions::full(seed, egbench::results_dir()),
+fn run_live(
+    scale: Scale,
+    seed: u64,
+    clients: Option<usize>,
+    min_dispatch: Option<f64>,
+) -> ExitCode {
+    // An explicit population size picks physics scaled to it; the
+    // quick/full presets keep their historical tuning otherwise.
+    let opts = match clients {
+        Some(n) => egbench::live::LiveOptions::sized(n, seed, egbench::results_dir()),
+        None => match scale {
+            Scale::Quick => egbench::live::LiveOptions::quick(seed, egbench::results_dir()),
+            Scale::Full => egbench::live::LiveOptions::full(seed, egbench::results_dir()),
+        },
     };
-    if let Some(n) = clients {
-        opts.clients = n;
-    }
     eprintln!(
         "== live arena: {} real clients x {} jobs per discipline (seed {seed}) ==",
         opts.clients, opts.jobs
@@ -401,6 +410,22 @@ fn run_live(scale: Scale, seed: u64, clients: Option<usize>) -> ExitCode {
         print!("{md}");
     }
     eprintln!("   wrote {}", table.display());
+    // The throughput gate for CI's stress job: the *better* discipline
+    // must clear the floor — a regression that halves the event loop's
+    // dispatch rate fails the run even when the ordering still holds.
+    if let Some(floor) = min_dispatch {
+        let best = report
+            .aloha
+            .dispatch_rate
+            .max(report.ethernet.dispatch_rate);
+        if best < floor {
+            eprintln!(
+                "   dispatch rate {best:.0} verbs/s is below the --min-dispatch floor {floor:.0}"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("   dispatch rate {best:.0} verbs/s clears the --min-dispatch floor {floor:.0}");
+    }
     if report.confirms {
         eprintln!("   live daemon CONFIRMS the sim's Ethernet > Aloha ordering");
         ExitCode::SUCCESS
@@ -429,6 +454,7 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut live = false;
     let mut live_clients: Option<usize> = None;
+    let mut min_dispatch: Option<f64> = None;
     let mut trace_base: Option<String> = None;
     let mut plan: Option<simgrid::FaultPlan> = None;
     let mut wanted: Vec<String> = Vec::new();
@@ -450,6 +476,13 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => live_clients = Some(n),
                 _ => {
                     eprintln!("--live-clients needs a positive number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--min-dispatch" => match it.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(v) if v > 0.0 => min_dispatch = Some(v),
+                _ => {
+                    eprintln!("--min-dispatch needs a positive verbs/s floor");
                     return ExitCode::from(2);
                 }
             },
@@ -495,14 +528,14 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: figures [--quick] [--seed N] [--stats] [--live [--live-clients N]] [--trace OUT.jsonl] [--faults PLAN.json] [fig1..fig7 | all | ablations | ablation-threshold | ablation-channel]\n       figures postmortem TRACE.jsonl [--timeline] [--client N]"
+                    "usage: figures [--quick] [--seed N] [--stats] [--live [--live-clients N] [--min-dispatch V]] [--trace OUT.jsonl] [--faults PLAN.json] [fig1..fig7 | all | ablations | ablation-threshold | ablation-channel]\n       figures postmortem TRACE.jsonl [--timeline] [--client N]"
                 );
                 return ExitCode::from(2);
             }
         }
     }
     if live {
-        return run_live(scale, seed, live_clients);
+        return run_live(scale, seed, live_clients, min_dispatch);
     }
     if stats {
         return run_stats(wanted, scale, seed);

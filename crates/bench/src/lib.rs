@@ -5,6 +5,7 @@
 
 pub mod conformance;
 pub mod live;
+pub mod swarm;
 
 use simgrid::SeriesSet;
 use std::path::{Path, PathBuf};

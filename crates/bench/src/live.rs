@@ -2,12 +2,14 @@
 //! wall-clock against a real `gridd` daemon.
 //!
 //! Where the simulator multiplexes hundreds of virtual clients over
-//! one event queue, the arena runs N *real* ftsh interpreters in N
-//! threads, each driving real `gridctl` processes over real TCP at a
-//! daemon whose schedd crashes under real concurrent overload (plus
-//! whatever the fault plan forces). Per client, the VM streams the
-//! PR 2 trace schema into its own `JsonlSink`; the merged trace feeds
-//! the existing postmortem with zero schema changes.
+//! one event queue, the arena runs N *real* clients over real TCP at
+//! a daemon whose schedd crashes under real concurrent overload (plus
+//! whatever the fault plan forces). The population is a
+//! [`crate::swarm`] — lightweight state machines multiplexed on one
+//! epoll reactor, batching verbs over persistent connections — so the
+//! arena scales from the historical 8 clients to 1000+ on one core.
+//! The swarm emits the PR 2 trace schema in memory; the merged trace
+//! feeds the existing postmortem with zero schema changes.
 //!
 //! This is also the multi-client extension of the conformance
 //! harness: the full-scale simulation predicts the Ethernet>Aloha ordering
@@ -18,10 +20,10 @@ use gridd::{ClientSnapshot, GriddConfig};
 use gridworld::figures::{by_name_with_plan, Scale};
 use retry::{BackoffPolicy, Discipline, Dur, Time};
 use simgrid::faults::{FaultKind, FaultPlan, FaultSpec};
-use simgrid::trace::{shared, JsonlSink, TraceRecord};
+use simgrid::trace::TraceRecord;
 use simgrid::{Series, SeriesSet};
 use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Arena parameters. Defaults are the full-scale (≥8 clients) run;
@@ -66,8 +68,30 @@ impl LiveOptions {
         LiveOptions {
             clients: 3,
             jobs: 3,
-            service: Duration::from_millis(450),
+            service: Duration::from_millis(300),
             crash_overloads: 3,
+            seed,
+            out_dir,
+        }
+    }
+
+    /// An arena scaled to an arbitrary population (the `--live-clients`
+    /// path). Small populations keep the historical full-arena physics;
+    /// larger ones shorten service and scale the crash threshold with
+    /// the population, so an Aloha stampede still crashes the schedd
+    /// while Ethernet's occasional stale-sense races do not.
+    pub fn sized(clients: usize, seed: u64, out_dir: PathBuf) -> LiveOptions {
+        if clients <= 8 {
+            return LiveOptions {
+                clients,
+                ..LiveOptions::full(seed, out_dir)
+            };
+        }
+        LiveOptions {
+            clients,
+            jobs: 4,
+            service: Duration::from_millis(100),
+            crash_overloads: (clients / 8).max(6) as u32,
             seed,
             out_dir,
         }
@@ -87,6 +111,12 @@ pub struct DisciplineOutcome {
     pub trace: Vec<TraceRecord>,
     /// Wall-clock the whole population took.
     pub wall_s: f64,
+    /// Client-observed dispatch rate (responses per second).
+    pub dispatch_rate: f64,
+    /// Requests the population put on the wire.
+    pub verbs_sent: u64,
+    /// Malformed or mismatched frames seen by clients (must be 0).
+    pub protocol_errors: u64,
 }
 
 impl DisciplineOutcome {
@@ -203,67 +233,38 @@ pub fn client_script(
 /// The live backoff policy: the paper's exponential shape scaled to
 /// the arena's seconds-long window (100 ms base, 2 s cap). Fixed runs
 /// with no backoff, as always.
-fn live_backoff(discipline: Discipline) -> BackoffPolicy {
+pub fn live_backoff(discipline: Discipline) -> BackoffPolicy {
     match discipline {
         Discipline::Fixed => BackoffPolicy::None,
         _ => BackoffPolicy::exponential(Dur::from_millis(100), Dur::from_secs(2)),
     }
 }
 
-/// Run one discipline's population against a fresh daemon.
+/// Run one discipline's population against a fresh daemon: one epoll
+/// swarm of lightweight clients over persistent connections, replacing
+/// the old thread + `gridctl`-process-per-verb design.
 pub fn run_discipline(
     discipline: Discipline,
     opts: &LiveOptions,
-    gridctl: &Path,
 ) -> std::io::Result<DisciplineOutcome> {
     std::fs::create_dir_all(&opts.out_dir)?;
     let handle = gridd::start(arena_config(opts))?;
     let addr = handle.addr().to_string();
     let label = discipline.label().to_lowercase();
 
-    let start = std::time::Instant::now();
-    let mut threads = Vec::with_capacity(opts.clients);
-    for i in 0..opts.clients {
-        let script_text =
-            client_script(discipline, &gridctl.to_string_lossy(), &addr, i, opts.jobs);
-        let script = ftsh::parse(&script_text).expect("generated live script parses");
-        let trace_path = opts.out_dir.join(format!("live-{label}-client{i}.jsonl"));
-        let file = std::fs::File::create(&trace_path)?;
-        let mut vm = ftsh::Vm::with_seed(&script, opts.seed ^ (i as u64).wrapping_mul(0x9E37));
-        vm.set_default_backoff(live_backoff(discipline));
-        vm.set_tracer(
-            shared(JsonlSink::new(std::io::BufWriter::new(file))),
-            i as i64,
-        );
-        let ropts = procman::RealOptions {
-            kill_grace: Duration::from_millis(300),
-            seed: None, // VM already seeded
-            handle_sigterm: false,
-        };
-        threads.push(std::thread::spawn(move || {
-            procman::run_vm(vm, &ropts).success
-        }));
-    }
-    for t in threads {
-        let _ = t.join();
-    }
-    let wall_s = start.elapsed().as_secs_f64();
+    let mut sopts =
+        crate::swarm::SwarmOptions::arena(discipline, opts.clients, opts.jobs, addr, opts.seed);
+    sopts.backoff = live_backoff(discipline);
+    let mut report = crate::swarm::run(sopts)?;
 
     let (clients, crashes) = handle.snapshot();
     handle.shutdown();
 
-    // Merge the per-client JSONL traces (complete on disk: the sinks
-    // flush on drop) into one time-sorted stream.
-    let mut trace: Vec<TraceRecord> = Vec::new();
-    for i in 0..opts.clients {
-        let path = opts.out_dir.join(format!("live-{label}-client{i}.jsonl"));
-        let text = std::fs::read_to_string(&path)?;
-        trace.extend(simgrid::trace::from_jsonl(&text).map_err(std::io::Error::other)?);
-    }
-    trace.sort_by_key(|r| (r.t, r.client, r.task));
+    // The merged in-memory trace lands exactly where the old per-client
+    // JSONL merge did; the postmortem pipeline is unchanged.
+    let trace = std::mem::take(&mut report.trace);
     let merged = opts.out_dir.join(format!("live-{label}.jsonl"));
     std::fs::write(&merged, simgrid::trace::to_jsonl(&trace))?;
-    // The live trace feeds the existing postmortem unchanged.
     let summary = simgrid::TraceSummary::from_records(&trace);
     std::fs::write(
         opts.out_dir.join(format!("live-{label}-postmortem.txt")),
@@ -275,7 +276,10 @@ pub fn run_discipline(
         clients,
         crashes,
         trace,
-        wall_s,
+        wall_s: report.wall_s,
+        dispatch_rate: report.dispatch_rate(),
+        verbs_sent: report.verbs_sent,
+        protocol_errors: report.protocol_errors,
     })
 }
 
@@ -290,15 +294,8 @@ fn sim_prediction(fig: &str, seed: u64) -> f64 {
 /// compare with the full-scale sim fig2/fig3 prediction, and write
 /// `live_arena.json` + `live_arena.md` under `out_dir`.
 pub fn run_arena(opts: &LiveOptions) -> std::io::Result<ArenaReport> {
-    let gridctl = find_sibling("gridctl").ok_or_else(|| {
-        std::io::Error::other(
-            "gridctl binary not found next to this executable; \
-             build it first: cargo build --release -p eg-gridd",
-        )
-    })?;
-
-    let aloha = run_discipline(Discipline::Aloha, opts, &gridctl)?;
-    let ethernet = run_discipline(Discipline::Ethernet, opts, &gridctl)?;
+    let aloha = run_discipline(Discipline::Aloha, opts)?;
+    let ethernet = run_discipline(Discipline::Ethernet, opts)?;
     let sim_jobs = (
         sim_prediction("fig2", opts.seed),
         sim_prediction("fig3", opts.seed),
@@ -354,18 +351,19 @@ fn render_table(
     );
     let _ = writeln!(
         md,
-        "| discipline | live jobs done | live failed submits | live sense reads | schedd crashes | wall (s) | sim jobs (full sim) |"
+        "| discipline | live jobs done | live failed submits | live sense reads | schedd crashes | dispatch (verbs/s) | wall (s) | sim jobs (full sim) |"
     );
-    let _ = writeln!(md, "|---|---|---|---|---|---|---|");
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|");
     for (out, sim) in [(aloha, sim_jobs.0), (ethernet, sim_jobs.1)] {
         let _ = writeln!(
             md,
-            "| {} | {} | {} | {} | {} | {:.1} | {:.0} |",
+            "| {} | {} | {} | {} | {} | {:.0} | {:.1} | {:.0} |",
             out.discipline.label(),
             out.jobs_done(),
             out.failed_submits(),
             out.df_calls(),
             out.crashes,
+            out.dispatch_rate,
             out.wall_s,
             sim,
         );

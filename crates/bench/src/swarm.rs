@@ -1,0 +1,708 @@
+//! The client swarm: N lightweight grid clients multiplexed on one
+//! epoll reactor, replacing the live arena's thread-per-client ftsh
+//! VMs (and the `gridctl` process per verb they forked).
+//!
+//! Each client is a few hundred bytes of state machine running the
+//! exact discipline the old generated scripts expressed — `try for 6
+//! seconds or 8 times`, exponential backoff, Ethernet's carrier-sense
+//! prelude, failures absorbed by an empty `catch` — but batching its
+//! verbs over one *persistent* connection instead of a fresh process
+//! and TCP handshake per verb. That is what lets the arena scale from
+//! 8 real clients to 1000+ on one core, and it emits the same PR 2
+//! trace schema ([`simgrid::trace::TraceEv`]) in memory, so the merged
+//! trace feeds the existing postmortem unchanged.
+//!
+//! The reactor reuses the daemon's own readiness toolkit
+//! ([`gridd::poll`]): one epoll instance for sockets, one timer wheel
+//! for staggered starts, backoff sleeps, and unit deadlines.
+
+use gridd::poll::{set_nonblocking, Epoll, Event, TimerWheel};
+use gridd::proto::{frame_into, FrameBuf, Request, Response};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use retry::{BackoffPolicy, Discipline, Dur, Time};
+use simgrid::trace::{TraceEv, TraceRecord};
+use std::io::{self, Read as _, Write as _};
+use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
+use std::time::{Duration, Instant};
+
+/// Swarm parameters. One swarm runs one discipline's population.
+#[derive(Clone, Debug)]
+pub struct SwarmOptions {
+    /// The retry discipline every client runs.
+    pub discipline: Discipline,
+    /// Population size.
+    pub clients: usize,
+    /// Jobs each client pushes through the schedd, sequentially.
+    pub jobs: usize,
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Seed for per-client jitter streams.
+    pub seed: u64,
+    /// Per-unit budget: `try for <this> or <attempts> times`.
+    pub unit_budget: Duration,
+    /// Per-unit attempt cap.
+    pub unit_attempts: u32,
+    /// Backoff between failed attempts.
+    pub backoff: BackoffPolicy,
+    /// Client starts are spread uniformly over this window, so a
+    /// thousand connects do not land in one accept burst.
+    pub stagger: Duration,
+}
+
+impl SwarmOptions {
+    /// The arena's standard client behaviour: `try for 6 seconds or 8
+    /// times`, 100 ms–2 s exponential backoff, starts spread over
+    /// ~0.5 ms per client (at least the old arena's 200 ms).
+    pub fn arena(
+        discipline: Discipline,
+        clients: usize,
+        jobs: usize,
+        addr: String,
+        seed: u64,
+    ) -> SwarmOptions {
+        SwarmOptions {
+            discipline,
+            clients,
+            jobs,
+            addr,
+            seed,
+            unit_budget: Duration::from_secs(6),
+            unit_attempts: 8,
+            backoff: BackoffPolicy::exponential(Dur::from_millis(100), Dur::from_secs(2)),
+            stagger: Duration::from_millis((clients as u64 / 2).max(200)),
+        }
+    }
+}
+
+/// What the swarm did, measured at the client side.
+#[derive(Clone, Debug, Default)]
+pub struct SwarmReport {
+    /// Merged, time-sorted trace of every client.
+    pub trace: Vec<TraceRecord>,
+    /// Requests written to the wire.
+    pub verbs_sent: u64,
+    /// Well-formed responses decoded.
+    pub responses: u64,
+    /// Frames that failed to decode or had the wrong kind — any
+    /// nonzero value is a wire-protocol bug.
+    pub protocol_errors: u64,
+    /// Re-connects after resets/timeouts (first connects excluded).
+    pub reconnects: u64,
+    /// Wall-clock for the whole population.
+    pub wall_s: f64,
+}
+
+impl SwarmReport {
+    /// Client-observed dispatch rate: decoded responses per second of
+    /// wall-clock — the scalability headline.
+    pub fn dispatch_rate(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.responses as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// What a client is waiting on.
+#[derive(Clone, Copy, PartialEq)]
+enum Phase {
+    /// Stagger timer not fired yet.
+    Waiting,
+    /// Sense probe in flight (Ethernet only).
+    Sensing,
+    /// Submit in flight.
+    Submitting,
+    /// Backoff timer pending.
+    Backoff,
+    /// All units finished.
+    Done,
+}
+
+/// Timer completions. `unit` guards staleness: a timer scheduled for
+/// unit k is ignored once the client has moved past unit k.
+enum Tev {
+    Start { id: usize },
+    BackoffDone { id: usize, unit: usize },
+    UnitDeadline { id: usize, unit: usize },
+}
+
+struct Client {
+    stream: Option<TcpStream>,
+    frames: FrameBuf,
+    out: Vec<u8>,
+    out_pos: usize,
+    phase: Phase,
+    /// 1-based current unit (job); 0 before the start timer.
+    unit: usize,
+    /// Attempts used in the current unit.
+    attempt: u32,
+    unit_deadline: Instant,
+    rng: StdRng,
+    ever_connected: bool,
+}
+
+/// The reactor: clients, sockets, timers, and the collected report.
+struct Swarm {
+    opts: SwarmOptions,
+    epoll: Epoll,
+    timers: TimerWheel<Tev>,
+    clients: Vec<Client>,
+    start: Instant,
+    report: SwarmReport,
+    done_count: usize,
+}
+
+/// Run one swarm to completion (or a safety cap: every unit budget
+/// plus slack). Returns the client-side report; daemon-side counters
+/// come from [`gridd::GriddHandle::snapshot`].
+pub fn run(opts: SwarmOptions) -> io::Result<SwarmReport> {
+    let start = Instant::now();
+    let cap =
+        start + opts.unit_budget * (opts.jobs as u32 + 1) + opts.stagger + Duration::from_secs(10);
+    let clients: Vec<Client> = (0..opts.clients)
+        .map(|id| Client {
+            stream: None,
+            frames: FrameBuf::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            phase: Phase::Waiting,
+            unit: 0,
+            attempt: 0,
+            unit_deadline: start,
+            rng: StdRng::seed_from_u64(opts.seed ^ (id as u64).wrapping_mul(0x9E37)),
+            ever_connected: false,
+        })
+        .collect();
+    let mut swarm = Swarm {
+        epoll: Epoll::new()?,
+        timers: TimerWheel::new(start),
+        clients,
+        start,
+        report: SwarmReport::default(),
+        done_count: 0,
+        opts,
+    };
+    // Spread the starts across the stagger window.
+    let n = swarm.opts.clients.max(1);
+    for id in 0..swarm.opts.clients {
+        let offset = swarm.opts.stagger.mul_f64(id as f64 / n as f64);
+        swarm.timers.schedule(start + offset, Tev::Start { id });
+    }
+
+    let mut events: Vec<Event> = Vec::new();
+    let mut fired: Vec<Tev> = Vec::new();
+    while swarm.done_count < swarm.opts.clients {
+        let now = Instant::now();
+        if now >= cap {
+            break;
+        }
+        swarm.timers.advance(now, &mut fired);
+        for tev in fired.drain(..) {
+            swarm.on_timer(tev);
+        }
+        if swarm.done_count >= swarm.opts.clients {
+            break;
+        }
+        let timeout = swarm
+            .timers
+            .next_deadline()
+            .map_or(cap, |at| at.min(cap))
+            .saturating_duration_since(Instant::now());
+        swarm.epoll.wait(&mut events, Some(timeout))?;
+        for ev in &events {
+            let id = ev.token as usize;
+            if ev.writable {
+                swarm.flush(id);
+            }
+            if ev.readable || ev.hangup {
+                swarm.on_readable(id);
+            }
+        }
+    }
+    swarm.report.wall_s = start.elapsed().as_secs_f64();
+    swarm.report.trace.sort_by_key(|r| (r.t, r.client, r.task));
+    Ok(swarm.report)
+}
+
+impl Swarm {
+    fn trace(&mut self, id: usize, ev: TraceEv) {
+        self.report.trace.push(TraceRecord {
+            t: Time::from_micros(self.start.elapsed().as_micros() as u64),
+            client: id as i64,
+            task: 0,
+            ev,
+        });
+    }
+
+    // ------------------------------------------------------------ wiring
+
+    /// Connect (or reconnect) client `id`'s persistent socket. Uses a
+    /// blocking localhost connect — microseconds — then flips the fd
+    /// non-blocking for the reactor.
+    fn ensure_connected(&mut self, id: usize) -> bool {
+        if self.clients[id].stream.is_some() {
+            return true;
+        }
+        let Ok(stream) = TcpStream::connect(&self.opts.addr) else {
+            return false;
+        };
+        let _ = stream.set_nodelay(true);
+        if set_nonblocking(stream.as_raw_fd()).is_err()
+            || self
+                .epoll
+                .add(stream.as_raw_fd(), id as u64, true, false)
+                .is_err()
+        {
+            return false;
+        }
+        if self.clients[id].ever_connected {
+            self.report.reconnects += 1;
+        }
+        let c = &mut self.clients[id];
+        c.ever_connected = true;
+        c.stream = Some(stream);
+        c.frames = FrameBuf::new();
+        c.out.clear();
+        c.out_pos = 0;
+        true
+    }
+
+    fn drop_stream(&mut self, id: usize) {
+        if let Some(stream) = self.clients[id].stream.take() {
+            let _ = self.epoll.delete(stream.as_raw_fd());
+        }
+        let c = &mut self.clients[id];
+        c.frames = FrameBuf::new();
+        c.out.clear();
+        c.out_pos = 0;
+    }
+
+    /// Queue a request on the persistent connection and push bytes.
+    fn send(&mut self, id: usize, req: &Request) {
+        if !self.ensure_connected(id) {
+            self.on_conn_lost(id);
+            return;
+        }
+        frame_into(&mut self.clients[id].out, &req.encode());
+        self.report.verbs_sent += 1;
+        self.flush(id);
+    }
+
+    /// Push queued bytes; on `WouldBlock` arm write interest.
+    fn flush(&mut self, id: usize) {
+        let Some(mut stream) = self.clients[id].stream.take() else {
+            return;
+        };
+        let (dead, blocked) = {
+            let c = &mut self.clients[id];
+            let mut dead = false;
+            let mut blocked = false;
+            while c.out_pos < c.out.len() {
+                match stream.write(&c.out[c.out_pos..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => c.out_pos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        blocked = true;
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead && !blocked {
+                c.out.clear();
+                c.out_pos = 0;
+            }
+            (dead, blocked)
+        };
+        if dead {
+            let _ = self.epoll.delete(stream.as_raw_fd());
+            drop(stream);
+            self.on_conn_lost(id);
+            return;
+        }
+        let _ = self
+            .epoll
+            .modify(stream.as_raw_fd(), id as u64, true, blocked);
+        self.clients[id].stream = Some(stream);
+    }
+
+    fn on_readable(&mut self, id: usize) {
+        let Some(mut stream) = self.clients[id].stream.take() else {
+            return;
+        };
+        let mut scratch = [0u8; 4096];
+        let mut dead = false;
+        loop {
+            match stream.read(&mut scratch) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => self.clients[id].frames.extend(&scratch[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            let _ = self.epoll.delete(stream.as_raw_fd());
+            drop(stream);
+        } else {
+            self.clients[id].stream = Some(stream);
+        }
+        // Process every complete frame already received — a response
+        // may complete the attempt even if the daemon closed right
+        // after writing it.
+        loop {
+            match self.clients[id].frames.next_frame() {
+                Ok(Some(payload)) => match Response::decode(&payload) {
+                    Ok(resp) => {
+                        self.report.responses += 1;
+                        self.on_response(id, resp);
+                    }
+                    Err(_) => {
+                        self.report.protocol_errors += 1;
+                        self.drop_stream(id);
+                        self.on_conn_lost(id);
+                        return;
+                    }
+                },
+                Ok(None) => break,
+                Err(_) => {
+                    self.report.protocol_errors += 1;
+                    self.drop_stream(id);
+                    self.on_conn_lost(id);
+                    return;
+                }
+            }
+        }
+        // Only report the loss if the responses above did not already
+        // move the client on (e.g. onto a fresh connection).
+        if dead && self.clients[id].stream.is_none() {
+            self.on_conn_lost(id);
+        }
+    }
+
+    /// The connection reset under us (daemon msg-loss, swallow close,
+    /// backpressure drop, or a refused connect). An in-flight verb
+    /// becomes a failed attempt; the next attempt reconnects.
+    fn on_conn_lost(&mut self, id: usize) {
+        self.drop_stream(id);
+        let phase = self.clients[id].phase;
+        match phase {
+            Phase::Sensing | Phase::Submitting => {
+                let program = if phase == Phase::Sensing {
+                    "sense"
+                } else {
+                    "submit"
+                };
+                self.trace(
+                    id,
+                    TraceEv::CmdEnd {
+                        program: program.into(),
+                        ok: false,
+                    },
+                );
+                self.attempt_failed(id);
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------- discipline
+
+    fn on_timer(&mut self, tev: Tev) {
+        match tev {
+            Tev::Start { id } => {
+                if self.clients[id].phase == Phase::Waiting {
+                    self.start_unit(id);
+                }
+            }
+            Tev::BackoffDone { id, unit } => {
+                let c = &self.clients[id];
+                if c.phase == Phase::Backoff && c.unit == unit {
+                    self.start_attempt(id);
+                }
+            }
+            Tev::UnitDeadline { id, unit } => {
+                let (phase, cur) = {
+                    let c = &self.clients[id];
+                    (c.phase, c.unit)
+                };
+                if phase == Phase::Done || cur != unit {
+                    return;
+                }
+                match phase {
+                    Phase::Sensing | Phase::Submitting => {
+                        // Mid-attempt: cancel the in-flight verb. Its
+                        // response must not bleed into the next unit's
+                        // request stream, so the persistent connection
+                        // is sacrificed — exactly what killing the old
+                        // per-verb gridctl process did.
+                        let program = if phase == Phase::Sensing {
+                            "sense"
+                        } else {
+                            "submit"
+                        };
+                        self.trace(
+                            id,
+                            TraceEv::CmdKilled {
+                                program: program.into(),
+                            },
+                        );
+                        self.drop_stream(id);
+                        self.trace(id, TraceEv::TryTimeout);
+                    }
+                    _ => self.trace(id, TraceEv::TryExhausted),
+                }
+                self.unit_failed(id);
+            }
+        }
+    }
+
+    fn start_unit(&mut self, id: usize) {
+        let finished = {
+            let c = &mut self.clients[id];
+            c.unit += 1;
+            c.unit > self.opts.jobs
+        };
+        if finished {
+            self.clients[id].phase = Phase::Done;
+            self.done_count += 1;
+            self.trace(id, TraceEv::UnitDone { ok: true });
+            self.drop_stream(id);
+            return;
+        }
+        let now = Instant::now();
+        let deadline = now + self.opts.unit_budget;
+        let unit = {
+            let c = &mut self.clients[id];
+            c.attempt = 0;
+            c.unit_deadline = deadline;
+            c.unit
+        };
+        self.timers
+            .schedule(deadline, Tev::UnitDeadline { id, unit });
+        self.start_attempt(id);
+    }
+
+    fn start_attempt(&mut self, id: usize) {
+        let now = Instant::now();
+        let exhausted = {
+            let c = &self.clients[id];
+            c.attempt >= self.opts.unit_attempts || now >= c.unit_deadline
+        };
+        if exhausted {
+            self.trace(id, TraceEv::TryExhausted);
+            self.unit_failed(id);
+            return;
+        }
+        let (attempt, budget) = {
+            let c = &mut self.clients[id];
+            c.attempt += 1;
+            (c.attempt, c.unit_deadline.saturating_duration_since(now))
+        };
+        self.trace(
+            id,
+            TraceEv::AttemptStart {
+                attempt,
+                budget: Some(Dur::from_micros(budget.as_micros() as u64)),
+            },
+        );
+        if self.opts.discipline.uses_carrier_sense() {
+            self.clients[id].phase = Phase::Sensing;
+            self.trace(
+                id,
+                TraceEv::CmdStart {
+                    program: "sense".into(),
+                },
+            );
+            self.send(id, &Request::Df { client: id as u32 });
+        } else {
+            self.send_submit(id);
+        }
+    }
+
+    fn send_submit(&mut self, id: usize) {
+        self.clients[id].phase = Phase::Submitting;
+        let job = format!("job-{id}-{}", self.clients[id].unit);
+        self.trace(
+            id,
+            TraceEv::CmdStart {
+                program: "submit".into(),
+            },
+        );
+        self.send(
+            id,
+            &Request::Submit {
+                client: id as u32,
+                job,
+            },
+        );
+    }
+
+    fn on_response(&mut self, id: usize, resp: Response) {
+        match self.clients[id].phase {
+            Phase::Sensing => match resp {
+                Response::Free { slots } => {
+                    self.trace(id, TraceEv::CarrierSense { free: slots });
+                    self.trace(
+                        id,
+                        TraceEv::CmdEnd {
+                            program: "sense".into(),
+                            ok: slots > 0,
+                        },
+                    );
+                    if slots > 0 {
+                        self.send_submit(id);
+                    } else {
+                        // Medium busy: defer instead of stampeding.
+                        self.trace(id, TraceEv::Deferral);
+                        self.attempt_failed(id);
+                    }
+                }
+                _ => {
+                    self.report.protocol_errors += 1;
+                    self.drop_stream(id);
+                    self.on_conn_lost(id);
+                }
+            },
+            Phase::Submitting => match resp {
+                Response::Ok { .. } => {
+                    let attempt = self.clients[id].attempt;
+                    self.trace(
+                        id,
+                        TraceEv::CmdEnd {
+                            program: "submit".into(),
+                            ok: true,
+                        },
+                    );
+                    self.trace(id, TraceEv::AttemptOk { attempt });
+                    self.start_unit(id);
+                }
+                Response::Err { .. } => {
+                    self.trace(
+                        id,
+                        TraceEv::CmdEnd {
+                            program: "submit".into(),
+                            ok: false,
+                        },
+                    );
+                    self.attempt_failed(id);
+                }
+                _ => {
+                    self.report.protocol_errors += 1;
+                    self.drop_stream(id);
+                    self.on_conn_lost(id);
+                }
+            },
+            // Late frame after a phase change — only possible through a
+            // protocol bug, since timeouts drop the connection.
+            _ => self.report.protocol_errors += 1,
+        }
+    }
+
+    /// One attempt failed: back off and re-admit, budget permitting.
+    fn attempt_failed(&mut self, id: usize) {
+        let now = Instant::now();
+        let backoff = self.opts.backoff;
+        let verdict = {
+            let c = &mut self.clients[id];
+            if c.attempt >= self.opts.unit_attempts {
+                None
+            } else {
+                let delay = backoff.delay_after(c.attempt, &mut c.rng);
+                let wake = now + delay.to_std();
+                if wake >= c.unit_deadline {
+                    // The budget cannot cover another admission.
+                    None
+                } else {
+                    Some((c.attempt, delay, wake, c.unit))
+                }
+            }
+        };
+        match verdict {
+            None => {
+                self.trace(id, TraceEv::TryExhausted);
+                self.unit_failed(id);
+            }
+            Some((attempt, delay, wake, unit)) => {
+                self.clients[id].phase = Phase::Backoff;
+                self.trace(id, TraceEv::Backoff { attempt, delay });
+                self.timers.schedule(wake, Tev::BackoffDone { id, unit });
+            }
+        }
+    }
+
+    /// The unit's `try` failed; the empty `catch` absorbs it and the
+    /// client moves to its next job.
+    fn unit_failed(&mut self, id: usize) {
+        self.trace(id, TraceEv::CatchEntered);
+        self.start_unit(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn daemon(slots: u64, clients: usize) -> gridd::GriddHandle {
+        gridd::start(gridd::GriddConfig {
+            slots,
+            service: Duration::from_millis(20),
+            crash_overloads: u32::MAX, // never crash: pure throughput
+            backlog: clients.max(64) * 2,
+            ..gridd::GriddConfig::default()
+        })
+        .expect("daemon starts")
+    }
+
+    #[test]
+    fn swarm_pushes_jobs_through_without_protocol_errors() {
+        let handle = daemon(8, 32);
+        let opts = SwarmOptions {
+            stagger: Duration::from_millis(50),
+            ..SwarmOptions::arena(Discipline::Ethernet, 32, 2, handle.addr().to_string(), 11)
+        };
+        let report = run(opts).expect("swarm runs");
+        let (snaps, _) = handle.snapshot();
+        handle.shutdown();
+        let ok: u64 = snaps.iter().map(|c| c.submit_ok).sum();
+        assert!(ok > 0, "some jobs must complete");
+        assert_eq!(report.protocol_errors, 0);
+        assert!(report.responses > 0);
+        assert!(report.dispatch_rate() > 0.0);
+        // Persistent connections batch verbs: more verbs than units.
+        assert!(report.verbs_sent > 32 * 2);
+    }
+
+    #[test]
+    fn aloha_swarm_runs_blind() {
+        let handle = daemon(4, 16);
+        let opts = SwarmOptions {
+            stagger: Duration::from_millis(20),
+            ..SwarmOptions::arena(Discipline::Aloha, 16, 2, handle.addr().to_string(), 12)
+        };
+        let report = run(opts).expect("swarm runs");
+        handle.shutdown();
+        assert_eq!(report.protocol_errors, 0);
+        // Aloha never senses: no CarrierSense events in its trace.
+        assert!(!report
+            .trace
+            .iter()
+            .any(|r| matches!(r.ev, TraceEv::CarrierSense { .. })));
+    }
+}

@@ -10,19 +10,26 @@
 //!
 //! * [`proto`] — the length-prefixed wire protocol (`submit`, `put`,
 //!   `get`, `df`, `stats`);
-//! * [`server`] — the daemon: worker pool, bounded accept backlog,
-//!   per-connection deadlines, token-bucket service slots, crash
-//!   physics, and [`simgrid::faults::FaultPlan`]-driven misbehaviour;
-//! * [`client`] — a one-connection-per-operation client, the library
-//!   behind the `gridctl` binary that ftsh scripts drive.
+//! * [`poll`] — the readiness layer: epoll wrapper, timer wheel,
+//!   cross-thread waker, listener-backlog widening;
+//! * [`server`] — the daemon: epoll event loops over per-connection
+//!   state machines, a timer wheel for every delay (service holds,
+//!   latency stalls, black-hole swallows, deadlines), token-bucket
+//!   service slots, crash physics, and
+//!   [`simgrid::faults::FaultPlan`]-driven misbehaviour;
+//! * [`client`] — [`GridClient`] (one connection per operation, behind
+//!   the `gridctl` binary ftsh scripts drive) and [`GridConn`] (one
+//!   persistent connection batching many verbs, behind the live
+//!   arena's client swarm).
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod poll;
 pub mod proto;
 pub mod server;
 
-pub use client::{GridClient, GridError};
+pub use client::{GridClient, GridConn, GridError};
 pub use proto::{ErrCode, Request, Response};
 pub use server::{start, ClientSnapshot, GriddConfig, GriddHandle};
 
@@ -145,6 +152,105 @@ mod tests {
         assert_eq!(c.df().unwrap(), 0);
         // The file server is a different service: still up.
         c.put("f", b"ok").unwrap();
+        h.shutdown();
+    }
+
+    /// Regression: a forced `schedd-kill` window opening mid-service
+    /// must lose the in-service job (`submit_lost`), not complete it
+    /// as `submit_ok`; and the window closing must hand back a *full*
+    /// slot pool with the overload streak cleared. Before the fix the
+    /// forced window never bumped the crash epoch, so the job's
+    /// service timer fired after the "crash" and happily reported
+    /// success — and the slot it consumed stayed consumed.
+    #[test]
+    fn forced_kill_loses_in_service_job_and_refills_slot_pool() {
+        let mut cfg = quick_config();
+        cfg.service = Duration::from_millis(500);
+        // Kill window [150ms, 450ms): opens while the victim job is
+        // in service, closes before its service timer fires.
+        cfg.plan = FaultPlan::new(7).with(FaultSpec::once(
+            Time::from_micros(150_000),
+            FaultKind::ScheddKill {
+                downtime: Some(Dur::from_millis(300)),
+            },
+        ));
+        let h = start(cfg).unwrap();
+        let addr = h.addr().to_string();
+        let victim = {
+            let addr = addr.clone();
+            std::thread::spawn(move || GridClient::new(addr, 1).submit("victim"))
+        };
+        std::thread::sleep(Duration::from_millis(250)); // inside the window
+        let c = GridClient::new(addr, 0);
+        assert_eq!(c.df().unwrap(), 0, "window must read as down");
+        assert!(matches!(
+            c.submit("rejected"),
+            Err(GridError::Server(ErrCode::Down, _))
+        ));
+        // The victim was mid-service when the window opened: its
+        // completion lands in a later crash epoch and is lost.
+        match victim.join().unwrap() {
+            Err(GridError::Server(ErrCode::Down, msg)) => {
+                assert!(msg.contains("lost"), "want a lost-job message, got {msg}");
+            }
+            other => panic!("victim must lose its job, got {other:?}"),
+        }
+        // The window has exited by now (victim joined at ~500ms): the
+        // slot pool must be back to full strength, including the slot
+        // the lost job was holding.
+        assert_eq!(c.df().unwrap(), 2, "slot pool must refill after the window");
+        let (clients, crashes) = h.snapshot();
+        assert_eq!(crashes, 1, "the forced window counts as one crash");
+        let victim_row = clients.iter().find(|s| s.client == 1).unwrap();
+        assert_eq!(victim_row.submit_lost, 1, "{victim_row:?}");
+        assert_eq!(victim_row.submit_ok, 0, "{victim_row:?}");
+        h.shutdown();
+    }
+
+    /// Regression: shutdown must not wait out in-flight service holds.
+    /// A job parked on a 30-second service timer would have pinned the
+    /// old thread-per-connection server; the event loop drops deferred
+    /// work and joins within a bounded grace period.
+    #[test]
+    fn shutdown_is_bounded_with_inflight_service() {
+        let mut cfg = quick_config();
+        cfg.slots = 1;
+        cfg.service = Duration::from_secs(30);
+        let h = start(cfg).unwrap();
+        let addr = h.addr().to_string();
+        let bg = std::thread::spawn(move || GridClient::new(addr, 2).submit("parked"));
+        std::thread::sleep(Duration::from_millis(150)); // let it reach service
+        let t0 = std::time::Instant::now();
+        h.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "shutdown must interrupt the 30s service hold, took {:?}",
+            t0.elapsed()
+        );
+        // The parked client sees its connection die, not a success.
+        assert!(bg.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn persistent_conn_batches_many_verbs() {
+        let h = start(quick_config()).unwrap();
+        let mut conn = GridConn::connect(h.addr().to_string(), 9, Duration::from_secs(5)).unwrap();
+        // Many verbs over one socket: the server's state machine must
+        // frame each response back on the same connection.
+        assert_eq!(conn.df().unwrap(), 2);
+        conn.put("batch.txt", b"over one socket").unwrap();
+        assert_eq!(conn.get("batch.txt").unwrap(), b"over one socket");
+        let id = conn.submit("batched-job").unwrap();
+        assert!(id.starts_with("batched-job@"), "{id}");
+        // A server-side error must not poison the stream...
+        assert!(matches!(
+            conn.get("missing"),
+            Err(GridError::Server(ErrCode::NotFound, _))
+        ));
+        assert!(conn.alive());
+        assert_eq!(conn.df().unwrap(), 2);
+        let json = conn.stats().unwrap();
+        assert!(json.contains("\"submit_ok\""), "{json}");
         h.shutdown();
     }
 

@@ -1,0 +1,451 @@
+//! Readiness and timers for the event-driven server core: a thin safe
+//! wrapper over Linux `epoll` (via the workspace's raw `libc` shim), a
+//! two-level timer wheel, and a cross-thread waker.
+//!
+//! The old server pinned one OS thread per connection and *slept*
+//! through every service time, latency spike, and black-hole window —
+//! which caps the daemon near the worker-pool size. Everything here
+//! exists so that a connection is just a few hundred bytes of state
+//! and a wait is just a wheel entry: the [`Epoll`] instance says which
+//! sockets can make progress, the [`TimerWheel`] says which deferred
+//! completions are due, and one thread multiplexes thousands of both.
+
+use std::io::{self, Read as _, Write as _};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+// ----------------------------------------------------------------- epoll
+
+/// One readiness record from [`Epoll::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd has bytes to read (or a pending accept).
+    pub readable: bool,
+    /// The fd can take more bytes.
+    pub writable: bool,
+    /// Error or hang-up: the peer is gone or the fd is broken.
+    pub hangup: bool,
+}
+
+/// A Linux epoll instance. Level-triggered, close-on-exec.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+fn interest_bits(read: bool, write: bool) -> u32 {
+    let mut bits = libc::EPOLLRDHUP;
+    if read {
+        bits |= libc::EPOLLIN;
+    }
+    if write {
+        bits |= libc::EPOLLOUT;
+    }
+    bits
+}
+
+impl Epoll {
+    /// A fresh epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(
+        &self,
+        op: libc::c_int,
+        fd: RawFd,
+        token: u64,
+        read: bool,
+        write: bool,
+    ) -> io::Result<()> {
+        let mut ev = libc::epoll_event {
+            events: interest_bits(read, write),
+            u64: token,
+        };
+        let rc = unsafe { libc::epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register `fd` with `token` and the given interest set.
+    pub fn add(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_ADD, fd, token, read, write)
+    }
+
+    /// Change `fd`'s interest set.
+    pub fn modify(&self, fd: RawFd, token: u64, read: bool, write: bool) -> io::Result<()> {
+        self.ctl(libc::EPOLL_CTL_MOD, fd, token, read, write)
+    }
+
+    /// Deregister `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        let rc = unsafe { libc::epoll_ctl(self.fd, libc::EPOLL_CTL_DEL, fd, std::ptr::null_mut()) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Wait for readiness, at most `timeout` (`None`: indefinitely).
+    /// Fills `out` (cleared first) and returns how many records landed.
+    /// `EINTR` is reported as zero events, not an error.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        out.clear();
+        const CAP: usize = 256;
+        let mut raw = [libc::epoll_event { events: 0, u64: 0 }; CAP];
+        let timeout_ms: libc::c_int = match timeout {
+            None => -1,
+            // Round up so we never wake before a timer's deadline.
+            Some(d) => d
+                .as_millis()
+                .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                .min(i32::MAX as u128) as libc::c_int,
+        };
+        let n =
+            unsafe { libc::epoll_wait(self.fd, raw.as_mut_ptr(), CAP as libc::c_int, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.raw_os_error() == Some(libc::EINTR) {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for ev in raw.iter().take(n as usize) {
+            let bits = ev.events;
+            out.push(Event {
+                token: ev.u64,
+                readable: bits & libc::EPOLLIN != 0,
+                writable: bits & libc::EPOLLOUT != 0,
+                hangup: bits & (libc::EPOLLERR | libc::EPOLLHUP | libc::EPOLLRDHUP) != 0,
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { libc::close(self.fd) };
+    }
+}
+
+/// Put `fd` into non-blocking mode.
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    let flags = unsafe { libc::fcntl(fd, libc::F_GETFL) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let rc = unsafe { libc::fcntl(fd, libc::F_SETFL, flags | libc::O_NONBLOCK) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Widen a listening socket's kernel accept backlog (std's `bind`
+/// hard-codes 128, which a thousand-client stampede overflows).
+pub fn widen_backlog(fd: RawFd, backlog: i32) -> io::Result<()> {
+    let rc = unsafe { libc::listen(fd, backlog) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------- waker
+
+/// Cross-thread wake-up for an epoll loop: one end is registered in
+/// the loop ([`Waker::fd`] of the receiving half), the other is poked
+/// from any thread.
+pub struct Waker {
+    tx: UnixStream,
+}
+
+/// The loop-side half of a [`Waker`]: register [`WakeRx::fd`] for
+/// readability and [`WakeRx::drain`] it when it fires.
+pub struct WakeRx {
+    rx: UnixStream,
+}
+
+/// A connected waker pair.
+pub fn waker() -> io::Result<(Waker, WakeRx)> {
+    let (tx, rx) = UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx }, WakeRx { rx }))
+}
+
+impl Waker {
+    /// Wake the loop. A full pipe means a wake is already pending, so
+    /// `WouldBlock` is success.
+    pub fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+impl WakeRx {
+    /// The fd to register for readability.
+    pub fn fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Consume all pending wake bytes.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+// ----------------------------------------------------------- timer wheel
+
+/// Milliseconds per wheel tick.
+const TICK_MS: u64 = 1;
+/// Near-window slots (must be a power of two): ~4 s of 1 ms ticks.
+const WHEEL_SLOTS: usize = 4096;
+
+struct FarEntry<T> {
+    tick: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for FarEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.tick == other.tick && self.seq == other.seq
+    }
+}
+impl<T> Eq for FarEntry<T> {}
+impl<T> PartialOrd for FarEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for FarEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest tick.
+        (other.tick, other.seq).cmp(&(self.tick, self.seq))
+    }
+}
+
+/// A two-level timer wheel: a ring of 1 ms slots covering the next
+/// ~4 s (service holds, latency stalls, backoff sleeps) and an
+/// overflow heap for everything farther out (connection deadlines,
+/// kill windows), cascaded into the ring as the cursor approaches.
+/// Timers never fire early; ties fire in schedule order.
+pub struct TimerWheel<T> {
+    epoch: Instant,
+    ring: Vec<Vec<(u64, u64, T)>>, // (absolute tick, seq, item)
+    cursor: u64,                   // next tick not yet fired
+    far: std::collections::BinaryHeap<FarEntry<T>>,
+    seq: u64,
+    len: usize,
+}
+
+impl<T> TimerWheel<T> {
+    /// A wheel whose tick 0 is `epoch` (usually the loop's start).
+    pub fn new(epoch: Instant) -> TimerWheel<T> {
+        TimerWheel {
+            epoch,
+            ring: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            far: std::collections::BinaryHeap::new(),
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Pending timer count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no timers are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn tick_ceil(&self, at: Instant) -> u64 {
+        let us = at.saturating_duration_since(self.epoch).as_micros() as u64;
+        us.div_ceil(TICK_MS * 1000)
+    }
+
+    /// Schedule `item` to fire at `at` (never earlier; instants already
+    /// in the past fire on the next [`TimerWheel::advance`]).
+    pub fn schedule(&mut self, at: Instant, item: T) {
+        let tick = self.tick_ceil(at).max(self.cursor);
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        if tick < self.cursor + WHEEL_SLOTS as u64 {
+            self.ring[(tick as usize) & (WHEEL_SLOTS - 1)].push((tick, seq, item));
+        } else {
+            self.far.push(FarEntry { tick, seq, item });
+        }
+    }
+
+    /// Fire every timer due at or before `now`, in deadline order
+    /// (schedule order within a tick), appending the items to `fired`.
+    pub fn advance(&mut self, now: Instant, fired: &mut Vec<T>) {
+        let target =
+            now.saturating_duration_since(self.epoch).as_micros() as u64 / (TICK_MS * 1000);
+        while self.cursor <= target {
+            let slot = (self.cursor as usize) & (WHEEL_SLOTS - 1);
+            if !self.ring[slot].is_empty() {
+                // All entries in a slot share the tick (the window is
+                // narrower than the ring), but keep the guard exact.
+                let due: Vec<(u64, u64, T)> = {
+                    let v = &mut self.ring[slot];
+                    let mut taken = Vec::with_capacity(v.len());
+                    let mut keep = Vec::new();
+                    for e in v.drain(..) {
+                        if e.0 <= target {
+                            taken.push(e);
+                        } else {
+                            keep.push(e);
+                        }
+                    }
+                    *v = keep;
+                    taken
+                };
+                for (_, _, item) in due {
+                    self.len -= 1;
+                    fired.push(item);
+                }
+            }
+            self.cursor += 1;
+            // Cascade far timers that now fall inside the near window.
+            while let Some(top) = self.far.peek() {
+                if top.tick >= self.cursor + WHEEL_SLOTS as u64 {
+                    break;
+                }
+                let e = self.far.pop().expect("peeked entry");
+                if e.tick <= target {
+                    self.len -= 1;
+                    fired.push(e.item);
+                } else {
+                    self.ring[(e.tick as usize) & (WHEEL_SLOTS - 1)].push((e.tick, e.seq, e.item));
+                }
+            }
+        }
+    }
+
+    /// The next deadline at or after `now`, or `None` when the wheel is
+    /// empty. Drives the epoll wait timeout.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut best: Option<u64> = None;
+        for off in 0..WHEEL_SLOTS as u64 {
+            let tick = self.cursor + off;
+            let slot = (tick as usize) & (WHEEL_SLOTS - 1);
+            if self.ring[slot].iter().any(|(t, _, _)| *t == tick) {
+                best = Some(tick);
+                break;
+            }
+        }
+        if let Some(far) = self.far.peek() {
+            best = Some(best.map_or(far.tick, |b| b.min(far.tick)));
+        }
+        best.map(|tick| self.epoch + Duration::from_millis(tick * TICK_MS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wheel_fires_in_deadline_order_and_never_early() {
+        let t0 = Instant::now();
+        let mut w: TimerWheel<u32> = TimerWheel::new(t0);
+        w.schedule(t0 + Duration::from_millis(30), 3);
+        w.schedule(t0 + Duration::from_millis(10), 1);
+        w.schedule(t0 + Duration::from_millis(20), 2);
+        let mut fired = Vec::new();
+        w.advance(t0 + Duration::from_millis(5), &mut fired);
+        assert!(fired.is_empty(), "nothing due yet");
+        w.advance(t0 + Duration::from_millis(21), &mut fired);
+        assert_eq!(fired, vec![1, 2]);
+        w.advance(t0 + Duration::from_millis(60), &mut fired);
+        assert_eq!(fired, vec![1, 2, 3]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn far_timers_cascade_into_the_ring() {
+        let t0 = Instant::now();
+        let mut w: TimerWheel<&str> = TimerWheel::new(t0);
+        // Far beyond the ~4 s near window.
+        w.schedule(t0 + Duration::from_secs(30), "far");
+        w.schedule(t0 + Duration::from_millis(50), "near");
+        assert_eq!(w.len(), 2);
+        let mut fired = Vec::new();
+        w.advance(t0 + Duration::from_secs(10), &mut fired);
+        assert_eq!(fired, vec!["near"]);
+        w.advance(t0 + Duration::from_secs(31), &mut fired);
+        assert_eq!(fired, vec!["near", "far"]);
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_next_advance() {
+        let t0 = Instant::now();
+        let mut w: TimerWheel<u8> = TimerWheel::new(t0);
+        let mut fired = Vec::new();
+        w.advance(t0 + Duration::from_millis(100), &mut fired);
+        w.schedule(t0 + Duration::from_millis(10), 9); // already past
+        w.advance(t0 + Duration::from_millis(101), &mut fired);
+        assert_eq!(fired, vec![9]);
+    }
+
+    #[test]
+    fn next_deadline_tracks_the_earliest_entry() {
+        let t0 = Instant::now();
+        let mut w: TimerWheel<u8> = TimerWheel::new(t0);
+        assert!(w.next_deadline().is_none());
+        w.schedule(t0 + Duration::from_secs(30), 1);
+        let far_only = w.next_deadline().unwrap();
+        assert!(far_only >= t0 + Duration::from_secs(30));
+        w.schedule(t0 + Duration::from_millis(40), 2);
+        let near = w.next_deadline().unwrap();
+        assert!(near >= t0 + Duration::from_millis(40));
+        assert!(near <= t0 + Duration::from_millis(42));
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let t0 = Instant::now();
+        let mut w: TimerWheel<u8> = TimerWheel::new(t0);
+        let at = t0 + Duration::from_millis(7);
+        for k in 0..10 {
+            w.schedule(at, k);
+        }
+        let mut fired = Vec::new();
+        w.advance(t0 + Duration::from_millis(8), &mut fired);
+        assert_eq!(fired, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn waker_wakes_an_epoll_wait() {
+        let (tx, rx) = waker().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(rx.fd(), 77, true, false).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(ep.wait(&mut out, Some(Duration::ZERO)).unwrap(), 0);
+        tx.wake();
+        tx.wake(); // coalesces
+        assert_eq!(ep.wait(&mut out, Some(Duration::from_secs(1))).unwrap(), 1);
+        assert_eq!(out[0].token, 77);
+        assert!(out[0].readable);
+        rx.drain();
+        assert_eq!(ep.wait(&mut out, Some(Duration::ZERO)).unwrap(), 0);
+    }
+}

@@ -215,6 +215,68 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
     Ok(buf)
 }
 
+/// Append one frame (length word + payload) to `out` without flushing
+/// anywhere — the event loop's write path owns the socket.
+pub fn frame_into(out: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// An incremental frame decoder for non-blocking sockets: bytes arrive
+/// in whatever chunks the kernel hands over, [`FrameBuf::extend`]
+/// accumulates them, and [`FrameBuf::next_frame`] yields each complete
+/// payload as soon as its last byte lands. The length word is
+/// validated against [`MAX_FRAME`] *before* the payload is buffered,
+/// so a hostile peer cannot balloon memory with a lying header.
+#[derive(Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameBuf {
+    /// An empty buffer.
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Feed freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix before growing, so a long-lived
+        // connection's buffer stays proportional to one frame.
+        if self.pos > 0 && (self.pos >= 4096 || self.pos == self.buf.len()) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pop the next complete frame payload, `Ok(None)` while one is
+    /// still partial, or an error for an over-cap length word.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ProtoError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let n = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if n > MAX_FRAME {
+            return Err(ProtoError::TooLarge(n));
+        }
+        if avail.len() < 4 + n {
+            return Ok(None);
+        }
+        let payload = avail[4..4 + n].to_vec();
+        self.pos += 4 + n;
+        Ok(Some(payload))
+    }
+}
+
 // ------------------------------------------------------------- encoding
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -508,6 +570,52 @@ mod tests {
         extra.push(0);
         assert_eq!(Request::decode(&extra), Err(ProtoError::TrailingBytes));
         assert_eq!(Request::decode(&[99]), Err(ProtoError::BadTag(99)));
+    }
+
+    #[test]
+    fn frame_buf_reassembles_byte_dribbles() {
+        // Two pipelined requests, delivered one byte at a time.
+        let reqs = [
+            Request::Submit {
+                client: 2,
+                job: "drip".into(),
+            },
+            Request::Df { client: 2 },
+        ];
+        let mut wire = Vec::new();
+        for r in &reqs {
+            frame_into(&mut wire, &r.encode());
+        }
+        let mut fb = FrameBuf::new();
+        let mut seen = Vec::new();
+        for b in wire {
+            fb.extend(&[b]);
+            while let Some(payload) = fb.next_frame().unwrap() {
+                seen.push(Request::decode(&payload).unwrap());
+            }
+        }
+        assert_eq!(seen, reqs);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn frame_buf_rejects_lying_length_before_buffering() {
+        let mut fb = FrameBuf::new();
+        fb.extend(&u32::MAX.to_be_bytes());
+        assert!(matches!(fb.next_frame(), Err(ProtoError::TooLarge(_))));
+    }
+
+    #[test]
+    fn frame_buf_compacts_consumed_prefix() {
+        let mut fb = FrameBuf::new();
+        let mut wire = Vec::new();
+        frame_into(&mut wire, &Request::Stats.encode());
+        for _ in 0..2000 {
+            fb.extend(&wire);
+            assert!(fb.next_frame().unwrap().is_some());
+        }
+        // Consumed bytes must not accumulate forever.
+        assert!(fb.buf.len() < 16 * 1024, "buffer grew to {}", fb.buf.len());
     }
 
     #[test]

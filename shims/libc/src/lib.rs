@@ -1,13 +1,16 @@
 //! Minimal raw bindings to the C library for the handful of POSIX
-//! calls this workspace uses (session management and signalling), so
-//! builds work without a crates.io registry. The workspace imports it
-//! under the name `libc` via Cargo dependency renaming. Linux x86-64 /
-//! aarch64 signal numbers.
+//! calls this workspace uses (session management, signalling, and
+//! readiness-based I/O for the `gridd` event loop), so builds work
+//! without a crates.io registry. The workspace imports it under the
+//! name `libc` via Cargo dependency renaming. Linux x86-64 / aarch64
+//! signal numbers and epoll constants.
 
 #![allow(non_camel_case_types)]
 
 /// C `int`.
 pub type c_int = i32;
+/// C `unsigned int`.
+pub type c_uint = u32;
 /// POSIX process id.
 pub type pid_t = i32;
 /// Signal-handler slot as passed to `signal(2)` (function pointer cast
@@ -25,6 +28,53 @@ pub const SIGHUP: c_int = 1;
 
 /// `errno` value: no such process (Linux).
 pub const ESRCH: c_int = 3;
+/// `errno` value: interrupted system call (Linux).
+pub const EINTR: c_int = 4;
+/// `errno` value: resource temporarily unavailable (Linux).
+pub const EAGAIN: c_int = 11;
+
+// ---- epoll (Linux readiness-based I/O) --------------------------------
+
+/// Interest/readiness flag: the fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// Interest/readiness flag: the fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Readiness flag: error condition on the fd.
+pub const EPOLLERR: u32 = 0x008;
+/// Readiness flag: hang-up on the fd.
+pub const EPOLLHUP: u32 = 0x010;
+/// Readiness flag: the peer closed its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// `epoll_ctl` op: register a new fd.
+pub const EPOLL_CTL_ADD: c_int = 1;
+/// `epoll_ctl` op: deregister an fd.
+pub const EPOLL_CTL_DEL: c_int = 2;
+/// `epoll_ctl` op: change an fd's interest set.
+pub const EPOLL_CTL_MOD: c_int = 3;
+/// `epoll_create1` flag: close-on-exec.
+pub const EPOLL_CLOEXEC: c_int = 0x8_0000;
+
+/// `fcntl` command: read the file status flags.
+pub const F_GETFL: c_int = 3;
+/// `fcntl` command: set the file status flags.
+pub const F_SETFL: c_int = 4;
+/// Status flag: non-blocking I/O (Linux generic value).
+pub const O_NONBLOCK: c_int = 0x800;
+
+/// One epoll readiness record. x86-64 packs this struct (no padding
+/// between `events` and the payload); other Linux targets use natural
+/// alignment — matching the kernel ABI exactly is what keeps
+/// `epoll_wait` from scribbling over the wrong bytes.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    /// Readiness/interest bit set (`EPOLLIN | ...`).
+    pub events: u32,
+    /// Caller-owned token returned verbatim with each readiness record.
+    pub u64: u64,
+}
 
 extern "C" {
     /// Send `sig` to `pid` (negative: the whole process group).
@@ -35,6 +85,23 @@ extern "C" {
     pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
     /// The calling process id.
     pub fn getpid() -> pid_t;
+    /// Create an epoll instance; returns its fd.
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    /// Add/modify/remove `fd` in the epoll interest list.
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    /// Wait for readiness; returns the number of records written.
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout_ms: c_int,
+    ) -> c_int;
+    /// Manipulate fd flags (variadic third argument in C).
+    pub fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+    /// (Re)arm a listening socket's accept backlog.
+    pub fn listen(sockfd: c_int, backlog: c_int) -> c_int;
+    /// Close a file descriptor.
+    pub fn close(fd: c_int) -> c_int;
 }
 
 #[cfg(test)]
@@ -50,5 +117,47 @@ mod tests {
         // Signal 0 performs error checking only: our own pid exists.
         let rc = unsafe { super::kill(super::getpid(), 0) };
         assert_eq!(rc, 0);
+    }
+
+    #[test]
+    fn epoll_roundtrip_sees_pipe_readability() {
+        use super::*;
+        use std::io::Write as _;
+        use std::os::unix::io::AsRawFd as _;
+        // A connected socket pair: write one byte, epoll must report
+        // the read end readable with our token.
+        let (mut a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        assert!(epfd >= 0);
+        let mut ev = epoll_event {
+            events: EPOLLIN,
+            u64: 0xDEAD_BEEF,
+        };
+        let rc = unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, b.as_raw_fd(), &mut ev) };
+        assert_eq!(rc, 0);
+        let mut out = [epoll_event { events: 0, u64: 0 }; 4];
+        let n = unsafe { epoll_wait(epfd, out.as_mut_ptr(), 4, 0) };
+        assert_eq!(n, 0, "nothing readable yet");
+        a.write_all(b"x").unwrap();
+        let n = unsafe { epoll_wait(epfd, out.as_mut_ptr(), 4, 1000) };
+        assert_eq!(n, 1);
+        let events = out[0].events;
+        let token = out[0].u64;
+        assert_ne!(events & EPOLLIN, 0);
+        assert_eq!(token, 0xDEAD_BEEF);
+        unsafe { close(epfd) };
+    }
+
+    #[test]
+    fn fcntl_toggles_nonblocking() {
+        use super::*;
+        use std::os::unix::io::AsRawFd as _;
+        let (a, _b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let fd = a.as_raw_fd();
+        let flags = unsafe { fcntl(fd, F_GETFL) };
+        assert!(flags >= 0);
+        assert_eq!(unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) }, 0);
+        let now = unsafe { fcntl(fd, F_GETFL) };
+        assert_ne!(now & O_NONBLOCK, 0);
     }
 }
