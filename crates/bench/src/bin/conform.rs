@@ -4,10 +4,11 @@
 //! conform [--corpus DIR] [--report PATH] [--sample-plan PATH]
 //! ```
 //!
-//! Every script in the corpus runs through both the simulated
-//! `ftsh::Vm` executor and the real-process `procman` driver under the
-//! same fault plan, and the outcomes are diffed (see
-//! `egbench::conformance`). Writes a markdown divergence report
+//! Every script in the corpus runs through the 3-way matrix — the
+//! tree-walking `ftsh::Vm`, the bytecode VM, and the real-process
+//! `procman` driver — under the same fault plan, and every pair of
+//! outcomes is diffed (see `egbench::conformance`). Writes a markdown
+//! divergence report
 //! (default `results/conformance.md`) and a sample `PLAN.json`
 //! (default `results/PLAN.sample.json`) demonstrating the fault-plan
 //! schema `figures --faults` consumes — both uploaded as CI artifacts

@@ -182,6 +182,76 @@ fn run_pass(threads: usize, figs: &[String], scale: Scale, seed: u64) -> PassSta
     }
 }
 
+/// Steady-state interpreter microbench: one VM re-running a
+/// control-and-variable-heavy script under a bounded retry loop with
+/// instant virtual completions. This isolates statement
+/// interpretation — the part the bytecode backend compiles — from
+/// command dispatch, which both backends share with the driver.
+fn vm_steady_source() -> String {
+    let body = "  a=${b}\n  if ${a} .eql. base\n    c=${a}${b}\n  else\n    c=err\n  end\n  forany v in ${a} ${c}\n    d=${v}\n  end\n  e=${d}\n"
+        .repeat(64);
+    format!("b=base\ntry 2000 times every 1 ms\n{body}  failure\nend\n")
+}
+
+/// Run one backend through the steady workload; returns (ticks, wall seconds).
+fn vm_steady_leg(kind: ftsh::VmKind, src: &str) -> (u64, f64) {
+    use ftsh::vm::{CmdResult, Effect, VmStatus};
+    use retry::Time;
+    let script = ftsh::parse(src).expect("steady workload parses");
+    let mut vm = ftsh::Vm::with_kind(kind, &script, ftsh::Env::new(), 7);
+    vm.set_log_detail(false);
+    let mut now = Time::ZERO;
+    let mut ticks = 0u64;
+    let mut effects = Vec::new();
+    let start = Instant::now();
+    loop {
+        ticks += 1;
+        let status = vm.tick_into(now, &mut effects);
+        for e in effects.drain(..) {
+            if let Effect::Start { token, .. } = e {
+                vm.complete(token, CmdResult::fail());
+            }
+        }
+        match status {
+            VmStatus::Done { .. } => break,
+            VmStatus::Running { next_wake } => {
+                if let Some(w) = next_wake {
+                    now = now.max(w);
+                }
+            }
+        }
+    }
+    (ticks, start.elapsed().as_secs_f64())
+}
+
+/// The tree-vs-bytecode comparison rows for `BENCH_engine.json`.
+fn vm_bench_json() -> (String, f64) {
+    let src = vm_steady_source();
+    // Warm caches (and the compile cache) before either timed leg.
+    let _ = vm_steady_leg(ftsh::VmKind::Tree, &src);
+    let (tree_ticks, tree_wall) = vm_steady_leg(ftsh::VmKind::Tree, &src);
+    let (byte_ticks, byte_wall) = vm_steady_leg(ftsh::VmKind::Bytecode, &src);
+    let rate = |ticks: u64, wall: f64| if wall > 0.0 { ticks as f64 / wall } else { 0.0 };
+    let tree_rate = rate(tree_ticks, tree_wall);
+    let byte_rate = rate(byte_ticks, byte_wall);
+    let speedup = if tree_rate > 0.0 {
+        byte_rate / tree_rate
+    } else {
+        0.0
+    };
+    let leg = |name: &str, ticks: u64, wall: f64, r: f64| {
+        format!(
+            "    \"{name}\": {{\"ticks\": {ticks}, \"wall_s\": {wall:.6}, \"ticks_per_sec\": {r:.0}}}"
+        )
+    };
+    let json = format!(
+        "{{\n    \"workload\": \"steady-interp mixed x64, 2000 attempts\",\n{},\n{},\n    \"bytecode_speedup\": {speedup:.2}\n  }}",
+        leg("tree", tree_ticks, tree_wall, tree_rate),
+        leg("bytecode", byte_ticks, byte_wall, byte_rate),
+    );
+    (json, speedup)
+}
+
 /// Parse `"max_allocs_per_tick": <float>` out of `BENCH_budget.json`
 /// (flat object, no serde in the workspace).
 fn parse_alloc_budget(text: &str) -> Option<f64> {
@@ -265,8 +335,11 @@ fn run_stats(mut figs: Vec<String>, scale: Scale, seed: u64) -> ExitCode {
         .as_ref()
         .map_or_else(|| "null".to_string(), PassStats::to_json);
     let speedup_json = speedup.map_or_else(|| "null".to_string(), |s| format!("{s:.2}"));
+    eprintln!("== stats: steady-state interpreter (tree vs bytecode) ==");
+    let (vm_json, vm_speedup) = vm_bench_json();
+    eprintln!("   bytecode is {vm_speedup:.2}x the tree-walker on the steady workload");
     let json = format!(
-        "{{\n  \"harness\": \"figures --stats\",\n  \"scale\": \"{scale:?}\",\n  \"seed\": {seed},\n  \"figures\": [{fig_list}],\n  \"host_cpus\": {host_cpus},\n  \"peak_rss_kb\": {rss},\n  \"sequential\": {},\n  \"parallel\": {par_json},\n  \"speedup\": {speedup_json}\n}}\n",
+        "{{\n  \"harness\": \"figures --stats\",\n  \"scale\": \"{scale:?}\",\n  \"seed\": {seed},\n  \"figures\": [{fig_list}],\n  \"host_cpus\": {host_cpus},\n  \"peak_rss_kb\": {rss},\n  \"sequential\": {},\n  \"parallel\": {par_json},\n  \"speedup\": {speedup_json},\n  \"vm\": {vm_json}\n}}\n",
         seq.to_json(),
     );
     let path = egbench::workspace_root().join("BENCH_engine.json");

@@ -1,29 +1,35 @@
-//! Differential sim ↔ real conformance: one corpus, two interpreters.
+//! Differential sim ↔ real conformance: one corpus, three interpreters.
 //!
 //! The paper's central claim is that ftsh's semantics are *portable
 //! across execution substrates*: the same script means the same thing
 //! whether its commands are real POSIX processes (§4's process
 //! manager) or simulated completions (the gridworld reproduction).
-//! This module tests that claim mechanically. Every corpus script in
-//! `crates/bench/conformance/` is run twice under an equivalent
-//! [`FaultPlan`]:
+//! This module tests that claim mechanically — and, since the engine
+//! grew a compiled backend, that both interpreters agree with each
+//! other. Every corpus script in `crates/bench/conformance/` is run
+//! three times under an equivalent [`FaultPlan`]:
 //!
-//! * **sim** — the [`ftsh::Vm`] driven by a virtual clock; command
-//!   behaviour comes from a small closed model (`true`, `false`,
-//!   `echo`, `cat`, and the `unreliable`/`slow`/`noisy` fault shims)
-//!   with failures drawn from the plan's `cmd-fail-first` specs;
-//! * **real** — the same VM driven by `procman` against real
-//!   processes, with `unreliable`/`slow`/`noisy` realised as generated
-//!   shell shims whose failure budgets are seeded from the *same* plan.
+//! * **tree** — the reference tree-walking [`ftsh::Vm`] driven by a
+//!   virtual clock; command behaviour comes from a small closed model
+//!   (`true`, `false`, `echo`, `cat`, and the
+//!   `unreliable`/`slow`/`noisy` fault shims) with failures drawn from
+//!   the plan's `cmd-fail-first` specs;
+//! * **byte** — the same script and model under the bytecode VM
+//!   (`EG_FTSH_VM=bytecode`), the compiled backend that must preserve
+//!   tree semantics exactly;
+//! * **real** — the VM driven by `procman` against real processes,
+//!   with `unreliable`/`slow`/`noisy` realised as generated shell
+//!   shims whose failure budgets are seeded from the *same* plan.
 //!
-//! The two runs are then diffed on three axes: final script status,
+//! Each pair of runs is diffed on three axes: final script status,
 //! final bindings of every observable variable (assignments and `->`
 //! captures, collected from the AST), and the multiset of structured
 //! trace tags the VM emitted (attempts, backoffs, command spans,
-//! kills). Any difference is a *divergence* — evidence that simulated
-//! failure semantics have drifted from the real ones.
+//! kills). Any difference is a *divergence* — evidence either that
+//! simulated failure semantics have drifted from the real ones, or
+//! that the bytecode lowering has drifted from the reference walker.
 
-use ftsh::vm::{CmdInput, CmdResult, CommandSpec, Effect, Vm, VmStatus};
+use ftsh::vm::{CmdInput, CmdResult, CommandSpec, Effect, Vm, VmKind, VmStatus};
 use ftsh::{parse, Env, Redir, RedirTarget, Script, Seg, Stmt};
 use retry::{Dur, Time};
 use simgrid::faults::{FaultKind, FaultPlan};
@@ -63,16 +69,19 @@ pub struct Observation {
     pub trace_counts: BTreeMap<&'static str, usize>,
 }
 
-/// The verdict for one corpus script.
+/// The verdict for one corpus script across the 3-way matrix.
 #[derive(Clone, Debug)]
 pub struct Verdict {
     /// Corpus entry name.
     pub name: String,
-    /// Simulated observation.
+    /// Simulated observation from the reference tree-walker.
     pub sim: Observation,
+    /// Simulated observation from the bytecode VM.
+    pub sim_byte: Observation,
     /// Real-process observation.
     pub real: Observation,
-    /// Human-readable divergences; empty means conformant.
+    /// Human-readable divergences (labelled by the pair that
+    /// disagreed); empty means conformant on all three axes.
     pub divergences: Vec<String>,
 }
 
@@ -238,12 +247,18 @@ fn model_command(
     }
 }
 
-/// Run a corpus script through the simulated interpreter under `plan`.
+/// Run a corpus script through the default simulated interpreter.
 pub fn run_sim(script: &Script, plan: &FaultPlan, shimdir: &str) -> Observation {
+    run_sim_kind(script, plan, shimdir, VmKind::selected())
+}
+
+/// Run a corpus script through the simulated interpreter `kind`
+/// (tree-walker or bytecode VM) under `plan`.
+pub fn run_sim_kind(script: &Script, plan: &FaultPlan, shimdir: &str, kind: VmKind) -> Observation {
     let vars = observable_vars(script);
     let mut env = Env::new();
     env.set("shimdir", shimdir);
-    let mut vm = Vm::with_env_seed(script, env, plan.seed);
+    let mut vm = Vm::with_kind(kind, script, env, plan.seed);
     let buf = Arc::new(Mutex::new(VecSink::new()));
     let sink: SharedSink = buf.clone();
     vm.set_tracer(sink, 0);
@@ -373,32 +388,35 @@ pub fn run_real(script: &Script, plan: &FaultPlan) -> std::io::Result<Observatio
     })
 }
 
-/// Diff two observations into human-readable divergences.
+/// Diff two observations into human-readable divergences, with the
+/// default `sim`/`real` side labels.
 pub fn diff(sim: &Observation, real: &Observation) -> Vec<String> {
+    diff_labeled(sim, real, "sim", "real")
+}
+
+/// Diff two observations, naming each side (`tree`, `byte`, `real`,
+/// …) in the rendered divergences.
+pub fn diff_labeled(a: &Observation, b: &Observation, an: &str, bn: &str) -> Vec<String> {
     let mut out = Vec::new();
-    if sim.success != real.success {
+    if a.success != b.success {
         out.push(format!(
-            "status: sim={} real={}",
-            verdict_word(sim.success),
-            verdict_word(real.success)
+            "status: {an}={} {bn}={}",
+            verdict_word(a.success),
+            verdict_word(b.success)
         ));
     }
-    for (var, sv) in &sim.bindings {
-        let rv = real.bindings.get(var).map(String::as_str).unwrap_or("");
-        if sv != rv {
-            out.push(format!("binding {var}: sim={sv:?} real={rv:?}"));
+    for (var, av) in &a.bindings {
+        let bv = b.bindings.get(var).map(String::as_str).unwrap_or("");
+        if av != bv {
+            out.push(format!("binding {var}: {an}={av:?} {bn}={bv:?}"));
         }
     }
-    let tags: BTreeSet<&&str> = sim
-        .trace_counts
-        .keys()
-        .chain(real.trace_counts.keys())
-        .collect();
+    let tags: BTreeSet<&&str> = a.trace_counts.keys().chain(b.trace_counts.keys()).collect();
     for tag in tags {
-        let s = sim.trace_counts.get(*tag).copied().unwrap_or(0);
-        let r = real.trace_counts.get(*tag).copied().unwrap_or(0);
-        if s != r {
-            out.push(format!("trace {tag}: sim={s} real={r}"));
+        let ac = a.trace_counts.get(*tag).copied().unwrap_or(0);
+        let bc = b.trace_counts.get(*tag).copied().unwrap_or(0);
+        if ac != bc {
+            out.push(format!("trace {tag}: {an}={ac} {bn}={bc}"));
         }
     }
     out
@@ -412,15 +430,20 @@ fn verdict_word(success: bool) -> &'static str {
     }
 }
 
-/// Run one corpus entry through both interpreters and diff.
+/// Run one corpus entry through the full 3-way matrix — tree-walker,
+/// bytecode VM, and real processes — and diff every pair.
 pub fn check(entry: &CorpusScript) -> Result<Verdict, String> {
     let script = parse(&entry.source).map_err(|e| format!("{}: parse: {e}", entry.name))?;
-    let sim = run_sim(&script, &entry.plan, "/shim");
+    let sim = run_sim_kind(&script, &entry.plan, "/shim", VmKind::Tree);
+    let sim_byte = run_sim_kind(&script, &entry.plan, "/shim", VmKind::Bytecode);
     let real = run_real(&script, &entry.plan).map_err(|e| format!("{}: real: {e}", entry.name))?;
-    let divergences = diff(&sim, &real);
+    let mut divergences = diff_labeled(&sim, &sim_byte, "tree", "byte");
+    divergences.extend(diff_labeled(&sim, &real, "tree", "real"));
+    divergences.extend(diff_labeled(&sim_byte, &real, "byte", "real"));
     Ok(Verdict {
         name: entry.name.clone(),
         sim,
+        sim_byte,
         real,
         divergences,
     })
@@ -440,7 +463,7 @@ pub fn run_corpus(dir: &Path) -> Result<Vec<Verdict>, String> {
 pub fn report(verdicts: &[Verdict]) -> String {
     let diverged = verdicts.iter().filter(|v| !v.ok()).count();
     let mut out = String::new();
-    let _ = writeln!(out, "# Sim ↔ real conformance report\n");
+    let _ = writeln!(out, "# Tree ↔ bytecode ↔ real conformance report\n");
     let _ = writeln!(
         out,
         "{} scripts, {} conformant, {} diverged.\n",
@@ -448,14 +471,15 @@ pub fn report(verdicts: &[Verdict]) -> String {
         verdicts.len() - diverged,
         diverged
     );
-    let _ = writeln!(out, "| script | sim | real | divergences |");
-    let _ = writeln!(out, "|---|---|---|---|");
+    let _ = writeln!(out, "| script | tree | byte | real | divergences |");
+    let _ = writeln!(out, "|---|---|---|---|---|");
     for v in verdicts {
         let _ = writeln!(
             out,
-            "| {} | {} | {} | {} |",
+            "| {} | {} | {} | {} | {} |",
             v.name,
             verdict_word(v.sim.success),
+            verdict_word(v.sim_byte.success),
             verdict_word(v.real.success),
             if v.ok() {
                 "—".to_string()

@@ -1,5 +1,6 @@
-//! Tier-1 gate: the conformance corpus runs through both interpreters
-//! with zero unexplained divergences.
+//! Tier-1 gate: the conformance corpus runs through the full 3-way
+//! matrix (tree-walker, bytecode VM, real processes) with zero
+//! unexplained divergences.
 
 use egbench::conformance::{corpus_dir, report, run_corpus};
 
@@ -7,8 +8,8 @@ use egbench::conformance::{corpus_dir, report, run_corpus};
 fn corpus_is_conformant_across_substrates() {
     let verdicts = run_corpus(&corpus_dir()).expect("conformance harness");
     assert!(
-        verdicts.len() >= 10,
-        "corpus must hold at least 10 scripts, found {}",
+        verdicts.len() >= 20,
+        "corpus must hold at least 20 scripts, found {}",
         verdicts.len()
     );
     let diverged: Vec<&str> = verdicts
@@ -18,7 +19,7 @@ fn corpus_is_conformant_across_substrates() {
         .collect();
     assert!(
         diverged.is_empty(),
-        "sim and real disagree on {diverged:?}\n{}",
+        "interpreters disagree on {diverged:?}\n{}",
         report(&verdicts)
     );
 }

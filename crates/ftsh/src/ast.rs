@@ -379,6 +379,13 @@ impl Block {
     pub fn ref_count(&self) -> usize {
         Arc::strong_count(&self.stmts)
     }
+
+    /// The shared statement allocation itself. The bytecode compiler
+    /// keys its program cache on this allocation's identity, so a
+    /// population of VMs built from one parsed script compiles once.
+    pub(crate) fn stmts_arc(&self) -> &Arc<[Stmt]> {
+        &self.stmts
+    }
 }
 
 impl Deref for Block {

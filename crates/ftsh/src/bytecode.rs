@@ -1,0 +1,682 @@
+//! Compilation of the spanned AST to flat bytecode.
+//!
+//! The tree-walking VM executes the shared `Arc<[Stmt]>` AST by
+//! reference: every tick it re-matches statement nodes, pushes
+//! `Block`-holding frames (two `Arc` refcount bumps each), and resolves
+//! every variable through a `HashMap<Istr, Istr>`. At population scale
+//! that dispatch is the simulation floor. This module compiles a script
+//! once into a [`Prog`]: a flat `Vec<Op>` with explicit jump targets,
+//! word templates whose variable references are preresolved to *slots*
+//! (indices into a per-task `Vec<Option<Istr>>`), and side tables for
+//! commands, conditions, `try` budgets and loop value lists. The
+//! interpreter (`crate::cvm::Cvm`) then runs a jump-threaded loop over
+//! plain array indexing.
+//!
+//! Lowering rules (the equivalence argument is spelled out in
+//! DESIGN.md §12):
+//!
+//! * A *group* is fail-fast: every fallible statement is followed by a
+//!   [`Op::JmpIfFail`] to the group's result op, so the eventual result
+//!   op always observes the group outcome in the `res` register.
+//! * `try` lowers to [`Op::TryEnter`] (push a frame holding the live
+//!   `TrySession`), [`Op::TryAttempt`] (admission: budget check, log,
+//!   trace), the body group, and [`Op::TryResult`] (success pops;
+//!   failure consults the session for backoff-sleep-and-loop, catch
+//!   entry, or exhaustion) — the exact decision order of the tree VM.
+//! * `forany`/`forall` lower to enter ops that expand the value list at
+//!   runtime and a result op (`forany`) or task spawning (`forall`,
+//!   whose branch region ends in [`Op::TaskEnd`] like the root).
+//! * Function bodies compile out of line, ending in [`Op::Ret`];
+//!   [`Op::FuncDef`] binds name → entry at execution time, preserving
+//!   the tree VM's definition-before-use and later-override semantics.
+//!
+//! Compiled programs are cached process-wide, keyed on the identity of
+//! the script's statement allocation: a population of VMs built from
+//! one parsed script compiles once.
+
+use crate::ast::{Block, Cond, CondOp, Redir, RedirTarget, Script, Seg, Stmt, TrySpec, Word};
+use crate::intern::Istr;
+use retry::Dur;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// Index into [`Prog::slots`]' name table / a task's slot vector.
+pub(crate) type SlotIx = u32;
+/// Index into [`Prog::words`].
+pub(crate) type WordIx = u32;
+/// Instruction pointer: index into [`Prog::ops`].
+pub(crate) type Ip = u32;
+
+/// Sentinel for "no catch clause" in [`Op::TryEnter`].
+pub(crate) const NO_CATCH: Ip = Ip::MAX;
+
+/// One segment of a mixed word template.
+#[derive(Debug)]
+pub(crate) enum SegTpl {
+    Lit(Istr),
+    Slot(SlotIx),
+}
+
+/// A compiled word: what [`crate::words::Env::expand`] decides per
+/// expansion, decided once at compile time instead.
+#[derive(Debug)]
+pub(crate) enum WordTpl {
+    /// The empty word.
+    Empty,
+    /// Fully literal: expansion is a refcount bump.
+    Lit(Istr),
+    /// A bare `${var}`: expansion is a slot read.
+    Slot(SlotIx),
+    /// Mixed literal/variable segments: expansion builds a string.
+    Mixed(Box<[SegTpl]>),
+}
+
+/// A compiled `if` condition.
+#[derive(Debug)]
+pub(crate) struct CondTpl {
+    pub lhs: WordIx,
+    pub op: CondOp,
+    pub rhs: WordIx,
+}
+
+/// A compiled `try` header (the budget inputs; the live session is
+/// built per execution).
+#[derive(Debug)]
+pub(crate) struct TryTpl {
+    pub time: Option<Dur>,
+    pub attempts: Option<u32>,
+    pub every: Option<Dur>,
+}
+
+/// A compiled redirection. Applied left to right at dispatch, exactly
+/// like the tree VM (a later `>` overrides an earlier one; its `both`
+/// flag wins).
+#[derive(Debug)]
+pub(crate) enum RedirTpl {
+    In {
+        var: bool,
+        source: WordIx,
+    },
+    Out {
+        var: bool,
+        append: bool,
+        both: bool,
+        target: WordIx,
+    },
+}
+
+/// How a command's argv[0] relates to defined functions.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum FuncRef {
+    /// Statically not a function name: skip the lookup entirely.
+    None,
+    /// A literal name that *is* a known function name: check whether
+    /// its definition has executed yet.
+    Static(u32),
+    /// argv[0] contains substitutions and the program defines
+    /// functions: look the expanded name up at dispatch.
+    Dynamic,
+}
+
+/// A compiled command.
+#[derive(Debug)]
+pub(crate) struct CmdTpl {
+    pub argv: Box<[WordIx]>,
+    pub redirs: Box<[RedirTpl]>,
+    pub func: FuncRef,
+}
+
+/// The static variable-name table: every name the script mentions
+/// statically gets a slot; dynamic sets (computed capture targets,
+/// high positional parameters) route through `by_name` and fall back
+/// to a per-task spill map.
+#[derive(Debug)]
+pub(crate) struct SlotMap {
+    pub names: Box<[Istr]>,
+    /// Per-slot: is this a positional name (`*` or all digits)?
+    pub positional: Box<[bool]>,
+    pub by_name: HashMap<Istr, SlotIx>,
+}
+
+impl SlotMap {
+    pub(crate) fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// One bytecode instruction. The interpreter keeps a boolean result
+/// register (`res`) per task; ops read and write it instead of
+/// threading `Ctl::Return(bool)` through frame matches.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Op {
+    /// `res = true`.
+    Success,
+    /// `res = false` (the `failure` atom; always followed by a jump to
+    /// the group's result op).
+    Failure,
+    /// Unconditional jump.
+    Jmp(Ip),
+    /// Jump when `res` is false (fail-fast edge of a group).
+    JmpIfFail(Ip),
+    /// `name=value`: expand, bind the slot, log `VarSet`; `res = true`.
+    Assign { slot: SlotIx, value: WordIx },
+    /// Evaluate a condition. `Ok(true)`: fall through. `Ok(false)`:
+    /// jump to `on_false` (the else branch, or the join). `Err`: the
+    /// statement itself fails — `res = false`, jump to `on_err` (the
+    /// enclosing group's result op).
+    EvalCond { cond: u32, on_false: Ip, on_err: Ip },
+    /// Bind a function name to its body's entry point; `res = true`.
+    FuncDef { func: u32, entry: Ip },
+    /// Dispatch a command (or a function call when argv[0] names a
+    /// defined function). Blocks the task on an external command.
+    Cmd(u32),
+    /// Push a `try` frame with a fresh session. Falls through to the
+    /// admission op at `ip + 1`.
+    TryEnter { tri: u32, catch_ip: Ip, end_ip: Ip },
+    /// Admission: `begin_attempt` or the spent path.
+    TryAttempt,
+    /// The body (or catch) group finished with `res`.
+    TryResult,
+    /// Expand the value list, push a `forany` frame, bind the first
+    /// value. Body begins at `ip + 1`.
+    ForAnyEnter { list: u32, var: SlotIx, end_ip: Ip },
+    /// The `forany` body finished with `res`: succeed, advance, or
+    /// exhaust.
+    ForAnyResult,
+    /// Expand the value list and spawn branch tasks (branch region
+    /// begins at `ip + 1`); block waiting for children.
+    ForAllEnter { list: u32, var: SlotIx, end_ip: Ip },
+    /// End of a task's code (the root script or a `forall` branch):
+    /// the task finishes with `res`.
+    TaskEnd,
+    /// End of a function body: pop the call frame, restore the
+    /// caller's positionals, return to the call site.
+    Ret,
+}
+
+/// A compiled script.
+#[derive(Debug)]
+pub(crate) struct Prog {
+    pub ops: Box<[Op]>,
+    pub words: Box<[WordTpl]>,
+    pub lists: Box<[Box<[WordIx]>]>,
+    pub conds: Box<[CondTpl]>,
+    pub tries: Box<[TryTpl]>,
+    pub cmds: Box<[CmdTpl]>,
+    pub func_names: Box<[Istr]>,
+    pub func_ids: HashMap<Istr, u32>,
+    pub slots: SlotMap,
+}
+
+/// Where a pending fail-edge must be patched once the group's result
+/// op is placed.
+enum Pending {
+    /// A `Jmp`/`JmpIfFail` target.
+    Target(usize),
+    /// An `EvalCond::on_false` field.
+    CondFalse(usize),
+    /// An `EvalCond::on_err` field.
+    CondErr(usize),
+}
+
+#[derive(Default)]
+struct Compiler {
+    ops: Vec<Op>,
+    words: Vec<WordTpl>,
+    lists: Vec<Box<[WordIx]>>,
+    conds: Vec<CondTpl>,
+    tries: Vec<TryTpl>,
+    cmds: Vec<CmdTpl>,
+    func_names: Vec<Istr>,
+    func_ids: HashMap<Istr, u32>,
+    slot_names: Vec<Istr>,
+    slot_by_name: HashMap<Istr, SlotIx>,
+    /// Function bodies awaiting out-of-line compilation:
+    /// (`FuncDef` op index to patch, body).
+    deferred: Vec<(usize, Block)>,
+}
+
+impl Compiler {
+    fn here(&self) -> Ip {
+        self.ops.len() as Ip
+    }
+
+    fn emit(&mut self, op: Op) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    fn patch(&mut self, p: Pending, target: Ip) {
+        match p {
+            Pending::Target(i) => match &mut self.ops[i] {
+                Op::Jmp(t) | Op::JmpIfFail(t) => *t = target,
+                other => unreachable!("patching non-jump {other:?}"),
+            },
+            Pending::CondFalse(i) => {
+                let Op::EvalCond { on_false, .. } = &mut self.ops[i] else {
+                    unreachable!("patching non-cond")
+                };
+                *on_false = target;
+            }
+            Pending::CondErr(i) => {
+                let Op::EvalCond { on_err, .. } = &mut self.ops[i] else {
+                    unreachable!("patching non-cond")
+                };
+                *on_err = target;
+            }
+        }
+    }
+
+    fn patch_fails(&mut self, fails: Vec<Pending>, target: Ip) {
+        for p in fails {
+            self.patch(p, target);
+        }
+    }
+
+    fn slot(&mut self, name: &str) -> SlotIx {
+        if let Some(&s) = self.slot_by_name.get(name) {
+            return s;
+        }
+        let s = self.slot_names.len() as SlotIx;
+        let n = Istr::from(name);
+        self.slot_names.push(n.clone());
+        self.slot_by_name.insert(n, s);
+        s
+    }
+
+    fn word(&mut self, w: &Word) -> WordIx {
+        let tpl = match w.segs() {
+            [] => WordTpl::Empty,
+            [Seg::Lit(s)] => WordTpl::Lit(s.clone()),
+            [Seg::Var(v)] => WordTpl::Slot(self.slot(v)),
+            segs => WordTpl::Mixed(
+                segs.iter()
+                    .map(|seg| match seg {
+                        Seg::Lit(l) => SegTpl::Lit(l.clone()),
+                        Seg::Var(v) => SegTpl::Slot(self.slot(v)),
+                    })
+                    .collect(),
+            ),
+        };
+        self.words.push(tpl);
+        (self.words.len() - 1) as WordIx
+    }
+
+    fn list(&mut self, ws: &[Word]) -> u32 {
+        let ixs: Box<[WordIx]> = ws.iter().map(|w| self.word(w)).collect();
+        self.lists.push(ixs);
+        (self.lists.len() - 1) as u32
+    }
+
+    fn cond(&mut self, c: &Cond) -> u32 {
+        let lhs = self.word(&c.lhs);
+        let rhs = self.word(&c.rhs);
+        self.conds.push(CondTpl { lhs, op: c.op, rhs });
+        (self.conds.len() - 1) as u32
+    }
+
+    fn tri(&mut self, spec: &TrySpec) -> u32 {
+        self.tries.push(TryTpl {
+            time: spec.time,
+            attempts: spec.attempts,
+            every: spec.every,
+        });
+        (self.tries.len() - 1) as u32
+    }
+
+    /// Pre-pass: collect every function name so call sites compiled
+    /// before (or without) the definition still resolve statically.
+    fn collect_funcs(&mut self, b: &Block) {
+        for s in b {
+            match s {
+                Stmt::Function { name, body } => {
+                    let n = Istr::from(name.as_str());
+                    if !self.func_ids.contains_key(&n) {
+                        let id = self.func_names.len() as u32;
+                        self.func_names.push(n.clone());
+                        self.func_ids.insert(n, id);
+                    }
+                    self.collect_funcs(body);
+                }
+                Stmt::Try { body, catch, .. } => {
+                    self.collect_funcs(body);
+                    if let Some(c) = catch {
+                        self.collect_funcs(c);
+                    }
+                }
+                Stmt::ForAny { body, .. } | Stmt::ForAll { body, .. } => {
+                    self.collect_funcs(body);
+                }
+                Stmt::If { then, els, .. } => {
+                    self.collect_funcs(then);
+                    if let Some(e) = els {
+                        self.collect_funcs(e);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Compile a fail-fast group. Fail-edges accumulate in `fails` and
+    /// are patched by the caller to the group's result op.
+    fn group(&mut self, b: &Block, fails: &mut Vec<Pending>) {
+        for s in b {
+            self.stmt(s, fails);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, fails: &mut Vec<Pending>) {
+        match s {
+            Stmt::Success => {
+                self.emit(Op::Success);
+            }
+            Stmt::Failure => {
+                self.emit(Op::Failure);
+                let j = self.emit(Op::Jmp(0));
+                fails.push(Pending::Target(j));
+            }
+            Stmt::Assign { var, value } => {
+                let slot = self.slot(var);
+                let value = self.word(value);
+                self.emit(Op::Assign { slot, value });
+            }
+            Stmt::If { cond, then, els } => {
+                let cond = self.cond(cond);
+                let ec = self.emit(Op::EvalCond {
+                    cond,
+                    on_false: 0,
+                    on_err: 0,
+                });
+                fails.push(Pending::CondErr(ec));
+                self.group(then, fails);
+                match els {
+                    Some(e) => {
+                        let over = self.emit(Op::Jmp(0));
+                        let else_ip = self.here();
+                        self.patch(Pending::CondFalse(ec), else_ip);
+                        self.group(e, fails);
+                        let join = self.here();
+                        self.patch(Pending::Target(over), join);
+                    }
+                    None => {
+                        let join = self.here();
+                        self.patch(Pending::CondFalse(ec), join);
+                    }
+                }
+            }
+            Stmt::Try { spec, body, catch } => {
+                let tri = self.tri(spec);
+                let enter = self.emit(Op::TryEnter {
+                    tri,
+                    catch_ip: NO_CATCH,
+                    end_ip: 0,
+                });
+                self.emit(Op::TryAttempt);
+                let mut body_fails = Vec::new();
+                self.group(body, &mut body_fails);
+                let body_result = self.here();
+                self.emit(Op::TryResult);
+                self.patch_fails(body_fails, body_result);
+                let catch_ip = match catch {
+                    Some(c) => {
+                        let cip = self.here();
+                        let mut catch_fails = Vec::new();
+                        self.group(c, &mut catch_fails);
+                        let catch_result = self.here();
+                        self.emit(Op::TryResult);
+                        self.patch_fails(catch_fails, catch_result);
+                        cip
+                    }
+                    None => NO_CATCH,
+                };
+                let end = self.here();
+                let Op::TryEnter {
+                    catch_ip: c,
+                    end_ip,
+                    ..
+                } = &mut self.ops[enter]
+                else {
+                    unreachable!()
+                };
+                *c = catch_ip;
+                *end_ip = end;
+                let j = self.emit(Op::JmpIfFail(0));
+                fails.push(Pending::Target(j));
+            }
+            Stmt::ForAny { var, values, body } => {
+                let list = self.list(values);
+                let var = self.slot(var);
+                let enter = self.emit(Op::ForAnyEnter {
+                    list,
+                    var,
+                    end_ip: 0,
+                });
+                let mut body_fails = Vec::new();
+                self.group(body, &mut body_fails);
+                let result = self.here();
+                self.emit(Op::ForAnyResult);
+                self.patch_fails(body_fails, result);
+                let end = self.here();
+                let Op::ForAnyEnter { end_ip, .. } = &mut self.ops[enter] else {
+                    unreachable!()
+                };
+                *end_ip = end;
+                let j = self.emit(Op::JmpIfFail(0));
+                fails.push(Pending::Target(j));
+            }
+            Stmt::ForAll { var, values, body } => {
+                let list = self.list(values);
+                let var = self.slot(var);
+                let enter = self.emit(Op::ForAllEnter {
+                    list,
+                    var,
+                    end_ip: 0,
+                });
+                let mut branch_fails = Vec::new();
+                self.group(body, &mut branch_fails);
+                let te = self.here();
+                self.emit(Op::TaskEnd);
+                self.patch_fails(branch_fails, te);
+                let end = self.here();
+                let Op::ForAllEnter { end_ip, .. } = &mut self.ops[enter] else {
+                    unreachable!()
+                };
+                *end_ip = end;
+                let j = self.emit(Op::JmpIfFail(0));
+                fails.push(Pending::Target(j));
+            }
+            Stmt::Function { name, body } => {
+                let func = self.func_ids[name.as_str()];
+                let op = self.emit(Op::FuncDef { func, entry: 0 });
+                self.deferred.push((op, body.clone()));
+            }
+            Stmt::Command(cmd) => {
+                let argv: Box<[WordIx]> = cmd.words.iter().map(|w| self.word(w)).collect();
+                let func = match cmd.words.first() {
+                    Some(w0) => match w0.as_lit() {
+                        Some(lit) => match self.func_ids.get(lit) {
+                            Some(&id) => FuncRef::Static(id),
+                            None => FuncRef::None,
+                        },
+                        None if !self.func_ids.is_empty() => FuncRef::Dynamic,
+                        None => FuncRef::None,
+                    },
+                    None => FuncRef::None,
+                };
+                let redirs: Box<[RedirTpl]> = cmd
+                    .redirs
+                    .iter()
+                    .map(|r| match r {
+                        Redir::In { from, source } => RedirTpl::In {
+                            var: *from == RedirTarget::Variable,
+                            source: self.word(source),
+                        },
+                        Redir::Out {
+                            to,
+                            append,
+                            both,
+                            target,
+                        } => RedirTpl::Out {
+                            var: *to == RedirTarget::Variable,
+                            append: *append,
+                            both: *both,
+                            target: self.word(target),
+                        },
+                    })
+                    .collect();
+                self.cmds.push(CmdTpl { argv, redirs, func });
+                let cix = (self.cmds.len() - 1) as u32;
+                self.emit(Op::Cmd(cix));
+                let j = self.emit(Op::JmpIfFail(0));
+                fails.push(Pending::Target(j));
+            }
+        }
+    }
+
+    /// Compile queued function bodies (which may queue more: nested
+    /// definitions) and patch their `FuncDef` entry points.
+    fn flush_deferred(&mut self) {
+        let mut i = 0;
+        while i < self.deferred.len() {
+            let (op_ix, body) = {
+                let (op_ix, body) = &self.deferred[i];
+                (*op_ix, body.clone())
+            };
+            let entry = self.here();
+            let mut fails = Vec::new();
+            self.group(&body, &mut fails);
+            let ret = self.here();
+            self.emit(Op::Ret);
+            self.patch_fails(fails, ret);
+            let Op::FuncDef { entry: e, .. } = &mut self.ops[op_ix] else {
+                unreachable!()
+            };
+            *e = entry;
+            i += 1;
+        }
+    }
+
+    fn finish(self) -> Prog {
+        let positional: Box<[bool]> = self
+            .slot_names
+            .iter()
+            .map(|n| is_positional_name(n))
+            .collect();
+        Prog {
+            ops: self.ops.into(),
+            words: self.words.into(),
+            lists: self.lists.into(),
+            conds: self.conds.into(),
+            tries: self.tries.into(),
+            cmds: self.cmds.into(),
+            func_names: self.func_names.into(),
+            func_ids: self.func_ids,
+            slots: SlotMap {
+                names: self.slot_names.into(),
+                positional,
+                by_name: self.slot_by_name,
+            },
+        }
+    }
+}
+
+/// Is `name` a positional parameter (`*`, or all ASCII digits — the
+/// same predicate [`crate::words::Env::clear_positionals`] uses, empty
+/// string included)?
+pub(crate) fn is_positional_name(name: &str) -> bool {
+    name == "*" || name.chars().all(|c| c.is_ascii_digit())
+}
+
+/// Compile a statement block into a program.
+pub(crate) fn compile(block: &Block) -> Prog {
+    let mut c = Compiler::default();
+    c.collect_funcs(block);
+    let mut fails = Vec::new();
+    c.group(block, &mut fails);
+    let te = c.here();
+    c.emit(Op::TaskEnd);
+    c.patch_fails(fails, te);
+    c.flush_deferred();
+    c.finish()
+}
+
+type Cache = Mutex<Vec<(Weak<[Stmt]>, Arc<Prog>)>>;
+
+static CACHE: OnceLock<Cache> = OnceLock::new();
+
+/// Compile a script, reusing the cached program when this script's
+/// statement allocation was compiled before. The cache holds weak AST
+/// references and is pruned on every miss, so dropped scripts release
+/// their programs.
+pub(crate) fn compile_cached(script: &Script) -> Arc<Prog> {
+    let key = script.stmts.stmts_arc();
+    let mut cache = CACHE.get_or_init(Cache::default).lock().unwrap();
+    for (weak, prog) in cache.iter() {
+        if let Some(alive) = weak.upgrade() {
+            if Arc::ptr_eq(&alive, key) {
+                return Arc::clone(prog);
+            }
+        }
+    }
+    let prog = Arc::new(compile(&script.stmts));
+    cache.retain(|(weak, _)| weak.strong_count() > 0);
+    cache.push((Arc::downgrade(key), Arc::clone(&prog)));
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn compile_caches_by_ast_identity() {
+        let script = parse("true\nfalse\n").unwrap();
+        let a = compile_cached(&script);
+        let b = compile_cached(&script.clone());
+        assert!(Arc::ptr_eq(&a, &b), "same allocation, same program");
+        let other = parse("true\nfalse\n").unwrap();
+        let c = compile_cached(&other);
+        assert!(!Arc::ptr_eq(&a, &c), "fresh parse compiles fresh");
+    }
+
+    #[test]
+    fn slots_cover_static_names() {
+        let script = parse("x=1\nforany h in a ${x}\n  echo ${h}\nend\n").unwrap();
+        let prog = compile(&script.stmts);
+        for name in ["x", "h"] {
+            assert!(
+                prog.slots.by_name.contains_key(name),
+                "{name} should have a slot"
+            );
+        }
+    }
+
+    #[test]
+    fn try_layout_threads_jumps() {
+        let script = parse("try 2 times\n  wget\nend\n").unwrap();
+        let prog = compile(&script.stmts);
+        // TryEnter, TryAttempt, Cmd, JmpIfFail, TryResult, JmpIfFail, TaskEnd
+        let Op::TryEnter {
+            catch_ip, end_ip, ..
+        } = prog.ops[0]
+        else {
+            panic!("expected TryEnter first, got {:?}", prog.ops[0]);
+        };
+        assert_eq!(catch_ip, NO_CATCH);
+        assert!(matches!(prog.ops[1], Op::TryAttempt));
+        assert!(matches!(prog.ops[end_ip as usize], Op::JmpIfFail(_)));
+        assert!(matches!(prog.ops.last(), Some(Op::TaskEnd)));
+    }
+
+    #[test]
+    fn positional_predicate_matches_env() {
+        assert!(is_positional_name("*"));
+        assert!(is_positional_name("0"));
+        assert!(is_positional_name("17"));
+        assert!(is_positional_name("")); // vacuous, as in Env
+        assert!(!is_positional_name("x"));
+        assert!(!is_positional_name("1a"));
+    }
+}

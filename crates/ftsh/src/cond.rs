@@ -28,12 +28,20 @@ impl std::error::Error for CondError {}
 pub fn eval_cond(cond: &Cond, env: &Env) -> Result<bool, CondError> {
     let lhs = env.expand(&cond.lhs);
     let rhs = env.expand(&cond.rhs);
-    match cond.op {
+    eval_cond_values(cond.op, &lhs, &rhs)
+}
+
+/// Evaluate a comparison whose operands are already expanded. The
+/// tree-walking VM expands through [`Env`]; the bytecode VM expands
+/// through its slot table — both funnel into this one definition of
+/// the operators.
+pub fn eval_cond_values(op: CondOp, lhs: &str, rhs: &str) -> Result<bool, CondError> {
+    match op {
         CondOp::StrEq => Ok(lhs == rhs),
         CondOp::StrNe => Ok(lhs != rhs),
         numeric => {
-            let l = parse_num(&lhs)?;
-            let r = parse_num(&rhs)?;
+            let l = parse_num(lhs)?;
+            let r = parse_num(rhs)?;
             Ok(match numeric {
                 CondOp::NumLt => l < r,
                 CondOp::NumLe => l <= r,

@@ -43,7 +43,9 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub(crate) mod bytecode;
 pub mod cond;
+pub(crate) mod cvm;
 pub mod errors;
 pub mod grammar;
 pub mod intern;
@@ -58,7 +60,7 @@ pub mod words;
 pub use ast::{
     Block, Command, Cond, CondOp, Redir, RedirTarget, Script, Seg, Span, Stmt, TrySpec, Word,
 };
-pub use cond::eval_cond;
+pub use cond::{eval_cond, eval_cond_values};
 pub use errors::{line_col, ParseError};
 pub use intern::Istr;
 pub use interp::{Clock, DriveError, RunOutcome, SimClock, VmDriver, WallClock};
@@ -66,7 +68,7 @@ pub use log::{EventLog, LogEvent, LogKind, LogSummary, ProgramStats};
 pub use parser::parse;
 pub use pretty::pretty;
 pub use vm::{
-    CmdInput, CmdResult, CmdToken, CommandSpec, Effect, OutSink, TaskId, Tick, Vm, VmStatus,
+    CmdInput, CmdResult, CmdToken, CommandSpec, Effect, OutSink, TaskId, Tick, Vm, VmKind, VmStatus,
 };
 pub use words::Env;
 

@@ -153,6 +153,35 @@ impl EventLog {
         }
     }
 
+    /// Record a `forany` alternative without cloning the value unless
+    /// the event will actually be stored — the hot-path variant of
+    /// pushing [`LogKind::ForAnyNext`].
+    pub fn for_any_next(&mut self, time: Time, task: usize, value: &Istr) {
+        self.summary.alternatives_tried += 1;
+        if self.detailed {
+            self.events.push(LogEvent {
+                time,
+                task,
+                kind: LogKind::ForAnyNext {
+                    value: value.clone(),
+                },
+            });
+        }
+    }
+
+    /// Record a variable assignment without cloning the name unless
+    /// the event will actually be stored — the hot-path variant of
+    /// pushing [`LogKind::VarSet`] (which no counter tracks).
+    pub fn var_set(&mut self, time: Time, task: usize, name: &Istr) {
+        if self.detailed {
+            self.events.push(LogEvent {
+                time,
+                task,
+                kind: LogKind::VarSet { name: name.clone() },
+            });
+        }
+    }
+
     fn count(&mut self, kind: &LogKind) {
         let s = &mut self.summary;
         match kind {

@@ -223,24 +223,11 @@ struct Task {
     parent: Option<TaskId>,
 }
 
-/// The virtual machine for one script execution.
-///
-/// Manual driving (what `procman` and `gridworld` do internally):
-///
-/// ```
-/// use ftsh::parse;
-/// use ftsh::vm::{CmdResult, Effect, Vm, VmStatus};
-/// use retry::Time;
-///
-/// let script = parse("hello world\n").unwrap();
-/// let mut vm = Vm::with_seed(&script, 1);
-/// let tick = vm.tick(Time::ZERO);
-/// let Effect::Start { token, spec, .. } = &tick.effects[0] else { panic!() };
-/// assert_eq!(spec.argv, ["hello", "world"]);
-/// vm.complete(*token, CmdResult::ok(""));
-/// assert!(matches!(vm.tick(Time::ZERO).status, VmStatus::Done { success: true }));
-/// ```
-pub struct Vm {
+/// The tree-walking interpreter backend: executes the shared AST by
+/// reference. This is the reference semantics the bytecode VM
+/// ([`crate::cvm::Cvm`]) is differentially tested against; drivers use
+/// the [`Vm`] facade, which selects a backend, instead of this type.
+pub(crate) struct TreeVm {
     tasks: Vec<Option<Task>>,
     token_ctr: CmdToken,
     token_task: HashMap<CmdToken, TaskId>,
@@ -260,20 +247,9 @@ pub struct Vm {
     spare_argv: Vec<Vec<Istr>>,
 }
 
-impl Vm {
-    /// Build a VM for a script with an empty environment and an
-    /// entropy-seeded RNG for backoff jitter.
-    pub fn new(script: &Script) -> Vm {
-        Vm::with_env_seed(script, Env::new(), rand::rng().random())
-    }
-
-    /// Build a VM with a fixed RNG seed (deterministic backoff jitter).
-    pub fn with_seed(script: &Script, seed: u64) -> Vm {
-        Vm::with_env_seed(script, Env::new(), seed)
-    }
-
+impl TreeVm {
     /// Build a VM with an initial environment and seed.
-    pub fn with_env_seed(script: &Script, env: Env, seed: u64) -> Vm {
+    pub fn with_env_seed(script: &Script, env: Env, seed: u64) -> TreeVm {
         let root = Task {
             frames: vec![Frame::Seq {
                 // An O(1) handle clone: the whole population of VMs
@@ -285,7 +261,7 @@ impl Vm {
             state: TaskState::Ready(Ctl::Exec),
             parent: None,
         };
-        Vm {
+        TreeVm {
             tasks: vec![Some(root)],
             token_ctr: 0,
             token_task: HashMap::new(),
@@ -320,7 +296,7 @@ impl Vm {
     /// Move the spare buffers of a retiring VM into this one. Drivers
     /// that replace a client's VM per work unit call this so the
     /// recycled argv pool survives the replacement.
-    pub fn adopt_spares(&mut self, prev: &mut Vm) {
+    pub fn adopt_spares(&mut self, prev: &mut TreeVm) {
         if self.spare_argv.is_empty() {
             std::mem::swap(&mut self.spare_argv, &mut prev.spare_argv);
         }
@@ -424,7 +400,7 @@ impl Vm {
             } else {
                 task.env.set(name.clone(), value);
             }
-            self.log.push(self.now, tid, LogKind::VarSet { name });
+            self.log.var_set(self.now, tid, &name);
         }
         if self.tracer.is_some() {
             // Field-level borrow (not the `trace` helper): `task`
@@ -868,7 +844,7 @@ impl Vm {
                 let v = task.env.expand(value);
                 let name = Istr::from(var.as_str());
                 task.env.set(name.clone(), v);
-                self.log.push(self.now, tid, LogKind::VarSet { name });
+                self.log.var_set(self.now, tid, &name);
                 Flow::Continue(Ctl::Return(true))
             }
             Stmt::If { cond, then, els } => match eval_cond(cond, &task.env) {
@@ -1177,4 +1153,263 @@ enum Flow {
     Continue(Ctl),
     Blocked,
     Finished(bool),
+}
+
+// ----------------------------------------------------------------------
+// Backend selection
+// ----------------------------------------------------------------------
+
+/// Which interpreter backend a [`Vm`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmKind {
+    /// The tree-walking interpreter: executes the shared AST by
+    /// reference. The reference semantics.
+    Tree,
+    /// The bytecode interpreter: the AST is compiled once per script
+    /// ([`crate::bytecode`]) to a flat op array with preresolved
+    /// variable slots, and executed by [`crate::cvm::Cvm`].
+    Bytecode,
+}
+
+/// 0 = undecided, 1 = tree, 2 = bytecode.
+static DEFAULT_KIND: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+impl VmKind {
+    /// The backend new [`Vm`]s default to. Decided on first use from
+    /// `EG_FTSH_VM` (`tree` or `bytecode`; anything else — including
+    /// unset — means bytecode) and cached; tests that need to compare
+    /// backends in one process override it with
+    /// [`VmKind::set_process_default`] or build VMs via
+    /// [`Vm::with_kind`].
+    pub fn selected() -> VmKind {
+        use std::sync::atomic::Ordering;
+        match DEFAULT_KIND.load(Ordering::Relaxed) {
+            1 => VmKind::Tree,
+            2 => VmKind::Bytecode,
+            _ => {
+                let kind = match std::env::var("EG_FTSH_VM").as_deref() {
+                    Ok("tree") => VmKind::Tree,
+                    _ => VmKind::Bytecode,
+                };
+                kind.store();
+                kind
+            }
+        }
+    }
+
+    /// Override the process-wide default backend (also what a later
+    /// `EG_FTSH_VM` read would have decided). For tests that run both
+    /// backends in one process.
+    pub fn set_process_default(self) {
+        self.store();
+    }
+
+    fn store(self) {
+        let v = match self {
+            VmKind::Tree => 1,
+            VmKind::Bytecode => 2,
+        };
+        DEFAULT_KIND.store(v, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+enum Backend {
+    Tree(TreeVm),
+    Byte(crate::cvm::Cvm),
+}
+
+/// The virtual machine for one script execution.
+///
+/// A facade over two interchangeable backends — the tree-walking
+/// interpreter and the compiled bytecode VM ([`VmKind`]) — with
+/// identical observable behaviour: same effects, same log and trace
+/// events, same RNG draws (so backoff jitter, and therefore every
+/// simulated figure, is byte-identical across backends).
+///
+/// Manual driving (what `procman` and `gridworld` do internally):
+///
+/// ```
+/// use ftsh::parse;
+/// use ftsh::vm::{CmdResult, Effect, Vm, VmStatus};
+/// use retry::Time;
+///
+/// let script = parse("hello world\n").unwrap();
+/// let mut vm = Vm::with_seed(&script, 1);
+/// let tick = vm.tick(Time::ZERO);
+/// let Effect::Start { token, spec, .. } = &tick.effects[0] else { panic!() };
+/// assert_eq!(spec.argv, ["hello", "world"]);
+/// vm.complete(*token, CmdResult::ok(""));
+/// assert!(matches!(vm.tick(Time::ZERO).status, VmStatus::Done { success: true }));
+/// ```
+pub struct Vm {
+    inner: Backend,
+}
+
+impl Vm {
+    /// Build a VM for a script with an empty environment and an
+    /// entropy-seeded RNG for backoff jitter.
+    pub fn new(script: &Script) -> Vm {
+        Vm::with_env_seed(script, Env::new(), rand::rng().random())
+    }
+
+    /// Build a VM with a fixed RNG seed (deterministic backoff jitter).
+    pub fn with_seed(script: &Script, seed: u64) -> Vm {
+        Vm::with_env_seed(script, Env::new(), seed)
+    }
+
+    /// Build a VM with an initial environment and seed, on the
+    /// process-default backend ([`VmKind::selected`]).
+    pub fn with_env_seed(script: &Script, env: Env, seed: u64) -> Vm {
+        Vm::with_kind(VmKind::selected(), script, env, seed)
+    }
+
+    /// Build a VM on an explicit backend (differential tests drive the
+    /// same script through both and diff every observable).
+    pub fn with_kind(kind: VmKind, script: &Script, env: Env, seed: u64) -> Vm {
+        let inner = match kind {
+            VmKind::Tree => Backend::Tree(TreeVm::with_env_seed(script, env, seed)),
+            VmKind::Bytecode => Backend::Byte(crate::cvm::Cvm::with_env_seed(script, env, seed)),
+        };
+        Vm { inner }
+    }
+
+    /// Which backend this VM runs on.
+    pub fn kind(&self) -> VmKind {
+        match &self.inner {
+            Backend::Tree(_) => VmKind::Tree,
+            Backend::Byte(_) => VmKind::Bytecode,
+        }
+    }
+
+    /// Hand a finished command's spec back so its argv buffer can be
+    /// reused by the next dispatch. Purely an optimisation: a driver
+    /// that drops specs instead loses nothing but the recycling.
+    pub fn recycle_spec(&mut self, spec: CommandSpec) {
+        match &mut self.inner {
+            Backend::Tree(vm) => vm.recycle_spec(spec),
+            Backend::Byte(vm) => vm.recycle_spec(spec),
+        }
+    }
+
+    /// Move the spare buffers of a retiring VM into this one. Drivers
+    /// that replace a client's VM per work unit call this so the
+    /// recycled argv pool survives the replacement. A no-op across
+    /// mismatched backends.
+    pub fn adopt_spares(&mut self, prev: &mut Vm) {
+        match (&mut self.inner, &mut prev.inner) {
+            (Backend::Tree(a), Backend::Tree(b)) => a.adopt_spares(b),
+            (Backend::Byte(a), Backend::Byte(b)) => a.adopt_spares(b),
+            _ => {}
+        }
+    }
+
+    /// Install a structured-trace sink; every span and command event
+    /// this VM produces is recorded there, attributed to `client`
+    /// (the scenario's client index, or [`NO_ID`] outside a
+    /// population). With no sink installed — the default — every
+    /// emission site is a single `Option` test: the tick path stays
+    /// allocation-free.
+    pub fn set_tracer(&mut self, sink: SharedSink, client: i64) {
+        match &mut self.inner {
+            Backend::Tree(vm) => vm.set_tracer(sink, client),
+            Backend::Byte(vm) => vm.set_tracer(sink, client),
+        }
+    }
+
+    /// True when a trace sink is installed.
+    pub fn has_tracer(&self) -> bool {
+        match &self.inner {
+            Backend::Tree(vm) => vm.has_tracer(),
+            Backend::Byte(vm) => vm.has_tracer(),
+        }
+    }
+
+    /// Override the backoff policy used by `try` blocks that do not
+    /// specify `every`. This is how the Fixed discipline (no delay) and
+    /// the jitter ablations are expressed.
+    pub fn set_default_backoff(&mut self, p: BackoffPolicy) {
+        match &mut self.inner {
+            Backend::Tree(vm) => vm.set_default_backoff(p),
+            Backend::Byte(vm) => vm.set_default_backoff(p),
+        }
+    }
+
+    /// Throttle `forall`: at most `n` branches run concurrently, the
+    /// rest start as slots free up. §4 notes that "the creation of
+    /// processes must be governed by an Ethernet-like algorithm": this
+    /// is the limited-allocation obligation applied to the process
+    /// table itself. `None` (the default) spawns every branch at once.
+    pub fn set_max_parallel(&mut self, n: Option<usize>) {
+        match &mut self.inner {
+            Backend::Tree(vm) => vm.set_max_parallel(n),
+            Backend::Byte(vm) => vm.set_max_parallel(n),
+        }
+    }
+
+    /// The execution log so far.
+    pub fn log(&self) -> &EventLog {
+        match &self.inner {
+            Backend::Tree(vm) => vm.log(),
+            Backend::Byte(vm) => vm.log(),
+        }
+    }
+
+    /// Switch the execution log between full event retention (the
+    /// default) and counters-only mode — see [`EventLog::set_detailed`].
+    /// Population drivers run counters-only: the [`LogSummary`] still
+    /// aggregates exactly, but a million ticks retain no per-event
+    /// storage.
+    ///
+    /// [`LogSummary`]: crate::log::LogSummary
+    pub fn set_log_detail(&mut self, detailed: bool) {
+        match &mut self.inner {
+            Backend::Tree(vm) => vm.set_log_detail(detailed),
+            Backend::Byte(vm) => vm.set_log_detail(detailed),
+        }
+    }
+
+    /// The root environment (variables visible after completion).
+    pub fn env(&self) -> &Env {
+        match &self.inner {
+            Backend::Tree(vm) => vm.env(),
+            Backend::Byte(vm) => vm.env(),
+        }
+    }
+
+    /// The script outcome, if finished.
+    pub fn outcome(&self) -> Option<bool> {
+        match &self.inner {
+            Backend::Tree(vm) => vm.outcome(),
+            Backend::Byte(vm) => vm.outcome(),
+        }
+    }
+
+    /// Report an in-flight command as finished. Stale tokens (already
+    /// cancelled) are ignored. Call [`Vm::tick`] afterwards.
+    pub fn complete(&mut self, token: CmdToken, result: CmdResult) {
+        match &mut self.inner {
+            Backend::Tree(vm) => vm.complete(token, result),
+            Backend::Byte(vm) => vm.complete(token, result),
+        }
+    }
+
+    /// Advance every runnable strand at virtual instant `now`.
+    pub fn tick(&mut self, now: Time) -> Tick {
+        match &mut self.inner {
+            Backend::Tree(vm) => vm.tick(now),
+            Backend::Byte(vm) => vm.tick(now),
+        }
+    }
+
+    /// [`Vm::tick`] into a caller-owned effects buffer: `out` is
+    /// cleared and refilled, and its capacity is recycled into the
+    /// VM's internal buffer — a driver ticking thousands of VMs in a
+    /// loop reuses one allocation instead of taking a fresh `Vec`
+    /// per tick.
+    pub fn tick_into(&mut self, now: Time, out: &mut Vec<Effect>) -> VmStatus {
+        match &mut self.inner {
+            Backend::Tree(vm) => vm.tick_into(now, out),
+            Backend::Byte(vm) => vm.tick_into(now, out),
+        }
+    }
 }

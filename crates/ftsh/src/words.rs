@@ -76,6 +76,11 @@ impl Env {
         self.vars.len()
     }
 
+    /// Iterate every binding (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&Istr, &Istr)> {
+        self.vars.iter()
+    }
+
     /// True when no variables are bound.
     pub fn is_empty(&self) -> bool {
         self.vars.is_empty()

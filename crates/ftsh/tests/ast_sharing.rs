@@ -3,35 +3,34 @@
 //! holds a reference-counted handle to the same statement block.
 
 use ftsh::ast::Block;
-use ftsh::{parse, Vm};
+use ftsh::{parse, Env, Vm, VmKind};
 
 const POPULATION: usize = 1000;
 
+const SCRIPT: &str = "try for 900 seconds\n\
+       forany host in ${h1} ${h2} ${h3}\n\
+         try for 5 seconds\n\
+           wget http://${host}/flag\n\
+         end\n\
+         try for 60 seconds\n\
+           wget http://${host}/data\n\
+         end\n\
+       end\n\
+     end\n";
+
 #[test]
-fn thousand_vms_share_one_ast() {
-    let script = parse(
-        "try for 900 seconds\n\
-           forany host in ${h1} ${h2} ${h3}\n\
-             try for 5 seconds\n\
-               wget http://${host}/flag\n\
-             end\n\
-             try for 60 seconds\n\
-               wget http://${host}/data\n\
-             end\n\
-           end\n\
-         end\n",
-    )
-    .unwrap();
+fn thousand_tree_vms_share_one_ast() {
+    let script = parse(SCRIPT).unwrap();
 
     let base = script.stmts.ref_count();
     assert_eq!(base, 1, "freshly parsed script owns its block alone");
 
     let vms: Vec<Vm> = (0..POPULATION)
-        .map(|i| Vm::with_seed(&script, i as u64))
+        .map(|i| Vm::with_kind(VmKind::Tree, &script, Env::new(), i as u64))
         .collect();
 
-    // Each VM adds exactly one strong reference to the top-level block:
-    // no deep copies anywhere in construction.
+    // Each tree VM adds exactly one strong reference to the top-level
+    // block: no deep copies anywhere in construction.
     assert_eq!(
         script.stmts.ref_count(),
         base + POPULATION,
@@ -39,6 +38,26 @@ fn thousand_vms_share_one_ast() {
     );
     drop(vms);
     assert_eq!(script.stmts.ref_count(), base);
+}
+
+#[test]
+fn thousand_bytecode_vms_compile_once() {
+    let script = parse(SCRIPT).unwrap();
+
+    let base = script.stmts.ref_count();
+
+    // The bytecode backend holds no AST references at all: the first
+    // construction compiles the script (the program cache keeps only a
+    // weak AST handle) and the rest share the compiled program.
+    let vms: Vec<Vm> = (0..POPULATION)
+        .map(|i| Vm::with_kind(VmKind::Bytecode, &script, Env::new(), i as u64))
+        .collect();
+    assert_eq!(
+        script.stmts.ref_count(),
+        base,
+        "bytecode VMs must not clone the AST"
+    );
+    drop(vms);
 }
 
 #[test]

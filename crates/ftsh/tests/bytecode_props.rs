@@ -1,0 +1,224 @@
+//! Differential property test for the compiled backend: random
+//! (bounded) scripts are pretty-printed, reparsed, compiled, and then
+//! driven in lockstep on the tree-walking VM and the bytecode VM with
+//! a scripted command oracle. At every tick the two backends must
+//! produce the *identical* effect stream — same tokens, same argv,
+//! same redirections, same cancels, same status and wake time — and at
+//! the end the same outcome and the same final environment. This is
+//! the mechanical form of DESIGN.md §12's equivalence argument.
+
+use ftsh::ast::{Command, Cond, CondOp, Redir, RedirTarget, Script, Stmt, TrySpec, Word};
+use ftsh::vm::{CmdResult, Effect, Vm, VmKind, VmStatus};
+use ftsh::{parse, pretty, Env};
+use proptest::prelude::*;
+use retry::{Dur, Time};
+use std::collections::BTreeMap;
+
+/// Words that would change meaning under print → reparse when they
+/// land in command or variable position.
+const KEYWORDS: &[&str] = &[
+    "try", "end", "catch", "forany", "forall", "if", "else", "in", "function", "failure",
+    "success", "every", "times", "for", "or",
+];
+
+fn ident(regex: &'static str) -> impl Strategy<Value = String> {
+    regex.prop_filter("keyword", |s| !KEYWORDS.contains(&s.as_str()))
+}
+
+fn arb_word() -> impl Strategy<Value = Word> {
+    prop_oneof![
+        ident("[a-z]{1,6}").prop_map(Word::lit),
+        ident("[a-z]{1,4}").prop_map(Word::var),
+    ]
+}
+
+/// A command with an optional `->`/`->>`/`->&` variable capture, so
+/// redirection lowering and the I/O transaction paths get exercised.
+fn arb_cmd() -> impl Strategy<Value = Stmt> {
+    (
+        ident("[a-z]{1,6}"),
+        proptest::collection::vec(arb_word(), 0..3),
+        proptest::option::of((ident("[a-z]{1,4}"), any::<bool>(), any::<bool>())),
+    )
+        .prop_map(|(p, mut args, capture)| {
+            let mut words = vec![Word::lit(p)];
+            words.append(&mut args);
+            let redirs = capture
+                .map(|(var, append, both)| {
+                    vec![Redir::Out {
+                        to: RedirTarget::Variable,
+                        append,
+                        both,
+                        target: Word::lit(var),
+                    }]
+                })
+                .unwrap_or_default();
+            Stmt::Command(Command { words, redirs })
+        })
+}
+
+fn arb_assign() -> impl Strategy<Value = Stmt> {
+    (ident("[a-z]{1,4}"), arb_word()).prop_map(|(var, value)| Stmt::Assign { var, value })
+}
+
+/// Statements whose `try` budgets are always bounded, so every script
+/// terminates under any executor (mirrors `vm_fuzz`).
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    if depth == 0 {
+        prop_oneof![
+            5 => arb_cmd(),
+            2 => arb_assign(),
+            1 => Just(Stmt::Failure),
+            1 => Just(Stmt::Success),
+        ]
+        .boxed()
+    } else {
+        let body = || proptest::collection::vec(arb_stmt(depth - 1), 0..3);
+        let try_s = (1u32..4, 0u64..20, body(), proptest::option::of(body())).prop_map(
+            |(attempts, secs, b, c)| Stmt::Try {
+                spec: TrySpec {
+                    time: Some(Dur::from_secs(secs + 1)),
+                    attempts: Some(attempts),
+                    every: None,
+                    ..TrySpec::default()
+                },
+                body: b.into(),
+                catch: c.map(Into::into),
+            },
+        );
+        let forany = (
+            ident("[a-z]{1,3}"),
+            proptest::collection::vec(arb_word(), 1..3),
+            body(),
+        )
+            .prop_map(|(var, values, body)| Stmt::ForAny {
+                var,
+                values,
+                body: body.into(),
+            });
+        let forall = (
+            ident("[a-z]{1,3}"),
+            proptest::collection::vec(arb_word(), 1..3),
+            body(),
+        )
+            .prop_map(|(var, values, body)| Stmt::ForAll {
+                var,
+                values,
+                body: body.into(),
+            });
+        let ifs = (arb_word(), arb_word(), body(), proptest::option::of(body())).prop_map(
+            |(l, r, t, e)| Stmt::If {
+                cond: Cond {
+                    lhs: l,
+                    op: CondOp::StrEq,
+                    rhs: r,
+                },
+                then: t.into(),
+                els: e.map(Into::into),
+            },
+        );
+        prop_oneof![
+            4 => arb_cmd(),
+            2 => arb_assign(),
+            2 => try_s,
+            2 => forany,
+            2 => forall,
+            1 => ifs,
+            1 => Just(Stmt::Failure),
+        ]
+        .boxed()
+    }
+}
+
+fn final_bindings(env: &Env) -> BTreeMap<String, String> {
+    env.iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn bytecode_effect_stream_matches_tree_walker(
+        stmts in proptest::collection::vec(arb_stmt(2), 1..5),
+        seed in any::<u64>(),
+        outcome_bits in any::<u64>(),
+        order_bits in any::<u64>(),
+    ) {
+        let script = Script { stmts: stmts.into() };
+        // Print → reparse first: the corpus on disk reaches the
+        // compiler through the parser, so the property must too.
+        let text = pretty(&script);
+        let reparsed = match parse(&text) {
+            Ok(s) => s,
+            Err(e) => return Err(TestCaseError::fail(format!("pretty output must reparse: {e}\n{text}"))),
+        };
+
+        let mut tree = Vm::with_kind(VmKind::Tree, &reparsed, Env::new(), seed);
+        let mut byte = Vm::with_kind(VmKind::Bytecode, &reparsed, Env::new(), seed);
+
+        let mut flips = outcome_bits;
+        let mut next_flip = || {
+            let b = flips & 1 == 1;
+            flips = flips.rotate_right(1) ^ 0x9E37_79B9;
+            b
+        };
+        let mut order = order_bits;
+        let mut next_ix = |len: usize| {
+            let ix = (order as usize) % len;
+            order = order.rotate_right(7) ^ 0x1234_5678;
+            ix
+        };
+
+        let mut now = Time::ZERO;
+        let mut pending: Vec<u64> = Vec::new();
+        let mut done = false;
+        for _ in 0..10_000u32 {
+            let t = tree.tick(now);
+            let b = byte.tick(now);
+            prop_assert_eq!(
+                &t.effects, &b.effects,
+                "effect streams diverge at {:?}\n{}", now, &text
+            );
+            prop_assert_eq!(t.status, b.status, "status diverges at {:?}\n{}", now, &text);
+            for e in t.effects {
+                match e {
+                    Effect::Start { token, .. } => pending.push(token),
+                    Effect::Cancel { token } => pending.retain(|&p| p != token),
+                }
+            }
+            match t.status {
+                VmStatus::Done { success } => {
+                    prop_assert_eq!(tree.outcome(), byte.outcome());
+                    prop_assert_eq!(tree.outcome(), Some(success));
+                    prop_assert_eq!(
+                        final_bindings(tree.env()), final_bindings(byte.env()),
+                        "final environments diverge\n{}", &text
+                    );
+                    done = true;
+                    break;
+                }
+                VmStatus::Running { next_wake } => {
+                    if pending.is_empty() {
+                        let w = next_wake.expect("running with nothing to wait on");
+                        now = now.max(w);
+                    } else {
+                        // Complete one pending command — same token,
+                        // same result, on both backends, in an order
+                        // scripted by the oracle bits.
+                        let token = pending.remove(next_ix(pending.len()));
+                        let result = if next_flip() {
+                            CmdResult::ok("out\n")
+                        } else {
+                            CmdResult::fail()
+                        };
+                        tree.complete(token, result.clone());
+                        byte.complete(token, result);
+                    }
+                }
+            }
+        }
+        prop_assert!(done, "vm did not terminate\n{}", &text);
+    }
+}

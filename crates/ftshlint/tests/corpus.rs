@@ -37,7 +37,7 @@ fn expected(name: &str) -> BTreeSet<&'static str> {
 #[test]
 fn conformance_corpus_is_lint_clean() {
     let files = scripts(&corpus_dir());
-    assert_eq!(files.len(), 15, "corpus moved?");
+    assert_eq!(files.len(), 20, "corpus moved?");
     for path in files {
         let src = std::fs::read_to_string(&path).unwrap();
         let report = lint(&src, &Options::default())
