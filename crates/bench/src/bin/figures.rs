@@ -5,7 +5,7 @@
 //! figures --trace OUT.jsonl [--seed N] [figs...]
 //! figures --faults PLAN.json [figs...]
 //! figures --stats [--quick] [--seed N] [figs...]
-//! figures postmortem TRACE.jsonl [--timeline] [--client N]
+//! figures postmortem TRACE.jsonl [--timeline] [--rounds] [--client N]
 //! ```
 //!
 //! Prints each figure as an aligned table (the rows the paper plots)
@@ -55,7 +55,8 @@
 //! `BENCH_engine.json` at the workspace root.
 
 use gridworld::figures::{
-    by_name_full, by_name_with_plan, Scale, ALL_ABLATIONS, ALL_FIGURES, EXTENDED_FIGURES,
+    by_name_full, by_name_with_plan, Scale, ALL_ABLATIONS, ALL_FIGURES, COORD_FIGURES,
+    EXTENDED_FIGURES,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
@@ -274,6 +275,7 @@ fn run_stats(mut figs: Vec<String>, scale: Scale, seed: u64) -> ExitCode {
         !ALL_FIGURES.contains(&f.as_str())
             && !ALL_ABLATIONS.contains(&f.as_str())
             && !EXTENDED_FIGURES.contains(&f.as_str())
+            && !COORD_FIGURES.contains(&f.as_str())
     }) {
         eprintln!("unknown figure: {bad}");
         return ExitCode::from(2);
@@ -384,16 +386,19 @@ fn run_stats(mut figs: Vec<String>, scale: Scale, seed: u64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `figures postmortem TRACE.jsonl [--timeline] [--client N]` — read a
-/// structured trace back and reconstruct what happened.
+/// `figures postmortem TRACE.jsonl [--timeline] [--rounds]
+/// [--client N]` — read a structured trace back and reconstruct what
+/// happened.
 fn run_postmortem(args: Vec<String>) -> ExitCode {
     let mut path: Option<String> = None;
     let mut timeline = false;
+    let mut rounds = false;
     let mut client: Option<i64> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--timeline" => timeline = true,
+            "--rounds" => rounds = true,
             "--client" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(c) => client = Some(c),
                 None => {
@@ -404,13 +409,15 @@ fn run_postmortem(args: Vec<String>) -> ExitCode {
             other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
             other => {
                 eprintln!("unknown postmortem argument: {other}");
-                eprintln!("usage: figures postmortem TRACE.jsonl [--timeline] [--client N]");
+                eprintln!(
+                    "usage: figures postmortem TRACE.jsonl [--timeline] [--rounds] [--client N]"
+                );
                 return ExitCode::from(2);
             }
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: figures postmortem TRACE.jsonl [--timeline] [--client N]");
+        eprintln!("usage: figures postmortem TRACE.jsonl [--timeline] [--rounds] [--client N]");
         return ExitCode::from(2);
     };
     let text = match std::fs::read_to_string(&path) {
@@ -429,6 +436,9 @@ fn run_postmortem(args: Vec<String>) -> ExitCode {
     };
     let summary = simgrid::TraceSummary::from_records(&records);
     print!("{}", summary.render());
+    if rounds {
+        print!("{}", simgrid::postmortem::render_rounds(&records));
+    }
     if timeline {
         print!("{}", simgrid::postmortem::render_timeline(&records, client));
     }
@@ -508,6 +518,52 @@ fn run_live(
     }
 }
 
+/// The live coordinated-workload smoke behind `--coord-live`: a real
+/// all-reduce population against a real daemon, gated on the sim's
+/// Ethernet <= Aloha time-to-global-completion prediction.
+fn run_coord_live(seed: u64) -> ExitCode {
+    let opts = egbench::coord_live::CoordLiveOptions::quick(seed, egbench::results_dir());
+    eprintln!(
+        "== live all-reduce: {} real ranks x {} rounds per discipline (seed {seed}) ==",
+        opts.ranks, opts.rounds
+    );
+    let report = match egbench::coord_live::run_coord_live(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("live all-reduce failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for out in [&report.aloha, &report.ethernet] {
+        eprintln!(
+            "   {:<8} {:.2}s wall, {} blind misses, {} sense reads, {} hits, {} kill(s), {} rejoin(s)",
+            out.discipline.label(),
+            out.wall_s,
+            out.misses,
+            out.senses,
+            out.hits,
+            out.kills,
+            out.restarts,
+        );
+    }
+    eprintln!(
+        "   sim (quick fig8) predicts global completion: Aloha {:.1}s vs Ethernet {:.1}s",
+        report.sim_done.0, report.sim_done.1
+    );
+    let table = opts.out_dir.join("coord_live.md");
+    if let Ok(md) = std::fs::read_to_string(&table) {
+        print!("{md}");
+    }
+    eprintln!("   wrote {}", table.display());
+    if report.confirms {
+        eprintln!("   live daemon CONFIRMS the sim's Ethernet <= Aloha completion ordering");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("   live daemon DOES NOT CONFIRM Ethernet <= Aloha");
+        ExitCode::FAILURE
+    }
+}
+
 /// Where one figure's trace goes: the exact `--trace` path when a
 /// single figure runs, `PATH-<fig>.jsonl` when several do.
 fn trace_path_for(base: &str, name: &str, single: bool) -> String {
@@ -526,6 +582,7 @@ fn main() -> ExitCode {
     let mut chart = false;
     let mut stats = false;
     let mut live = false;
+    let mut coord_live = false;
     let mut live_clients: Option<usize> = None;
     let mut min_dispatch: Option<f64> = None;
     let mut trace_base: Option<String> = None;
@@ -545,6 +602,7 @@ fn main() -> ExitCode {
             "--chart" => chart = true,
             "--stats" => stats = true,
             "--live" => live = true,
+            "--coord-live" => coord_live = true,
             "--live-clients" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(n) if n > 0 => live_clients = Some(n),
                 _ => {
@@ -595,13 +653,14 @@ fn main() -> ExitCode {
             }
             "all" => wanted.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
             "ablations" => wanted.extend(ALL_ABLATIONS.iter().map(|s| s.to_string())),
+            "coord" => wanted.extend(COORD_FIGURES.iter().map(|s| s.to_string())),
             other if other.starts_with("fig") || other.starts_with("ablation-") => {
                 wanted.push(other.to_string());
             }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: figures [--quick] [--seed N] [--stats] [--live [--live-clients N] [--min-dispatch V]] [--trace OUT.jsonl] [--faults PLAN.json] [fig1..fig7 | all | ablations | ablation-threshold | ablation-channel]\n       figures postmortem TRACE.jsonl [--timeline] [--client N]"
+                    "usage: figures [--quick] [--seed N] [--stats] [--live [--live-clients N] [--min-dispatch V]] [--coord-live] [--trace OUT.jsonl] [--faults PLAN.json] [fig1..fig9 | all | ablations | coord | ablation-threshold | ablation-channel]\n       figures postmortem TRACE.jsonl [--timeline] [--rounds] [--client N]"
                 );
                 return ExitCode::from(2);
             }
@@ -609,6 +668,9 @@ fn main() -> ExitCode {
     }
     if live {
         return run_live(scale, seed, live_clients, min_dispatch);
+    }
+    if coord_live {
+        return run_coord_live(seed);
     }
     if stats {
         return run_stats(wanted, scale, seed);

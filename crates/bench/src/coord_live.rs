@@ -1,0 +1,369 @@
+//! The live coordinated-workload smoke: the fig8 all-reduce re-run on
+//! real wall-clock against a real `gridd` daemon.
+//!
+//! N real rank threads barrier through the daemon's file server, whose
+//! physics mirror the sim's `OpQueue`: a single-server FIFO where a
+//! blind `get` miss is an expensive directory scan
+//! ([`GriddConfig::file_miss_service`]) while the `stat` probe answers
+//! from the directory cache for free. One rank dies mid-run and
+//! rejoins after a downtime — the live analogue of the sim's
+//! `client-kill` + restart — and while the barrier holds for the
+//! straggler, the Aloha population's blind polling congests the FIFO
+//! that the straggler's own re-publish then has to queue behind. The
+//! Ethernet population senses instead, so its time-to-global-completion
+//! is predicted (by the fig8 sim) to be no worse — the daemon either
+//! confirms that ordering or the smoke fails.
+
+use gridd::{GridConn, GridError, GriddConfig};
+use gridworld::figures::{by_name_with_plan, Scale};
+use retry::Discipline;
+use simgrid::faults::FaultPlan;
+use simgrid::{Series, SeriesSet};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Parameters of the live all-reduce.
+#[derive(Clone, Debug)]
+pub struct CoordLiveOptions {
+    /// Rank threads (the barrier width).
+    pub ranks: usize,
+    /// Rounds each rank must complete.
+    pub rounds: u32,
+    /// Service time of a put or a get hit at the file server.
+    pub file_service: Duration,
+    /// Service time of a blind get miss (the expensive scan).
+    pub file_miss_service: Duration,
+    /// Base compute time of one partial (plus per-rank jitter).
+    pub compute: Duration,
+    /// How long the killed rank stays down before rejoining.
+    pub downtime: Duration,
+    /// Seed for jitter streams and the sim prediction.
+    pub seed: u64,
+    /// Where artifacts land.
+    pub out_dir: PathBuf,
+}
+
+impl CoordLiveOptions {
+    /// The CI smoke: 4 ranks, 2 rounds, one kill + rejoin.
+    pub fn quick(seed: u64, out_dir: PathBuf) -> CoordLiveOptions {
+        CoordLiveOptions {
+            ranks: 4,
+            rounds: 2,
+            file_service: Duration::from_millis(3),
+            file_miss_service: Duration::from_millis(120),
+            compute: Duration::from_millis(60),
+            downtime: Duration::from_millis(1500),
+            seed,
+            out_dir,
+        }
+    }
+}
+
+/// What one discipline's live run produced.
+#[derive(Clone, Debug)]
+pub struct CoordOutcome {
+    /// Which discipline ran.
+    pub discipline: Discipline,
+    /// Wall-clock until every rank finished every round — the live
+    /// time-to-global-completion.
+    pub wall_s: f64,
+    /// Blind fetch misses the daemon served (expensive scans).
+    pub misses: u64,
+    /// Free carrier-sense reads (`stat`).
+    pub senses: u64,
+    /// Successful fetches.
+    pub hits: u64,
+    /// Ranks killed mid-run.
+    pub kills: u64,
+    /// Ranks that rejoined after a kill.
+    pub restarts: u64,
+}
+
+/// The whole smoke: both disciplines plus the fig8 sim prediction.
+#[derive(Clone, Debug)]
+pub struct CoordReport {
+    /// Aloha's live outcome.
+    pub aloha: CoordOutcome,
+    /// Ethernet's live outcome.
+    pub ethernet: CoordOutcome,
+    /// Sim-predicted final-round global completion (aloha, ethernet),
+    /// from quick-scale fig8.
+    pub sim_done: (f64, f64),
+    /// Did the live daemon confirm the predicted Ethernet ≤ Aloha
+    /// time-to-global-completion ordering?
+    pub confirms: bool,
+}
+
+/// Deterministic per-(rank, round) jitter in `0..span`, from the seed.
+fn jitter(seed: u64, rank: usize, round: u32, span: Duration) -> Duration {
+    let mut x = seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(round) << 32;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    Duration::from_micros(x % (span.as_micros().max(1) as u64))
+}
+
+/// Reconnect until the daemon answers (it never goes down in this
+/// smoke; this only rides out the rejoin race).
+fn connect(addr: &str, rank: usize) -> GridConn {
+    loop {
+        match GridConn::connect(addr, rank as u32, Duration::from_secs(10)) {
+            Ok(c) => return c,
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Retry a poisoned-connection operation once on a fresh connection.
+fn with_retry<T>(
+    conn: &mut GridConn,
+    addr: &str,
+    rank: usize,
+    mut op: impl FnMut(&mut GridConn) -> Result<T, GridError>,
+) -> Result<T, GridError> {
+    match op(conn) {
+        Err(GridError::Io(_) | GridError::Proto(_)) => {
+            *conn = connect(addr, rank);
+            op(conn)
+        }
+        r => r,
+    }
+}
+
+/// One rank's life: `rounds` barriered rounds. The designated kill
+/// rank drops its connection at the start of round 1's compute, sleeps
+/// the downtime, reconnects and re-runs the round — everyone else's
+/// barrier holds until its late partial lands.
+#[allow(clippy::too_many_arguments)]
+fn run_rank(
+    discipline: Discipline,
+    addr: String,
+    rank: usize,
+    opts: CoordLiveOptions,
+    kill_rank: usize,
+) -> (u64, u64) {
+    let mut conn = connect(&addr, rank);
+    let mut kills = 0u64;
+    let mut restarts = 0u64;
+    let mut round = 0u32;
+    while round < opts.rounds {
+        if rank == kill_rank && round == opts.rounds - 1 && kills == 0 {
+            // The mid-run kill: drop the connection, stay down, rejoin.
+            drop(std::mem::replace(&mut conn, connect(&addr, rank)));
+            kills += 1;
+            std::thread::sleep(opts.downtime);
+            restarts += 1;
+        }
+        // Compute the partial.
+        std::thread::sleep(opts.compute + jitter(opts.seed, rank, round, opts.compute));
+        // Publish it.
+        let key = |r: usize, k: u32| format!("r{r}.{k}");
+        loop {
+            match with_retry(&mut conn, &addr, rank, |c| c.put(&key(rank, round), b"v")) {
+                Ok(()) => break,
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+        // The barrier: every peer's partial for this round.
+        match discipline {
+            Discipline::Ethernet => {
+                // Sense the carrier (free stats) until the whole round
+                // is present, with exponential backoff; then fetch —
+                // all hits.
+                let mut delay = Duration::from_millis(25);
+                loop {
+                    let mut landed = 0usize;
+                    for peer in 0..opts.ranks {
+                        let k = key(peer, round);
+                        if matches!(with_retry(&mut conn, &addr, rank, |c| c.stat(&k)), Ok(true)) {
+                            landed += 1;
+                        }
+                    }
+                    if landed == opts.ranks {
+                        break;
+                    }
+                    std::thread::sleep(delay + jitter(opts.seed, rank, round ^ 0x55, delay));
+                    delay = (delay * 2).min(Duration::from_millis(400));
+                }
+                for peer in 0..opts.ranks {
+                    let k = key(peer, round);
+                    let _ = with_retry(&mut conn, &addr, rank, |c| c.get(&k));
+                }
+            }
+            Discipline::Aloha | Discipline::Fixed => {
+                // Poll each peer blindly: every miss is an expensive
+                // scan holding the file server.
+                for peer in 0..opts.ranks {
+                    let k = key(peer, round);
+                    loop {
+                        match with_retry(&mut conn, &addr, rank, |c| c.get(&k)) {
+                            Ok(_) => break,
+                            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                        }
+                    }
+                }
+            }
+        }
+        round += 1;
+    }
+    (kills, restarts)
+}
+
+/// Run one discipline's rank population against a fresh daemon.
+pub fn run_coord_discipline(
+    discipline: Discipline,
+    opts: &CoordLiveOptions,
+) -> std::io::Result<CoordOutcome> {
+    let cfg = GriddConfig {
+        slots: opts.ranks as u64,
+        file_service: opts.file_service,
+        file_miss_service: opts.file_miss_service,
+        deadline: Duration::from_secs(10),
+        plan: FaultPlan::new(opts.seed),
+        ..GriddConfig::default()
+    };
+    let handle = gridd::start(cfg)?;
+    let addr = handle.addr().to_string();
+
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..opts.ranks)
+        .map(|rank| {
+            let addr = addr.clone();
+            let o = opts.clone();
+            std::thread::spawn(move || run_rank(discipline, addr, rank, o, 1))
+        })
+        .collect();
+    let mut kills = 0u64;
+    let mut restarts = 0u64;
+    for t in threads {
+        let (k, r) = t.join().expect("rank thread");
+        kills += k;
+        restarts += r;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let (clients, _) = handle.snapshot();
+    handle.shutdown();
+    Ok(CoordOutcome {
+        discipline,
+        wall_s,
+        misses: clients.iter().map(|c| c.get_err).sum(),
+        senses: clients.iter().map(|c| c.df_calls).sum(),
+        hits: clients.iter().map(|c| c.get_ok).sum(),
+        kills,
+        restarts,
+    })
+}
+
+/// Quick-scale fig8 prediction: the final round's global completion
+/// time for one discipline.
+fn sim_done(discipline: Discipline, seed: u64) -> f64 {
+    by_name_with_plan("fig8", Scale::Quick, seed, false, None)
+        .and_then(|run| run.set.get(discipline.label()).and_then(Series::last))
+        .unwrap_or(f64::NAN)
+}
+
+/// Run the whole smoke: Aloha then Ethernet against fresh daemons,
+/// compare with the quick-scale fig8 prediction, and write
+/// `coord_live.json` + `coord_live.md` under `out_dir`.
+pub fn run_coord_live(opts: &CoordLiveOptions) -> std::io::Result<CoordReport> {
+    std::fs::create_dir_all(&opts.out_dir)?;
+    let aloha = run_coord_discipline(Discipline::Aloha, opts)?;
+    let ethernet = run_coord_discipline(Discipline::Ethernet, opts)?;
+    let sim = (
+        sim_done(Discipline::Aloha, opts.seed),
+        sim_done(Discipline::Ethernet, opts.seed),
+    );
+    // "Ethernet ≥ Aloha" in outcome terms: its global completion is no
+    // later. Live wall-clock gets a small tolerance for scheduler
+    // noise on loaded CI runners.
+    let sim_predicts = sim.1 <= sim.0;
+    let live_confirms = ethernet.wall_s <= aloha.wall_s * 1.05;
+    let confirms = sim_predicts && live_confirms;
+
+    let mut set = SeriesSet::new(
+        "Live all-reduce: time-to-global-completion",
+        "discipline (0 = Aloha, 1 = Ethernet)",
+        "wall-clock (s)",
+    );
+    let mut s = Series::new("wall_s");
+    s.push_xy(0.0, aloha.wall_s);
+    s.push_xy(1.0, ethernet.wall_s);
+    set.add(s);
+    std::fs::write(opts.out_dir.join("coord_live.json"), set.to_json_pretty())?;
+    std::fs::write(
+        opts.out_dir.join("coord_live.md"),
+        render_table(&aloha, &ethernet, sim, confirms, opts),
+    )?;
+    Ok(CoordReport {
+        aloha,
+        ethernet,
+        sim_done: sim,
+        confirms,
+    })
+}
+
+/// The live-vs-sim comparison table (also reproduced in
+/// EXPERIMENTS.md).
+fn render_table(
+    aloha: &CoordOutcome,
+    ethernet: &CoordOutcome,
+    sim: (f64, f64),
+    confirms: bool,
+    opts: &CoordLiveOptions,
+) -> String {
+    let mut md = String::new();
+    let _ = writeln!(md, "# Live all-reduce vs. simulation (fig8)\n");
+    let _ = writeln!(
+        md,
+        "{} real ranks x {} rounds, one kill + rejoin ({} ms down), seed {}.\n",
+        opts.ranks,
+        opts.rounds,
+        opts.downtime.as_millis(),
+        opts.seed
+    );
+    let _ = writeln!(
+        md,
+        "| discipline | live wall (s) | blind misses | sense reads | fetch hits | kills | rejoins | sim final-round done (s) |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|");
+    for (out, s) in [(aloha, sim.0), (ethernet, sim.1)] {
+        let _ = writeln!(
+            md,
+            "| {} | {:.2} | {} | {} | {} | {} | {} | {:.1} |",
+            out.discipline.label(),
+            out.wall_s,
+            out.misses,
+            out.senses,
+            out.hits,
+            out.kills,
+            out.restarts,
+            s,
+        );
+    }
+    let _ = writeln!(
+        md,
+        "\nSim predicts Ethernet ≤ Aloha on time-to-global-completion; the live daemon **{}** it.",
+        if confirms {
+            "CONFIRMS"
+        } else {
+            "DOES NOT CONFIRM"
+        }
+    );
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let span = Duration::from_millis(60);
+        let a = jitter(7, 2, 1, span);
+        assert_eq!(a, jitter(7, 2, 1, span));
+        assert!(a < span);
+        assert_ne!(jitter(7, 2, 1, span), jitter(7, 3, 1, span));
+    }
+}

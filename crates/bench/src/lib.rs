@@ -4,6 +4,7 @@
 #![warn(missing_docs)]
 
 pub mod conformance;
+pub mod coord_live;
 pub mod live;
 pub mod swarm;
 

@@ -376,6 +376,10 @@ impl Cvm {
         self.default_backoff = p;
     }
 
+    pub fn default_backoff(&self) -> BackoffPolicy {
+        self.default_backoff
+    }
+
     pub fn set_max_parallel(&mut self, n: Option<usize>) {
         self.max_parallel = n.map(|n| n.max(1));
     }

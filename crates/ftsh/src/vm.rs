@@ -331,6 +331,11 @@ impl TreeVm {
         self.default_backoff = p;
     }
 
+    /// The backoff policy `try` blocks without `every` run under.
+    pub fn default_backoff(&self) -> BackoffPolicy {
+        self.default_backoff
+    }
+
     /// Throttle `forall`: at most `n` branches run concurrently, the
     /// rest start as slots free up. §4 notes that "the creation of
     /// processes must be governed by an Ethernet-like algorithm": this
@@ -1331,6 +1336,14 @@ impl Vm {
         match &mut self.inner {
             Backend::Tree(vm) => vm.set_default_backoff(p),
             Backend::Byte(vm) => vm.set_default_backoff(p),
+        }
+    }
+
+    /// The backoff policy `try` blocks without `every` run under.
+    pub fn default_backoff(&self) -> BackoffPolicy {
+        match &self.inner {
+            Backend::Tree(vm) => vm.default_backoff(),
+            Backend::Byte(vm) => vm.default_backoff(),
         }
     }
 

@@ -37,7 +37,7 @@ fn expected(name: &str) -> BTreeSet<&'static str> {
 #[test]
 fn conformance_corpus_is_lint_clean() {
     let files = scripts(&corpus_dir());
-    assert_eq!(files.len(), 20, "corpus moved?");
+    assert_eq!(files.len(), 22, "corpus moved?");
     for path in files {
         let src = std::fs::read_to_string(&path).unwrap();
         let report = lint(&src, &Options::default())
@@ -55,7 +55,7 @@ fn conformance_corpus_is_lint_clean() {
 #[test]
 fn examples_carry_exactly_their_expected_diagnostics() {
     let files = scripts(&examples_dir());
-    assert_eq!(files.len(), 3, "examples moved?");
+    assert_eq!(files.len(), 5, "examples moved?");
     for path in files {
         let name = path.file_name().unwrap().to_str().unwrap().to_string();
         let src = std::fs::read_to_string(&path).unwrap();
@@ -92,16 +92,27 @@ fn aloha_example_flags_and_nested_ethernet_passes() {
     assert_eq!(r.discipline, Discipline::Ethernet);
 }
 
-/// Classification of the three example personalities matches §5.
+/// Classification of the example personalities matches §5.
 #[test]
 fn example_disciplines_match_their_names() {
     for (file, want) in [
         ("ethernet_submit.ftsh", Discipline::Ethernet),
         ("aloha_submit.ftsh", Discipline::Aloha),
         ("fixed_hammer.ftsh", Discipline::Fixed),
+        // The coordinated-workload personalities: carrier-sensed
+        // barrier rank and DAG job, Ethernet by construction and
+        // free of unbounded tries.
+        ("allreduce_rank.ftsh", Discipline::Ethernet),
+        ("dag_merge_job.ftsh", Discipline::Ethernet),
     ] {
         let src = std::fs::read_to_string(examples_dir().join(file)).unwrap();
         let r = lint(&src, &Options::default()).unwrap();
         assert_eq!(r.discipline, want, "{file}");
+        if file.starts_with("allreduce") || file.starts_with("dag") {
+            assert!(
+                !r.diagnostics.iter().any(|d| d.rule == "unbounded-try"),
+                "{file}: every coord try must be bounded"
+            );
+        }
     }
 }

@@ -131,6 +131,19 @@ impl GridClient {
         }
     }
 
+    /// Does `name` exist on the file server right now? The file
+    /// server's carrier-sense read: free, never queued behind file
+    /// service.
+    pub fn stat(&self, name: &str) -> Result<bool, GridError> {
+        match self.call(&Request::Stat {
+            client: self.client,
+            name: name.into(),
+        })? {
+            Response::Free { slots } => Ok(slots > 0),
+            _ => Err(GridError::Unexpected("stat wants free")),
+        }
+    }
+
     /// The daemon's per-client counters as metrics JSON.
     pub fn stats(&self) -> Result<String, GridError> {
         match self.call(&Request::Stats)? {
@@ -239,6 +252,19 @@ impl GridConn {
         })? {
             Response::Free { slots } => Ok(slots),
             _ => Err(GridError::Unexpected("df wants free")),
+        }
+    }
+
+    /// Does `name` exist on the file server right now? The file
+    /// server's carrier-sense read: free, never queued behind file
+    /// service.
+    pub fn stat(&mut self, name: &str) -> Result<bool, GridError> {
+        match self.call(&Request::Stat {
+            client: self.client,
+            name: name.into(),
+        })? {
+            Response::Free { slots } => Ok(slots > 0),
+            _ => Err(GridError::Unexpected("stat wants free")),
         }
     }
 

@@ -69,6 +69,56 @@ mod tests {
     }
 
     #[test]
+    fn stat_senses_free_while_misses_queue() {
+        // A nonzero miss cost makes blind gets hold the file server;
+        // stat answers from the directory cache regardless.
+        let mut cfg = quick_config();
+        cfg.file_service = Duration::from_millis(5);
+        cfg.file_miss_service = Duration::from_millis(120);
+        let h = start(cfg).unwrap();
+        let c = GridClient::new(h.addr().to_string(), 0);
+
+        assert!(!c.stat("partial").unwrap());
+        let t0 = std::time::Instant::now();
+        assert!(matches!(
+            c.get("partial"),
+            Err(GridError::Server(ErrCode::NotFound, _))
+        ));
+        let miss = t0.elapsed();
+        assert!(miss >= Duration::from_millis(100), "miss took {miss:?}");
+
+        // A put queued behind two misses waits for the FIFO to drain.
+        let addr = h.addr().to_string();
+        let pollers: Vec<_> = (1..3u32)
+            .map(|k| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let p = GridClient::new(addr, k);
+                    let _ = p.get("partial");
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        let t1 = std::time::Instant::now();
+        c.put("partial", b"v").unwrap();
+        assert!(
+            t1.elapsed() >= Duration::from_millis(60),
+            "put skipped the queue: {:?}",
+            t1.elapsed()
+        );
+        for p in pollers {
+            p.join().unwrap();
+        }
+        assert!(c.stat("partial").unwrap());
+        assert_eq!(c.get("partial").unwrap(), b"v");
+
+        let (clients, _) = h.snapshot();
+        let me = clients.iter().find(|r| r.client == 0).unwrap();
+        assert_eq!(me.df_calls, 2, "stat counts as a carrier-sense read");
+        h.shutdown();
+    }
+
+    #[test]
     fn overload_crashes_the_schedd_and_df_sees_it() {
         let mut cfg = quick_config();
         cfg.slots = 1;

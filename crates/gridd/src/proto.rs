@@ -62,6 +62,16 @@ pub enum Request {
         /// Caller's client index.
         client: u32,
     },
+    /// Does a file exist? The file server's carrier-sense channel:
+    /// answered from the directory cache, never queued behind file
+    /// service, so sensing is free where a blind `get` miss is an
+    /// expensive scan.
+    Stat {
+        /// Caller's client index.
+        client: u32,
+        /// File name.
+        name: String,
+    },
     /// Dump per-client counters as `simgrid::metrics` JSON.
     Stats,
 }
@@ -358,6 +368,7 @@ const REQ_PUT: u8 = 2;
 const REQ_GET: u8 = 3;
 const REQ_DF: u8 = 4;
 const REQ_STATS: u8 = 5;
+const REQ_STAT: u8 = 6;
 
 const RESP_OK: u8 = 0x80;
 const RESP_DATA: u8 = 0x81;
@@ -390,6 +401,11 @@ impl Request {
                 b.push(REQ_DF);
                 put_u32(&mut b, *client);
             }
+            Request::Stat { client, name } => {
+                b.push(REQ_STAT);
+                put_u32(&mut b, *client);
+                put_str(&mut b, name);
+            }
             Request::Stats => b.push(REQ_STATS),
         }
         b
@@ -413,6 +429,10 @@ impl Request {
                 name: c.string()?,
             },
             REQ_DF => Request::Df { client: c.u32()? },
+            REQ_STAT => Request::Stat {
+                client: c.u32()?,
+                name: c.string()?,
+            },
             REQ_STATS => Request::Stats,
             other => return Err(ProtoError::BadTag(other)),
         };
@@ -426,7 +446,8 @@ impl Request {
             Request::Submit { client, .. }
             | Request::Put { client, .. }
             | Request::Get { client, .. }
-            | Request::Df { client } => Some(*client),
+            | Request::Df { client }
+            | Request::Stat { client, .. } => Some(*client),
             Request::Stats => None,
         }
     }

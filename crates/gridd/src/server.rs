@@ -95,6 +95,16 @@ pub struct GriddConfig {
     pub deadline: Duration,
     /// File-server capacity in bytes; `put` beyond it reports ENOSPC.
     pub disk_bytes: usize,
+    /// File-server service time of a `put` or a `get` that hits. The
+    /// file server is a single-server FIFO per event loop: while one
+    /// operation is in service, later ones queue behind it. Zero
+    /// (the default) answers inline, the historical behavior.
+    pub file_service: Duration,
+    /// File-server service time of a `get` miss — the exhaustive
+    /// directory scan a blind poll pays. With a nonzero miss cost a
+    /// polling stampede congests the FIFO for everyone, which is what
+    /// the coordinated-workload arena measures. Zero = inline.
+    pub file_miss_service: Duration,
     /// The adversarial schedule (and physics constants).
     pub plan: FaultPlan,
 }
@@ -111,6 +121,8 @@ impl Default for GriddConfig {
             downtime: Duration::from_millis(1500),
             deadline: Duration::from_secs(10),
             disk_bytes: 16 << 20,
+            file_service: Duration::ZERO,
+            file_miss_service: Duration::ZERO,
             plan: FaultPlan::default(),
         }
     }
@@ -270,11 +282,14 @@ impl Windows {
                     }
                 }
                 // VM-side or construction-time physics — not windows.
+                // `ClientKill` targets a sim client, which the live
+                // daemon does not model either.
                 FaultKind::ClockSkew { .. }
                 | FaultKind::CmdFailFirst { .. }
                 | FaultKind::ScheddCrashOnStarvation { .. }
                 | FaultKind::EnospcAtCapacity { .. }
-                | FaultKind::BlackHoleServers { .. } => {}
+                | FaultKind::BlackHoleServers { .. }
+                | FaultKind::ClientKill { .. } => {}
             }
         }
         restarts.sort();
@@ -647,6 +662,13 @@ enum TimerEv {
     },
     /// Black-hole swallow: close without answering.
     Swallow { idx: usize, gen: u64 },
+    /// A queued file-server operation finished service: deliver its
+    /// precomputed response (dropped if the connection died).
+    FileDone {
+        idx: usize,
+        gen: u64,
+        resp: Response,
+    },
 }
 
 /// One connection's state: incremental reader, partial-progress
@@ -673,6 +695,9 @@ struct EventLoop {
     gens: Vec<u64>,
     free: Vec<usize>,
     timers: TimerWheel<TimerEv>,
+    /// The file server's FIFO horizon (per event loop): server time
+    /// until which the file server is busy with earlier operations.
+    file_busy_until: Duration,
 }
 
 impl EventLoop {
@@ -690,6 +715,7 @@ impl EventLoop {
             gens: Vec::new(),
             free: Vec::new(),
             timers,
+            file_busy_until: Duration::ZERO,
         })
     }
 
@@ -941,6 +967,10 @@ impl EventLoop {
                 self.file_put(idx, client, &name, &data, elapsed);
             }
             Request::Get { client, name } => self.file_get(idx, client, &name, elapsed),
+            Request::Stat { client, name } => {
+                let resp = self.file_stat(client, &name);
+                self.respond(idx, &resp);
+            }
             Request::Df { client } => {
                 let resp = self.df(client, elapsed);
                 self.respond(idx, &resp);
@@ -1100,7 +1130,7 @@ impl EventLoop {
                 }
             }
         };
-        self.respond(idx, &resp);
+        self.finish_file(idx, resp, self.inner.cfg.file_service, elapsed);
     }
 
     fn file_get(&mut self, idx: usize, client: u32, name: &str, elapsed: Duration) {
@@ -1112,18 +1142,55 @@ impl EventLoop {
             match st.files.get(name).cloned() {
                 Some(data) => {
                     st.client(client).get_ok += 1;
-                    Response::Data { data }
+                    (Response::Data { data }, self.inner.cfg.file_service)
                 }
                 None => {
                     st.client(client).get_err += 1;
-                    Response::Err {
-                        code: ErrCode::NotFound,
-                        msg: format!("no such file: {name}"),
-                    }
+                    (
+                        Response::Err {
+                            code: ErrCode::NotFound,
+                            msg: format!("no such file: {name}"),
+                        },
+                        self.inner.cfg.file_miss_service,
+                    )
                 }
             }
         };
-        self.respond(idx, &resp);
+        self.finish_file(idx, resp.0, resp.1, elapsed);
+    }
+
+    /// `stat` — the file server's carrier-sense channel: does the file
+    /// exist right now? Answered from the directory cache, never
+    /// queued behind file service and never black-holed, so sensing
+    /// stays free while committed work pays the FIFO. Counted with the
+    /// other carrier-sense reads.
+    fn file_stat(&mut self, client: u32, name: &str) -> Response {
+        let mut st = self.inner.state.lock().expect("state lock");
+        st.client(client).df_calls += 1;
+        let exists = u64::from(st.files.contains_key(name));
+        Response::Free { slots: exists }
+    }
+
+    /// Deliver a file-server response after its service time: the file
+    /// server is a single-server FIFO, so the operation starts when
+    /// every earlier one finished and holds the server for `dur`. The
+    /// zero-cost idle path answers inline (the historical behavior).
+    fn finish_file(&mut self, idx: usize, resp: Response, dur: Duration, elapsed: Duration) {
+        if dur.is_zero() && self.file_busy_until <= elapsed {
+            self.respond(idx, &resp);
+            return;
+        }
+        let start = self.file_busy_until.max(elapsed);
+        let done = start + dur;
+        self.file_busy_until = done;
+        let gen = match self.conns.get(idx) {
+            Some(Some(conn)) => conn.gen,
+            _ => 0,
+        };
+        self.timers.schedule(
+            Instant::now() + done.saturating_sub(elapsed),
+            TimerEv::FileDone { idx, gen, resp },
+        );
     }
 
     // ---------------------------------------------------------- timers
@@ -1132,6 +1199,11 @@ impl EventLoop {
         match ev {
             TimerEv::Deadline { idx, gen } => self.on_deadline(idx, gen),
             TimerEv::Resume { idx, gen } => self.on_resume(idx, gen),
+            TimerEv::FileDone { idx, gen, resp } => {
+                if self.conn_live(idx, gen) {
+                    self.respond(idx, &resp);
+                }
+            }
             TimerEv::Swallow { idx, gen } => {
                 if self.conn_live(idx, gen) {
                     self.close_conn(idx);

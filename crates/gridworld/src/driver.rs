@@ -52,6 +52,9 @@ pub enum SimEv<W> {
     World(W),
     /// An armed [`FaultPlan`] spec (by index) triggers now.
     Fault(usize),
+    /// A client killed by [`FaultKind::ClientKill`] reaches its
+    /// restart instant; the world is asked for a replacement VM.
+    Revive(ClientId),
 }
 
 /// What the world decides about a just-started command.
@@ -162,6 +165,20 @@ pub trait CommandWorld: Sized {
     fn inject_fault(&mut self, ctx: &mut Ctx<'_, Self::Ev>, kind: &FaultKind) -> Vec<Completion> {
         let _ = (ctx, kind);
         Vec::new()
+    }
+
+    /// A client killed by a [`FaultKind::ClientKill`] injection has
+    /// reached its restart instant. Return the replacement VM and the
+    /// instant it should start, or `None` to leave the client dead.
+    /// The default leaves it dead — worlds that model rank recovery
+    /// (the coordinated workloads) opt in.
+    fn restart_client(
+        &mut self,
+        ctx: &mut Ctx<'_, Self::Ev>,
+        client: ClientId,
+    ) -> Option<(Vm, Time)> {
+        let _ = (ctx, client);
+        None
     }
 }
 
@@ -396,6 +413,7 @@ impl<W: CommandWorld> SimDriver<W> {
                     }
                 }
                 SimEv::Fault(i) => self.trigger_fault(i, now),
+                SimEv::Revive(c) => self.revive_client(c, now),
             }
         }
     }
@@ -442,6 +460,29 @@ impl<W: CommandWorld> SimDriver<W> {
                     *s = *skew_us;
                 }
             }
+            FaultKind::ClientKill { client, restart } => {
+                let (c, restart) = (*client, *restart);
+                let killed = self.kill_client(c);
+                // Let the world observe the kill (round accounting,
+                // resource bookkeeping) after the VM is gone.
+                let completions = {
+                    let mut ctx = Ctx {
+                        queue: &mut self.queue,
+                        epochs: &self.epochs,
+                    };
+                    self.world.inject_fault(&mut ctx, &spec.kind)
+                };
+                for comp in completions {
+                    let epoch = self.epochs[comp.client];
+                    self.deliver(comp.client, epoch, comp.token, comp.result, now);
+                }
+                // Only a kill that found a live VM earns a revival: a
+                // client that already retired (or was killed twice)
+                // must not be resurrected by a stale restart delay.
+                if let (true, Some(delay)) = (killed, restart) {
+                    self.queue.schedule_keyed(c, now + delay, SimEv::Revive(c));
+                }
+            }
             kind => {
                 let completions = {
                     let mut ctx = Ctx {
@@ -454,6 +495,73 @@ impl<W: CommandWorld> SimDriver<W> {
                     let epoch = self.epochs[c.client];
                     self.deliver(c.client, epoch, c.token, c.result, now);
                 }
+            }
+        }
+    }
+
+    /// Tear down client `client` right now: its VM is dropped
+    /// mid-unit, every in-flight command is cancelled (so the world
+    /// releases held resources), and the epoch bump swallows any
+    /// completion already in the queue. The client stays dead until a
+    /// [`SimEv::Revive`] asks the world for a replacement. Returns
+    /// whether a live VM was actually torn down.
+    fn kill_client(&mut self, client: ClientId) -> bool {
+        let Some(slot) = self.vms.get_mut(client) else {
+            return false; // plan named a client outside this population
+        };
+        let Some(vm) = slot.take() else {
+            return false; // already dead (or retired): kill is a no-op
+        };
+        self.log_totals += vm.log().summary();
+        let epoch = self.epochs[client];
+        let mut in_flight: Vec<(ClientId, u64, CmdToken)> = self
+            .live
+            .iter()
+            .filter(|k| k.0 == client && k.1 == epoch)
+            .copied()
+            .collect();
+        in_flight.sort_unstable(); // deterministic world-callback order
+        for key in in_flight {
+            self.live.remove(&key);
+            if let Some(fs) = &mut self.faults {
+                fs.programs.remove(&key);
+                fs.delayed.remove(&key);
+            }
+            let mut ctx = Ctx {
+                queue: &mut self.queue,
+                epochs: &self.epochs,
+            };
+            self.world.cancelled(&mut ctx, client, key.2);
+        }
+        self.epochs[client] += 1;
+        true
+    }
+
+    /// A killed client's restart delay elapsed: ask the world for a
+    /// replacement VM and start it. A world that returns `None` (the
+    /// default) leaves the client dead.
+    fn revive_client(&mut self, client: ClientId, now: Time) {
+        match self.vms.get(client) {
+            Some(None) => {}
+            _ => return, // still alive, or out of range
+        }
+        let next = {
+            let mut ctx = Ctx {
+                queue: &mut self.queue,
+                epochs: &self.epochs,
+            };
+            self.world.restart_client(&mut ctx, client)
+        };
+        if let Some((mut vm, at)) = next {
+            vm.set_log_detail(false);
+            if let Some(sink) = &self.tracer {
+                vm.set_tracer(sink.clone(), client as i64);
+            }
+            self.vms[client] = Some(vm);
+            if at <= now {
+                self.tick_client(client, now);
+            } else {
+                self.queue.schedule_keyed(client, at, SimEv::Wake(client));
             }
         }
     }
@@ -960,6 +1068,8 @@ mod fault_tests {
         max_units: u32,
         cancel_count: u32,
         injected: Vec<String>,
+        revive: bool,
+        revivals: u32,
     }
 
     impl WorkWorld {
@@ -970,6 +1080,15 @@ mod fault_tests {
                 max_units,
                 cancel_count: 0,
                 injected: Vec::new(),
+                revive: false,
+                revivals: 0,
+            }
+        }
+
+        fn reviving(max_units: u32) -> WorkWorld {
+            WorkWorld {
+                revive: true,
+                ..WorkWorld::new(max_units)
             }
         }
 
@@ -1006,6 +1125,21 @@ mod fault_tests {
         fn inject_fault(&mut self, _ctx: &mut Ctx<'_, ()>, kind: &FaultKind) -> Vec<Completion> {
             self.injected.push(kind.tag().to_string());
             Vec::new()
+        }
+
+        fn restart_client(
+            &mut self,
+            ctx: &mut Ctx<'_, ()>,
+            _client: ClientId,
+        ) -> Option<(Vm, Time)> {
+            if !self.revive {
+                return None;
+            }
+            self.revivals += 1;
+            Some((
+                Self::vm("work\n", 1000 + u64::from(self.revivals)),
+                ctx.now(),
+            ))
         }
 
         fn unit_done(
@@ -1112,6 +1246,64 @@ mod fault_tests {
             ],
             "repeats fire every 2 s from t = 1 s, interleaved with the restart"
         );
+    }
+
+    #[test]
+    fn client_kill_without_restart_leaves_client_dead() {
+        // Kill at t = 1 s, mid-flight in the first 2 s `work`: the
+        // in-flight command is cancelled (so the world releases it),
+        // no unit ever completes, and the default `restart_client`
+        // leaves the client dead.
+        let mut d = SimDriver::new(WorkWorld::new(5), vec![WorkWorld::vm("work\n", 0)]);
+        d.arm_faults(FaultPlan::new(1).with(FaultSpec::once(
+            Time::from_secs(1),
+            FaultKind::ClientKill {
+                client: 0,
+                restart: None,
+            },
+        )));
+        d.run_until(Time::from_secs(100));
+        assert_eq!(d.world.units, 0, "killed mid-unit, nothing completes");
+        assert_eq!(d.world.cancel_count, 1, "in-flight work released");
+        assert_eq!(d.world.injected, vec!["client-kill"], "world observes it");
+        assert_eq!(d.world.revivals, 0);
+    }
+
+    #[test]
+    fn client_kill_with_restart_resumes_units() {
+        // Kill at t = 1 s, restart after 2 s: the replacement VM starts
+        // at t = 3 s, so two units land at t = 5 s and t = 8 s
+        // (2 s work + 1 s gap). The completion of the killed unit
+        // (scheduled for t = 2 s, old epoch) must not leak in.
+        let mut d = SimDriver::new(WorkWorld::reviving(2), vec![WorkWorld::vm("work\n", 0)]);
+        d.arm_faults(FaultPlan::new(1).with(FaultSpec::once(
+            Time::from_secs(1),
+            FaultKind::ClientKill {
+                client: 0,
+                restart: Some(Dur::from_secs(2)),
+            },
+        )));
+        d.run_until(Time::from_secs(100));
+        assert_eq!(d.world.revivals, 1);
+        assert_eq!(d.world.successes, 2, "replacement VM finishes the work");
+        assert_eq!(d.now(), Time::from_secs(8));
+    }
+
+    #[test]
+    fn client_kill_after_retirement_is_a_noop() {
+        // The single unit finishes at t = 2 s and the client retires;
+        // a kill at t = 10 s finds no VM and must change nothing.
+        let mut d = SimDriver::new(WorkWorld::new(1), vec![WorkWorld::vm("work\n", 0)]);
+        d.arm_faults(FaultPlan::new(1).with(FaultSpec::once(
+            Time::from_secs(10),
+            FaultKind::ClientKill {
+                client: 0,
+                restart: Some(Dur::from_secs(1)),
+            },
+        )));
+        d.run_until(Time::from_secs(100));
+        assert_eq!(d.world.successes, 1);
+        assert_eq!(d.world.cancel_count, 0);
     }
 
     #[test]

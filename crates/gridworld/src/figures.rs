@@ -7,12 +7,14 @@
 //! where the broadcast-jam spikes appear — are the reproduction
 //! target (see EXPERIMENTS.md).
 
+use crate::coord::allreduce::{run_allreduce_traced, AllReduceParams};
+use crate::coord::dag::{run_dag_traced, DagParams};
 use crate::scenarios::blackhole::{run_blackhole_traced, BlackHoleParams};
 use crate::scenarios::buffer::{run_buffer_traced, BufferParams};
 use crate::scenarios::submit::{run_submission_traced, SubmitParams};
 use crate::sweep;
 use retry::{Discipline, Dur, Time};
-use simgrid::faults::FaultPlan;
+use simgrid::faults::{FaultKind, FaultPlan, FaultSpec};
 use simgrid::trace::{SharedSink, TraceRecord, VecSink};
 use simgrid::{Series, SeriesSet};
 use std::sync::{Arc, Mutex};
@@ -488,6 +490,138 @@ fn fig7_run(scale: Scale, seed: u64, traced: bool, plan: Option<&FaultPlan>) -> 
     )
 }
 
+/// Figure 8 — *Fault-Tolerant All-Reduce*: per-round global completion
+/// time for N ranks barriering through the shared store, with one rank
+/// killed mid-round and restarted. One series per discipline; lower and
+/// complete is better (a missing point is a round the discipline never
+/// globally finished inside the window).
+pub fn fig8_allreduce(scale: Scale, seed: u64) -> SeriesSet {
+    fig8_run(scale, seed, false, None).set
+}
+
+/// The built-in fig8 injection: rank 1 is killed 4 s in — mid-compute
+/// of the first round for every discipline — and restarts 6 s later,
+/// forcing the barrier to hold while the straggler catches up.
+fn fig8_kill_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed).with(FaultSpec::once(
+        Time::ZERO + Dur::from_secs(4),
+        FaultKind::ClientKill {
+            client: 1,
+            restart: Some(Dur::from_secs(6)),
+        },
+    ))
+}
+
+fn fig8_run(scale: Scale, seed: u64, traced: bool, plan: Option<&FaultPlan>) -> FigureRun {
+    let rounds = scale.pick(3, 2);
+    let window = scale.pick(Dur::from_secs(600), Dur::from_secs(300));
+    let mut set = SeriesSet::new(
+        "Figure 8: Fault-Tolerant All-Reduce (kill + restart)",
+        "Round",
+        "Global Completion Time (s)",
+    );
+    let results = sweep::map(&Discipline::ALL, |&d| {
+        let kill = fig8_kill_plan(seed);
+        let mut params = AllReduceParams {
+            discipline: d,
+            rounds,
+            seed,
+            ..AllReduceParams::default()
+        };
+        params.fault_plan = merge_plan(kill.clone(), plan).or(Some(kill));
+        let (sink, handle) = point_sink(traced);
+        let o = run_allreduce_traced(params, window, sink);
+        (
+            o.round_series,
+            o.events_popped,
+            o.queue_clamps,
+            drain(handle),
+        )
+    });
+    let mut events_popped = 0u64;
+    let mut clamps = 0u64;
+    let mut trace = Vec::new();
+    for (series, e, c, recs) in results {
+        set.add(series);
+        events_popped += e;
+        clamps += c;
+        trace.extend(recs);
+    }
+    FigureRun {
+        set,
+        events_popped,
+        clamps,
+        trace: traced.then_some(trace),
+    }
+}
+
+/// Figure 9 — *Swift-Style DAG Workflow*: per-job completion time for
+/// the eight-job diamond workflow flowing through the shared store,
+/// with an ENOSPC window corrupting publishes early on and the `merge`
+/// job killed (and restarted) mid-flight. One series per discipline;
+/// the x axis is the job's index in the spec, the last point is the
+/// workflow makespan.
+pub fn fig9_dag(scale: Scale, seed: u64) -> SeriesSet {
+    fig9_run(scale, seed, false, None).set
+}
+
+/// The built-in fig9 injection: publishes fail for 8 s starting 1 s in
+/// (the store "fills up" under the first wave of outputs), and the
+/// `merge` job — the diamond's waist — is killed 6 s in, restarting
+/// 5 s later.
+fn fig9_fault_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with(FaultSpec::once(
+            Time::ZERO + Dur::from_secs(1),
+            FaultKind::EnospcWindow {
+                duration: Dur::from_secs(8),
+            },
+        ))
+        .with(FaultSpec::once(
+            Time::ZERO + Dur::from_secs(6),
+            FaultKind::ClientKill {
+                client: 4,
+                restart: Some(Dur::from_secs(5)),
+            },
+        ))
+}
+
+fn fig9_run(scale: Scale, seed: u64, traced: bool, plan: Option<&FaultPlan>) -> FigureRun {
+    let window = scale.pick(Dur::from_secs(600), Dur::from_secs(300));
+    let mut set = SeriesSet::new(
+        "Figure 9: DAG Workflow (ENOSPC window + merge kill)",
+        "Job Index (spec order)",
+        "Completion Time (s)",
+    );
+    let results = sweep::map(&Discipline::ALL, |&d| {
+        let faults = fig9_fault_plan(seed);
+        let mut params = DagParams {
+            discipline: d,
+            seed,
+            ..DagParams::default()
+        };
+        params.fault_plan = merge_plan(faults.clone(), plan).or(Some(faults));
+        let (sink, handle) = point_sink(traced);
+        let o = run_dag_traced(params, window, sink);
+        (o.job_series, o.events_popped, o.queue_clamps, drain(handle))
+    });
+    let mut events_popped = 0u64;
+    let mut clamps = 0u64;
+    let mut trace = Vec::new();
+    for (series, e, c, recs) in results {
+        set.add(series);
+        events_popped += e;
+        clamps += c;
+        trace.extend(recs);
+    }
+    FigureRun {
+        set,
+        events_popped,
+        clamps,
+        trace: traced.then_some(trace),
+    }
+}
+
 /// Ablation A — carrier-sense threshold sweep: jobs submitted and
 /// schedd crashes vs. the Ethernet client's free-FD threshold, in the
 /// overload regime. Shows the knob the paper fixes at 1000: too low
@@ -619,6 +753,8 @@ pub fn by_name_with_plan(
         "fig5" => fig5_run(scale, seed, traced, plan),
         "fig6" => fig6_run(scale, seed, traced, plan),
         "fig7" => fig7_run(scale, seed, traced, plan),
+        "fig8" => fig8_run(scale, seed, traced, plan),
+        "fig9" => fig9_run(scale, seed, traced, plan),
         "ablation-threshold" => ablation_threshold_run(scale, seed, traced, plan),
         "ablation-channel" => FigureRun {
             set: ablation_channel_saturation(scale, seed),
@@ -637,6 +773,12 @@ pub const ALL_ABLATIONS: [&str; 2] = ["ablation-threshold", "ablation-channel"];
 /// [`ALL_FIGURES`] so `figures all` and the determinism gate stay at
 /// paper scale; regenerate explicitly with `figures fig1x`.
 pub const EXTENDED_FIGURES: [&str; 1] = ["fig1x"];
+
+/// The ids of the coordinated-workload figures (beyond the paper's
+/// seven, see [`crate::coord`]). Kept out of [`ALL_FIGURES`] so
+/// `figures all` stays at paper scale; regenerate explicitly with
+/// `figures fig8` / `figures fig9`.
+pub const COORD_FIGURES: [&str; 2] = ["fig8", "fig9"];
 
 /// The ids of all figures.
 pub const ALL_FIGURES: [&str; 7] = ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7"];
@@ -696,10 +838,36 @@ mod tests {
 
     #[test]
     fn by_name_covers_all() {
-        for name in ALL_FIGURES {
+        for name in ALL_FIGURES.iter().chain(&COORD_FIGURES) {
             // Only check dispatch, not execution, for the heavy ones.
             assert!(name.starts_with("fig"));
         }
-        assert!(by_name("fig9", Scale::Quick, 0).is_none());
+        assert!(by_name("fig10", Scale::Quick, 0).is_none());
+    }
+
+    #[test]
+    fn quick_coord_figures_have_shape() {
+        // fig8: three discipline series, each completing both quick
+        // rounds despite the kill, with Ethernet's global completion
+        // no later than Aloha's.
+        let f8 = fig8_allreduce(Scale::Quick, 1);
+        assert_eq!(f8.series.len(), 3);
+        for s in &f8.series {
+            assert_eq!(s.len(), 2, "{}: both rounds complete", s.name);
+        }
+        let eth = f8.get("Ethernet").unwrap().last().unwrap();
+        let alo = f8.get("Aloha").unwrap().last().unwrap();
+        assert!(eth <= alo, "ethernet {eth} vs aloha {alo}");
+
+        // fig9: all eight jobs finish under the faults; the makespan
+        // (last point) keeps the same ordering.
+        let f9 = fig9_dag(Scale::Quick, 1);
+        assert_eq!(f9.series.len(), 3);
+        for s in &f9.series {
+            assert_eq!(s.len(), 8, "{}: all jobs complete", s.name);
+        }
+        let eth = f9.get("Ethernet").unwrap().last().unwrap();
+        let alo = f9.get("Aloha").unwrap().last().unwrap();
+        assert!(eth <= alo, "ethernet {eth} vs aloha {alo}");
     }
 }

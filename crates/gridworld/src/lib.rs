@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod coord;
 pub mod driver;
 pub mod figures;
 pub mod scenarios;

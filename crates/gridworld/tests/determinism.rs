@@ -15,8 +15,11 @@ use simgrid::TraceSummary;
 
 /// One scenario of each kind, covering both engine paths: parallel
 /// sweeps (fig1 = submit, fig5 = buffer) and single runs (fig7 =
-/// reader, the paper's Ethernet black-hole figure).
-const GATE_FIGURES: [&str; 3] = ["fig1", "fig5", "fig7"];
+/// reader, the paper's Ethernet black-hole figure), plus both
+/// coordinated workloads (fig8 = all-reduce under a kill+restart,
+/// fig9 = DAG under an ENOSPC window + kill) whose built-in fault
+/// plans must land on identical virtual instants under any schedule.
+const GATE_FIGURES: [&str; 5] = ["fig1", "fig5", "fig7", "fig8", "fig9"];
 
 fn regenerate(name: &str, threads: &str) -> (String, String, u64) {
     std::env::set_var("EG_SWEEP_THREADS", threads);

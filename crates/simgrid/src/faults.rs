@@ -97,6 +97,19 @@ pub enum FaultKind {
         /// Offset applied to the VM's view of now, in microseconds.
         skew_us: i64,
     },
+    /// Kill client `client`'s VM mid-run: the in-flight work unit is
+    /// lost (live commands are cancelled, late completions dropped) and
+    /// the client restarts from a fresh VM after `restart`, or stays
+    /// dead for the rest of the run when `None` — the rank-kill
+    /// primitive coordinated (all-reduce / DAG) workloads are tested
+    /// under.
+    ClientKill {
+        /// Client index within the scenario.
+        client: usize,
+        /// Delay until the world is asked for a replacement VM
+        /// (`None`: the client never comes back).
+        restart: Option<Dur>,
+    },
     /// The first `n` invocations of `program` fail deterministically —
     /// the injection the sim↔real conformance harness mirrors with
     /// shim commands on the real side.
@@ -144,6 +157,7 @@ impl FaultKind {
             FaultKind::MsgLoss { .. } => "msg-loss",
             FaultKind::LatencySpike { .. } => "latency-spike",
             FaultKind::ClockSkew { .. } => "clock-skew",
+            FaultKind::ClientKill { .. } => "client-kill",
             FaultKind::CmdFailFirst { .. } => "cmd-fail-first",
             FaultKind::ScheddCrashOnStarvation { .. } => "schedd-crash-on-starvation",
             FaultKind::EnospcAtCapacity { .. } => "enospc-at-capacity",
@@ -217,6 +231,14 @@ impl FaultKind {
             FaultKind::ClockSkew { client, skew_us } => {
                 let _ = write!(s, "client={client} skew_us={skew_us}");
             }
+            FaultKind::ClientKill { client, restart } => match restart {
+                Some(d) => {
+                    let _ = write!(s, "client={client} restart_us={}", d.as_micros());
+                }
+                None => {
+                    let _ = write!(s, "client={client} restart_us=none");
+                }
+            },
             FaultKind::CmdFailFirst { program, n } => {
                 let _ = write!(s, "program={program} n={n}");
             }
@@ -385,7 +407,8 @@ impl FaultPlan {
     /// msg-loss, latency-spike); `delta_bytes` (free-space-lie);
     /// `server`, `enable` (black-hole); `channel`, `probability`
     /// (msg-loss); `extra_us` (latency-spike); `client`, `skew_us`
-    /// (clock-skew); `program`, `n` (cmd-fail-first); `service_fds`,
+    /// (clock-skew); `client`, `restart_us` (client-kill, null for no
+    /// restart); `program`, `n` (cmd-fail-first); `service_fds`,
     /// `backlog` (schedd-crash-on-starvation); `capacity_bytes`
     /// (enospc-at-capacity); `servers` (black-hole-servers).
     pub fn to_json(&self) -> String {
@@ -465,6 +488,15 @@ impl FaultPlan {
                 }
                 FaultKind::ClockSkew { client, skew_us } => {
                     let _ = write!(out, ", \"client\": {client}, \"skew_us\": {skew_us}");
+                }
+                FaultKind::ClientKill { client, restart } => {
+                    let _ = write!(out, ", \"client\": {client}");
+                    match restart {
+                        Some(d) => {
+                            let _ = write!(out, ", \"restart_us\": {}", d.as_micros());
+                        }
+                        None => out.push_str(", \"restart_us\": null"),
+                    }
                 }
                 FaultKind::CmdFailFirst { program, n } => {
                     let _ = write!(
@@ -582,6 +614,16 @@ fn parse_spec(v: &json::Value) -> Result<FaultSpec, String> {
             client: uint("client")? as usize,
             skew_us: int("skew_us")?,
         },
+        "client-kill" => FaultKind::ClientKill {
+            client: uint("client")? as usize,
+            restart: match json::get(obj, "restart_us") {
+                None | Some(json::Value::Null) => None,
+                Some(v) => Some(Dur::from_micros(
+                    v.as_u64()
+                        .ok_or("\"restart_us\" must be an integer or null")?,
+                )),
+            },
+        },
         "cmd-fail-first" => FaultKind::CmdFailFirst {
             program: text("program")?,
             n: uint("n")? as u32,
@@ -627,11 +669,13 @@ fn parse_spec(v: &json::Value) -> Result<FaultSpec, String> {
     })
 }
 
-/// Minimal recursive JSON reader for `PLAN.json` (the trace module's
-/// scanner is flat-object-only and integer-only; plans nest one level
-/// and carry a float probability). The workspace deliberately carries
-/// no serde dependency.
-mod json {
+/// Minimal recursive JSON reader for `PLAN.json` and kin (the trace
+/// module's scanner is flat-object-only and integer-only; plans nest
+/// one level and carry a float probability). The workspace
+/// deliberately carries no serde dependency; other hand-rolled JSON
+/// documents (`DagSpec` in the coordinated workloads) parse through
+/// this module too.
+pub mod json {
     /// A parsed JSON value.
     #[derive(Debug, Clone, PartialEq)]
     pub enum Value {
@@ -650,51 +694,61 @@ mod json {
     }
 
     impl Value {
+        /// The object's fields, or `None` for non-objects.
         pub fn as_object(&self) -> Option<&[(String, Value)]> {
             match self {
                 Value::Obj(m) => Some(m),
                 _ => None,
             }
         }
+        /// The array's items, or `None` for non-arrays.
         pub fn as_array(&self) -> Option<&[Value]> {
             match self {
                 Value::Arr(a) => Some(a),
                 _ => None,
             }
         }
+        /// The string's contents, or `None` for non-strings.
         pub fn as_str(&self) -> Option<&str> {
             match self {
                 Value::Str(s) => Some(s),
                 _ => None,
             }
         }
+        /// The boolean, or `None` for non-booleans.
         pub fn as_bool(&self) -> Option<bool> {
             match self {
                 Value::Bool(b) => Some(*b),
                 _ => None,
             }
         }
+        /// The number, or `None` for non-numbers.
         pub fn as_f64(&self) -> Option<f64> {
             match self {
                 Value::Num(n) => Some(*n),
                 _ => None,
             }
         }
+        /// The number as an integer, `None` for fractions and numbers
+        /// beyond exact `f64` integer range.
         pub fn as_i64(&self) -> Option<i64> {
             match self {
                 Value::Num(n) if n.fract() == 0.0 && n.abs() <= 9e15 => Some(*n as i64),
                 _ => None,
             }
         }
+        /// The number as a non-negative integer, or `None`.
         pub fn as_u64(&self) -> Option<u64> {
             self.as_i64().and_then(|n| u64::try_from(n).ok())
         }
     }
 
+    /// Look up `key` in an object's fields (first match wins).
     pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
         obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
+    /// Parse one complete JSON document (trailing data is an error).
     pub fn parse(text: &str) -> Result<Value, String> {
         let mut p = Parser {
             chars: text.chars().peekable(),
@@ -895,6 +949,20 @@ mod tests {
                 Time::from_secs(90),
                 FaultKind::ScheddRestart,
             ))
+            .with(FaultSpec::once(
+                Time::from_secs(12),
+                FaultKind::ClientKill {
+                    client: 2,
+                    restart: Some(Dur::from_secs(4)),
+                },
+            ))
+            .with(FaultSpec::once(
+                Time::from_secs(14),
+                FaultKind::ClientKill {
+                    client: 5,
+                    restart: None,
+                },
+            ))
             .with(FaultSpec::physics(FaultKind::ScheddCrashOnStarvation {
                 service_fds: 50,
                 backlog: 1000,
@@ -923,7 +991,7 @@ mod tests {
     fn physics_specs_are_not_injections() {
         let plan = sample_plan();
         let injected: Vec<_> = plan.injections().map(|(i, _)| i).collect();
-        assert_eq!(injected, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(injected, vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
         assert_eq!(plan.crash_physics(), Some((50, 1000)));
         assert_eq!(plan.capacity_physics(), Some(120 << 20));
         assert_eq!(plan.black_hole_physics().unwrap(), ["zzz".to_string()]);
@@ -967,6 +1035,22 @@ mod tests {
             "server=yyy enable=false"
         );
         assert_eq!(FaultKind::ScheddRestart.detail(), "");
+        assert_eq!(
+            FaultKind::ClientKill {
+                client: 4,
+                restart: Some(Dur::from_secs(2))
+            }
+            .detail(),
+            "client=4 restart_us=2000000"
+        );
+        assert_eq!(
+            FaultKind::ClientKill {
+                client: 4,
+                restart: None
+            }
+            .detail(),
+            "client=4 restart_us=none"
+        );
     }
 
     #[test]

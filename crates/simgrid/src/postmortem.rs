@@ -298,6 +298,76 @@ pub fn render_timeline(records: &[TraceRecord], only: Option<i64>) -> String {
     out
 }
 
+/// Reconstruct the coordinated-workload view of a trace: each
+/// client's `UnitDone` records are its rounds (successes advance the
+/// round counter, failures are rounds lost), and a round is *globally*
+/// complete when every participating client has finished it — the
+/// barrier semantics of `gridworld::coord`. Reports the per-rank
+/// round timeline plus a time-to-global-completion summary
+/// (count, p50, max over the global completion instants).
+pub fn render_rounds(records: &[TraceRecord]) -> String {
+    // Per client: completion instants of successful rounds (in
+    // emission order, which is time order within a client) and the
+    // count of failed units (rounds lost).
+    let mut done_at: BTreeMap<i64, Vec<Time>> = BTreeMap::new();
+    let mut lost: BTreeMap<i64, u64> = BTreeMap::new();
+    for r in records {
+        if r.client == NO_ID {
+            continue;
+        }
+        if let TraceEv::UnitDone { ok } = r.ev {
+            if ok {
+                done_at.entry(r.client).or_default().push(r.t);
+            } else {
+                *lost.entry(r.client).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== rounds ==");
+    if done_at.is_empty() && lost.is_empty() {
+        let _ = writeln!(out, "no units completed");
+        return out;
+    }
+    for (client, times) in &done_at {
+        let last = times.last().map_or(0.0, |t| t.as_secs_f64());
+        let _ = writeln!(
+            out,
+            "rank {client:>3}: {} done, {} lost, last at {last:.3}s",
+            times.len(),
+            lost.get(client).copied().unwrap_or(0),
+        );
+    }
+    for (client, n) in &lost {
+        if !done_at.contains_key(client) {
+            let _ = writeln!(out, "rank {client:>3}: 0 done, {n} lost");
+        }
+    }
+    // Round k is globally complete when every rank that completed
+    // anything has a k-th success; its instant is the straggler's.
+    let global_rounds = done_at.values().map(Vec::len).min().unwrap_or(0);
+    let mut globals: Vec<f64> = (0..global_rounds)
+        .map(|k| {
+            done_at
+                .values()
+                .map(|ts| ts[k].as_secs_f64())
+                .fold(0.0, f64::max)
+        })
+        .collect();
+    for (k, t) in globals.iter().enumerate() {
+        let _ = writeln!(out, "round {:>2} globally complete at {t:.3}s", k + 1);
+    }
+    let (p50, max) = (
+        percentile(&mut globals, 0.5).unwrap_or(0.0),
+        percentile(&mut globals, 1.0).unwrap_or(0.0),
+    );
+    let _ = writeln!(
+        out,
+        "time-to-global-completion: count {global_rounds}, p50 {p50:.3}s, max {max:.3}s"
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,6 +512,38 @@ mod tests {
         assert!(report.contains("  schedd-kill"));
         let t = render_timeline(&recs, None);
         assert!(t.contains("fault injected: msg-loss (channel=wget"));
+    }
+
+    #[test]
+    fn rounds_report_finds_the_straggler() {
+        // Two ranks, two rounds. Rank 1 loses a round mid-way and is
+        // the straggler on both global completions.
+        let recs = vec![
+            rec(5, 0, TraceEv::UnitDone { ok: true }),
+            rec(8, 1, TraceEv::UnitDone { ok: true }),
+            rec(10, 0, TraceEv::UnitDone { ok: true }),
+            rec(12, 1, TraceEv::UnitDone { ok: false }),
+            rec(20, 1, TraceEv::UnitDone { ok: true }),
+        ];
+        let out = render_rounds(&recs);
+        assert!(out.contains("rank   0: 2 done, 0 lost, last at 10.000s"));
+        assert!(out.contains("rank   1: 2 done, 1 lost, last at 20.000s"));
+        assert!(out.contains("round  1 globally complete at 8.000s"));
+        assert!(out.contains("round  2 globally complete at 20.000s"));
+        assert!(out.contains("time-to-global-completion: count 2, p50 8.000s, max 20.000s"));
+    }
+
+    #[test]
+    fn rounds_report_handles_empty_and_lossy_traces() {
+        assert!(render_rounds(&[]).contains("no units completed"));
+        // A rank that never succeeded still shows its losses.
+        let recs = vec![
+            rec(3, 0, TraceEv::UnitDone { ok: true }),
+            rec(4, 7, TraceEv::UnitDone { ok: false }),
+        ];
+        let out = render_rounds(&recs);
+        assert!(out.contains("rank   7: 0 done, 1 lost"));
+        assert!(out.contains("time-to-global-completion: count 1"));
     }
 
     #[test]
